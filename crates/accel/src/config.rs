@@ -1,0 +1,121 @@
+//! Datapath configuration.
+
+use crate::fu::FuTiming;
+
+/// How iterations mapped to the same lane (and across lanes) synchronize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneSync {
+    /// All lanes synchronize before the next unrolled iteration round
+    /// begins — the paper's model ("when lanes are finished executing, they
+    /// must wait and synchronize with all other lanes before the next
+    /// iteration can begin", Section IV-D).
+    #[default]
+    Barrier,
+    /// No structural constraint beyond data dependences and per-lane
+    /// functional-unit limits. Used by ablation studies to quantify what
+    /// the barrier costs.
+    Free,
+}
+
+/// Microarchitectural parameters of one accelerator datapath.
+///
+/// `lanes` and `partition` are the two axes of the paper's design sweeps
+/// (Figure 3's table: 1–16 datapath lanes, 1–16 scratchpad partitions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatapathConfig {
+    /// Number of datapath lanes (the unrolling factor): iteration `i` of
+    /// the kernel's parallel loop executes on lane `i % lanes`.
+    pub lanes: u32,
+    /// Cyclic partitioning factor of each scratchpad array: element `e`
+    /// lives in bank `e % partition`.
+    pub partition: u32,
+    /// Read/write ports per scratchpad bank.
+    pub ports_per_bank: u32,
+    /// Functional-unit latencies.
+    pub timing: FuTiming,
+    /// Inter-lane synchronization model.
+    pub sync: LaneSync,
+}
+
+impl Default for DatapathConfig {
+    fn default() -> Self {
+        DatapathConfig {
+            lanes: 1,
+            partition: 1,
+            ports_per_bank: 1,
+            timing: FuTiming::default(),
+            sync: LaneSync::Barrier,
+        }
+    }
+}
+
+impl DatapathConfig {
+    /// Peak local memory bandwidth in elements per cycle
+    /// (banks × ports/bank) — one of the three Kiviat axes of Figure 9.
+    #[must_use]
+    pub fn local_mem_bandwidth(&self) -> u32 {
+        self.partition * self.ports_per_bank
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any parameter is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.lanes == 0 {
+            return Err("lanes must be >= 1".to_owned());
+        }
+        if self.partition == 0 {
+            return Err("partition must be >= 1".to_owned());
+        }
+        if self.ports_per_bank == 0 {
+            return Err("ports_per_bank must be >= 1".to_owned());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        let cfg = DatapathConfig::default();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.lanes, 1);
+        assert_eq!(cfg.sync, LaneSync::Barrier);
+        assert_eq!(cfg.local_mem_bandwidth(), 1);
+    }
+
+    #[test]
+    fn bandwidth_multiplies() {
+        let cfg = DatapathConfig {
+            partition: 8,
+            ports_per_bank: 2,
+            ..DatapathConfig::default()
+        };
+        assert_eq!(cfg.local_mem_bandwidth(), 16);
+    }
+
+    #[test]
+    fn zero_params_rejected() {
+        for bad in [
+            DatapathConfig {
+                lanes: 0,
+                ..DatapathConfig::default()
+            },
+            DatapathConfig {
+                partition: 0,
+                ..DatapathConfig::default()
+            },
+            DatapathConfig {
+                ports_per_bank: 0,
+                ..DatapathConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Dynamic data dependence graph analysis.
+
+use aladdin_ir::{NodeId, Trace};
+
+use crate::config::DatapathConfig;
+use crate::fu::FuTiming;
+
+/// Successor lists, in-degrees, and derived structure of a trace's DDDG.
+///
+/// The trace itself stores predecessor (dependence) lists; scheduling needs
+/// the transpose. This also computes the unconstrained critical path — the
+/// lower bound on compute latency any datapath configuration is subject to
+/// — used by the validation harness and by "isolated designer" analyses.
+/// # Example
+///
+/// ```
+/// use aladdin_accel::{DatapathConfig, Dddg, FuTiming};
+/// use aladdin_ir::{Opcode, TVal, Tracer};
+///
+/// let mut t = Tracer::new("chain");
+/// let mut acc = TVal::lit(1.0);
+/// for _ in 0..3 {
+///     acc = t.binop(Opcode::FMul, acc, TVal::lit(2.0));
+/// }
+/// let trace = t.finish();
+/// let g = Dddg::build(&trace, &DatapathConfig::default());
+/// // Three dependent 4-cycle multiplies: critical path of 12 cycles.
+/// assert_eq!(g.critical_path_cycles(&trace, &FuTiming::default()), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dddg {
+    succs: Vec<Vec<u32>>,
+    indeg: Vec<u32>,
+    lanes: Vec<u32>,
+    rounds: Vec<u32>,
+    num_rounds: u32,
+}
+
+impl Dddg {
+    /// Build the graph structure for `trace` as seen by a datapath with
+    /// `cfg.lanes` lanes.
+    ///
+    /// Lane/round assignment follows *iteration instances in program
+    /// order*: each change of the trace's iteration label starts a new
+    /// instance; instance `k` maps to lane `k % lanes` and round
+    /// `k / lanes`. Because instances are monotone in program order and
+    /// dependences always point backwards, a dependence can never target a
+    /// later round — which makes the inter-round lane barrier
+    /// deadlock-free by construction, including for kernels whose labels
+    /// revisit earlier values (e.g. the per-byte structure of AES).
+    #[must_use]
+    pub fn build(trace: &Trace, cfg: &DatapathConfig) -> Self {
+        let n = trace.nodes().len();
+        let mut succs = vec![Vec::new(); n];
+        let mut indeg = vec![0u32; n];
+        let mut lanes = vec![0u32; n];
+        let mut rounds = vec![0u32; n];
+        let mut num_rounds = 0;
+        let mut instance = 0u32;
+        let mut last_label: Option<u32> = None;
+        for node in trace.nodes() {
+            let i = node.id.index();
+            for dep in &node.deps {
+                succs[dep.index()].push(i as u32);
+                indeg[i] += 1;
+            }
+            match last_label {
+                Some(l) if l == node.iteration => {}
+                Some(_) => instance += 1,
+                None => {}
+            }
+            last_label = Some(node.iteration);
+            lanes[i] = instance % cfg.lanes;
+            let round = instance / cfg.lanes;
+            rounds[i] = round;
+            num_rounds = num_rounds.max(round + 1);
+        }
+        Dddg {
+            succs,
+            indeg,
+            lanes,
+            rounds,
+            num_rounds,
+        }
+    }
+
+    /// Datapath lane of every node.
+    #[must_use]
+    pub fn lanes(&self) -> &[u32] {
+        &self.lanes
+    }
+
+    /// Successors (consumers) of `node`.
+    #[must_use]
+    pub fn successors(&self, node: NodeId) -> &[u32] {
+        &self.succs[node.index()]
+    }
+
+    /// Initial in-degree (number of dependences) of every node.
+    #[must_use]
+    pub fn indegrees(&self) -> &[u32] {
+        &self.indeg
+    }
+
+    /// Unrolled-iteration round of every node (`iteration / lanes`).
+    #[must_use]
+    pub fn rounds(&self) -> &[u32] {
+        &self.rounds
+    }
+
+    /// Number of rounds (1 + max round), 0 for an empty trace.
+    #[must_use]
+    pub fn num_rounds(&self) -> u32 {
+        if self.rounds.is_empty() {
+            0
+        } else {
+            self.num_rounds
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.indeg.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.indeg.is_empty()
+    }
+
+    /// Length in cycles of the dependence-critical path, assuming
+    /// single-cycle memory and unlimited resources — the ideal lower bound
+    /// on compute time.
+    #[must_use]
+    pub fn critical_path_cycles(&self, trace: &Trace, timing: &FuTiming) -> u64 {
+        let mut finish = vec![0u64; self.len()];
+        let mut best = 0;
+        for node in trace.nodes() {
+            let i = node.id.index();
+            let ready = node
+                .deps
+                .iter()
+                .map(|d| finish[d.index()])
+                .max()
+                .unwrap_or(0);
+            finish[i] = ready + timing.latency(node.opcode.fu_class());
+            best = best.max(finish[i]);
+        }
+        best
+    }
+
+    /// Maximum number of operations that could issue in the same cycle on
+    /// the critical-path schedule — a cheap parallelism profile used to
+    /// sanity-check workloads ("is there anything for 16 lanes to do?").
+    #[must_use]
+    pub fn max_parallelism(&self, trace: &Trace, timing: &FuTiming) -> usize {
+        use std::collections::HashMap;
+        let mut finish = vec![0u64; self.len()];
+        let mut at_level: HashMap<u64, usize> = HashMap::new();
+        for node in trace.nodes() {
+            let i = node.id.index();
+            let ready = node
+                .deps
+                .iter()
+                .map(|d| finish[d.index()])
+                .max()
+                .unwrap_or(0);
+            finish[i] = ready + timing.latency(node.opcode.fu_class());
+            *at_level.entry(ready).or_insert(0) += 1;
+        }
+        at_level.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladdin_ir::{ArrayKind, Opcode, TVal, Tracer};
+
+    fn chain_trace() -> Trace {
+        // A serial chain: s = ((1*2)*3)*4 — critical path dominates.
+        let mut t = Tracer::new("chain");
+        let mut acc = TVal::lit(1.0);
+        for k in 2..=4 {
+            acc = t.binop(Opcode::FMul, acc, TVal::lit(k as f64));
+        }
+        t.finish()
+    }
+
+    fn parallel_trace() -> Trace {
+        let mut t = Tracer::new("par");
+        let a = t.array_f64("a", &[1.0; 8], ArrayKind::Input);
+        for i in 0..8 {
+            t.begin_iteration(i as u32);
+            let x = t.load(&a, i);
+            let _ = t.binop(Opcode::FAdd, x, TVal::lit(1.0));
+        }
+        t.finish()
+    }
+
+    #[test]
+    fn chain_critical_path() {
+        let trace = chain_trace();
+        let g = Dddg::build(&trace, &DatapathConfig::default());
+        // Three dependent FMuls at 4 cycles each.
+        assert_eq!(g.critical_path_cycles(&trace, &FuTiming::default()), 12);
+        assert_eq!(g.max_parallelism(&trace, &FuTiming::default()), 1);
+    }
+
+    #[test]
+    fn parallel_trace_is_wide() {
+        let trace = parallel_trace();
+        let g = Dddg::build(&trace, &DatapathConfig::default());
+        // One load + one FAdd per independent iteration.
+        assert_eq!(g.critical_path_cycles(&trace, &FuTiming::default()), 4);
+        assert_eq!(g.max_parallelism(&trace, &FuTiming::default()), 8);
+    }
+
+    #[test]
+    fn successors_transpose_deps() {
+        let trace = chain_trace();
+        let g = Dddg::build(&trace, &DatapathConfig::default());
+        assert_eq!(g.successors(NodeId::from_index(0)), &[1]);
+        assert_eq!(g.successors(NodeId::from_index(1)), &[2]);
+        assert!(g.successors(NodeId::from_index(2)).is_empty());
+        assert_eq!(g.indegrees(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn rounds_follow_lanes() {
+        let trace = parallel_trace();
+        let cfg = DatapathConfig {
+            lanes: 4,
+            ..DatapathConfig::default()
+        };
+        let g = Dddg::build(&trace, &cfg);
+        assert_eq!(g.num_rounds(), 2);
+        // Iterations 0..3 → round 0, 4..7 → round 1; two nodes each.
+        assert_eq!(g.rounds()[0], 0);
+        assert_eq!(g.rounds()[15], 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let trace = Tracer::new("e").finish();
+        let g = Dddg::build(&trace, &DatapathConfig::default());
+        assert!(g.is_empty());
+        assert_eq!(g.num_rounds(), 0);
+        assert_eq!(g.critical_path_cycles(&trace, &FuTiming::default()), 0);
+    }
+}

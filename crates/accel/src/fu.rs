@@ -1,0 +1,78 @@
+//! Functional-unit latencies.
+
+use aladdin_ir::FuClass;
+
+/// Per-class functional-unit latencies in cycles.
+///
+/// All units are fully pipelined (initiation interval 1). Defaults model
+/// double-precision units at a relaxed 100 MHz accelerator clock, matching
+/// the latencies Aladdin uses for its 40 nm characterization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuTiming {
+    latencies: [u64; 6],
+}
+
+impl FuTiming {
+    /// Construct from explicit per-class latencies (indexed by
+    /// [`FuClass::index`]). The `Mem` entry is the scratchpad access
+    /// latency; cache latencies are owned by the cache model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any latency is zero.
+    #[must_use]
+    pub fn from_latencies(latencies: [u64; 6]) -> Self {
+        assert!(
+            latencies.iter().all(|&l| l > 0),
+            "latencies must be at least one cycle"
+        );
+        FuTiming { latencies }
+    }
+
+    /// Latency of `class` in cycles.
+    #[must_use]
+    pub fn latency(&self, class: FuClass) -> u64 {
+        self.latencies[class.index()]
+    }
+}
+
+impl Default for FuTiming {
+    fn default() -> Self {
+        let mut latencies = [1u64; 6];
+        latencies[FuClass::IntAlu.index()] = 1;
+        latencies[FuClass::IntMul.index()] = 3;
+        latencies[FuClass::FpAdd.index()] = 3;
+        latencies[FuClass::FpMul.index()] = 4;
+        latencies[FuClass::FpDiv.index()] = 16;
+        latencies[FuClass::Mem.index()] = 1;
+        FuTiming { latencies }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let t = FuTiming::default();
+        assert_eq!(t.latency(FuClass::IntAlu), 1);
+        assert_eq!(t.latency(FuClass::FpMul), 4);
+        assert_eq!(t.latency(FuClass::FpDiv), 16);
+        assert_eq!(t.latency(FuClass::Mem), 1);
+    }
+
+    #[test]
+    fn custom_latencies() {
+        let mut l = [1u64; 6];
+        l[FuClass::FpAdd.index()] = 5;
+        let t = FuTiming::from_latencies(l);
+        assert_eq!(t.latency(FuClass::FpAdd), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_latency_rejected() {
+        let _ = FuTiming::from_latencies([1, 1, 0, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the DDDG and scheduler.
+
+use aladdin_accel::{schedule, DatapathConfig, Dddg, FuTiming, LaneSync, SpadMemory};
+use aladdin_ir::{ArrayKind, Opcode, TVal, Tracer};
+use proptest::prelude::*;
+
+/// Build a random but well-formed kernel: `iters` iterations, each with a
+/// random mix of loads, compute ops and one store.
+fn random_kernel(iters: usize, ops_per_iter: &[u8]) -> aladdin_ir::Trace {
+    let mut t = Tracer::new("prop-kernel");
+    let a = t.array_f64("a", &vec![1.5; iters.max(1)], ArrayKind::Input);
+    let mut o = t.array_f64("o", &vec![0.0; iters.max(1)], ArrayKind::Output);
+    for i in 0..iters {
+        t.begin_iteration(i as u32);
+        let mut v = t.load(&a, i);
+        for &op in ops_per_iter {
+            let opcode = [Opcode::FAdd, Opcode::FMul, Opcode::Add][op as usize % 3];
+            v = if opcode == Opcode::Add {
+                let iv = t.ibinop(Opcode::Add, TVal::lit(1), TVal::lit(2));
+                let f = t.cast_f64(iv);
+                t.binop(Opcode::FAdd, v, f)
+            } else {
+                t.binop(opcode, v, TVal::lit(1.25))
+            };
+        }
+        t.store(&mut o, i, v);
+    }
+    t.finish()
+}
+
+fn run(trace: &aladdin_ir::Trace, lanes: u32, partition: u32, sync: LaneSync) -> u64 {
+    let cfg = DatapathConfig {
+        lanes,
+        partition,
+        sync,
+        ..DatapathConfig::default()
+    };
+    let mut mem = SpadMemory::new(trace, &cfg);
+    schedule(trace, &cfg, &mut mem, 0).cycles
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scheduling always terminates and takes at least the critical path.
+    #[test]
+    fn schedule_bounded_below_by_critical_path(
+        iters in 1usize..24,
+        ops in prop::collection::vec(0u8..3, 0..6),
+        lanes in 1u32..8,
+        partition in 1u32..8,
+    ) {
+        let trace = random_kernel(iters, &ops);
+        let cfg = DatapathConfig { lanes, partition, ..DatapathConfig::default() };
+        let graph = Dddg::build(&trace, &cfg);
+        let cp = graph.critical_path_cycles(&trace, &FuTiming::default());
+        let cycles = run(&trace, lanes, partition, LaneSync::Barrier);
+        prop_assert!(cycles >= cp, "{cycles} cycles < critical path {cp}");
+        // And bounded above by fully-serial execution.
+        let serial: u64 = trace
+            .nodes()
+            .iter()
+            .map(|n| FuTiming::default().latency(n.opcode.fu_class()) + 1)
+            .sum();
+        prop_assert!(cycles <= serial + 2, "{cycles} cycles > serial bound {serial}");
+    }
+
+    /// More lanes never slow a kernel down (with memory scaled to match).
+    #[test]
+    fn lanes_monotonic(
+        iters in 1usize..20,
+        ops in prop::collection::vec(0u8..3, 0..5),
+    ) {
+        let trace = random_kernel(iters, &ops);
+        let mut prev = u64::MAX;
+        for lanes in [1u32, 2, 4, 8] {
+            let cycles = run(&trace, lanes, 16, LaneSync::Barrier);
+            prop_assert!(cycles <= prev, "lanes {lanes}: {cycles} > {prev}");
+            prev = cycles;
+        }
+    }
+
+    /// More scratchpad banks never slow a kernel down.
+    #[test]
+    fn partition_monotonic(
+        iters in 1usize..20,
+        ops in prop::collection::vec(0u8..3, 0..5),
+    ) {
+        let trace = random_kernel(iters, &ops);
+        let mut prev = u64::MAX;
+        for partition in [1u32, 2, 4, 8] {
+            let cycles = run(&trace, 8, partition, LaneSync::Barrier);
+            prop_assert!(cycles <= prev, "partition {partition}: {cycles} > {prev}");
+            prev = cycles;
+        }
+    }
+
+    /// Free lane synchronization is never slower than the barrier.
+    #[test]
+    fn barrier_is_conservative(
+        iters in 1usize..20,
+        ops in prop::collection::vec(0u8..3, 0..5),
+        lanes in 1u32..8,
+    ) {
+        let trace = random_kernel(iters, &ops);
+        let barrier = run(&trace, lanes, 8, LaneSync::Barrier);
+        let free = run(&trace, lanes, 8, LaneSync::Free);
+        prop_assert!(free <= barrier, "free {free} > barrier {barrier}");
+    }
+
+    /// The instance-based round mapping never assigns a dependence to a
+    /// later round than its consumer (the deadlock-freedom invariant).
+    #[test]
+    fn rounds_are_monotone_along_deps(
+        iters in 1usize..24,
+        ops in prop::collection::vec(0u8..3, 0..6),
+        lanes in 1u32..8,
+    ) {
+        let trace = random_kernel(iters, &ops);
+        let cfg = DatapathConfig { lanes, ..DatapathConfig::default() };
+        let graph = Dddg::build(&trace, &cfg);
+        for node in trace.nodes() {
+            for dep in &node.deps {
+                prop_assert!(
+                    graph.rounds()[dep.index()] <= graph.rounds()[node.id.index()]
+                );
+            }
+        }
+        // Lanes stay within bounds.
+        for &lane in graph.lanes() {
+            prop_assert!(lane < lanes);
+        }
+    }
+
+    /// Determinism: identical inputs produce identical schedules.
+    #[test]
+    fn schedule_is_deterministic(
+        iters in 1usize..16,
+        ops in prop::collection::vec(0u8..3, 0..5),
+        lanes in 1u32..8,
+    ) {
+        let trace = random_kernel(iters, &ops);
+        let a = run(&trace, lanes, 4, LaneSync::Barrier);
+        let b = run(&trace, lanes, 4, LaneSync::Barrier);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of whole co-simulation flows: one isolated / DMA /
+//! cache run per representative kernel, measuring end-to-end simulator
+//! throughput (simulated cycles per wall second drive sweep feasibility).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use aladdin_accel::DatapathConfig;
+use aladdin_core::{run_cache, run_dma, run_isolated, DmaOptLevel, SocConfig};
+use aladdin_workloads::by_name;
+
+fn dp() -> DatapathConfig {
+    DatapathConfig {
+        lanes: 4,
+        partition: 4,
+        ..DatapathConfig::default()
+    }
+}
+
+fn bench_flows(c: &mut Criterion) {
+    let soc = SocConfig::default();
+    for name in ["aes-aes", "md-knn", "fft-transpose"] {
+        let trace = by_name(name).expect("kernel").run().trace;
+        let mut g = c.benchmark_group(format!("flow/{name}"));
+        g.throughput(Throughput::Elements(trace.nodes().len() as u64));
+        g.bench_function("isolated", |b| {
+            b.iter(|| run_isolated(black_box(&trace), &dp(), &soc).total_cycles)
+        });
+        g.bench_function("dma_baseline", |b| {
+            b.iter(|| run_dma(black_box(&trace), &dp(), &soc, DmaOptLevel::Baseline).total_cycles)
+        });
+        g.bench_function("dma_full", |b| {
+            b.iter(|| run_dma(black_box(&trace), &dp(), &soc, DmaOptLevel::Full).total_cycles)
+        });
+        g.bench_function("cache", |b| {
+            b.iter(|| run_cache(black_box(&trace), &dp(), &soc).total_cycles)
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation studies of the simulator's design choices. See
+//! `aladdin_bench::ablation`.
+
+fn main() {
+    aladdin_bench::ablation::run();
+}

@@ -1,0 +1,19 @@
+//! Regenerates every table and figure of the paper in one run, writing
+//! CSVs under `results/`.
+
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    aladdin_bench::fig03::run();
+    aladdin_bench::fig04::run();
+    aladdin_bench::fig02::run();
+    aladdin_bench::fig05::run();
+    aladdin_bench::fig06::run();
+    aladdin_bench::fig07::run();
+    aladdin_bench::fig01::run();
+    aladdin_bench::fig08::run();
+    aladdin_bench::fig09::run();
+    aladdin_bench::fig10::run();
+    println!("\nall figures regenerated in {:.1?}", t0.elapsed());
+}

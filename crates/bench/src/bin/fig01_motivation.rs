@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig01 output. See `aladdin_bench::fig01`.
+
+fn main() {
+    aladdin_bench::fig01::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig02b output. See `aladdin_bench::fig02`.
+
+fn main() {
+    aladdin_bench::fig02::run_2b();
+}

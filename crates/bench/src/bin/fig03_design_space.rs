@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig03 output. See `aladdin_bench::fig03`.
+
+fn main() {
+    aladdin_bench::fig03::run();
+}

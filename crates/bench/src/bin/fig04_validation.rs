@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig04 output. See `aladdin_bench::fig04`.
+
+fn main() {
+    aladdin_bench::fig04::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig05 output. See `aladdin_bench::fig05`.
+
+fn main() {
+    aladdin_bench::fig05::run();
+}

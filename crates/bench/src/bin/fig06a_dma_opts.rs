@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig06a output. See `aladdin_bench::fig06`.
+
+fn main() {
+    aladdin_bench::fig06::run_6a();
+}

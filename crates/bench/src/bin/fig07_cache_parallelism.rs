@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig07 output. See `aladdin_bench::fig07`.
+
+fn main() {
+    aladdin_bench::fig07::run();
+}

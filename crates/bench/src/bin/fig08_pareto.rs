@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig08 output. See `aladdin_bench::fig08`.
+
+fn main() {
+    aladdin_bench::fig08::run();
+}

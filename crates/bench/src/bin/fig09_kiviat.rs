@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig09 output. See `aladdin_bench::fig09`.
+
+fn main() {
+    aladdin_bench::fig09::run();
+}

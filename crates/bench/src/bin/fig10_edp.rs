@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10 output. See `aladdin_bench::fig10`.
+
+fn main() {
+    aladdin_bench::fig10::run();
+}

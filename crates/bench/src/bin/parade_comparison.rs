@@ -1,0 +1,78 @@
+//! Related-work study: what a DMA-only explorer misses.
+//!
+//! The paper contrasts gem5-Aladdin with PARADE (Cong et al., ICCAD 2015),
+//! which "only models traditional DMA-based accelerators where all data
+//! must be copied to local scratchpads before compute begins". This study
+//! quantifies that difference: for each kernel, the EDP-optimal design a
+//! PARADE-style explorer would pick (baseline DMA only, no cache option,
+//! no DMA optimizations) versus the optimum over gem5-Aladdin's full
+//! design space.
+//!
+//! ```sh
+//! cargo run --release -p aladdin-bench --bin parade_comparison
+//! ```
+
+use aladdin_bench::{banner, write_csv};
+use aladdin_core::{DmaOptLevel, SocConfig};
+use aladdin_dse::{edp_optimal, sweep_cache, sweep_dma, DesignSpace};
+use aladdin_workloads::evaluation_kernels;
+
+fn main() {
+    banner("PARADE-style (DMA-only) exploration vs full co-design space");
+    let soc = SocConfig::default();
+    let space = DesignSpace::standard();
+    println!(
+        "{:<20} {:>14} {:>14} {:>9}   full-space winner",
+        "kernel", "dma-only EDP", "full EDP", "left on"
+    );
+    let mut rows = Vec::new();
+    let mut max_ratio: f64 = 1.0;
+    for k in evaluation_kernels() {
+        let trace = k.run().trace;
+        // PARADE-style: baseline DMA only.
+        let parade = sweep_dma(&trace, &space, &soc, DmaOptLevel::Baseline);
+        let parade_opt = edp_optimal(&parade).expect("sweep");
+        // gem5-Aladdin: optimized DMA and caches both available.
+        let dma = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+        let cache = sweep_cache(&trace, &space, &soc);
+        let dma_opt = edp_optimal(&dma).expect("sweep");
+        let cache_opt = edp_optimal(&cache).expect("sweep");
+        let (full_opt, winner) = if dma_opt.edp() <= cache_opt.edp() {
+            (dma_opt, "optimized DMA")
+        } else {
+            (cache_opt, "cache")
+        };
+        let ratio = parade_opt.edp() / full_opt.edp();
+        max_ratio = max_ratio.max(ratio);
+        println!(
+            "{:<20} {:>14.3e} {:>14.3e} {:>8.2}x   {winner}",
+            k.name(),
+            parade_opt.edp(),
+            full_opt.edp(),
+            ratio
+        );
+        rows.push(vec![
+            k.name().to_owned(),
+            format!("{:.4e}", parade_opt.edp()),
+            format!("{:.4e}", full_opt.edp()),
+            format!("{:.3}", ratio),
+            winner.to_owned(),
+        ]);
+    }
+    println!(
+        "\na DMA-only explorer leaves up to {max_ratio:.1}x EDP on the table — the \
+         dynamic-interaction modeling (DMA optimizations, caches) is what the\npaper's \
+         co-design methodology adds over PARADE-style frameworks"
+    );
+    write_csv(
+        "parade_comparison.csv",
+        &[
+            "kernel",
+            "parade_edp",
+            "full_edp",
+            "edp_left_on_table",
+            "full_winner",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,155 @@
+//! Command-line front end: simulate one kernel on one configuration.
+//!
+//! ```sh
+//! cargo run --release -p aladdin-bench --bin simulate -- \
+//!     --kernel stencil-stencil3d --mem dma --opt full \
+//!     --lanes 8 --partition 8 --bus-bits 64
+//! ```
+
+use aladdin_accel::DatapathConfig;
+use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+use aladdin_workloads::{all_kernels, by_name};
+
+struct Args {
+    kernel: String,
+    mem: String,
+    opt: DmaOptLevel,
+    lanes: u32,
+    partition: u32,
+    bus_bits: u32,
+    cache_kb: u64,
+    cache_ports: u32,
+    traffic_period: Option<u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--kernel NAME] [--mem isolated|dma|cache] \
+         [--opt baseline|pipelined|full] [--lanes N] [--partition N] \
+         [--bus-bits 32|64] [--cache-kb N] [--cache-ports N] \
+         [--traffic-period CYCLES] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        kernel: "stencil-stencil3d".to_owned(),
+        mem: "dma".to_owned(),
+        opt: DmaOptLevel::Full,
+        lanes: 4,
+        partition: 4,
+        bus_bits: 32,
+        cache_kb: 4,
+        cache_ports: 2,
+        traffic_period: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--list" => {
+                for k in all_kernels() {
+                    println!("{:<20} {}", k.name(), k.description());
+                }
+                std::process::exit(0);
+            }
+            "--kernel" => args.kernel = value(&mut i),
+            "--mem" => args.mem = value(&mut i),
+            "--opt" => {
+                args.opt = match value(&mut i).as_str() {
+                    "baseline" => DmaOptLevel::Baseline,
+                    "pipelined" => DmaOptLevel::Pipelined,
+                    "full" => DmaOptLevel::Full,
+                    _ => usage(),
+                }
+            }
+            "--lanes" => args.lanes = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--partition" => args.partition = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--bus-bits" => args.bus_bits = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--cache-kb" => args.cache_kb = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--cache-ports" => {
+                args.cache_ports = value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--traffic-period" => {
+                args.traffic_period = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(kernel) = by_name(&args.kernel) else {
+        eprintln!("unknown kernel {:?}; use --list", args.kernel);
+        std::process::exit(1);
+    };
+    let run = kernel.run();
+    let mut soc_cfg = SocConfig::default();
+    soc_cfg.bus.width_bits = args.bus_bits;
+    soc_cfg.cache.size_bytes = args.cache_kb * 1024;
+    soc_cfg.cache.ports = args.cache_ports;
+    if let Some(period) = args.traffic_period {
+        soc_cfg.traffic = Some(aladdin_core::TrafficConfig { period, bytes: 64 });
+    }
+    let soc = Soc::new(soc_cfg);
+    let dp = DatapathConfig {
+        lanes: args.lanes,
+        partition: args.partition,
+        ..DatapathConfig::default()
+    };
+
+    let r = match args.mem.as_str() {
+        "isolated" => soc.run_isolated(&run.trace, &dp),
+        "dma" => soc.run_dma(&run.trace, &dp, args.opt),
+        "cache" => soc.run_cache(&run.trace, &dp),
+        _ => usage(),
+    };
+
+    println!("kernel:   {} ({})", kernel.name(), kernel.description());
+    println!("trace:    {}", run.trace.stats());
+    println!("memsys:   {}", r.mem_kind);
+    println!(
+        "datapath: {} lanes, {} banks, {} B local SRAM",
+        r.datapath.lanes, r.datapath.partition, r.local_sram_bytes
+    );
+    println!();
+    println!("cycles:   {}", r.total_cycles);
+    println!("time:     {:.2} us", r.seconds() * 1e6);
+    println!("power:    {:.2} mW", r.power_mw());
+    println!("energy:   {:.3} uJ", r.energy_j() * 1e6);
+    println!("EDP:      {:.3e} J*s", r.edp());
+    println!("phases:   {}", r.phases);
+    if let Some(c) = r.cache_stats {
+        println!(
+            "cache:    {} accesses, {:.1}% miss, {} writebacks, {} prefetches ({} useful)",
+            c.accesses(),
+            c.miss_ratio() * 100.0,
+            c.writebacks,
+            c.prefetches,
+            c.useful_prefetches
+        );
+    }
+    if let Some(t) = r.tlb_stats {
+        println!("tlb:      {} hits, {} misses", t.hits, t.misses);
+    }
+    if let Some(d) = r.dma_stats {
+        println!(
+            "dma:      {} descriptors, {} bursts, {} bytes",
+            d.descriptors, d.bursts, d.bytes
+        );
+    }
+    if let Some(s) = r.spad_stats {
+        println!(
+            "spad:     {} reads, {} writes, {} bank conflicts, {} ready-stalls",
+            s.reads, s.writes, s.bank_conflicts, s.ready_stalls
+        );
+    }
+}

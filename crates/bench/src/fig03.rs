@@ -1,0 +1,68 @@
+//! Figure 3 (right-hand table): the swept design parameters and platform
+//! constants.
+
+use aladdin_core::SocConfig;
+use aladdin_dse::DesignSpace;
+
+fn list<T: std::fmt::Display>(v: &[T]) -> String {
+    v.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Regenerate the Figure 3 parameter table.
+pub fn run() {
+    crate::banner("Figure 3 (table): design parameters");
+    let s = DesignSpace::paper();
+    let soc = SocConfig::default();
+    let rows: Vec<(String, String)> = vec![
+        ("Datapath lanes".into(), list(&s.lanes)),
+        ("Scratchpad partitioning".into(), list(&s.partitions)),
+        ("Data transfer mechanism".into(), "DMA/cache".into()),
+        ("Pipelined DMA".into(), "enable/disable".into()),
+        ("DMA-triggered compute".into(), "enable/disable".into()),
+        (
+            "Cache size (KB)".into(),
+            list(&s.cache_sizes.iter().map(|b| b / 1024).collect::<Vec<_>>()),
+        ),
+        ("Cache line size (B)".into(), list(&s.cache_lines)),
+        ("Cache ports".into(), list(&s.cache_ports)),
+        ("Cache associativity".into(), list(&s.cache_assocs)),
+        (
+            "Cache line flush".into(),
+            format!("{} ns/line", soc.flush.flush_ns_per_line),
+        ),
+        (
+            "Cache line invalidate".into(),
+            format!("{} ns/line", soc.flush.invalidate_ns_per_line),
+        ),
+        ("Hardware prefetchers".into(), "strided".into()),
+        ("MSHRs".into(), soc.cache.mshrs.to_string()),
+        ("Accelerator TLB size".into(), soc.tlb.entries.to_string()),
+        (
+            "TLB miss latency".into(),
+            format!("{} ns", soc.clock.ns_from_cycles(soc.tlb.miss_cycles)),
+        ),
+        ("System bus width (b)".into(), "32, 64".into()),
+        (
+            "DMA setup".into(),
+            format!("{} cycles/descriptor", soc.dma.setup_cycles),
+        ),
+        (
+            "Accelerator clock".into(),
+            format!("{} MHz", soc.clock.mhz()),
+        ),
+    ];
+    for (k, v) in &rows {
+        println!("  {k:<28} {v}");
+    }
+    crate::write_csv(
+        "fig03_design_space.csv",
+        &["parameter", "values"],
+        &rows
+            .into_iter()
+            .map(|(k, v)| vec![k, v])
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,84 @@
+//! Figure 8: power-performance Pareto curves for DMA- and cache-based
+//! accelerators, with EDP-optimal stars, in the paper's preference order.
+
+use aladdin_core::{DmaOptLevel, FlowResult, SocConfig};
+use aladdin_dse::{edp_optimal, pareto_frontier, sweep_cache, sweep_dma, DesignSpace};
+use aladdin_workloads::evaluation_kernels;
+
+fn print_frontier(label: &str, results: &[FlowResult], rows: &mut Vec<Vec<String>>, kernel: &str) {
+    let frontier = pareto_frontier(results);
+    let opt = edp_optimal(results).expect("non-empty sweep");
+    for &i in &frontier {
+        let r = &results[i];
+        let star = if std::ptr::eq(r, opt) { " *EDP*" } else { "" };
+        println!(
+            "    {label:<6} {:>10.2} us {:>9.2} mW  (lanes {}, sram {} KB, bw {}){star}",
+            r.seconds() * 1e6,
+            r.power_mw(),
+            r.datapath.lanes,
+            r.local_sram_bytes / 1024,
+            r.local_mem_bandwidth
+        );
+        rows.push(vec![
+            kernel.to_owned(),
+            label.to_owned(),
+            format!("{:.3}", r.seconds() * 1e6),
+            format!("{:.3}", r.power_mw()),
+            r.datapath.lanes.to_string(),
+            r.local_sram_bytes.to_string(),
+            r.local_mem_bandwidth.to_string(),
+            (!star.is_empty()).to_string(),
+        ]);
+    }
+}
+
+/// Regenerate Figure 8.
+pub fn run() {
+    crate::banner("Figure 8: Pareto curves, DMA vs cache (EDP optima starred)");
+    let soc = SocConfig::default();
+    let space = DesignSpace::standard();
+    let mut rows = Vec::new();
+    let mut verdicts = Vec::new();
+    for k in evaluation_kernels() {
+        let trace = k.run().trace;
+        println!("\n  {}:", k.name());
+        let dma = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+        let cache = sweep_cache(&trace, &space, &soc);
+        print_frontier("dma", &dma, &mut rows, k.name());
+        print_frontier("cache", &cache, &mut rows, k.name());
+        let dma_opt = edp_optimal(&dma).expect("sweep");
+        let cache_opt = edp_optimal(&cache).expect("sweep");
+        let ratio = dma_opt.edp() / cache_opt.edp();
+        let verdict = if ratio < 0.85 {
+            "prefers DMA"
+        } else if ratio > 1.18 {
+            "prefers cache"
+        } else {
+            "either works"
+        };
+        println!(
+            "    => EDP: dma {:.3e} vs cache {:.3e} — {verdict}",
+            dma_opt.edp(),
+            cache_opt.edp()
+        );
+        verdicts.push((k.name().to_owned(), ratio, verdict));
+    }
+    println!("\npreference order (paper: aes, nw prefer DMA ... spmv, fft prefer cache):");
+    for (name, ratio, verdict) in &verdicts {
+        println!("  {name:<20} dma/cache EDP ratio {ratio:>6.2} — {verdict}");
+    }
+    crate::write_csv(
+        "fig08_pareto.csv",
+        &[
+            "kernel",
+            "memsys",
+            "exec_us",
+            "power_mw",
+            "lanes",
+            "sram_bytes",
+            "bandwidth",
+            "edp_optimal",
+        ],
+        &rows,
+    );
+}

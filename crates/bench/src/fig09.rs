@@ -1,0 +1,74 @@
+//! Figure 9: Kiviat comparison of microarchitectural parameters across
+//! the four design scenarios, normalized to the isolated optimum.
+
+use aladdin_core::SocConfig;
+use aladdin_dse::{run_codesign, DesignSpace};
+use aladdin_workloads::evaluation_kernels;
+
+/// Regenerate Figure 9.
+pub fn run() {
+    crate::banner("Figure 9: microarchitecture parameters across design scenarios");
+    let soc = SocConfig::default();
+    let space = DesignSpace::standard();
+    println!(
+        "{:<20} {:<30} {:>7} {:>8} {:>7}",
+        "kernel", "scenario", "lanes", "sram", "bw"
+    );
+    let mut rows = Vec::new();
+    for k in evaluation_kernels() {
+        let trace = k.run().trace;
+        let report = run_codesign(&trace, &space, &soc);
+        let iso = &report.isolated_opt;
+        println!(
+            "{:<20} {:<30} {:>6}x {:>7}x {:>6}x   ({} lanes, {} KB, bw {})",
+            k.name(),
+            "isolated (reference)",
+            1.0,
+            1.0,
+            1.0,
+            iso.datapath.lanes,
+            iso.local_sram_bytes / 1024,
+            iso.local_mem_bandwidth
+        );
+        rows.push(vec![
+            k.name().to_owned(),
+            "isolated".into(),
+            "1.0".into(),
+            "1.0".into(),
+            "1.0".into(),
+        ]);
+        for s in [&report.dma, &report.cache32, &report.cache64] {
+            println!(
+                "{:<20} {:<30} {:>6.2}x {:>7.2}x {:>6.2}x   ({} lanes, {} KB, bw {})",
+                "",
+                s.name,
+                s.kiviat.lanes,
+                s.kiviat.sram,
+                s.kiviat.bandwidth,
+                s.codesigned.datapath.lanes,
+                s.codesigned.local_sram_bytes / 1024,
+                s.codesigned.local_mem_bandwidth
+            );
+            rows.push(vec![
+                k.name().to_owned(),
+                s.name.to_owned(),
+                format!("{:.3}", s.kiviat.lanes),
+                format!("{:.3}", s.kiviat.sram),
+                format!("{:.3}", s.kiviat.bandwidth),
+            ]);
+        }
+    }
+    println!("\nvalues < 1.0 mean the co-designed accelerator provisions less than the");
+    println!("isolated design: isolation over-provisions compute and local memory");
+    crate::write_csv(
+        "fig09_kiviat.csv",
+        &[
+            "kernel",
+            "scenario",
+            "lanes_rel",
+            "sram_rel",
+            "bandwidth_rel",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 10: EDP improvement of co-designed accelerators, normalized to
+//! how the isolation-designed accelerator behaves in the same system.
+//! Paper: averages of 1.2× (DMA), 2.2× (cache/32-bit), 2.0× (cache/64-bit)
+//! and a 7.4× maximum.
+
+use aladdin_core::SocConfig;
+use aladdin_dse::{run_codesign, DesignSpace};
+use aladdin_workloads::evaluation_kernels;
+
+/// Regenerate Figure 10.
+pub fn run() {
+    crate::banner("Figure 10: EDP improvement of co-designed accelerators");
+    let soc = SocConfig::default();
+    let space = DesignSpace::standard();
+    println!(
+        "{:<20} {:>10} {:>12} {:>12}",
+        "kernel", "dma/32b", "cache/32b", "cache/64b"
+    );
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 3];
+    let mut maxes = [0.0f64; 3];
+    let kernels = evaluation_kernels();
+    for k in &kernels {
+        let trace = k.run().trace;
+        let report = run_codesign(&trace, &space, &soc);
+        let imp = report.improvements();
+        println!(
+            "{:<20} {:>9.2}x {:>11.2}x {:>11.2}x",
+            k.name(),
+            imp[0],
+            imp[1],
+            imp[2]
+        );
+        for i in 0..3 {
+            sums[i] += imp[i];
+            maxes[i] = maxes[i].max(imp[i]);
+        }
+        rows.push(vec![
+            k.name().to_owned(),
+            format!("{:.3}", imp[0]),
+            format!("{:.3}", imp[1]),
+            format!("{:.3}", imp[2]),
+        ]);
+    }
+    let n = kernels.len() as f64;
+    println!(
+        "{:<20} {:>9.2}x {:>11.2}x {:>11.2}x   (paper: 1.2x / 2.2x / 2.0x)",
+        "average",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n
+    );
+    println!(
+        "{:<20} {:>9.2}x {:>11.2}x {:>11.2}x   (paper max: 7.4x)",
+        "max", maxes[0], maxes[1], maxes[2]
+    );
+    rows.push(vec![
+        "average".into(),
+        format!("{:.3}", sums[0] / n),
+        format!("{:.3}", sums[1] / n),
+        format!("{:.3}", sums[2] / n),
+    ]);
+    crate::write_csv(
+        "fig10_edp.csv",
+        &["kernel", "dma_32b", "cache_32b", "cache_64b"],
+        &rows,
+    );
+}

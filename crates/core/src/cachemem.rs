@@ -1,0 +1,354 @@
+//! The cache-based datapath memory: TLB + MOESI cache + shared bus.
+//!
+//! Routes shared arrays through an accelerator TLB and a hardware-managed
+//! cache that fills over the shared system bus; private (`Internal`)
+//! arrays keep using scratchpad banks, per the paper's design choice of
+//! only caching "data that must eventually be shared with the rest of the
+//! system" (Section IV-D).
+
+use aladdin_accel::{DatapathConfig, DatapathMemory, IssueResult, SpadMemory, SpadStats};
+use aladdin_ir::{ArrayKind, Trace};
+use aladdin_mem::{
+    AccessKind, BusStats, Cache, CacheOutcome, CacheStats, DramStats, FillTracker, MasterId,
+    SystemBus, Tlb, TlbStats, TrafficGenerator,
+};
+
+use crate::config::SocConfig;
+
+#[derive(Debug, Clone, Copy)]
+struct Delayed {
+    id: u64,
+    addr: u64,
+    write: bool,
+    ready_at: u64,
+}
+
+/// A [`DatapathMemory`] that services shared arrays from a cache behind
+/// the system bus, and private arrays from scratchpad banks.
+///
+/// Set `ideal` to make every access single-cycle (the Fig. 7 "processing
+/// time" bound); combine with an infinite-bandwidth bus (see
+/// [`BusConfig::infinite_bandwidth`](aladdin_mem::BusConfig)) for the
+/// "latency time" bound.
+#[derive(Debug)]
+pub struct CacheDatapathMemory {
+    spad: SpadMemory,
+    shared_ranges: Vec<(u64, u64)>,
+    tlb: Tlb,
+    cache: Cache,
+    bus: SystemBus,
+    fills: FillTracker,
+    traffic: Option<TrafficGenerator>,
+    delayed: Vec<Delayed>,
+    completions: Vec<(u64, u64)>,
+    ideal: bool,
+}
+
+impl CacheDatapathMemory {
+    /// Build for `trace` under `cfg`/`soc`.
+    #[must_use]
+    pub fn new(trace: &Trace, cfg: &DatapathConfig, soc: &SocConfig) -> Self {
+        let shared_ranges = trace
+            .arrays()
+            .iter()
+            .filter(|a| a.kind != ArrayKind::Internal)
+            .map(|a| (a.base_addr, a.base_addr + a.size_bytes()))
+            .collect();
+        let traffic = soc
+            .traffic
+            .map(|t| TrafficGenerator::new(t.period, t.bytes, 0x4000_0000, 16 << 20));
+        CacheDatapathMemory {
+            spad: SpadMemory::new(trace, cfg),
+            shared_ranges,
+            tlb: Tlb::new(soc.tlb),
+            cache: Cache::new(soc.cache),
+            bus: SystemBus::new(soc.bus, soc.dram),
+            fills: FillTracker::new(),
+            traffic,
+            delayed: Vec::new(),
+            completions: Vec::new(),
+            ideal: false,
+        }
+    }
+
+    /// Make every access a single-cycle hit (Fig. 7 processing-time bound).
+    pub fn set_ideal(&mut self, ideal: bool) {
+        self.ideal = ideal;
+    }
+
+    fn is_shared(&self, addr: u64) -> bool {
+        self.shared_ranges
+            .iter()
+            .any(|&(b, e)| addr >= b && addr < e)
+    }
+
+    fn cache_try(&mut self, id: u64, addr: u64, write: bool, cycle: u64) -> IssueResult {
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        match self.cache.access(id, addr, kind, cycle) {
+            CacheOutcome::Hit { at } => IssueResult::Done { at },
+            CacheOutcome::Miss => IssueResult::Pending,
+            CacheOutcome::NoPort | CacheOutcome::NoMshr => IssueResult::Reject,
+        }
+    }
+
+    /// Cache statistics so far.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// TLB statistics so far.
+    #[must_use]
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
+    }
+
+    /// Bus statistics so far.
+    #[must_use]
+    pub fn bus_stats(&self) -> BusStats {
+        self.bus.stats()
+    }
+
+    /// DRAM statistics so far.
+    #[must_use]
+    pub fn dram_stats(&self) -> DramStats {
+        self.dram_stats_inner()
+    }
+
+    fn dram_stats_inner(&self) -> DramStats {
+        self.bus.dram_stats()
+    }
+
+    /// Scratchpad statistics (private arrays) so far.
+    #[must_use]
+    pub fn spad_stats(&self) -> SpadStats {
+        self.spad.stats()
+    }
+}
+
+impl DatapathMemory for CacheDatapathMemory {
+    fn begin_cycle(&mut self, cycle: u64) {
+        self.spad.begin_cycle(cycle);
+        self.cache.begin_cycle(cycle);
+        // Retry TLB-delayed accesses that are now translated.
+        let mut still: Vec<Delayed> = Vec::new();
+        let due: Vec<Delayed> = {
+            let (due, later): (Vec<_>, Vec<_>) =
+                self.delayed.drain(..).partition(|d| d.ready_at <= cycle);
+            still.extend(later);
+            due
+        };
+        for d in due {
+            match self.cache_try(d.id, d.addr, d.write, cycle) {
+                IssueResult::Done { at } => self.completions.push((d.id, at)),
+                IssueResult::Pending => {}
+                IssueResult::Reject => still.push(Delayed {
+                    ready_at: cycle + 1,
+                    ..d
+                }),
+            }
+        }
+        self.delayed = still;
+    }
+
+    fn issue(&mut self, id: u64, addr: u64, bytes: u32, write: bool, cycle: u64) -> IssueResult {
+        if self.ideal {
+            return IssueResult::Done { at: cycle + 1 };
+        }
+        if !self.is_shared(addr) {
+            return self.spad.issue(id, addr, bytes, write, cycle);
+        }
+        // Virtual memory: translate first. A TLB miss delays the access by
+        // the page-walk penalty; the access is retried internally.
+        let ready = self.tlb.translate(addr, cycle);
+        if ready > cycle {
+            self.delayed.push(Delayed {
+                id,
+                addr,
+                write,
+                ready_at: ready,
+            });
+            return IssueResult::Pending;
+        }
+        self.cache_try(id, addr, write, cycle)
+    }
+
+    fn drain_completions(&mut self) -> Vec<(u64, u64)> {
+        let mut out = std::mem::take(&mut self.completions);
+        out.extend(self.spad.drain_completions());
+        out
+    }
+
+    fn end_cycle(&mut self, cycle: u64) {
+        // Forward new cache transactions to the bus.
+        for req in self.cache.take_bus_requests() {
+            let token =
+                self.bus
+                    .request(MasterId::ACCEL_CACHE, req.line_addr, req.bytes, req.write);
+            if !req.write {
+                self.fills.insert(token, req.line_addr);
+            }
+        }
+        if let Some(t) = self.traffic.as_mut() {
+            t.tick(cycle, &mut self.bus);
+        }
+        self.bus.tick(cycle);
+        for c in self.bus.drain_completions() {
+            if c.master == MasterId::ACCEL_CACHE {
+                if let Some(line_addr) = self.fills.remove(c.token) {
+                    self.cache.bus_completed(line_addr, c.at);
+                }
+            }
+        }
+        // Fills may complete in the same tick; collect their waiters.
+        for (id, at) in self.cache.drain_completions() {
+            self.completions.push((id, at));
+        }
+        let _ = self.spad;
+        let _ = cycle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladdin_accel::schedule;
+    use aladdin_ir::{ArrayKind as AK, Opcode, Tracer};
+
+    fn streaming_trace(elems: usize) -> Trace {
+        let mut t = Tracer::new("stream");
+        let a = t.array_f64("a", &vec![1.0; elems], AK::Input);
+        let mut o = t.array_f64("o", &vec![0.0; elems], AK::Output);
+        for i in 0..elems {
+            t.begin_iteration(i as u32);
+            let x = t.load(&a, i);
+            let y = t.binop(Opcode::FAdd, x, aladdin_ir::TVal::lit(1.0));
+            t.store(&mut o, i, y);
+        }
+        t.finish()
+    }
+
+    #[test]
+    fn cache_flow_completes_and_counts() {
+        let trace = streaming_trace(256);
+        let dp = DatapathConfig {
+            lanes: 4,
+            partition: 4,
+            ..DatapathConfig::default()
+        };
+        let soc = SocConfig::default();
+        let mut mem = CacheDatapathMemory::new(&trace, &dp, &soc);
+        let r = schedule(&trace, &dp, &mut mem, 0);
+        assert!(r.end > 0);
+        let cs = mem.cache_stats();
+        assert!(cs.misses > 0, "cold cache must miss: {cs:?}");
+        assert!(cs.hits > 0, "line reuse must hit: {cs:?}");
+        let ts = mem.tlb_stats();
+        assert!(ts.misses >= 1);
+        assert!(mem.bus_stats().bytes > 0);
+    }
+
+    #[test]
+    fn ideal_mode_is_fastest() {
+        let trace = streaming_trace(128);
+        let dp = DatapathConfig {
+            lanes: 4,
+            partition: 4,
+            ..DatapathConfig::default()
+        };
+        let soc = SocConfig::default();
+        let mut real = CacheDatapathMemory::new(&trace, &dp, &soc);
+        let r_real = schedule(&trace, &dp, &mut real, 0);
+        let mut ideal = CacheDatapathMemory::new(&trace, &dp, &soc);
+        ideal.set_ideal(true);
+        let r_ideal = schedule(&trace, &dp, &mut ideal, 0);
+        assert!(
+            r_ideal.end < r_real.end,
+            "ideal {} must beat real {}",
+            r_ideal.end,
+            r_real.end
+        );
+    }
+
+    #[test]
+    fn internal_arrays_bypass_the_cache() {
+        let mut t = Tracer::new("internal");
+        let mut m = t.array_f64("m", &vec![0.0; 64], AK::Internal);
+        for i in 0..64 {
+            t.begin_iteration(i as u32);
+            t.store(&mut m, i, aladdin_ir::TVal::lit(1.0));
+        }
+        let trace = t.finish();
+        let dp = DatapathConfig::default();
+        let soc = SocConfig::default();
+        let mut mem = CacheDatapathMemory::new(&trace, &dp, &soc);
+        let _ = schedule(&trace, &dp, &mut mem, 0);
+        assert_eq!(mem.cache_stats().accesses(), 0);
+        assert_eq!(mem.spad_stats().writes, 64);
+    }
+
+    #[test]
+    fn infinite_bus_bandwidth_helps_wide_designs() {
+        let trace = streaming_trace(512);
+        let dp = DatapathConfig {
+            lanes: 16,
+            partition: 16,
+            ..DatapathConfig::default()
+        };
+        let soc = SocConfig::default();
+        let mut cache_cfg = soc.cache;
+        cache_cfg.ports = 8;
+        let narrow_soc = SocConfig {
+            cache: cache_cfg,
+            ..soc
+        };
+        let mut inf_bus = narrow_soc.bus;
+        inf_bus.infinite_bandwidth = true;
+        let wide_soc = SocConfig {
+            bus: inf_bus,
+            ..narrow_soc
+        };
+        let mut narrow = CacheDatapathMemory::new(&trace, &dp, &narrow_soc);
+        let rn = schedule(&trace, &dp, &mut narrow, 0);
+        let mut wide = CacheDatapathMemory::new(&trace, &dp, &wide_soc);
+        let rw = schedule(&trace, &dp, &mut wide, 0);
+        assert!(
+            rw.end <= rn.end,
+            "infinite bandwidth cannot be slower: {} vs {}",
+            rw.end,
+            rn.end
+        );
+    }
+
+    #[test]
+    fn traffic_contention_slows_the_run() {
+        let trace = streaming_trace(512);
+        let dp = DatapathConfig {
+            lanes: 8,
+            partition: 8,
+            ..DatapathConfig::default()
+        };
+        let quiet = SocConfig::default();
+        let noisy = SocConfig {
+            traffic: Some(crate::TrafficConfig {
+                period: 20,
+                bytes: 64,
+            }),
+            ..quiet
+        };
+        let mut q = CacheDatapathMemory::new(&trace, &dp, &quiet);
+        let rq = schedule(&trace, &dp, &mut q, 0);
+        let mut n = CacheDatapathMemory::new(&trace, &dp, &noisy);
+        let rn = schedule(&trace, &dp, &mut n, 0);
+        assert!(
+            rn.end > rq.end,
+            "contention must cost time: {} vs {}",
+            rn.end,
+            rq.end
+        );
+    }
+}

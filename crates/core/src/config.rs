@@ -1,0 +1,228 @@
+//! SoC-level configuration.
+
+use aladdin_mem::{BusConfig, CacheConfig, Clock, DmaConfig, DramConfig, FlushConfig, TlbConfig};
+
+/// Cumulative DMA optimization levels (Section IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaOptLevel {
+    /// Flush everything, then one DMA descriptor per array, then compute.
+    Baseline,
+    /// Split flush+DMA into page-sized chunks and overlap them.
+    Pipelined,
+    /// Pipelined DMA plus full/empty bits: compute starts immediately and
+    /// loads stall per cache line until their data arrives.
+    Full,
+}
+
+impl DmaOptLevel {
+    /// All levels, in cumulative order.
+    pub const ALL: [DmaOptLevel; 3] = [
+        DmaOptLevel::Baseline,
+        DmaOptLevel::Pipelined,
+        DmaOptLevel::Full,
+    ];
+
+    /// Whether flush/DMA are chunk-pipelined at this level.
+    #[must_use]
+    pub fn pipelined(self) -> bool {
+        !matches!(self, DmaOptLevel::Baseline)
+    }
+
+    /// Whether full/empty bits trigger computation at this level.
+    #[must_use]
+    pub fn triggered(self) -> bool {
+        matches!(self, DmaOptLevel::Full)
+    }
+}
+
+impl std::fmt::Display for DmaOptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DmaOptLevel::Baseline => "baseline",
+            DmaOptLevel::Pipelined => "+pipelined",
+            DmaOptLevel::Full => "+triggered",
+        })
+    }
+}
+
+/// Which local memory system a flow used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemKind {
+    /// Isolated Aladdin (scratchpad, data pre-loaded, no system).
+    Isolated,
+    /// Scratchpad + DMA at the given optimization level.
+    Dma(DmaOptLevel),
+    /// Hardware-managed cache (+ scratchpads for private arrays).
+    Cache,
+}
+
+impl std::fmt::Display for MemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemKind::Isolated => f.write_str("isolated"),
+            MemKind::Dma(o) => write!(f, "dma({o})"),
+            MemKind::Cache => f.write_str("cache"),
+        }
+    }
+}
+
+/// How the CPU learns the accelerator has finished (Section III-E: the
+/// accelerator `mfence`s, then writes a shared status pointer the CPU
+/// observes through cache coherence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionSignal {
+    /// The CPU spins on the status variable, polling every `poll_cycles`;
+    /// completion is observed at the next poll boundary.
+    SpinWait {
+        /// Polling period in accelerator cycles.
+        poll_cycles: u64,
+    },
+    /// The CPU does other work and takes an interrupt with a fixed
+    /// delivery + handler latency.
+    Interrupt {
+        /// Interrupt delivery and handling latency in cycles.
+        latency_cycles: u64,
+    },
+}
+
+impl CompletionSignal {
+    /// Cycles between the accelerator's last action at `end` and the CPU
+    /// observing completion.
+    #[must_use]
+    pub fn observation_lag(self, end: u64) -> u64 {
+        match self {
+            CompletionSignal::SpinWait { poll_cycles } => {
+                let poll = poll_cycles.max(1);
+                // Next poll boundary at or after `end`.
+                end.div_ceil(poll) * poll - end
+            }
+            CompletionSignal::Interrupt { latency_cycles } => latency_cycles,
+        }
+    }
+}
+
+/// Background bus-traffic injection for contention studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficConfig {
+    /// Cycles between injected requests.
+    pub period: u64,
+    /// Bytes per request.
+    pub bytes: u32,
+}
+
+/// Full SoC configuration: everything outside the accelerator datapath.
+///
+/// Defaults reproduce the paper's validated platform: 100 MHz accelerator,
+/// 32-bit bus, Zedboard flush/invalidate constants, 40-cycle DMA setup,
+/// 8-entry TLB with a 200 ns miss penalty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocConfig {
+    /// Accelerator clock.
+    pub clock: Clock,
+    /// Shared system bus.
+    pub bus: BusConfig,
+    /// DRAM behind the bus.
+    pub dram: DramConfig,
+    /// CPU-side flush/invalidate cost model.
+    pub flush: FlushConfig,
+    /// DMA engine parameters (the `pipelined` field is overridden by the
+    /// flow's [`DmaOptLevel`]).
+    pub dma: DmaConfig,
+    /// Accelerator TLB (cache-based flows).
+    pub tlb: TlbConfig,
+    /// Accelerator cache geometry (cache-based flows).
+    pub cache: CacheConfig,
+    /// Granularity in bytes at which full/empty bits track DMA arrivals
+    /// under [`DmaOptLevel::Full`]. One CPU cache line in the paper;
+    /// 4096 approximates page-level double buffering.
+    pub ready_bits_granule: u64,
+    /// Cycles for the CPU to invoke the accelerator (`ioctl`, descriptor
+    /// setup, one-way signaling) before any flush begins.
+    pub invoke_cycles: u64,
+    /// Optional background traffic on the shared bus.
+    pub traffic: Option<TrafficConfig>,
+    /// Optional CPU-side completion-observation model; `None` reports the
+    /// accelerator-side end (the paper's measurement boundary).
+    pub completion: Option<CompletionSignal>,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig {
+            clock: Clock::default(),
+            bus: BusConfig::default(),
+            dram: DramConfig::default(),
+            flush: FlushConfig::default(),
+            dma: DmaConfig::default(),
+            tlb: TlbConfig::default(),
+            cache: CacheConfig::default(),
+            ready_bits_granule: 32,
+            invoke_cycles: 17,
+            traffic: None,
+            completion: None,
+        }
+    }
+}
+
+impl SocConfig {
+    /// The paper's second contended scenario: a 64-bit system bus.
+    #[must_use]
+    pub fn with_64bit_bus(mut self) -> Self {
+        self.bus.width_bits = 64;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_levels_are_cumulative() {
+        assert!(!DmaOptLevel::Baseline.pipelined());
+        assert!(!DmaOptLevel::Baseline.triggered());
+        assert!(DmaOptLevel::Pipelined.pipelined());
+        assert!(!DmaOptLevel::Pipelined.triggered());
+        assert!(DmaOptLevel::Full.pipelined());
+        assert!(DmaOptLevel::Full.triggered());
+    }
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let cfg = SocConfig::default();
+        assert_eq!(cfg.clock.mhz(), 100.0);
+        assert_eq!(cfg.bus.width_bits, 32);
+        assert_eq!(cfg.flush.flush_ns_per_line, 84.0);
+        assert_eq!(cfg.dma.setup_cycles, 40);
+        assert_eq!(cfg.tlb.entries, 8);
+        assert_eq!(cfg.tlb.miss_cycles, 20);
+        assert_eq!(cfg.with_64bit_bus().bus.width_bits, 64);
+    }
+
+    #[test]
+    fn completion_signal_lags() {
+        let spin = CompletionSignal::SpinWait { poll_cycles: 100 };
+        assert_eq!(spin.observation_lag(1000), 0); // exactly on a boundary
+        assert_eq!(spin.observation_lag(1001), 99);
+        assert_eq!(spin.observation_lag(1099), 1);
+        let irq = CompletionSignal::Interrupt {
+            latency_cycles: 500,
+        };
+        assert_eq!(irq.observation_lag(12345), 500);
+        // Degenerate poll period never divides by zero.
+        assert_eq!(
+            CompletionSignal::SpinWait { poll_cycles: 0 }.observation_lag(7),
+            0
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(
+            MemKind::Dma(DmaOptLevel::Full).to_string(),
+            "dma(+triggered)"
+        );
+        assert_eq!(MemKind::Cache.to_string(), "cache");
+        assert_eq!(MemKind::Isolated.to_string(), "isolated");
+    }
+}

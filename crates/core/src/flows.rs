@@ -1,0 +1,598 @@
+//! The three CPU↔accelerator flows: isolated, scratchpad+DMA, and cache.
+
+use aladdin_accel::{
+    schedule, DatapathConfig, DatapathMemory, EnergyReport, IssueResult, PowerModel, SpadMemory,
+    SpadStats,
+};
+use aladdin_ir::{ArrayKind, Trace};
+use aladdin_mem::{
+    CacheStats, DmaConfig, DmaDirection, DmaEngine, DmaStats, DmaTransfer, FlushSchedule,
+    IntervalSet, MasterId, SystemBus, TlbStats, TrafficGenerator,
+};
+
+use crate::cachemem::CacheDatapathMemory;
+use crate::config::{DmaOptLevel, MemKind, SocConfig};
+use crate::phase::PhaseBreakdown;
+
+/// Everything measured from one simulated accelerator invocation.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Kernel name.
+    pub kernel: String,
+    /// Which memory system serviced the datapath.
+    pub mem_kind: MemKind,
+    /// Datapath configuration the run used.
+    pub datapath: DatapathConfig,
+    /// Cycle the invocation began (always 0).
+    pub start: u64,
+    /// Cycle everything (including writeback DMA) finished.
+    pub end: u64,
+    /// `end - start`.
+    pub total_cycles: u64,
+    /// The paper's four-phase runtime attribution.
+    pub phases: PhaseBreakdown,
+    /// Accelerator energy/power roll-up.
+    pub energy: EnergyReport,
+    /// Cycles with at least one datapath operation in flight.
+    pub compute_busy_cycles: u64,
+    /// Structural memory rejects seen by the scheduler.
+    pub mem_rejects: u64,
+    /// Scratchpad statistics (spad-backed flows and private arrays).
+    pub spad_stats: Option<SpadStats>,
+    /// Cache statistics (cache flow).
+    pub cache_stats: Option<CacheStats>,
+    /// TLB statistics (cache flow).
+    pub tlb_stats: Option<TlbStats>,
+    /// DMA engine statistics (DMA flows; in + out combined).
+    pub dma_stats: Option<DmaStats>,
+    /// Total local SRAM the design provisions (scratchpads and/or cache),
+    /// bytes — a Figure 9 Kiviat axis.
+    pub local_sram_bytes: u64,
+    /// Peak local memory bandwidth in accesses/cycle — the third Kiviat
+    /// axis.
+    pub local_mem_bandwidth: u32,
+}
+
+impl FlowResult {
+    /// Runtime in seconds.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.energy.runtime_s()
+    }
+
+    /// Total accelerator energy in joules.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        self.energy.energy_j()
+    }
+
+    /// Average accelerator power in milliwatts.
+    #[must_use]
+    pub fn power_mw(&self) -> f64 {
+        self.energy.avg_power_mw()
+    }
+
+    /// Energy-delay product in joule-seconds.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy.edp()
+    }
+}
+
+fn total_array_bytes(trace: &Trace) -> u64 {
+    trace.arrays().iter().map(|a| a.size_bytes()).sum()
+}
+
+fn internal_array_bytes(trace: &Trace) -> u64 {
+    trace
+        .arrays()
+        .iter()
+        .filter(|a| a.kind == ArrayKind::Internal)
+        .map(|a| a.size_bytes())
+        .sum()
+}
+
+/// Scratchpad energy: datapath accesses plus (for DMA flows) the words the
+/// DMA engine moved in and out of the banks.
+fn spad_energy_pj(
+    pm: &PowerModel,
+    spad: &SpadStats,
+    total_bytes: u64,
+    partition: u32,
+    dma_in_bytes: u64,
+    dma_out_bytes: u64,
+) -> f64 {
+    let bank = (total_bytes / u64::from(partition.max(1))).max(64);
+    let reads = spad.reads + dma_out_bytes / 8;
+    let writes = spad.writes + dma_in_bytes / 8;
+    reads as f64 * pm.sram_read_pj(bank) + writes as f64 * pm.sram_write_pj(bank)
+}
+
+/// Isolated Aladdin: scratchpads pre-loaded, compute only (the "designed
+/// in isolation" scenario of Figures 1, 9 and 10).
+#[must_use]
+pub fn run_isolated(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig) -> FlowResult {
+    let mut spad = SpadMemory::new(trace, dp);
+    let sched = schedule(trace, dp, &mut spad, 0);
+    let pm = PowerModel::default_40nm();
+    let stats = trace.stats();
+    let total_bytes = total_array_bytes(trace);
+    let energy = EnergyReport {
+        datapath_pj: pm.datapath_energy_pj(&stats),
+        local_mem_pj: spad_energy_pj(&pm, &spad.stats(), total_bytes, dp.partition, 0, 0),
+        leakage_mw: pm.datapath_leakage_mw(dp.lanes)
+            + pm.spad_leakage_mw(total_bytes, dp.ports_per_bank),
+        runtime_cycles: sched.cycles,
+        clock: soc.clock,
+    };
+    let phases = PhaseBreakdown::classify(
+        &IntervalSet::new(),
+        &IntervalSet::new(),
+        &sched.busy,
+        0,
+        sched.end,
+    );
+    FlowResult {
+        kernel: trace.name().to_owned(),
+        mem_kind: MemKind::Isolated,
+        datapath: *dp,
+        start: 0,
+        end: sched.end,
+        total_cycles: sched.cycles,
+        phases,
+        energy,
+        compute_busy_cycles: sched.busy.total(),
+        mem_rejects: sched.mem_rejects,
+        spad_stats: Some(spad.stats()),
+        cache_stats: None,
+        tlb_stats: None,
+        dma_stats: None,
+        local_sram_bytes: total_bytes,
+        local_mem_bandwidth: dp.local_mem_bandwidth(),
+    }
+}
+
+/// Co-simulation wrapper for DMA-triggered computation: the scratchpad's
+/// full/empty bits are fed by the DMA engine, which shares the bus the
+/// datapath's completion loop advances.
+struct TriggeredSpadMemory {
+    spad: SpadMemory,
+    dma: DmaEngine,
+    bus: SystemBus,
+    traffic: Option<TrafficGenerator>,
+}
+
+impl TriggeredSpadMemory {
+    fn pump(&mut self, cycle: u64) {
+        self.dma.tick(cycle, &mut self.bus);
+        if let Some(t) = self.traffic.as_mut() {
+            t.tick(cycle, &mut self.bus);
+        }
+        self.bus.tick(cycle);
+        for c in self.bus.drain_completions() {
+            if c.master == MasterId::DMA {
+                self.dma.on_bus_completion(c.token, c.at);
+            }
+        }
+        for a in self.dma.drain_arrivals() {
+            self.spad.push_arrival(a.addr, a.bytes, a.at);
+        }
+    }
+}
+
+impl DatapathMemory for TriggeredSpadMemory {
+    fn begin_cycle(&mut self, cycle: u64) {
+        self.spad.begin_cycle(cycle);
+    }
+
+    fn issue(&mut self, id: u64, addr: u64, bytes: u32, write: bool, cycle: u64) -> IssueResult {
+        self.spad.issue(id, addr, bytes, write, cycle)
+    }
+
+    fn drain_completions(&mut self) -> Vec<(u64, u64)> {
+        self.spad.drain_completions()
+    }
+
+    fn end_cycle(&mut self, cycle: u64) {
+        self.pump(cycle);
+    }
+}
+
+fn drive_dma_to_completion(
+    dma: &mut DmaEngine,
+    bus: &mut SystemBus,
+    traffic: &mut Option<TrafficGenerator>,
+    mut cycle: u64,
+) -> u64 {
+    let mut guard = 0u64;
+    while !dma.is_done() {
+        dma.tick(cycle, bus);
+        if let Some(t) = traffic.as_mut() {
+            t.tick(cycle, bus);
+        }
+        bus.tick(cycle);
+        for c in bus.drain_completions() {
+            if c.master == MasterId::DMA {
+                dma.on_bus_completion(c.token, c.at);
+            }
+        }
+        cycle += 1;
+        guard += 1;
+        assert!(guard < 200_000_000, "DMA never finished");
+    }
+    dma.done_at().expect("done").max(cycle)
+}
+
+/// The scratchpad/DMA flow at the given optimization level: invoke →
+/// flush/invalidate → DMA in → compute → DMA out (with overlap as the
+/// optimizations allow).
+#[must_use]
+pub fn run_dma(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+) -> FlowResult {
+    let t0 = soc.invoke_cycles;
+    let dma_cfg = DmaConfig {
+        pipelined: opt.pipelined(),
+        ..soc.dma
+    };
+    // Descriptor order follows array registration order — i.e. the order
+    // of the kernel's `dmaLoad` calls, exactly as in gem5-Aladdin. Under
+    // DMA-triggered computation this order decides how effective
+    // full/empty bits are: a kernel that gathers through an array
+    // delivered last (spmv's `vec`) stalls, one whose small operands
+    // arrive first (stencil filters) streams.
+    let in_transfers: Vec<DmaTransfer> = trace
+        .input_arrays()
+        .map(|a| DmaTransfer {
+            base: a.base_addr,
+            bytes: a.size_bytes(),
+            direction: DmaDirection::In,
+        })
+        .collect();
+    let chunks = dma_cfg.chunk_sizes(&in_transfers);
+    let flush = FlushSchedule::new(soc.flush, soc.clock, t0, &chunks, trace.output_bytes());
+    let eligibility: Vec<u64> = if opt.pipelined() {
+        flush.chunk_times().to_vec()
+    } else {
+        vec![flush.end(); chunks.len()]
+    };
+
+    let mut bus = SystemBus::new(soc.bus, soc.dram);
+    let mut traffic = soc
+        .traffic
+        .map(|t| TrafficGenerator::new(t.period, t.bytes, 0x4000_0000, 16 << 20));
+    let dma_in = DmaEngine::new(dma_cfg, &in_transfers, &eligibility);
+
+    let (sched, spad_stats, dma_in, mut bus, mut traffic, compute_end) = if opt.triggered() {
+        let mut spad = SpadMemory::new(trace, dp);
+        spad.enable_ready_bits();
+        spad.set_ready_granularity(soc.ready_bits_granule);
+        let mut mem = TriggeredSpadMemory {
+            spad,
+            dma: dma_in,
+            bus,
+            traffic,
+        };
+        let sched = schedule(trace, dp, &mut mem, t0);
+        // The transfer may outlive the computation (e.g. not every input
+        // byte is read): drain it before writeback DMA starts.
+        let dma_done = if mem.dma.is_done() {
+            mem.dma.done_at().expect("done")
+        } else {
+            drive_dma_to_completion(&mut mem.dma, &mut mem.bus, &mut mem.traffic, sched.end)
+        };
+        let compute_end = sched.end.max(dma_done);
+        let stats = mem.spad.stats();
+        (sched, stats, mem.dma, mem.bus, mem.traffic, compute_end)
+    } else {
+        // Baseline / pipelined: compute begins only when all data is in.
+        let mut dma_in = dma_in;
+        let dma_done = if dma_in.is_done() {
+            // No input arrays at all: compute may start after coherence.
+            flush.end().max(t0)
+        } else {
+            drive_dma_to_completion(&mut dma_in, &mut bus, &mut traffic, t0)
+        };
+        let mut spad = SpadMemory::new(trace, dp);
+        let sched = schedule(trace, dp, &mut spad, dma_done);
+        let end = sched.end;
+        (sched, spad.stats(), dma_in, bus, traffic, end)
+    };
+    // Writeback DMA of the output arrays.
+    let out_transfers: Vec<DmaTransfer> = trace
+        .output_arrays()
+        .map(|a| DmaTransfer {
+            base: a.base_addr,
+            bytes: a.size_bytes(),
+            direction: DmaDirection::Out,
+        })
+        .collect();
+    let out_chunks = dma_cfg.chunk_sizes(&out_transfers);
+    let mut dma_out = DmaEngine::new(
+        dma_cfg,
+        &out_transfers,
+        &vec![compute_end; out_chunks.len()],
+    );
+    let end = if dma_out.is_done() {
+        compute_end
+    } else {
+        drive_dma_to_completion(&mut dma_out, &mut bus, &mut traffic, compute_end)
+    };
+
+    let end = end + soc.completion.map_or(0, |c| c.observation_lag(end));
+
+    // Phase attribution.
+    let mut dma_busy = dma_in.busy().clone();
+    dma_busy.extend(dma_out.busy().as_slice().iter().copied());
+    let phases = PhaseBreakdown::classify(flush.busy(), &dma_busy, &sched.busy, 0, end);
+
+    // Energy.
+    let pm = PowerModel::default_40nm();
+    let stats = trace.stats();
+    let total_bytes = total_array_bytes(trace);
+    let energy = EnergyReport {
+        datapath_pj: pm.datapath_energy_pj(&stats),
+        local_mem_pj: spad_energy_pj(
+            &pm,
+            &spad_stats,
+            total_bytes,
+            dp.partition,
+            trace.input_bytes(),
+            trace.output_bytes(),
+        ),
+        leakage_mw: pm.datapath_leakage_mw(dp.lanes)
+            + pm.spad_leakage_mw(total_bytes, dp.ports_per_bank),
+        runtime_cycles: end,
+        clock: soc.clock,
+    };
+
+    let mut dstats = dma_in.stats();
+    let o = dma_out.stats();
+    dstats.descriptors += o.descriptors;
+    dstats.bursts += o.bursts;
+    dstats.bytes += o.bytes;
+
+    FlowResult {
+        kernel: trace.name().to_owned(),
+        mem_kind: MemKind::Dma(opt),
+        datapath: *dp,
+        start: 0,
+        end,
+        total_cycles: end,
+        phases,
+        energy,
+        compute_busy_cycles: sched.busy.total(),
+        mem_rejects: sched.mem_rejects,
+        spad_stats: Some(spad_stats),
+        cache_stats: None,
+        tlb_stats: None,
+        dma_stats: Some(dstats),
+        local_sram_bytes: total_bytes,
+        local_mem_bandwidth: dp.local_mem_bandwidth(),
+    }
+}
+
+/// The cache-based flow: shared arrays on demand through TLB + cache over
+/// the shared bus; no CPU-side coherence management.
+#[must_use]
+pub fn run_cache(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig) -> FlowResult {
+    run_cache_inner(trace, dp, soc, false)
+}
+
+pub(crate) fn run_cache_inner(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    ideal: bool,
+) -> FlowResult {
+    let t0 = soc.invoke_cycles;
+    let mut mem = CacheDatapathMemory::new(trace, dp, soc);
+    mem.set_ideal(ideal);
+    let sched = schedule(trace, dp, &mut mem, t0);
+    let end = sched.end + soc.completion.map_or(0, |c| c.observation_lag(sched.end));
+
+    let pm = PowerModel::default_40nm();
+    let stats = trace.stats();
+    let cs = mem.cache_stats();
+    let ts = mem.tlb_stats();
+    let internal_bytes = internal_array_bytes(trace);
+    let cache_params = aladdin_accel::CacheEnergyParams {
+        size_bytes: soc.cache.size_bytes,
+        line_bytes: soc.cache.line_bytes,
+        assoc: soc.cache.assoc,
+        ports: soc.cache.ports,
+        mshrs: soc.cache.mshrs,
+    };
+    let cache_dyn = cs.accesses() as f64 * pm.cache_access_pj(cache_params)
+        + (cs.misses + cs.prefetches) as f64 * pm.cache_fill_pj(cache_params)
+        + (ts.hits + ts.misses) as f64 * pm.tlb_access_pj();
+    let spad_dyn = spad_energy_pj(
+        &pm,
+        &mem.spad_stats(),
+        internal_bytes.max(64),
+        dp.partition,
+        0,
+        0,
+    );
+    let energy = EnergyReport {
+        datapath_pj: pm.datapath_energy_pj(&stats),
+        local_mem_pj: cache_dyn + spad_dyn,
+        leakage_mw: pm.datapath_leakage_mw(dp.lanes)
+            + pm.cache_leakage_mw(cache_params)
+            + pm.spad_leakage_mw(internal_bytes, dp.ports_per_bank),
+        runtime_cycles: end,
+        clock: soc.clock,
+    };
+    let phases = PhaseBreakdown::classify(
+        &IntervalSet::new(),
+        &IntervalSet::new(),
+        &sched.busy,
+        0,
+        end,
+    );
+    FlowResult {
+        kernel: trace.name().to_owned(),
+        mem_kind: MemKind::Cache,
+        datapath: *dp,
+        start: 0,
+        end,
+        total_cycles: end,
+        phases,
+        energy,
+        compute_busy_cycles: sched.busy.total(),
+        mem_rejects: sched.mem_rejects,
+        spad_stats: Some(mem.spad_stats()),
+        cache_stats: Some(cs),
+        tlb_stats: Some(ts),
+        dma_stats: None,
+        local_sram_bytes: soc.cache.size_bytes + internal_bytes,
+        local_mem_bandwidth: soc.cache.ports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladdin_workloads::by_name;
+
+    fn trace_of(name: &str) -> Trace {
+        by_name(name).expect("kernel").run().trace
+    }
+
+    fn dp(lanes: u32, partition: u32) -> DatapathConfig {
+        DatapathConfig {
+            lanes,
+            partition,
+            ..DatapathConfig::default()
+        }
+    }
+
+    #[test]
+    fn isolated_is_fastest() {
+        let trace = trace_of("stencil-stencil2d");
+        let soc = SocConfig::default();
+        let iso = run_isolated(&trace, &dp(4, 4), &soc);
+        let dma = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Baseline);
+        assert!(iso.total_cycles < dma.total_cycles);
+        assert_eq!(iso.phases.flush_only, 0);
+        assert!(dma.phases.flush_only > 0);
+    }
+
+    #[test]
+    fn dma_optimizations_monotonically_help() {
+        let trace = trace_of("stencil-stencil2d");
+        let soc = SocConfig::default();
+        let base = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Baseline);
+        let pipe = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Pipelined);
+        let full = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Full);
+        assert!(
+            pipe.total_cycles < base.total_cycles,
+            "pipelined {} !< baseline {}",
+            pipe.total_cycles,
+            base.total_cycles
+        );
+        assert!(
+            full.total_cycles < pipe.total_cycles,
+            "triggered {} !< pipelined {}",
+            full.total_cycles,
+            pipe.total_cycles
+        );
+        // Pipelining hides flush-only time almost entirely.
+        assert!(pipe.phases.flush_only * 10 < base.phases.flush_only.max(1) * 12);
+        // Triggered compute overlaps compute with DMA.
+        assert!(full.phases.compute_dma > 0);
+    }
+
+    #[test]
+    fn phase_totals_match_runtime() {
+        let trace = trace_of("gemm-ncubed");
+        let soc = SocConfig::default();
+        for opt in DmaOptLevel::ALL {
+            let r = run_dma(&trace, &dp(2, 2), &soc, opt);
+            let p = r.phases;
+            assert_eq!(
+                p.flush_only + p.dma_flush + p.compute_dma + p.compute_only + p.other,
+                p.total,
+                "{opt}"
+            );
+            assert_eq!(p.total, r.total_cycles);
+        }
+    }
+
+    #[test]
+    fn cache_flow_runs_every_kernel_cheaply() {
+        // Smoke test on the two smallest kernels.
+        let soc = SocConfig::default();
+        for name in ["aes-aes", "fft-transpose"] {
+            let trace = trace_of(name);
+            let r = run_cache(&trace, &dp(2, 2), &soc);
+            assert!(r.total_cycles > 0, "{name}");
+            assert!(r.energy_j() > 0.0, "{name}");
+            assert!(r.cache_stats.unwrap().accesses() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn spmv_prefers_cache_over_dma() {
+        // The paper's key qualitative result for irregular kernels.
+        let trace = trace_of("spmv-crs");
+        let soc = SocConfig::default();
+        let d = dp(4, 4);
+        let dma = run_dma(&trace, &d, &soc, DmaOptLevel::Full);
+        let cache = run_cache(&trace, &d, &soc);
+        assert!(
+            cache.total_cycles < dma.total_cycles,
+            "cache {} should beat DMA {} on spmv",
+            cache.total_cycles,
+            dma.total_cycles
+        );
+    }
+
+    #[test]
+    fn aes_prefers_dma_over_cache() {
+        // aes moves almost no data, so runtimes are close — but the cache
+        // design pays tag/TLB energy and leakage for nothing, losing on
+        // EDP (the paper's Figure 8 preference metric).
+        let trace = trace_of("aes-aes");
+        let soc = SocConfig::default();
+        let d = dp(4, 4);
+        let dma = run_dma(&trace, &d, &soc, DmaOptLevel::Full);
+        let cache = run_cache(&trace, &d, &soc);
+        assert!(
+            dma.edp() < cache.edp(),
+            "DMA EDP {:.3e} should beat cache {:.3e} on aes",
+            dma.edp(),
+            cache.edp()
+        );
+        assert!(
+            dma.power_mw() < cache.power_mw(),
+            "DMA power {:.2} should beat cache {:.2} on aes",
+            dma.power_mw(),
+            cache.power_mw()
+        );
+    }
+
+    #[test]
+    fn energy_and_edp_are_positive_and_consistent() {
+        let trace = trace_of("md-knn");
+        let soc = SocConfig::default();
+        let r = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Full);
+        assert!(r.energy_j() > 0.0);
+        assert!(r.power_mw() > 0.0);
+        let edp = r.edp();
+        assert!((edp - r.energy_j() * r.seconds()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = trace_of("stencil-stencil3d");
+        let soc = SocConfig::default();
+        let a = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Full);
+        let b = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Full);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.phases, b.phases);
+    }
+}

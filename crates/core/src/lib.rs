@@ -1,0 +1,63 @@
+//! `gem5-aladdin-rs` core: SoC/accelerator co-simulation.
+//!
+//! This crate is the paper's primary contribution — the coupling of a
+//! pre-RTL accelerator model (`aladdin-accel`) with an SoC memory substrate
+//! (`aladdin-mem`) so that accelerators are evaluated *inside* the system
+//! they will ship in, not in isolation:
+//!
+//! * [`run_isolated`] — classic Aladdin: all data assumed pre-loaded into
+//!   scratchpads, compute time only. The "designed in isolation" baseline
+//!   of every co-design comparison.
+//! * [`run_dma`] — the full scratchpad/DMA flow: CPU-side cache flush and
+//!   invalidate (analytical, Zedboard-characterized constants), descriptor
+//!   DMA over the shared bus, compute, and DMA writeback. Three
+//!   optimization levels reproduce Section IV-B: baseline, pipelined DMA
+//!   (page-granular flush/DMA overlap), and DMA-triggered computation
+//!   (full/empty bits).
+//! * [`run_cache`] — the cache-based flow: shared arrays are pulled on
+//!   demand through an accelerator TLB and a MOESI cache over the same
+//!   bus; private arrays stay in scratchpads.
+//!
+//! Every flow returns a [`FlowResult`] with the paper's runtime phase
+//! attribution (flush-only / DMA-flush / compute-DMA / compute-only,
+//! Section IV-C), an accelerator [`EnergyReport`], and component
+//! statistics. [`Soc`] bundles a [`SocConfig`] for ergonomic sweeps.
+//!
+//! # Example
+//!
+//! ```
+//! use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+//! use aladdin_accel::DatapathConfig;
+//! use aladdin_workloads::{by_name, Kernel};
+//!
+//! let kernel = by_name("stencil-stencil2d").expect("known kernel");
+//! let trace = kernel.run().trace;
+//! let soc = Soc::new(SocConfig::default());
+//! let dp = DatapathConfig { lanes: 4, partition: 4, ..DatapathConfig::default() };
+//!
+//! let isolated = soc.run_isolated(&trace, &dp);
+//! let dma = soc.run_dma(&trace, &dp, DmaOptLevel::Full);
+//! assert!(dma.total_cycles >= isolated.total_cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cachemem;
+mod config;
+mod decompose;
+mod flows;
+mod multi;
+mod phase;
+mod soc;
+mod validation;
+
+pub use aladdin_accel::EnergyReport;
+pub use cachemem::CacheDatapathMemory;
+pub use config::{CompletionSignal, DmaOptLevel, MemKind, SocConfig, TrafficConfig};
+pub use decompose::{decompose_cache_time, TimeDecomposition};
+pub use flows::{run_cache, run_dma, run_isolated, FlowResult};
+pub use multi::{run_multi_dma, AcceleratorJob, AcceleratorTimeline, MultiSocResult};
+pub use phase::PhaseBreakdown;
+pub use soc::Soc;
+pub use validation::{validate_kernel, ValidationRow};

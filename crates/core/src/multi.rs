@@ -1,0 +1,376 @@
+//! Multi-accelerator SoC simulation.
+//!
+//! The paper's Figure 3 SoC hosts several accelerators (`ACCEL0`,
+//! `ACCEL1`, …) behind one system bus, and Section IV-A argues that
+//! coarse-grained DMA suffers disproportionately when that bus is shared.
+//! This module simulates N scratchpad/DMA accelerators running
+//! concurrently: each walks the invoke → flush → DMA-in → compute →
+//! DMA-out pipeline with its own DMA engine, and all engines arbitrate
+//! for the same bus/DRAM.
+//!
+//! Compute phases execute from private scratchpads (no bus traffic), so
+//! each job's compute duration comes from a standalone schedule; the
+//! co-simulated part is exactly the shared-resource part. Under
+//! [`DmaOptLevel::Full`] the compute/DMA overlap is approximated
+//! analytically (compute starts with the first delivered chunk) rather
+//! than co-scheduling every datapath — the bus traffic, which is what
+//! contention is about, is identical. Cache-based accelerators interact
+//! with the bus continuously and are not covered here; approximate one
+//! with [`TrafficConfig`](crate::TrafficConfig).
+
+use aladdin_accel::{schedule, DatapathConfig, SpadMemory};
+use aladdin_ir::Trace;
+use aladdin_mem::{
+    DmaConfig, DmaDirection, DmaEngine, DmaTransfer, FlushSchedule, MasterId, SystemBus,
+};
+
+use crate::config::{DmaOptLevel, SocConfig};
+
+/// One accelerator's workload in a multi-accelerator simulation.
+#[derive(Debug, Clone)]
+pub struct AcceleratorJob {
+    /// The kernel trace this accelerator runs.
+    pub trace: Trace,
+    /// Its datapath configuration.
+    pub datapath: DatapathConfig,
+    /// DMA optimization level.
+    pub opt: DmaOptLevel,
+    /// Cycle at which the host invokes this accelerator.
+    pub launch_at: u64,
+}
+
+/// Timeline of one accelerator in a multi-accelerator run.
+#[derive(Debug, Clone)]
+pub struct AcceleratorTimeline {
+    /// Kernel name.
+    pub kernel: String,
+    /// Invocation cycle.
+    pub launched: u64,
+    /// Cycle the input DMA finished.
+    pub data_in_done: u64,
+    /// Cycle the compute phase finished.
+    pub compute_done: u64,
+    /// Cycle the writeback DMA finished (= completion).
+    pub end: u64,
+}
+
+impl AcceleratorTimeline {
+    /// Total latency from launch to completion.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.end - self.launched
+    }
+}
+
+/// Result of a multi-accelerator simulation.
+#[derive(Debug, Clone)]
+pub struct MultiSocResult {
+    /// Per-accelerator timelines, in job order.
+    pub accelerators: Vec<AcceleratorTimeline>,
+    /// Cycle everything finished.
+    pub end: u64,
+    /// Total bytes moved over the shared bus.
+    pub bus_bytes: u64,
+    /// Bus data-wire utilization over the whole run.
+    pub bus_utilization: f64,
+}
+
+enum Stage {
+    DmaIn(Box<DmaEngine>),
+    Compute { until: u64 },
+    DmaOut(Box<DmaEngine>),
+    Done,
+}
+
+struct JobState {
+    stage: Stage,
+    flush_end: u64,
+    first_data_at: u64,
+    compute_cycles: u64,
+    overlap: bool,
+    dma_cfg: DmaConfig,
+    out_transfers: Vec<DmaTransfer>,
+    master: MasterId,
+    timeline: AcceleratorTimeline,
+}
+
+impl JobState {
+    fn engine_mut(&mut self) -> Option<&mut DmaEngine> {
+        match &mut self.stage {
+            Stage::DmaIn(e) | Stage::DmaOut(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Simulate `jobs` concurrently on one SoC.
+///
+/// # Panics
+///
+/// Panics if `jobs` is empty or holds more than [`MasterId::COUNT`]
+/// entries (the bus provisions one arbitration queue per master), or if
+/// the simulation exceeds an internal convergence guard.
+#[must_use]
+pub fn run_multi_dma(jobs: &[AcceleratorJob], soc: &SocConfig) -> MultiSocResult {
+    assert!(!jobs.is_empty(), "need at least one job");
+    assert!(
+        jobs.len() <= MasterId::COUNT,
+        "at most {} concurrent accelerators",
+        MasterId::COUNT
+    );
+
+    let mut bus = SystemBus::new(soc.bus, soc.dram);
+    let mut states: Vec<JobState> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| setup_job(i, job, soc))
+        .collect();
+
+    let mut cycle = 0u64;
+    loop {
+        // 1. Advance every active DMA engine.
+        for st in &mut states {
+            if let Some(engine) = st.engine_mut() {
+                engine.tick(cycle, &mut bus);
+            }
+        }
+        bus.tick(cycle);
+
+        // 2. Route completions by master id.
+        for c in bus.drain_completions() {
+            let st = &mut states[c.master.0 as usize];
+            if let Some(engine) = st.engine_mut() {
+                engine.on_bus_completion(c.token, c.at);
+            }
+        }
+
+        // 3. Stage transitions.
+        let mut all_done = true;
+        for st in &mut states {
+            loop {
+                match &mut st.stage {
+                    Stage::DmaIn(e) if e.is_done() => {
+                        // The CPU's output-region invalidate may still be
+                        // running; it only gates the writeback, not local
+                        // compute.
+                        let dma_done = e.done_at().expect("done");
+                        st.timeline.data_in_done = dma_done;
+                        let compute_done = if st.overlap {
+                            // Full/empty bits: compute begins with the
+                            // first delivered chunk and cannot end before
+                            // the last byte arrives.
+                            dma_done.max(st.first_data_at + st.compute_cycles)
+                        } else {
+                            dma_done + st.compute_cycles
+                        };
+                        st.timeline.compute_done = compute_done;
+                        st.stage = Stage::Compute {
+                            until: compute_done,
+                        };
+                    }
+                    Stage::Compute { until } if cycle >= *until => {
+                        let eligible = (*until).max(st.flush_end);
+                        let chunks = st.dma_cfg.chunk_sizes(&st.out_transfers);
+                        let mut out = DmaEngine::new(
+                            st.dma_cfg,
+                            &st.out_transfers,
+                            &vec![eligible; chunks.len()],
+                        );
+                        out.set_master(st.master);
+                        st.stage = Stage::DmaOut(Box::new(out));
+                    }
+                    Stage::DmaOut(e) if e.is_done() => {
+                        st.timeline.end = e.done_at().expect("done").max(st.timeline.compute_done);
+                        st.stage = Stage::Done;
+                    }
+                    _ => break,
+                }
+            }
+            if !matches!(st.stage, Stage::Done) {
+                all_done = false;
+            }
+        }
+
+        if all_done {
+            break;
+        }
+        cycle += 1;
+        assert!(
+            cycle < 500_000_000,
+            "multi-accelerator sim did not converge"
+        );
+    }
+
+    let end = states.iter().map(|s| s.timeline.end).max().unwrap_or(0);
+    let bus_stats = bus.stats();
+    MultiSocResult {
+        accelerators: states.into_iter().map(|s| s.timeline).collect(),
+        end,
+        bus_bytes: bus_stats.bytes,
+        bus_utilization: bus_stats.busy_cycles as f64 / end.max(1) as f64,
+    }
+}
+
+fn setup_job(index: usize, job: &AcceleratorJob, soc: &SocConfig) -> JobState {
+    let dma_cfg = DmaConfig {
+        pipelined: job.opt.pipelined(),
+        ..soc.dma
+    };
+    let t0 = job.launch_at + soc.invoke_cycles;
+    let in_transfers: Vec<DmaTransfer> = job
+        .trace
+        .input_arrays()
+        .map(|a| DmaTransfer {
+            base: a.base_addr,
+            bytes: a.size_bytes(),
+            direction: DmaDirection::In,
+        })
+        .collect();
+    let chunks = dma_cfg.chunk_sizes(&in_transfers);
+    let flush = FlushSchedule::new(soc.flush, soc.clock, t0, &chunks, job.trace.output_bytes());
+    let eligibility: Vec<u64> = if job.opt.pipelined() {
+        flush.chunk_times().to_vec()
+    } else {
+        vec![flush.end(); chunks.len()]
+    };
+    let mut engine = DmaEngine::new(dma_cfg, &in_transfers, &eligibility);
+    let master = MasterId(u8::try_from(index).expect("few jobs"));
+    engine.set_master(master);
+
+    let mut spad = SpadMemory::new(&job.trace, &job.datapath);
+    let compute_cycles = schedule(&job.trace, &job.datapath, &mut spad, 0).cycles;
+
+    let out_transfers: Vec<DmaTransfer> = job
+        .trace
+        .output_arrays()
+        .map(|a| DmaTransfer {
+            base: a.base_addr,
+            bytes: a.size_bytes(),
+            direction: DmaDirection::Out,
+        })
+        .collect();
+
+    let stage = if engine.is_done() {
+        // No input data: go straight to compute after coherence work.
+        Stage::Compute {
+            until: flush.end() + compute_cycles,
+        }
+    } else {
+        Stage::DmaIn(Box::new(engine))
+    };
+    let first_data_at = eligibility.first().copied().unwrap_or(t0);
+    JobState {
+        stage,
+        flush_end: flush.end(),
+        first_data_at,
+        compute_cycles,
+        overlap: job.opt.triggered(),
+        dma_cfg,
+        out_transfers,
+        master,
+        timeline: AcceleratorTimeline {
+            kernel: job.trace.name().to_owned(),
+            launched: job.launch_at,
+            data_in_done: 0,
+            compute_done: flush.end() + compute_cycles,
+            end: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladdin_workloads::by_name;
+
+    fn job(name: &str, launch_at: u64) -> AcceleratorJob {
+        AcceleratorJob {
+            trace: by_name(name).expect("kernel").run().trace,
+            datapath: DatapathConfig {
+                lanes: 4,
+                partition: 4,
+                ..DatapathConfig::default()
+            },
+            opt: DmaOptLevel::Pipelined,
+            launch_at,
+        }
+    }
+
+    #[test]
+    fn single_job_matches_flow_closely() {
+        let soc = SocConfig::default();
+        let j = job("stencil-stencil2d", 0);
+        let multi = run_multi_dma(std::slice::from_ref(&j), &soc);
+        let single = crate::flows::run_dma(&j.trace, &j.datapath, &soc, DmaOptLevel::Pipelined);
+        let m = multi.accelerators[0].end;
+        let s = single.total_cycles;
+        let diff = m.abs_diff(s) as f64 / s as f64;
+        assert!(
+            diff < 0.02,
+            "multi-sim of one job should match the flow: {m} vs {s}"
+        );
+    }
+
+    #[test]
+    fn contention_stretches_both_accelerators() {
+        let soc = SocConfig::default();
+        let alone = run_multi_dma(&[job("stencil-stencil2d", 0)], &soc);
+        let pair = run_multi_dma(
+            &[job("stencil-stencil2d", 0), job("stencil-stencil3d", 0)],
+            &soc,
+        );
+        let alone_latency = alone.accelerators[0].latency();
+        let pair_latency = pair.accelerators[0].latency();
+        assert!(
+            pair_latency > alone_latency,
+            "sharing the bus must stretch DMA: {alone_latency} vs {pair_latency}"
+        );
+        assert!(pair.bus_utilization > alone.bus_utilization * 0.9);
+        assert_eq!(pair.accelerators.len(), 2);
+    }
+
+    #[test]
+    fn staggered_launch_reduces_interference() {
+        let soc = SocConfig::default();
+        let together = run_multi_dma(
+            &[job("stencil-stencil2d", 0), job("stencil-stencil2d", 0)],
+            &soc,
+        );
+        // Launch the second one after the first's input DMA window.
+        let solo = run_multi_dma(&[job("stencil-stencil2d", 0)], &soc);
+        let window = solo.accelerators[0].data_in_done;
+        let staggered = run_multi_dma(
+            &[
+                job("stencil-stencil2d", 0),
+                job("stencil-stencil2d", window),
+            ],
+            &soc,
+        );
+        assert!(
+            staggered.accelerators[0].latency() <= together.accelerators[0].latency(),
+            "staggering should relieve accel 0: {} vs {}",
+            staggered.accelerators[0].latency(),
+            together.accelerators[0].latency()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_jobs_rejected() {
+        let _ = run_multi_dma(&[], &SocConfig::default());
+    }
+
+    #[test]
+    fn four_accelerators_supported() {
+        let soc = SocConfig::default();
+        let jobs: Vec<_> = ["aes-aes", "fft-transpose", "spmv-crs", "md-knn"]
+            .iter()
+            .map(|n| job(n, 0))
+            .collect();
+        let r = run_multi_dma(&jobs, &soc);
+        assert_eq!(r.accelerators.len(), 4);
+        for a in &r.accelerators {
+            assert!(a.end > 0, "{} never finished", a.kernel);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The `Soc` facade: one configuration, many runs.
+
+use aladdin_accel::DatapathConfig;
+use aladdin_ir::Trace;
+
+use crate::config::{DmaOptLevel, SocConfig};
+use crate::flows::{run_cache, run_dma, run_isolated, FlowResult};
+
+/// An SoC platform an accelerator can be dropped into.
+///
+/// Thin, copyable wrapper over [`SocConfig`] so sweeps read naturally:
+///
+/// ```
+/// use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+/// use aladdin_accel::DatapathConfig;
+/// use aladdin_workloads::by_name;
+///
+/// let trace = by_name("aes-aes").expect("kernel").run().trace;
+/// let soc = Soc::new(SocConfig::default());
+/// for lanes in [1, 2, 4] {
+///     let dp = DatapathConfig { lanes, ..DatapathConfig::default() };
+///     let r = soc.run_dma(&trace, &dp, DmaOptLevel::Full);
+///     assert!(r.total_cycles > 0);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Soc {
+    cfg: SocConfig,
+}
+
+impl Soc {
+    /// Wrap a configuration.
+    #[must_use]
+    pub fn new(cfg: SocConfig) -> Self {
+        Soc { cfg }
+    }
+
+    /// The wrapped configuration.
+    #[must_use]
+    pub fn config(&self) -> &SocConfig {
+        &self.cfg
+    }
+
+    /// Run the isolated-Aladdin flow (no system effects).
+    #[must_use]
+    pub fn run_isolated(&self, trace: &Trace, dp: &DatapathConfig) -> FlowResult {
+        run_isolated(trace, dp, &self.cfg)
+    }
+
+    /// Run the scratchpad/DMA flow.
+    #[must_use]
+    pub fn run_dma(&self, trace: &Trace, dp: &DatapathConfig, opt: DmaOptLevel) -> FlowResult {
+        run_dma(trace, dp, &self.cfg, opt)
+    }
+
+    /// Run the cache-based flow.
+    #[must_use]
+    pub fn run_cache(&self, trace: &Trace, dp: &DatapathConfig) -> FlowResult {
+        run_cache(trace, dp, &self.cfg)
+    }
+}
+
+impl Default for Soc {
+    fn default() -> Self {
+        Soc::new(SocConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladdin_workloads::by_name;
+
+    #[test]
+    fn facade_round_trips_config() {
+        let soc = Soc::default();
+        assert_eq!(soc.config().bus.width_bits, 32);
+    }
+
+    #[test]
+    fn all_three_flows_run() {
+        let trace = by_name("fft-transpose").expect("kernel").run().trace;
+        let dp = DatapathConfig {
+            lanes: 2,
+            partition: 2,
+            ..DatapathConfig::default()
+        };
+        let soc = Soc::default();
+        let iso = soc.run_isolated(&trace, &dp);
+        let dma = soc.run_dma(&trace, &dp, DmaOptLevel::Baseline);
+        let cache = soc.run_cache(&trace, &dp);
+        assert!(iso.total_cycles <= dma.total_cycles);
+        assert!(cache.total_cycles > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 9's Kiviat (radar) axes.
+
+use aladdin_core::FlowResult;
+
+/// The three microarchitectural axes of the paper's Kiviat plots —
+/// datapath lanes, local SRAM capacity, and local memory bandwidth —
+/// normalized to the isolated-optimal design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KiviatSummary {
+    /// Lanes, relative to the isolated design.
+    pub lanes: f64,
+    /// Local SRAM bytes, relative to the isolated design.
+    pub sram: f64,
+    /// Local memory bandwidth (accesses/cycle), relative to the isolated
+    /// design.
+    pub bandwidth: f64,
+}
+
+impl KiviatSummary {
+    /// Normalize `design` against the `isolated` reference design.
+    #[must_use]
+    pub fn normalized(design: &FlowResult, isolated: &FlowResult) -> Self {
+        KiviatSummary {
+            lanes: f64::from(design.datapath.lanes) / f64::from(isolated.datapath.lanes.max(1)),
+            sram: design.local_sram_bytes as f64 / isolated.local_sram_bytes.max(1) as f64,
+            bandwidth: f64::from(design.local_mem_bandwidth)
+                / f64::from(isolated.local_mem_bandwidth.max(1)),
+        }
+    }
+
+    /// The reference itself (all axes 1.0).
+    #[must_use]
+    pub fn reference() -> Self {
+        KiviatSummary {
+            lanes: 1.0,
+            sram: 1.0,
+            bandwidth: 1.0,
+        }
+    }
+
+    /// Area of the Kiviat triangle (proportional to provisioned resources;
+    /// smaller than 1.0 ⇒ leaner than the isolated design).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        // Triangle with the three axes at 120° apart:
+        // area = (√3/4)·(ab + bc + ca).
+        let (a, b, c) = (self.lanes, self.sram, self.bandwidth);
+        (3.0f64.sqrt() / 4.0) * (a * b + b * c + c * a)
+    }
+}
+
+impl std::fmt::Display for KiviatSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lanes {:.2}x | sram {:.2}x | bw {:.2}x",
+            self.lanes, self.sram, self.bandwidth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_area_is_triangle_of_ones() {
+        let r = KiviatSummary::reference();
+        assert!((r.area() - 3.0f64.sqrt() / 4.0 * 3.0).abs() < 1e-12);
+        assert!(r.to_string().contains("1.00x"));
+    }
+
+    #[test]
+    fn leaner_designs_have_smaller_area() {
+        let lean = KiviatSummary {
+            lanes: 0.5,
+            sram: 0.5,
+            bandwidth: 0.25,
+        };
+        assert!(lean.area() < KiviatSummary::reference().area());
+    }
+}

@@ -1,0 +1,44 @@
+//! Design-space exploration for accelerator/SoC co-design.
+//!
+//! Implements the paper's evaluation methodology on top of
+//! [`aladdin-core`](aladdin_core):
+//!
+//! * [`DesignSpace`] — the Figure 3 parameter table (datapath lanes,
+//!   scratchpad partitioning, cache geometry, bus width),
+//! * [`sweep_dma`]/[`sweep_cache`]/[`sweep_isolated`] — multithreaded
+//!   sweep runners,
+//! * [`pareto_frontier`] and [`edp_optimal`] — the Figure 8 analyses,
+//! * [`run_codesign`] — the four design scenarios of Figures 9/10
+//!   (isolated, co-designed DMA, co-designed cache at 32- and 64-bit bus)
+//!   with per-scenario EDP improvements,
+//! * [`KiviatSummary`] — the three normalized microarchitecture axes of
+//!   Figure 9 (lanes, local SRAM, local memory bandwidth).
+//!
+//! # Example
+//!
+//! ```
+//! use aladdin_dse::{edp_optimal, sweep_dma, DesignSpace};
+//! use aladdin_core::{DmaOptLevel, SocConfig};
+//! use aladdin_workloads::{by_name, Kernel};
+//!
+//! let trace = by_name("aes-aes").expect("kernel").run().trace;
+//! let space = DesignSpace::quick();
+//! let results = sweep_dma(&trace, &space, &SocConfig::default(), DmaOptLevel::Full);
+//! let best = edp_optimal(&results).expect("non-empty sweep");
+//! assert!(best.edp() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kiviat;
+mod pareto;
+mod scenario;
+mod space;
+mod sweep;
+
+pub use kiviat::KiviatSummary;
+pub use pareto::{edp_optimal, optimal_by, pareto_frontier, Metric};
+pub use scenario::{run_codesign, CodesignReport, ScenarioOutcome};
+pub use space::{CachePoint, DesignSpace, DmaPoint};
+pub use sweep::{sweep_cache, sweep_dma, sweep_isolated};

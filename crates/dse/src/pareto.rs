@@ -1,0 +1,188 @@
+//! Pareto frontiers and EDP optima (Figure 8's analyses).
+
+use aladdin_core::FlowResult;
+
+/// Indices of the Pareto-optimal points in the (runtime, power) plane:
+/// a design is on the frontier if no other design is both faster and
+/// lower-power.
+#[must_use]
+pub fn pareto_frontier(results: &[FlowResult]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..results.len()).collect();
+    // Sort by runtime ascending, then power ascending.
+    idx.sort_by(|&a, &b| {
+        results[a].total_cycles.cmp(&results[b].total_cycles).then(
+            results[a]
+                .power_mw()
+                .partial_cmp(&results[b].power_mw())
+                .expect("finite power"),
+        )
+    });
+    let mut frontier = Vec::new();
+    let mut best_power = f64::INFINITY;
+    for i in idx {
+        let p = results[i].power_mw();
+        if p < best_power {
+            frontier.push(i);
+            best_power = p;
+        }
+    }
+    frontier.sort_unstable();
+    frontier
+}
+
+/// The EDP-optimal result, or `None` for an empty slice.
+#[must_use]
+pub fn edp_optimal(results: &[FlowResult]) -> Option<&FlowResult> {
+    optimal_by(results, Metric::Edp)
+}
+
+/// Optimization objectives a designer might target (Section V: "accelerator
+/// designers especially must balance performance targets against power and
+/// energy constraints").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Minimum runtime.
+    Delay,
+    /// Minimum total energy.
+    Energy,
+    /// Minimum energy-delay product (the paper's primary target).
+    Edp,
+    /// Minimum energy-delay² product (performance-leaning).
+    Ed2p,
+    /// Minimum average power.
+    Power,
+}
+
+impl Metric {
+    /// Evaluate this metric on one result (lower is better).
+    #[must_use]
+    pub fn score(self, r: &FlowResult) -> f64 {
+        match self {
+            Metric::Delay => r.seconds(),
+            Metric::Energy => r.energy_j(),
+            Metric::Edp => r.edp(),
+            Metric::Ed2p => r.energy.ed2p(),
+            Metric::Power => r.power_mw(),
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Metric::Delay => "delay",
+            Metric::Energy => "energy",
+            Metric::Edp => "EDP",
+            Metric::Ed2p => "ED2P",
+            Metric::Power => "power",
+        })
+    }
+}
+
+/// The result minimizing `metric`, or `None` for an empty slice.
+#[must_use]
+pub fn optimal_by(results: &[FlowResult], metric: Metric) -> Option<&FlowResult> {
+    results.iter().min_by(|a, b| {
+        metric
+            .score(a)
+            .partial_cmp(&metric.score(b))
+            .expect("finite metric")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladdin_accel::{DatapathConfig, EnergyReport};
+    use aladdin_core::{MemKind, PhaseBreakdown};
+    use aladdin_mem::Clock;
+
+    /// Synthetic FlowResult with a given runtime and leakage-driven power.
+    fn fake(cycles: u64, leak_mw: f64) -> FlowResult {
+        FlowResult {
+            kernel: "fake".to_owned(),
+            mem_kind: MemKind::Isolated,
+            datapath: DatapathConfig::default(),
+            start: 0,
+            end: cycles,
+            total_cycles: cycles,
+            phases: PhaseBreakdown::default(),
+            energy: EnergyReport {
+                datapath_pj: 0.0,
+                local_mem_pj: 0.0,
+                leakage_mw: leak_mw,
+                runtime_cycles: cycles,
+                clock: Clock::default(),
+            },
+            compute_busy_cycles: cycles,
+            mem_rejects: 0,
+            spad_stats: None,
+            cache_stats: None,
+            tlb_stats: None,
+            dma_stats: None,
+            local_sram_bytes: 1024,
+            local_mem_bandwidth: 1,
+        }
+    }
+
+    #[test]
+    fn frontier_excludes_dominated_points() {
+        // (cycles, power): (100, 10) and (200, 5) are optimal;
+        // (200, 10) and (300, 12) are dominated.
+        let results = vec![
+            fake(100, 10.0),
+            fake(200, 5.0),
+            fake(200, 10.0),
+            fake(300, 12.0),
+        ];
+        let f = pareto_frontier(&results);
+        assert_eq!(f, vec![0, 1]);
+    }
+
+    #[test]
+    fn frontier_of_single_point() {
+        let results = vec![fake(10, 1.0)];
+        assert_eq!(pareto_frontier(&results), vec![0]);
+    }
+
+    #[test]
+    fn edp_optimum_balances_time_and_energy() {
+        // EDP = P·t² (pure leakage): 100c@10mW → 1e-8·1e-6·...; compare
+        // relative: (100,10) edp ∝ 10·100² = 1e5; (200,3) ∝ 3·4e4=1.2e5;
+        // (50,30) ∝ 30·2500 = 7.5e4 → best.
+        let results = vec![fake(100, 10.0), fake(200, 3.0), fake(50, 30.0)];
+        let best = edp_optimal(&results).unwrap();
+        assert_eq!(best.total_cycles, 50);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(edp_optimal(&[]).is_none());
+        assert!(optimal_by(&[], Metric::Delay).is_none());
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn metrics_pick_different_optima() {
+        // Fast-and-hungry vs slow-and-frugal: Delay and Ed2p pick the
+        // fast design, Energy and Power the frugal one.
+        let results = vec![fake(100, 50.0), fake(1000, 1.0)];
+        assert_eq!(
+            optimal_by(&results, Metric::Delay).unwrap().total_cycles,
+            100
+        );
+        assert_eq!(
+            optimal_by(&results, Metric::Ed2p).unwrap().total_cycles,
+            100
+        );
+        assert_eq!(
+            optimal_by(&results, Metric::Energy).unwrap().total_cycles,
+            1000
+        );
+        assert_eq!(
+            optimal_by(&results, Metric::Power).unwrap().total_cycles,
+            1000
+        );
+        assert_eq!(Metric::Edp.to_string(), "EDP");
+    }
+}

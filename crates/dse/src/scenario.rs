@@ -1,0 +1,196 @@
+//! The four design scenarios of Section V-B (Figures 9 and 10).
+//!
+//! 1. **Baseline (isolated)** — the accelerator is optimized with no
+//!    system effects (classic Aladdin).
+//! 2. **Co-designed DMA** — scratchpad + fully-optimized DMA over a
+//!    32-bit bus.
+//! 3. **Co-designed cache, 32-bit bus**.
+//! 4. **Co-designed cache, 64-bit bus**.
+//!
+//! Each co-designed scenario reports its EDP-optimal design and the EDP
+//! improvement over "how an accelerator designed in isolation would behave
+//! under a more realistic system": the isolated-optimal parameters are
+//! re-evaluated *inside* the scenario's system and compared against the
+//! co-designed optimum.
+
+use aladdin_core::{DmaOptLevel, FlowResult, SocConfig};
+use aladdin_ir::Trace;
+
+use crate::kiviat::KiviatSummary;
+use crate::pareto::edp_optimal;
+use crate::space::{CachePoint, DesignSpace};
+use crate::sweep::{sweep_cache, sweep_dma, sweep_isolated};
+
+/// One co-designed scenario's outcome.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario label.
+    pub name: &'static str,
+    /// EDP-optimal co-designed result.
+    pub codesigned: FlowResult,
+    /// The isolated-optimal parameters, evaluated under this scenario's
+    /// system.
+    pub isolated_in_system: FlowResult,
+    /// `isolated_in_system.edp / codesigned.edp` (≥ 1 means co-design
+    /// helped).
+    pub edp_improvement: f64,
+    /// Kiviat axes of the co-designed optimum, normalized to isolated.
+    pub kiviat: KiviatSummary,
+}
+
+/// The full Figure 9/10 comparison for one kernel.
+#[derive(Debug, Clone)]
+pub struct CodesignReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// The isolated-optimal design (evaluated without system effects).
+    pub isolated_opt: FlowResult,
+    /// Co-designed DMA on the 32-bit bus.
+    pub dma: ScenarioOutcome,
+    /// Co-designed cache on the 32-bit bus.
+    pub cache32: ScenarioOutcome,
+    /// Co-designed cache on the 64-bit bus.
+    pub cache64: ScenarioOutcome,
+}
+
+impl CodesignReport {
+    /// The three improvements in Figure 10's order (DMA, cache/32, cache/64).
+    #[must_use]
+    pub fn improvements(&self) -> [f64; 3] {
+        [
+            self.dma.edp_improvement,
+            self.cache32.edp_improvement,
+            self.cache64.edp_improvement,
+        ]
+    }
+}
+
+/// Map the isolated-optimal scratchpad design onto the cache design space:
+/// same lanes; the cache sized to the smallest swept capacity that holds
+/// the shared working set the scratchpad held (capped at the largest swept
+/// size); ports matching the scratchpad's local bandwidth (capped at the
+/// largest swept port count). This is how an isolation designer would
+/// naïvely translate their design to a cache-based system.
+fn isolated_as_cache_point(iso: &FlowResult, space: &DesignSpace) -> CachePoint {
+    let shared_bytes = iso.local_sram_bytes;
+    let size_bytes = space
+        .cache_sizes
+        .iter()
+        .copied()
+        .find(|&s| s >= shared_bytes)
+        .unwrap_or_else(|| *space.cache_sizes.last().expect("non-empty sizes"));
+    let ports = space
+        .cache_ports
+        .iter()
+        .copied()
+        .find(|&p| u64::from(p) >= u64::from(iso.local_mem_bandwidth))
+        .unwrap_or_else(|| *space.cache_ports.last().expect("non-empty ports"));
+    CachePoint {
+        lanes: iso.datapath.lanes,
+        size_bytes,
+        line_bytes: space.cache_lines[space.cache_lines.len() / 2],
+        ports,
+        assoc: space.cache_assocs[0],
+    }
+}
+
+/// Run all four scenarios for one kernel trace.
+///
+/// # Panics
+///
+/// Panics if `space` is empty.
+#[must_use]
+pub fn run_codesign(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> CodesignReport {
+    let soc64 = soc.with_64bit_bus();
+
+    // Scenario 1: isolated optimum.
+    let iso_sweep = sweep_isolated(trace, space, soc);
+    let iso_opt = edp_optimal(&iso_sweep).expect("non-empty space").clone();
+
+    // Scenario 2: co-designed DMA (all optimizations, 32-bit bus).
+    let dma_sweep = sweep_dma(trace, space, soc, DmaOptLevel::Full);
+    let dma_opt = edp_optimal(&dma_sweep).expect("non-empty space").clone();
+    let iso_in_dma = aladdin_core::run_dma(trace, &iso_opt.datapath, soc, DmaOptLevel::Full);
+    let dma = ScenarioOutcome {
+        name: "co-designed DMA (32-bit bus)",
+        edp_improvement: iso_in_dma.edp() / dma_opt.edp(),
+        kiviat: KiviatSummary::normalized(&dma_opt, &iso_opt),
+        codesigned: dma_opt,
+        isolated_in_system: iso_in_dma,
+    };
+
+    // Scenarios 3 & 4: co-designed cache at both bus widths.
+    let mut cache_scenarios = Vec::with_capacity(2);
+    for (name, soc_n) in [
+        ("co-designed cache (32-bit bus)", *soc),
+        ("co-designed cache (64-bit bus)", soc64),
+    ] {
+        let sweep = sweep_cache(trace, space, &soc_n);
+        let opt = edp_optimal(&sweep).expect("non-empty space").clone();
+        let iso_point = isolated_as_cache_point(&iso_opt, space);
+        let iso_in_cache =
+            aladdin_core::run_cache(trace, &iso_point.datapath(), &iso_point.apply(&soc_n));
+        cache_scenarios.push(ScenarioOutcome {
+            name,
+            edp_improvement: iso_in_cache.edp() / opt.edp(),
+            kiviat: KiviatSummary::normalized(&opt, &iso_opt),
+            codesigned: opt,
+            isolated_in_system: iso_in_cache,
+        });
+    }
+    let cache64 = cache_scenarios.pop().expect("two scenarios");
+    let cache32 = cache_scenarios.pop().expect("two scenarios");
+
+    CodesignReport {
+        kernel: trace.name().to_owned(),
+        isolated_opt: iso_opt,
+        dma,
+        cache32,
+        cache64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladdin_workloads::by_name;
+
+    #[test]
+    fn codesign_report_for_a_small_kernel() {
+        let trace = by_name("fft-transpose").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        let report = run_codesign(&trace, &space, &soc);
+        for s in [&report.dma, &report.cache32, &report.cache64] {
+            assert!(
+                s.edp_improvement > 0.9,
+                "{}: co-design should never lose badly: {}",
+                s.name,
+                s.edp_improvement
+            );
+            assert!(s.kiviat.lanes > 0.0);
+        }
+        // The isolated design, dropped into a real system, must be no
+        // faster than it believed it would be.
+        assert!(report.dma.isolated_in_system.total_cycles >= report.isolated_opt.total_cycles);
+    }
+
+    #[test]
+    fn isolated_mapping_respects_space_bounds() {
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        let iso = aladdin_core::run_isolated(
+            &trace,
+            &crate::space::DmaPoint {
+                lanes: 4,
+                partition: 4,
+            }
+            .datapath(),
+            &soc,
+        );
+        let p = isolated_as_cache_point(&iso, &space);
+        assert!(space.cache_sizes.contains(&p.size_bytes));
+        assert!(space.cache_ports.contains(&p.ports));
+    }
+}

@@ -1,0 +1,123 @@
+//! Multithreaded sweep runners.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use aladdin_core::{DmaOptLevel, FlowResult, SocConfig};
+use aladdin_ir::Trace;
+
+use crate::space::DesignSpace;
+
+/// Run `job` once per index in `0..n` across all available cores,
+/// collecting results in index order.
+fn parallel_map<F>(n: usize, job: F) -> Vec<FlowResult>
+where
+    F: Fn(usize) -> FlowResult + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n.max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<FlowResult>>> = Mutex::new(vec![None; n]);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = job(i);
+                results.lock().expect("sweep lock")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("sweep lock")
+        .into_iter()
+        .map(|r| r.expect("every index ran"))
+        .collect()
+}
+
+/// Sweep the isolated (system-less) design space: lanes × partitions.
+#[must_use]
+pub fn sweep_isolated(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> Vec<FlowResult> {
+    let points = space.dma_points();
+    parallel_map(points.len(), |i| {
+        aladdin_core::run_isolated(trace, &points[i].datapath(), soc)
+    })
+}
+
+/// Sweep the scratchpad/DMA design space at the given optimization level.
+#[must_use]
+pub fn sweep_dma(
+    trace: &Trace,
+    space: &DesignSpace,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+) -> Vec<FlowResult> {
+    let points = space.dma_points();
+    parallel_map(points.len(), |i| {
+        aladdin_core::run_dma(trace, &points[i].datapath(), soc, opt)
+    })
+}
+
+/// Sweep the cache design space (lanes × cache geometry).
+#[must_use]
+pub fn sweep_cache(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> Vec<FlowResult> {
+    let points = space.cache_points();
+    parallel_map(points.len(), |i| {
+        let soc_i = points[i].apply(soc);
+        aladdin_core::run_cache(trace, &points[i].datapath(), &soc_i)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::edp_optimal;
+    use aladdin_workloads::by_name;
+
+    #[test]
+    fn sweeps_cover_their_spaces() {
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        let iso = sweep_isolated(&trace, &space, &soc);
+        assert_eq!(iso.len(), space.dma_points().len());
+        let dma = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+        assert_eq!(dma.len(), space.dma_points().len());
+        let cache = sweep_cache(&trace, &space, &soc);
+        assert_eq!(cache.len(), space.cache_points().len());
+        assert!(edp_optimal(&dma).is_some());
+    }
+
+    #[test]
+    fn sweep_results_align_with_points() {
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        let results = sweep_dma(&trace, &space, &soc, DmaOptLevel::Baseline);
+        for (p, r) in space.dma_points().iter().zip(&results) {
+            assert_eq!(r.datapath.lanes, p.lanes);
+            assert_eq!(r.datapath.partition, p.partition);
+        }
+    }
+
+    #[test]
+    fn parallel_map_is_deterministic() {
+        let trace = by_name("fft-transpose").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        let a: Vec<u64> = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full)
+            .iter()
+            .map(|r| r.total_cycles)
+            .collect();
+        let b: Vec<u64> = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full)
+            .iter()
+            .map(|r| r.total_cycles)
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the Pareto/EDP analyses, on synthetic results.
+
+use aladdin_accel::{DatapathConfig, EnergyReport};
+use aladdin_core::{FlowResult, MemKind, PhaseBreakdown};
+use aladdin_dse::{edp_optimal, pareto_frontier};
+use aladdin_mem::Clock;
+use proptest::prelude::*;
+
+fn fake(cycles: u64, leak_mw: f64) -> FlowResult {
+    FlowResult {
+        kernel: "prop".to_owned(),
+        mem_kind: MemKind::Isolated,
+        datapath: DatapathConfig::default(),
+        start: 0,
+        end: cycles,
+        total_cycles: cycles,
+        phases: PhaseBreakdown::default(),
+        energy: EnergyReport {
+            datapath_pj: 0.0,
+            local_mem_pj: 0.0,
+            leakage_mw: leak_mw,
+            runtime_cycles: cycles,
+            clock: Clock::default(),
+        },
+        compute_busy_cycles: cycles,
+        mem_rejects: 0,
+        spad_stats: None,
+        cache_stats: None,
+        tlb_stats: None,
+        dma_stats: None,
+        local_sram_bytes: 1024,
+        local_mem_bandwidth: 1,
+    }
+}
+
+proptest! {
+    /// No frontier point is dominated, and every non-frontier point is
+    /// dominated (weakly) by some frontier point.
+    #[test]
+    fn frontier_is_exactly_the_nondominated_set(
+        pts in prop::collection::vec((1u64..10_000, 1u32..1_000), 1..60)
+    ) {
+        let results: Vec<FlowResult> =
+            pts.iter().map(|&(c, p)| fake(c, f64::from(p))).collect();
+        let frontier = pareto_frontier(&results);
+        prop_assert!(!frontier.is_empty());
+        let dominated = |i: usize, j: usize| {
+            results[j].total_cycles <= results[i].total_cycles
+                && results[j].power_mw() <= results[i].power_mw()
+                && (results[j].total_cycles < results[i].total_cycles
+                    || results[j].power_mw() < results[i].power_mw())
+        };
+        for &i in &frontier {
+            for j in 0..results.len() {
+                prop_assert!(!dominated(i, j), "frontier point {i} dominated by {j}");
+            }
+        }
+        for i in 0..results.len() {
+            if !frontier.contains(&i) {
+                prop_assert!(
+                    (0..results.len()).any(|j| dominated(i, j)),
+                    "non-frontier point {i} not dominated by anyone"
+                );
+            }
+        }
+    }
+
+    /// The EDP optimum is on the Pareto frontier.
+    #[test]
+    fn edp_optimum_is_pareto(
+        pts in prop::collection::vec((1u64..10_000, 1u32..1_000), 1..60)
+    ) {
+        let results: Vec<FlowResult> =
+            pts.iter().map(|&(c, p)| fake(c, f64::from(p))).collect();
+        let frontier = pareto_frontier(&results);
+        let best = edp_optimal(&results).unwrap();
+        let best_edp = best.edp();
+        // Some frontier point achieves the optimal EDP (the optimum itself
+        // may be a duplicate of a frontier point).
+        prop_assert!(
+            frontier.iter().any(|&i| (results[i].edp() - best_edp).abs() < best_edp * 1e-12),
+            "EDP optimum not on frontier"
+        );
+    }
+
+    /// EDP is monotone: strictly improving both time and power strictly
+    /// improves EDP.
+    #[test]
+    fn edp_monotone(cycles in 2u64..100_000, leak in 2u32..10_000) {
+        let worse = fake(cycles, f64::from(leak));
+        let better = fake(cycles - 1, f64::from(leak) - 1.0);
+        prop_assert!(better.edp() < worse.edp());
+    }
+}

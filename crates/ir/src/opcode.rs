@@ -1,0 +1,239 @@
+//! Dynamic operation opcodes and their functional-unit classes.
+
+use std::fmt;
+
+/// Opcode of a dynamic trace node.
+///
+/// The set is a compact subset of LLVM IR, which is what the original Aladdin
+/// simulator traces. Only operations that occupy accelerator hardware appear;
+/// control flow is resolved by tracing, and trivially-eliminated operations
+/// (induction variable bookkeeping that Aladdin strips from the DDDG) are
+/// never recorded by the [`Tracer`](crate::Tracer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Opcode {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division.
+    Div,
+    /// Integer remainder.
+    Rem,
+    /// Logical/arithmetic shift.
+    Shift,
+    /// Bitwise AND/OR/XOR.
+    BitOp,
+    /// Integer comparison.
+    Icmp,
+    /// Select between two values (traced `?:`); maps to a mux.
+    Select,
+    /// Floating-point addition.
+    FAdd,
+    /// Floating-point subtraction.
+    FSub,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division.
+    FDiv,
+    /// Floating-point square root.
+    FSqrt,
+    /// Floating-point comparison.
+    FCmp,
+    /// Int↔float and width conversions.
+    Cast,
+    /// Address computation (`getelementptr`).
+    Gep,
+    /// Memory read from a traced array.
+    Load,
+    /// Memory write to a traced array.
+    Store,
+    /// Bulk copy into the accelerator (`dmaLoad` intrinsic).
+    DmaLoad,
+    /// Bulk copy out of the accelerator (`dmaStore` intrinsic).
+    DmaStore,
+}
+
+impl Opcode {
+    /// The functional-unit class that executes this opcode.
+    #[must_use]
+    pub fn fu_class(self) -> FuClass {
+        use Opcode::*;
+        match self {
+            Add | Sub | Shift | BitOp | Icmp | Select | Cast | Gep => FuClass::IntAlu,
+            Mul | Div | Rem => FuClass::IntMul,
+            FAdd | FSub | FCmp => FuClass::FpAdd,
+            FMul => FuClass::FpMul,
+            FDiv | FSqrt => FuClass::FpDiv,
+            Load | Store | DmaLoad | DmaStore => FuClass::Mem,
+        }
+    }
+
+    /// Whether this opcode reads or writes a traced array.
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        self.fu_class() == FuClass::Mem
+    }
+
+    /// Whether this opcode is a floating-point arithmetic operation.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        matches!(
+            self.fu_class(),
+            FuClass::FpAdd | FuClass::FpMul | FuClass::FpDiv
+        )
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Rem => "rem",
+            Opcode::Shift => "shift",
+            Opcode::BitOp => "bitop",
+            Opcode::Icmp => "icmp",
+            Opcode::Select => "select",
+            Opcode::FAdd => "fadd",
+            Opcode::FSub => "fsub",
+            Opcode::FMul => "fmul",
+            Opcode::FDiv => "fdiv",
+            Opcode::FSqrt => "fsqrt",
+            Opcode::FCmp => "fcmp",
+            Opcode::Cast => "cast",
+            Opcode::Gep => "gep",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::DmaLoad => "dmaload",
+            Opcode::DmaStore => "dmastore",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Functional-unit classes provisioned per datapath lane.
+///
+/// Each accelerator lane is a chain of functional units; the scheduler in
+/// `aladdin-accel` limits, per cycle and per lane, how many operations of
+/// each class may issue, and the power model charges per-class energy and
+/// leakage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuClass {
+    /// Simple integer ALU (add/sub/logic/compare/address).
+    IntAlu,
+    /// Integer multiplier/divider.
+    IntMul,
+    /// Floating-point adder (also used for FP compare).
+    FpAdd,
+    /// Floating-point multiplier.
+    FpMul,
+    /// Floating-point divider / square-root unit.
+    FpDiv,
+    /// Memory port (load/store/DMA).
+    Mem,
+}
+
+impl FuClass {
+    /// All functional-unit classes, in a stable order.
+    pub const ALL: [FuClass; 6] = [
+        FuClass::IntAlu,
+        FuClass::IntMul,
+        FuClass::FpAdd,
+        FuClass::FpMul,
+        FuClass::FpDiv,
+        FuClass::Mem,
+    ];
+
+    /// Stable dense index of this class, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FuClass::IntAlu => 0,
+            FuClass::IntMul => 1,
+            FuClass::FpAdd => 2,
+            FuClass::FpMul => 3,
+            FuClass::FpDiv => 4,
+            FuClass::Mem => 5,
+        }
+    }
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::IntAlu => "int-alu",
+            FuClass::IntMul => "int-mul",
+            FuClass::FpAdd => "fp-add",
+            FuClass::FpMul => "fp-mul",
+            FuClass::FpDiv => "fp-div",
+            FuClass::Mem => "mem",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_class_covers_all_opcodes() {
+        // Every opcode maps to a class and the mapping is self-consistent.
+        for op in [
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::Mul,
+            Opcode::Div,
+            Opcode::Rem,
+            Opcode::Shift,
+            Opcode::BitOp,
+            Opcode::Icmp,
+            Opcode::Select,
+            Opcode::FAdd,
+            Opcode::FSub,
+            Opcode::FMul,
+            Opcode::FDiv,
+            Opcode::FSqrt,
+            Opcode::FCmp,
+            Opcode::Cast,
+            Opcode::Gep,
+            Opcode::Load,
+            Opcode::Store,
+            Opcode::DmaLoad,
+            Opcode::DmaStore,
+        ] {
+            let class = op.fu_class();
+            assert_eq!(op.is_memory(), class == FuClass::Mem);
+            assert!(FuClass::ALL.contains(&class));
+        }
+    }
+
+    #[test]
+    fn float_ops_are_float() {
+        assert!(Opcode::FAdd.is_float());
+        assert!(Opcode::FDiv.is_float());
+        assert!(!Opcode::Add.is_float());
+        assert!(!Opcode::Load.is_float());
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let mut seen = [false; 6];
+        for class in FuClass::ALL {
+            assert!(!seen[class.index()]);
+            seen[class.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Opcode::FMul.to_string(), "fmul");
+        assert_eq!(FuClass::Mem.to_string(), "mem");
+    }
+}

@@ -1,0 +1,137 @@
+//! Aggregate statistics over a trace.
+
+use std::fmt;
+
+use crate::opcode::FuClass;
+use crate::trace::{MemAccessKind, Trace};
+
+/// Operation and data-movement statistics for a [`Trace`].
+///
+/// Useful for sanity-checking workloads and for the paper's
+/// compute-to-memory-ratio arguments (Section II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total dynamic nodes.
+    pub nodes: usize,
+    /// Dynamic operation count per functional-unit class (indexed by
+    /// [`FuClass::index`]).
+    pub per_class: [usize; 6],
+    /// Dynamic loads.
+    pub loads: usize,
+    /// Dynamic stores.
+    pub stores: usize,
+    /// Bytes read by loads.
+    pub load_bytes: u64,
+    /// Bytes written by stores.
+    pub store_bytes: u64,
+    /// Total dependence edges.
+    pub edges: usize,
+    /// Number of distinct iterations labeled in the trace.
+    pub iterations: usize,
+}
+
+impl TraceStats {
+    pub(crate) fn compute(trace: &Trace) -> Self {
+        let mut s = TraceStats::default();
+        let mut max_iter = None;
+        for node in trace.nodes() {
+            s.nodes += 1;
+            s.per_class[node.opcode.fu_class().index()] += 1;
+            s.edges += node.deps.len();
+            if let Some(m) = node.mem {
+                match m.kind {
+                    MemAccessKind::Read => {
+                        s.loads += 1;
+                        s.load_bytes += u64::from(m.bytes);
+                    }
+                    MemAccessKind::Write => {
+                        s.stores += 1;
+                        s.store_bytes += u64::from(m.bytes);
+                    }
+                }
+            }
+            max_iter = Some(max_iter.map_or(node.iteration, |m: u32| m.max(node.iteration)));
+        }
+        s.iterations = max_iter.map_or(0, |m| m as usize + 1);
+        s
+    }
+
+    /// Compute operations (everything that is not a memory access).
+    #[must_use]
+    pub fn compute_ops(&self) -> usize {
+        self.nodes - self.loads - self.stores
+    }
+
+    /// Ratio of compute operations to memory accesses; high values mean the
+    /// kernel is well served by bulk DMA (Section IV-A).
+    #[must_use]
+    pub fn compute_to_memory_ratio(&self) -> f64 {
+        let mem = self.loads + self.stores;
+        if mem == 0 {
+            f64::INFINITY
+        } else {
+            self.compute_ops() as f64 / mem as f64
+        }
+    }
+
+    /// Dynamic count for one functional-unit class.
+    #[must_use]
+    pub fn class(&self, c: FuClass) -> usize {
+        self.per_class[c.index()]
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} loads, {} stores, {} compute), {} edges, {} iterations",
+            self.nodes,
+            self.loads,
+            self.stores,
+            self.compute_ops(),
+            self.edges,
+            self.iterations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayKind, Opcode, TVal, Tracer};
+
+    #[test]
+    fn stats_count_classes_and_bytes() {
+        let mut t = Tracer::new("s");
+        let a = t.array_f64("a", &[1.0, 2.0], ArrayKind::Input);
+        let mut o = t.array_f64("o", &[0.0], ArrayKind::Output);
+        t.begin_iteration(0);
+        let x = t.load(&a, 0);
+        let y = t.load(&a, 1);
+        let p = t.binop(Opcode::FMul, x, y);
+        t.begin_iteration(1);
+        let q = t.binop(Opcode::FAdd, p, TVal::lit(1.0));
+        t.store(&mut o, 0, q);
+        let s = t.finish().stats();
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.load_bytes, 16);
+        assert_eq!(s.store_bytes, 8);
+        assert_eq!(s.class(FuClass::FpMul), 1);
+        assert_eq!(s.class(FuClass::FpAdd), 1);
+        assert_eq!(s.compute_ops(), 2);
+        assert_eq!(s.iterations, 2);
+        assert!((s.compute_to_memory_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(s.to_string().contains("5 nodes"));
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let s = Tracer::new("e").finish().stats();
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.iterations, 0);
+        assert!(s.compute_to_memory_ratio().is_infinite());
+    }
+}

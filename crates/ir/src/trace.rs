@@ -1,0 +1,366 @@
+//! Dynamic traces: flattened dynamic data dependence graphs.
+
+use std::fmt;
+
+use crate::array::{ArrayId, ArrayInfo};
+use crate::opcode::Opcode;
+use crate::stats::TraceStats;
+
+/// Identifier of a dynamic trace node (one executed operation).
+///
+/// Node ids are dense and issued in program order, so they double as indices
+/// into [`Trace::nodes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Dense index of this node in [`Trace::nodes`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index (used by graph algorithms).
+    #[must_use]
+    pub fn from_index(idx: usize) -> Self {
+        NodeId(u32::try_from(idx).expect("trace larger than u32::MAX nodes"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Direction of a traced memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemAccessKind {
+    /// The node reads memory.
+    Read,
+    /// The node writes memory.
+    Write,
+}
+
+/// Memory reference attached to a `Load`/`Store` node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Array being accessed.
+    pub array: ArrayId,
+    /// Absolute (trace virtual) byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub bytes: u32,
+    /// Read or write.
+    pub kind: MemAccessKind,
+}
+
+/// One dynamic operation in the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceNode {
+    /// This node's id (equal to its position in the trace).
+    pub id: NodeId,
+    /// Executed operation.
+    pub opcode: Opcode,
+    /// Producers this node truly depends on (register + memory dependences).
+    pub deps: Vec<NodeId>,
+    /// Memory reference, for memory opcodes.
+    pub mem: Option<MemRef>,
+    /// Dynamic iteration of the kernel's parallel loop this node belongs to.
+    ///
+    /// The scheduler maps iteration `i` to datapath lane `i % lanes`,
+    /// mirroring Aladdin's loop-unrolling transformation.
+    pub iteration: u32,
+}
+
+/// A complete dynamic trace of one accelerated kernel invocation.
+///
+/// Immutable once produced by [`Tracer::finish`](crate::Tracer::finish).
+/// Dependences always point backwards (`dep < id`), making the trace a DAG in
+/// topological order — schedulers exploit this.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    name: String,
+    nodes: Vec<TraceNode>,
+    arrays: Vec<ArrayInfo>,
+}
+
+impl Trace {
+    pub(crate) fn new(name: String, nodes: Vec<TraceNode>, arrays: Vec<ArrayInfo>) -> Self {
+        Trace {
+            name,
+            nodes,
+            arrays,
+        }
+    }
+
+    /// Kernel name this trace was recorded from.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All dynamic nodes in program order.
+    #[must_use]
+    pub fn nodes(&self) -> &[TraceNode] {
+        &self.nodes
+    }
+
+    /// Node lookup by id.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &TraceNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All traced arrays.
+    #[must_use]
+    pub fn arrays(&self) -> &[ArrayInfo] {
+        &self.arrays
+    }
+
+    /// Array lookup by id.
+    #[must_use]
+    pub fn array(&self, id: ArrayId) -> &ArrayInfo {
+        &self.arrays[id.index()]
+    }
+
+    /// Arrays that must be transferred host → accelerator.
+    pub fn input_arrays(&self) -> impl Iterator<Item = &ArrayInfo> {
+        self.arrays.iter().filter(|a| a.kind.is_input())
+    }
+
+    /// Arrays that must be transferred accelerator → host.
+    pub fn output_arrays(&self) -> impl Iterator<Item = &ArrayInfo> {
+        self.arrays.iter().filter(|a| a.kind.is_output())
+    }
+
+    /// Total bytes of input (host → accelerator) data.
+    #[must_use]
+    pub fn input_bytes(&self) -> u64 {
+        self.input_arrays().map(ArrayInfo::size_bytes).sum()
+    }
+
+    /// Total bytes of output (accelerator → host) data.
+    #[must_use]
+    pub fn output_bytes(&self) -> u64 {
+        self.output_arrays().map(ArrayInfo::size_bytes).sum()
+    }
+
+    /// Aggregate statistics over the trace.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::compute(self)
+    }
+
+    /// A copy of this trace with every node's dependence list replaced
+    /// (ids unchanged; every new dependence must still point backwards).
+    /// Trace optimizations that may need forward references use
+    /// [`with_deps_toposorted`](Trace::with_deps_toposorted) instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_deps.len()` differs from the node count, or (debug
+    /// builds) if the result fails [`validate`](Trace::validate).
+    #[must_use]
+    pub fn with_deps(&self, new_deps: Vec<Vec<NodeId>>) -> Trace {
+        assert_eq!(
+            new_deps.len(),
+            self.nodes.len(),
+            "one dependence list per node required"
+        );
+        let nodes = self
+            .nodes
+            .iter()
+            .zip(new_deps)
+            .map(|(n, deps)| TraceNode { deps, ..n.clone() })
+            .collect();
+        let out = Trace {
+            name: self.name.clone(),
+            nodes,
+            arrays: self.arrays.clone(),
+        };
+        debug_assert_eq!(out.validate(), Ok(()));
+        out
+    }
+
+    /// Like [`with_deps`](Trace::with_deps), but additionally renumbers
+    /// nodes by a stable topological sort so the new dependences may point
+    /// *forward* in the old numbering (as long as they are acyclic).
+    /// Trace-level optimizations that restructure dependences (e.g. tree-
+    /// height reduction) need this because a rebalanced operand tree can
+    /// pair a combiner with a leaf that originally appeared later.
+    ///
+    /// Ties break toward the original program order, so unrelated nodes
+    /// keep their relative positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_deps.len()` differs from the node count or if the
+    /// new dependence relation has a cycle.
+    #[must_use]
+    pub fn with_deps_toposorted(&self, new_deps: Vec<Vec<NodeId>>) -> Trace {
+        assert_eq!(
+            new_deps.len(),
+            self.nodes.len(),
+            "one dependence list per node required"
+        );
+        let n = self.nodes.len();
+        let mut indeg = vec![0u32; n];
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, deps) in new_deps.iter().enumerate() {
+            for d in deps {
+                succs[d.index()].push(i as u32);
+                indeg[i] += 1;
+            }
+        }
+        // Kahn's algorithm with a min-heap on the original index keeps the
+        // order stable.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| std::cmp::Reverse(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut new_index = vec![u32::MAX; n];
+        while let Some(std::cmp::Reverse(i)) = heap.pop() {
+            new_index[i as usize] = order.len() as u32;
+            order.push(i as usize);
+            for &s in &succs[i as usize] {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    heap.push(std::cmp::Reverse(s));
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "new dependence relation has a cycle");
+
+        let nodes = order
+            .iter()
+            .enumerate()
+            .map(|(pos, &old)| {
+                let mut deps: Vec<NodeId> = new_deps[old]
+                    .iter()
+                    .map(|d| NodeId(new_index[d.index()]))
+                    .collect();
+                deps.sort_unstable();
+                deps.dedup();
+                TraceNode {
+                    id: NodeId::from_index(pos),
+                    opcode: self.nodes[old].opcode,
+                    deps,
+                    mem: self.nodes[old].mem,
+                    iteration: self.nodes[old].iteration,
+                }
+            })
+            .collect();
+        let out = Trace {
+            name: self.name.clone(),
+            nodes,
+            arrays: self.arrays.clone(),
+        };
+        debug_assert_eq!(out.validate(), Ok(()));
+        out
+    }
+
+    /// Checks structural invariants; used by tests and debug assertions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant: non-dense node
+    /// ids, forward or self dependences, memory nodes without a [`MemRef`]
+    /// (or vice versa), or references out of the owning array's bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if node.id.index() != idx {
+                return Err(format!("node at position {idx} has id {}", node.id));
+            }
+            for &dep in &node.deps {
+                if dep.index() >= idx {
+                    return Err(format!("node {} depends on non-earlier {}", node.id, dep));
+                }
+            }
+            match (&node.mem, node.opcode.is_memory()) {
+                (Some(m), true) => {
+                    let arr = self.arrays.get(m.array.index()).ok_or_else(|| {
+                        format!("node {} references unknown {}", node.id, m.array)
+                    })?;
+                    let end = m.addr + u64::from(m.bytes);
+                    if m.addr < arr.base_addr || end > arr.base_addr + arr.size_bytes() {
+                        return Err(format!(
+                            "node {} access [{:#x},{:#x}) outside array {}",
+                            node.id, m.addr, end, arr.name
+                        ));
+                    }
+                }
+                (None, false) => {}
+                (Some(_), false) => {
+                    return Err(format!("compute node {} carries a MemRef", node.id));
+                }
+                (None, true) => {
+                    return Err(format!("memory node {} lacks a MemRef", node.id));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayKind, Tracer};
+
+    fn tiny_trace() -> Trace {
+        let mut t = Tracer::new("t");
+        let a = t.array_f64("a", &[1.0, 2.0, 3.0], ArrayKind::Input);
+        let mut o = t.array_f64("o", &[0.0], ArrayKind::Output);
+        let x = t.load(&a, 0);
+        let y = t.load(&a, 1);
+        let s = t.binop(Opcode::FMul, x, y);
+        t.store(&mut o, 0, s);
+        t.finish()
+    }
+
+    #[test]
+    fn trace_is_valid_and_ordered() {
+        let tr = tiny_trace();
+        tr.validate().expect("valid trace");
+        assert_eq!(tr.nodes().len(), 4);
+        assert_eq!(tr.input_bytes(), 24);
+        assert_eq!(tr.output_bytes(), 8);
+    }
+
+    #[test]
+    fn deps_point_backwards() {
+        let tr = tiny_trace();
+        for node in tr.nodes() {
+            for dep in &node.deps {
+                assert!(dep.index() < node.id.index());
+            }
+        }
+    }
+
+    #[test]
+    fn mul_depends_on_both_loads() {
+        let tr = tiny_trace();
+        let mul = &tr.nodes()[2];
+        assert_eq!(mul.opcode, Opcode::FMul);
+        assert_eq!(mul.deps.len(), 2);
+    }
+
+    #[test]
+    fn store_depends_on_mul() {
+        let tr = tiny_trace();
+        let store = &tr.nodes()[3];
+        assert_eq!(store.opcode, Opcode::Store);
+        assert!(store.deps.contains(&NodeId(2)));
+        let m = store.mem.expect("store has memref");
+        assert_eq!(m.kind, MemAccessKind::Write);
+    }
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+}

@@ -1,0 +1,422 @@
+//! Shared system bus with round-robin arbitration and DRAM backing.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::dram::{Dram, DramConfig, DramStats};
+
+/// Identifies a bus master (requester).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MasterId(pub u8);
+
+impl MasterId {
+    /// The DMA engine.
+    pub const DMA: MasterId = MasterId(0);
+    /// The accelerator's cache (fills and writebacks).
+    pub const ACCEL_CACHE: MasterId = MasterId(1);
+    /// The host CPU.
+    pub const CPU: MasterId = MasterId(2);
+    /// Background traffic generator (contention studies).
+    pub const TRAFFIC: MasterId = MasterId(3);
+
+    /// Number of distinct masters the bus provisions queues for.
+    pub const COUNT: usize = 4;
+}
+
+/// Token identifying an outstanding bus request.
+pub type Token = u64;
+
+/// System-bus configuration.
+///
+/// The paper sweeps the bus width between 32 and 64 bits as a proxy for
+/// shared-resource contention (Section V-B2); `infinite_bandwidth` removes
+/// the serialization entirely for the Fig. 7 latency-time decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Data width in bits (32 or 64 in the paper).
+    pub width_bits: u32,
+    /// If set, requests never contend: each completes after its own
+    /// DRAM latency + transfer time.
+    pub infinite_bandwidth: bool,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            width_bits: 32,
+            infinite_bandwidth: false,
+        }
+    }
+}
+
+/// A completed bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusCompletion {
+    /// Token returned by [`SystemBus::request`].
+    pub token: Token,
+    /// Master that issued the request.
+    pub master: MasterId,
+    /// Cycle at which the last beat of data transferred.
+    pub at: u64,
+}
+
+/// Aggregate bus statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Total requests accepted.
+    pub requests: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Cycles the data wires were occupied.
+    pub busy_cycles: u64,
+    /// Bytes transferred per master.
+    pub bytes_per_master: [u64; MasterId::COUNT],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    token: Token,
+    addr: u64,
+    bytes: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InFlight {
+    done: u64,
+    token: Token,
+    master: MasterId,
+}
+
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .done
+            .cmp(&self.done)
+            .then(other.token.cmp(&self.token))
+    }
+}
+
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The shared system interconnect: every off-accelerator byte (DMA bursts,
+/// cache fills, writebacks, background traffic) crosses this bus and the
+/// [`Dram`] behind it.
+///
+/// Cycle-stepped: call [`tick`](SystemBus::tick) once per cycle with a
+/// monotonically non-decreasing cycle number, then drain completions.
+#[derive(Debug)]
+pub struct SystemBus {
+    cfg: BusConfig,
+    dram: Dram,
+    queues: [VecDeque<Pending>; MasterId::COUNT],
+    rr_next: usize,
+    /// Completion time of the transfer currently owning the data wires.
+    data_busy_until: u64,
+    /// Requests whose data phase has been scheduled but not completed.
+    scheduled: usize,
+    in_flight: BinaryHeap<InFlight>,
+    completions: Vec<BusCompletion>,
+    next_token: Token,
+    stats: BusStats,
+}
+
+impl SystemBus {
+    /// Create a bus backed by a DRAM with the given configurations.
+    #[must_use]
+    pub fn new(cfg: BusConfig, dram_cfg: DramConfig) -> Self {
+        assert!(cfg.width_bits >= 8, "bus width must be at least one byte");
+        SystemBus {
+            cfg,
+            dram: Dram::new(dram_cfg),
+            queues: Default::default(),
+            rr_next: 0,
+            data_busy_until: 0,
+            scheduled: 0,
+            in_flight: BinaryHeap::new(),
+            completions: Vec::new(),
+            next_token: 0,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Bytes moved per bus cycle.
+    #[must_use]
+    pub fn bytes_per_cycle(&self) -> u64 {
+        u64::from(self.cfg.width_bits / 8).max(1)
+    }
+
+    /// Configuration this bus was built with.
+    #[must_use]
+    pub fn config(&self) -> BusConfig {
+        self.cfg
+    }
+
+    /// Enqueue a transaction of `bytes` at `addr` on behalf of `master`.
+    /// Returns a token matched by a later [`BusCompletion`]. `write` only
+    /// affects statistics; timing is symmetric.
+    pub fn request(&mut self, master: MasterId, addr: u64, bytes: u32, write: bool) -> Token {
+        let _ = write;
+        assert!(bytes > 0, "zero-byte bus request");
+        let token = self.next_token;
+        self.next_token += 1;
+        self.queues[master.0 as usize].push_back(Pending { token, addr, bytes });
+        self.stats.requests += 1;
+        token
+    }
+
+    /// Whether any request is queued or in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.scheduled == 0 && self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    fn transfer_cycles(&self, bytes: u32) -> u64 {
+        u64::from(bytes).div_ceil(self.bytes_per_cycle())
+    }
+
+    fn schedule_one(&mut self, cycle: u64) -> bool {
+        // Round-robin over masters with pending work.
+        for i in 0..MasterId::COUNT {
+            let m = (self.rr_next + i) % MasterId::COUNT;
+            if let Some(p) = self.queues[m].pop_front() {
+                self.rr_next = (m + 1) % MasterId::COUNT;
+                let lat = self.dram.access(p.addr);
+                let xfer = self.transfer_cycles(p.bytes);
+                let done = if self.cfg.infinite_bandwidth {
+                    cycle + lat + xfer
+                } else {
+                    // The data phase may start only when the wires free up;
+                    // the DRAM access of this request overlaps the previous
+                    // transfer (one-deep pipelining).
+                    let start = (cycle + lat).max(self.data_busy_until);
+                    self.data_busy_until = start + xfer;
+                    start + xfer
+                };
+                self.stats.bytes += u64::from(p.bytes);
+                self.stats.bytes_per_master[m] += u64::from(p.bytes);
+                self.stats.busy_cycles += xfer;
+                self.scheduled += 1;
+                self.in_flight.push(InFlight {
+                    done,
+                    token: p.token,
+                    master: MasterId(m as u8),
+                });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advance to `cycle`: retire finished transfers and arbitrate new ones.
+    pub fn tick(&mut self, cycle: u64) {
+        while let Some(&f) = self.in_flight.peek() {
+            if f.done > cycle {
+                break;
+            }
+            self.in_flight.pop();
+            self.scheduled -= 1;
+            self.completions.push(BusCompletion {
+                token: f.token,
+                master: f.master,
+                at: f.done,
+            });
+        }
+        if self.cfg.infinite_bandwidth {
+            while self.schedule_one(cycle) {}
+        } else {
+            // Keep up to two transactions scheduled so the next request's
+            // DRAM access hides under the current data phase.
+            while self.scheduled < 2 && self.schedule_one(cycle) {}
+        }
+    }
+
+    /// Take all completions observed since the last drain.
+    pub fn drain_completions(&mut self) -> Vec<BusCompletion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Bus statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Backing DRAM statistics.
+    #[must_use]
+    pub fn dram_stats(&self) -> DramStats {
+        self.dram.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_idle(bus: &mut SystemBus, max_cycles: u64) -> Vec<BusCompletion> {
+        let mut all = Vec::new();
+        for cycle in 0..max_cycles {
+            bus.tick(cycle);
+            all.extend(bus.drain_completions());
+            if bus.is_idle() {
+                break;
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn single_request_latency() {
+        let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+        // 64 bytes over a 4 B/cycle bus: 16 transfer cycles + 10 (cold row).
+        bus.request(MasterId::DMA, 0, 64, false);
+        let done = run_until_idle(&mut bus, 1000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].at, 26);
+    }
+
+    #[test]
+    fn sequential_stream_saturates_bandwidth() {
+        let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+        // 64 sequential 64 B bursts = 4 KB: the steady-state rate must be
+        // ~4 B/cycle (row hits hidden under transfers).
+        for i in 0..64u64 {
+            bus.request(MasterId::DMA, i * 64, 64, false);
+        }
+        let done = run_until_idle(&mut bus, 10_000);
+        let last = done.iter().map(|c| c.at).max().unwrap();
+        let ideal = 4096 / 4;
+        assert!(last >= ideal as u64);
+        assert!(
+            last <= ideal as u64 + 30,
+            "stream took {last}, ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn wider_bus_is_faster() {
+        let mut narrow = SystemBus::new(BusConfig::default(), DramConfig::default());
+        let mut wide = SystemBus::new(
+            BusConfig {
+                width_bits: 64,
+                ..BusConfig::default()
+            },
+            DramConfig::default(),
+        );
+        for i in 0..32u64 {
+            narrow.request(MasterId::DMA, i * 64, 64, false);
+            wide.request(MasterId::DMA, i * 64, 64, false);
+        }
+        let n = run_until_idle(&mut narrow, 10_000);
+        let w = run_until_idle(&mut wide, 10_000);
+        let n_last = n.iter().map(|c| c.at).max().unwrap();
+        let w_last = w.iter().map(|c| c.at).max().unwrap();
+        assert!(
+            w_last * 2 <= n_last + 64,
+            "64-bit bus ({w_last}) should halve 32-bit time ({n_last})"
+        );
+    }
+
+    #[test]
+    fn round_robin_shares_fairly() {
+        let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+        for i in 0..16u64 {
+            bus.request(MasterId::DMA, i * 64, 64, false);
+            bus.request(MasterId::ACCEL_CACHE, 0x100_0000 + i * 64, 64, false);
+        }
+        let done = run_until_idle(&mut bus, 10_000);
+        let dma_last = done
+            .iter()
+            .filter(|c| c.master == MasterId::DMA)
+            .map(|c| c.at)
+            .max()
+            .unwrap();
+        let cache_last = done
+            .iter()
+            .filter(|c| c.master == MasterId::ACCEL_CACHE)
+            .map(|c| c.at)
+            .max()
+            .unwrap();
+        let diff = dma_last.abs_diff(cache_last);
+        assert!(diff <= 64, "masters should finish about together: {diff}");
+    }
+
+    #[test]
+    fn contention_slows_a_master_down() {
+        let mut alone = SystemBus::new(BusConfig::default(), DramConfig::default());
+        let mut shared = SystemBus::new(BusConfig::default(), DramConfig::default());
+        for i in 0..16u64 {
+            alone.request(MasterId::DMA, i * 64, 64, false);
+            shared.request(MasterId::DMA, i * 64, 64, false);
+            shared.request(MasterId::TRAFFIC, 0x200_0000 + i * 64, 64, false);
+        }
+        let a = run_until_idle(&mut alone, 10_000);
+        let s = run_until_idle(&mut shared, 10_000);
+        let a_last = a
+            .iter()
+            .filter(|c| c.master == MasterId::DMA)
+            .map(|c| c.at)
+            .max()
+            .unwrap();
+        let s_last = s
+            .iter()
+            .filter(|c| c.master == MasterId::DMA)
+            .map(|c| c.at)
+            .max()
+            .unwrap();
+        assert!(
+            s_last > a_last + a_last / 2,
+            "contention must hurt: {a_last} vs {s_last}"
+        );
+    }
+
+    #[test]
+    fn infinite_bandwidth_mode_removes_contention() {
+        let mut bus = SystemBus::new(
+            BusConfig {
+                infinite_bandwidth: true,
+                ..BusConfig::default()
+            },
+            DramConfig::default(),
+        );
+        for i in 0..8u64 {
+            // All to the same row so each is a row hit after the first.
+            bus.request(MasterId::ACCEL_CACHE, i * 64, 64, false);
+        }
+        bus.tick(0);
+        let mut done = Vec::new();
+        for cycle in 0..100 {
+            bus.tick(cycle);
+            done.extend(bus.drain_completions());
+        }
+        assert_eq!(done.len(), 8);
+        // Each completes at its own latency: no serialization, so all are
+        // within the single-request window.
+        let max = done.iter().map(|c| c.at).max().unwrap();
+        assert!(max <= 26, "infinite bw should not serialize: {max}");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+        bus.request(MasterId::DMA, 0, 64, false);
+        bus.request(MasterId::CPU, 4096, 32, true);
+        let _ = run_until_idle(&mut bus, 1000);
+        let s = bus.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.bytes, 96);
+        assert_eq!(s.bytes_per_master[MasterId::DMA.0 as usize], 64);
+        assert_eq!(s.bytes_per_master[MasterId::CPU.0 as usize], 32);
+        assert_eq!(s.busy_cycles, 16 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte")]
+    fn zero_byte_request_rejected() {
+        let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+        bus.request(MasterId::DMA, 0, 0, false);
+    }
+}

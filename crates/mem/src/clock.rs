@@ -1,0 +1,103 @@
+//! Accelerator clock and time-unit conversions.
+
+/// Converts between wall-clock nanoseconds and accelerator cycles.
+///
+/// The paper runs accelerators at 100 MHz (10 ns/cycle) so that a 4 KB DMA
+/// transfer and a 4 KB CPU cache flush take the same time, which is what
+/// makes pipelined DMA bubble-free (Section IV-B1). That is the default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clock {
+    ns_per_cycle: f64,
+}
+
+impl Clock {
+    /// A clock with the given period in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns_per_cycle` is not strictly positive and finite.
+    #[must_use]
+    pub fn from_period_ns(ns_per_cycle: f64) -> Self {
+        assert!(
+            ns_per_cycle.is_finite() && ns_per_cycle > 0.0,
+            "clock period must be positive, got {ns_per_cycle}"
+        );
+        Clock { ns_per_cycle }
+    }
+
+    /// A clock with the given frequency in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not strictly positive and finite.
+    #[must_use]
+    pub fn from_mhz(mhz: f64) -> Self {
+        assert!(mhz.is_finite() && mhz > 0.0, "frequency must be positive");
+        Clock::from_period_ns(1000.0 / mhz)
+    }
+
+    /// Clock period in nanoseconds.
+    #[must_use]
+    pub fn period_ns(self) -> f64 {
+        self.ns_per_cycle
+    }
+
+    /// Frequency in MHz.
+    #[must_use]
+    pub fn mhz(self) -> f64 {
+        1000.0 / self.ns_per_cycle
+    }
+
+    /// Convert a duration in nanoseconds to cycles, rounding up.
+    #[must_use]
+    pub fn cycles_from_ns(self, ns: f64) -> u64 {
+        (ns / self.ns_per_cycle).ceil() as u64
+    }
+
+    /// Convert cycles to nanoseconds.
+    #[must_use]
+    pub fn ns_from_cycles(self, cycles: u64) -> f64 {
+        cycles as f64 * self.ns_per_cycle
+    }
+
+    /// Convert cycles to seconds.
+    #[must_use]
+    pub fn seconds_from_cycles(self, cycles: u64) -> f64 {
+        self.ns_from_cycles(cycles) * 1e-9
+    }
+}
+
+impl Default for Clock {
+    /// The paper's 100 MHz accelerator clock.
+    fn default() -> Self {
+        Clock::from_mhz(100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_100mhz() {
+        let c = Clock::default();
+        assert_eq!(c.period_ns(), 10.0);
+        assert_eq!(c.mhz(), 100.0);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let c = Clock::from_mhz(250.0);
+        assert_eq!(c.period_ns(), 4.0);
+        assert_eq!(c.cycles_from_ns(12.0), 3);
+        assert_eq!(c.cycles_from_ns(12.1), 4);
+        assert_eq!(c.ns_from_cycles(5), 20.0);
+        assert!((c.seconds_from_cycles(250_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_period_rejected() {
+        let _ = Clock::from_period_ns(0.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Property-based tests of the memory substrate.
+
+use aladdin_mem::{
+    AccessKind, BusConfig, Cache, CacheConfig, CacheOutcome, DramConfig, IntervalSet, MasterId,
+    PrefetcherConfig, SystemBus, Tlb, TlbConfig,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// IntervalSet agrees with a naive bitset model.
+    #[test]
+    fn interval_set_matches_bitset(ranges in prop::collection::vec((0u64..200, 0u64..60), 0..40)) {
+        let mut set = IntervalSet::new();
+        let mut bits = vec![false; 300];
+        for &(start, len) in &ranges {
+            set.push(start, start + len);
+            for b in bits.iter_mut().take((start + len) as usize).skip(start as usize) {
+                *b = true;
+            }
+        }
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(set.contains(i as u64), b, "cycle {}", i);
+        }
+        prop_assert_eq!(set.total(), bits.iter().filter(|&&b| b).count() as u64);
+        // Normalized intervals are sorted and disjoint.
+        for w in set.as_slice().windows(2) {
+            prop_assert!(w[0].1 < w[1].0);
+        }
+    }
+
+    /// Every bus request completes exactly once, and never faster than the
+    /// wire-speed bound.
+    #[test]
+    fn bus_conserves_requests(
+        reqs in prop::collection::vec((0u64..1_000_000, 1u32..256, any::<bool>(), 0u8..4), 1..60)
+    ) {
+        let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+        let mut tokens = HashSet::new();
+        let mut total_bytes = 0u64;
+        for &(addr, bytes, write, master) in &reqs {
+            tokens.insert(bus.request(MasterId(master), addr, bytes, write));
+            total_bytes += u64::from(bytes);
+        }
+        let mut done = HashSet::new();
+        let mut last = 0;
+        for cycle in 0..2_000_000u64 {
+            bus.tick(cycle);
+            for c in bus.drain_completions() {
+                prop_assert!(done.insert(c.token), "token {} completed twice", c.token);
+                prop_assert!(tokens.contains(&c.token));
+                last = last.max(c.at);
+            }
+            if bus.is_idle() {
+                break;
+            }
+        }
+        prop_assert_eq!(done.len(), tokens.len(), "all requests complete");
+        // Wire-speed lower bound: total bytes / bytes-per-cycle.
+        prop_assert!(last >= total_bytes / bus.bytes_per_cycle());
+        prop_assert_eq!(bus.stats().bytes, total_bytes);
+    }
+
+    /// The cache never exceeds its port budget per cycle, never loses an
+    /// access, and its hit/miss counters are conserved.
+    #[test]
+    fn cache_conserves_accesses(
+        addrs in prop::collection::vec((0u64..4096, any::<bool>()), 1..300),
+        ports in 1u32..4,
+    ) {
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 32,
+            assoc: 2,
+            ports,
+            mshrs: 4,
+            hit_latency: 1,
+            write_policy: aladdin_mem::WritePolicy::WriteBack,
+            prefetch: PrefetcherConfig { enabled: false, ..PrefetcherConfig::default() },
+        };
+        let mut cache = Cache::new(cfg);
+        let mut completed = HashSet::new();
+        let mut issued = 0u64;
+        let mut queue: Vec<(u64, u64, bool)> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, w))| (i as u64, a, w))
+            .collect();
+        queue.reverse();
+        let mut inflight: Vec<(u64, u64)> = Vec::new(); // (token, line)
+        for cycle in 0..100_000u64 {
+            cache.begin_cycle(cycle);
+            // Model an infinitely fast bus: complete fills next cycle.
+            for (id, at) in cache.drain_completions() {
+                prop_assert!(completed.insert(id));
+                prop_assert!(at >= cycle);
+            }
+            for (_, line) in inflight.drain(..) {
+                cache.bus_completed(line, cycle);
+            }
+            let mut used = 0;
+            while let Some(&(id, addr, write)) = queue.last() {
+                let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                match cache.access(id, addr, kind, cycle) {
+                    CacheOutcome::Hit { .. } => {
+                        prop_assert!(completed.insert(id));
+                        queue.pop();
+                        used += 1;
+                        issued += 1;
+                    }
+                    CacheOutcome::Miss => {
+                        queue.pop();
+                        used += 1;
+                        issued += 1;
+                    }
+                    CacheOutcome::NoPort | CacheOutcome::NoMshr => break,
+                }
+                prop_assert!(used <= ports, "port budget violated");
+            }
+            for req in cache.take_bus_requests() {
+                if !req.write {
+                    inflight.push((0, req.line_addr));
+                }
+            }
+            if queue.is_empty() && cache.outstanding_misses() == 0 && inflight.is_empty() {
+                // Final drain.
+                for (id, _) in cache.drain_completions() {
+                    prop_assert!(completed.insert(id));
+                }
+                break;
+            }
+        }
+        prop_assert_eq!(completed.len(), addrs.len(), "every access completes once");
+        prop_assert_eq!(issued, addrs.len() as u64);
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+    }
+
+    /// TLB: hits + misses equals translations; a second touch of the same
+    /// page with no intervening pressure is always a hit.
+    #[test]
+    fn tlb_counters_conserved(pages in prop::collection::vec(0u64..32, 1..200)) {
+        let mut tlb = Tlb::new(TlbConfig::default());
+        for (i, &p) in pages.iter().enumerate() {
+            let at = tlb.translate(p * 4096, i as u64);
+            prop_assert!(at == i as u64 || at == i as u64 + 20);
+            let again = tlb.translate(p * 4096, i as u64);
+            prop_assert_eq!(again, i as u64, "immediate re-touch must hit");
+        }
+        let s = tlb.stats();
+        prop_assert_eq!(s.hits + s.misses, 2 * pages.len() as u64);
+    }
+
+    /// Cache line state after a write is always dirty; after snooping a
+    /// shared read it is never Modified/Exclusive.
+    #[test]
+    fn moesi_transitions(addrs in prop::collection::vec(0u64..2048, 1..50)) {
+        let mut cache = Cache::new(CacheConfig {
+            prefetch: PrefetcherConfig { enabled: false, ..PrefetcherConfig::default() },
+            ..CacheConfig::default()
+        });
+        for (i, &addr) in addrs.iter().enumerate() {
+            let cycle = i as u64;
+            cache.begin_cycle(cycle);
+            let _ = cache.access(i as u64, addr, AccessKind::Write, cycle);
+            for req in cache.take_bus_requests() {
+                if !req.write {
+                    cache.bus_completed(req.line_addr, cycle);
+                }
+            }
+            let _ = cache.drain_completions();
+            if cache.contains(addr) {
+                prop_assert!(cache.state_of(addr).is_dirty());
+                cache.snoop_shared(addr);
+                let st = cache.state_of(addr);
+                prop_assert!(
+                    st == aladdin_mem::MoesiState::Owned || st == aladdin_mem::MoesiState::Shared
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The DMA engine moves exactly the requested bytes, delivers every
+    /// input byte exactly once, and cannot beat the bus's wire speed.
+    #[test]
+    fn dma_engine_conserves_bytes(
+        sizes in prop::collection::vec(1u64..6000, 1..6),
+        pipelined in proptest::bool::ANY,
+        elig_gap in 0u64..500,
+    ) {
+        use aladdin_mem::{DmaConfig, DmaDirection, DmaEngine, DmaTransfer};
+        let cfg = DmaConfig { pipelined, ..DmaConfig::default() };
+        let transfers: Vec<DmaTransfer> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| DmaTransfer {
+                base: i as u64 * 0x10000,
+                bytes,
+                direction: DmaDirection::In,
+            })
+            .collect();
+        let chunks = cfg.chunk_sizes(&transfers);
+        let eligibility: Vec<u64> = (0..chunks.len() as u64).map(|k| k * elig_gap).collect();
+        let mut engine = DmaEngine::new(cfg, &transfers, &eligibility);
+        let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+        let mut cycle = 0u64;
+        while !engine.is_done() {
+            engine.tick(cycle, &mut bus);
+            bus.tick(cycle);
+            for c in bus.drain_completions() {
+                engine.on_bus_completion(c.token, c.at);
+            }
+            cycle += 1;
+            prop_assert!(cycle < 3_000_000, "engine never finished");
+        }
+        let total: u64 = sizes.iter().sum();
+        prop_assert_eq!(engine.stats().bytes, total);
+        // Arrivals tile each transfer exactly.
+        let mut arrivals = engine.drain_arrivals();
+        arrivals.sort_by_key(|a| a.addr);
+        for t in &transfers {
+            let mut covered = 0u64;
+            let mut next = t.base;
+            for a in arrivals.iter().filter(|a| a.addr >= t.base && a.addr < t.base + t.bytes) {
+                prop_assert_eq!(a.addr, next, "gap or overlap in arrivals");
+                next += u64::from(a.bytes);
+                covered += u64::from(a.bytes);
+            }
+            prop_assert_eq!(covered, t.bytes);
+        }
+        // Wire-speed bound.
+        let done = engine.done_at().unwrap();
+        prop_assert!(done >= total / bus.bytes_per_cycle());
+    }
+
+    /// Flush schedules are monotone, cumulative, and their busy interval
+    /// covers exactly start..end.
+    #[test]
+    fn flush_schedule_is_cumulative(
+        chunks in prop::collection::vec(1u64..10_000, 0..12),
+        inval in 0u64..20_000,
+        start in 0u64..1000,
+    ) {
+        use aladdin_mem::{Clock, FlushConfig, FlushSchedule};
+        let cfg = FlushConfig::default();
+        let clock = Clock::default();
+        let s = FlushSchedule::new(cfg, clock, start, &chunks, inval);
+        let mut prev = start;
+        for (k, &bytes) in chunks.iter().enumerate() {
+            let done = s.chunk_done(k);
+            prop_assert_eq!(done - prev, cfg.flush_cycles(clock, bytes));
+            prop_assert!(done >= prev);
+            prev = done;
+        }
+        prop_assert_eq!(s.flush_end(), prev);
+        prop_assert_eq!(s.end(), prev + cfg.invalidate_cycles(clock, inval));
+        if s.end() > start {
+            prop_assert_eq!(s.busy().total(), s.end() - start);
+        } else {
+            prop_assert!(s.busy().is_empty());
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! MachSuite-style accelerator kernels, instrumented for trace capture.
+//!
+//! The gem5-Aladdin paper evaluates on MachSuite (Reagen et al., IISWC
+//! 2014). This crate re-implements the eight kernels its figures analyze in
+//! depth — `aes-aes`, `nw-nw`, `gemm-ncubed`, `stencil-stencil2d`,
+//! `stencil-stencil3d`, `md-knn`, `spmv-crs`, `fft-transpose` — plus four
+//! more MachSuite-style kernels (`bfs-bulk`, `sort-merge`, `kmp`,
+//! `viterbi`) used by the Figure 2b breadth sweep. Data-structure layouts
+//! and loop structures follow the C originals (CRS sparse format, 512-byte
+//! FFT strides, row-major Needleman-Wunsch fill, …) because the paper's
+//! conclusions hinge on exactly those dynamic memory-access patterns.
+//!
+//! Every kernel is written against the [`Tracer`](aladdin_ir::Tracer) DSL:
+//! executing it computes the real result *and* records the dynamic data
+//! dependence graph. [`Kernel::reference`] recomputes the result with plain
+//! Rust, so tests can prove the traced implementation is functionally
+//! correct.
+//!
+//! Problem sizes are scaled to keep full design-space sweeps tractable
+//! (documented per kernel); each preserves the compute-to-memory ratio and
+//! access-pattern class of its MachSuite original.
+//!
+//! # Example
+//!
+//! ```
+//! use aladdin_workloads::{by_name, evaluation_kernels};
+//!
+//! let k = by_name("gemm-ncubed").expect("known kernel");
+//! let run = k.run();
+//! assert_eq!(run.outputs, k.reference());
+//! assert!(evaluation_kernels().len() == 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aes;
+mod bfs;
+mod ellpack;
+mod fft;
+mod gemm;
+mod gemm_blocked;
+mod kernel;
+mod kmp;
+mod mdgrid;
+mod mdknn;
+mod nw;
+mod radix;
+mod sort;
+mod spmv;
+mod stencil2d;
+mod stencil3d;
+mod viterbi;
+
+pub use aes::Aes;
+pub use bfs::BfsBulk;
+pub use ellpack::SpmvEllpack;
+pub use fft::FftTranspose;
+pub use gemm::GemmNCubed;
+pub use gemm_blocked::GemmBlocked;
+pub use kernel::{
+    all_kernels, by_name, evaluation_kernels, paper_scale_kernels, Kernel, KernelRun,
+};
+pub use kmp::Kmp;
+pub use mdgrid::MdGrid;
+pub use mdknn::MdKnn;
+pub use nw::NeedlemanWunsch;
+pub use radix::SortRadix;
+pub use sort::SortMerge;
+pub use spmv::SpmvCrs;
+pub use stencil2d::Stencil2d;
+pub use stencil3d::Stencil3d;
+pub use viterbi::Viterbi;

@@ -1,0 +1,61 @@
+//! Co-design a kernel: sweep the design space under four scenarios and
+//! report the EDP-optimal microarchitectures — the paper's headline
+//! experiment (Figures 9/10) on one kernel.
+//!
+//! ```sh
+//! cargo run --release -p aladdin-dse --example codesign_sweep [kernel]
+//! ```
+
+use aladdin_core::SocConfig;
+use aladdin_dse::{run_codesign, DesignSpace};
+use aladdin_workloads::by_name;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "stencil-stencil3d".to_owned());
+    let kernel = by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown kernel {name}; try e.g. stencil-stencil3d, md-knn, spmv-crs");
+        std::process::exit(1);
+    });
+    let trace = kernel.run().trace;
+    println!(
+        "co-designing {} — {}\n",
+        kernel.name(),
+        kernel.description()
+    );
+
+    let report = run_codesign(&trace, &DesignSpace::standard(), &SocConfig::default());
+
+    let iso = &report.isolated_opt;
+    println!(
+        "isolated optimum:     {} lanes, {} KB SRAM, bw {} — {} cycles (believed), {:.2} mW",
+        iso.datapath.lanes,
+        iso.local_sram_bytes / 1024,
+        iso.local_mem_bandwidth,
+        iso.total_cycles,
+        iso.power_mw()
+    );
+
+    for s in [&report.dma, &report.cache32, &report.cache64] {
+        let c = &s.codesigned;
+        println!(
+            "\n{}\n  optimal: {} lanes, {} KB local SRAM, bw {} — {} cycles, {:.2} mW",
+            s.name,
+            c.datapath.lanes,
+            c.local_sram_bytes / 1024,
+            c.local_mem_bandwidth,
+            c.total_cycles,
+            c.power_mw()
+        );
+        println!(
+            "  isolated design in this system: {} cycles, {:.2} mW",
+            s.isolated_in_system.total_cycles,
+            s.isolated_in_system.power_mw()
+        );
+        println!(
+            "  EDP improvement from co-design: {:.2}x   (kiviat: {})",
+            s.edp_improvement, s.kiviat
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! The trace-centric workflow: capture a kernel's dynamic trace once,
+//! save it, inspect it, optimize it, and re-schedule it under several
+//! configurations — gem5-Aladdin's capture-once/explore-many usage model.
+//!
+//! ```sh
+//! cargo run --release -p aladdin-core --example trace_workflow
+//! ```
+
+use aladdin_accel::DatapathConfig;
+use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+use aladdin_ir::{rebalance_reductions, Trace};
+use aladdin_workloads::by_name;
+
+fn main() {
+    // 1. Capture.
+    let kernel = by_name("gemm-ncubed").expect("kernel exists");
+    let run = kernel.run();
+    println!("captured {}: {}", kernel.name(), run.trace.stats());
+
+    // 2. Serialize / reload (the on-disk interchange format).
+    let text = run.trace.to_text();
+    println!(
+        "serialized to {} KB of text; first lines:",
+        text.len() / 1024
+    );
+    for line in text.lines().take(5) {
+        println!("  | {line}");
+    }
+    let reloaded = Trace::from_text(&text).expect("round trip");
+    assert_eq!(reloaded.nodes().len(), run.trace.nodes().len());
+
+    // 3. Optimize: rebalance the per-element accumulation chains.
+    let (balanced, stats) = rebalance_reductions(&reloaded, 4);
+    println!(
+        "\ntree-height reduction: {} chains rebalanced (longest {})",
+        stats.chains, stats.longest
+    );
+
+    // 4. Re-schedule both variants under the same SoC.
+    let soc = Soc::new(SocConfig::default());
+    println!(
+        "\n{:<28} {:>10} {:>10} {:>9}",
+        "configuration", "serial", "balanced", "speedup"
+    );
+    for lanes in [2u32, 4, 8, 16] {
+        let dp = DatapathConfig {
+            lanes,
+            partition: lanes,
+            ..DatapathConfig::default()
+        };
+        let serial = soc.run_dma(&reloaded, &dp, DmaOptLevel::Full).total_cycles;
+        let tree = soc.run_dma(&balanced, &dp, DmaOptLevel::Full).total_cycles;
+        println!(
+            "{:<28} {:>10} {:>10} {:>8.2}x",
+            format!("dma(+triggered), {lanes} lanes"),
+            serial,
+            tree,
+            serial as f64 / tree as f64
+        );
+    }
+}

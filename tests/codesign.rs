@@ -1,0 +1,98 @@
+//! End-to-end co-design tests: the Figure 1/9/10 claims on real sweeps.
+
+use aladdin_core::{DmaOptLevel, SocConfig};
+use aladdin_dse::{
+    edp_optimal, pareto_frontier, run_codesign, sweep_dma, sweep_isolated, DesignSpace,
+};
+use aladdin_workloads::by_name;
+
+fn space() -> DesignSpace {
+    // Small but 2-D: enough to distinguish isolated from co-designed.
+    DesignSpace {
+        lanes: vec![1, 4, 16],
+        partitions: vec![1, 4, 16],
+        cache_sizes: vec![2048, 8192, 32768],
+        cache_lines: vec![32],
+        cache_ports: vec![1, 4],
+        cache_assocs: vec![4],
+    }
+}
+
+/// Figure 1: the isolated EDP optimum is more aggressively parallel than
+/// (or at best equal to) the co-designed one, and applying system effects
+/// to the isolated choice costs EDP.
+#[test]
+fn isolated_designs_overprovision() {
+    let trace = by_name("stencil-stencil3d").expect("kernel").run().trace;
+    let soc = SocConfig::default();
+    let space = space();
+    let iso = sweep_isolated(&trace, &space, &soc);
+    let dma = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+    let iso_opt = edp_optimal(&iso).unwrap();
+    let dma_opt = edp_optimal(&dma).unwrap();
+    let iso_bw = iso_opt.datapath.lanes * iso_opt.datapath.partition;
+    let dma_bw = dma_opt.datapath.lanes * dma_opt.datapath.partition;
+    assert!(
+        dma_bw <= iso_bw,
+        "co-designed ({} lanes x{}) should be leaner than isolated ({} lanes x{})",
+        dma_opt.datapath.lanes,
+        dma_opt.datapath.partition,
+        iso_opt.datapath.lanes,
+        iso_opt.datapath.partition
+    );
+}
+
+/// Figure 10: co-design improves EDP for every scenario on a kernel with
+/// substantial data movement.
+#[test]
+fn codesign_improves_edp() {
+    let trace = by_name("stencil-stencil3d").expect("kernel").run().trace;
+    let report = run_codesign(&trace, &space(), &SocConfig::default());
+    for s in [&report.dma, &report.cache32, &report.cache64] {
+        assert!(
+            s.edp_improvement >= 1.0,
+            "{}: improvement {:.2}",
+            s.name,
+            s.edp_improvement
+        );
+    }
+}
+
+/// Figure 9: co-designed accelerators are leaner — the Kiviat area of
+/// every co-designed optimum is at most the isolated reference's.
+#[test]
+fn codesigned_kiviat_is_leaner() {
+    let trace = by_name("spmv-crs").expect("kernel").run().trace;
+    let report = run_codesign(&trace, &space(), &SocConfig::default());
+    let ref_area = aladdin_dse::KiviatSummary::reference().area();
+    let mut leaner = 0;
+    for s in [&report.dma, &report.cache32, &report.cache64] {
+        if s.kiviat.area() <= ref_area + 1e-9 {
+            leaner += 1;
+        }
+    }
+    assert!(
+        leaner >= 2,
+        "most co-designed optima should be leaner than isolated"
+    );
+}
+
+/// Pareto frontiers are non-empty, sorted, and truly non-dominated.
+#[test]
+fn pareto_frontier_properties() {
+    let trace = by_name("fft-transpose").expect("kernel").run().trace;
+    let soc = SocConfig::default();
+    let results = sweep_dma(&trace, &space(), &soc, DmaOptLevel::Full);
+    let frontier = pareto_frontier(&results);
+    assert!(!frontier.is_empty());
+    for &i in &frontier {
+        for (j, other) in results.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dominated = other.total_cycles < results[i].total_cycles
+                && other.power_mw() < results[i].power_mw();
+            assert!(!dominated, "frontier point {i} dominated by {j}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests over whole co-simulation flows: random small
+//! kernels × random configurations must preserve the paper's structural
+//! invariants.
+
+use aladdin_accel::DatapathConfig;
+use aladdin_core::{run_cache, run_dma, run_isolated, DmaOptLevel, SocConfig};
+use aladdin_ir::{ArrayKind, Opcode, TVal, Trace, Tracer};
+use proptest::prelude::*;
+
+/// A random streaming kernel: `iters` iterations, `loads_per_iter` loads
+/// feeding a small FP expression, one store.
+fn random_trace(iters: usize, loads_per_iter: usize, fp_depth: usize) -> Trace {
+    let len = iters.max(1) * loads_per_iter.max(1);
+    let mut t = Tracer::new("prop-flow");
+    let a = t.array_f64("a", &vec![1.0; len], ArrayKind::Input);
+    let mut o = t.array_f64("o", &vec![0.0; iters.max(1)], ArrayKind::Output);
+    for i in 0..iters {
+        t.begin_iteration(i as u32);
+        let mut acc = TVal::lit(0.0);
+        for l in 0..loads_per_iter {
+            let x = t.load(&a, i * loads_per_iter + l);
+            acc = t.binop(Opcode::FAdd, acc, x);
+        }
+        for _ in 0..fp_depth {
+            acc = t.binop(Opcode::FMul, acc, TVal::lit(1.0078125));
+        }
+        t.store(&mut o, i, acc);
+    }
+    t.finish()
+}
+
+fn soc_with(bus_bits: u32, cache_kb: u64, granule: u64) -> SocConfig {
+    let mut soc = SocConfig::default();
+    soc.bus.width_bits = bus_bits;
+    soc.cache.size_bytes = cache_kb * 1024;
+    soc.ready_bits_granule = granule;
+    soc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Isolated is a lower bound for every system-aware flow; phases are
+    /// conserved everywhere; every flow terminates with positive energy.
+    #[test]
+    fn flow_ordering_invariants(
+        iters in 1usize..24,
+        loads in 1usize..5,
+        depth in 0usize..4,
+        lanes_pow in 0u32..4,
+        bus in prop::sample::select(vec![32u32, 64]),
+    ) {
+        let trace = random_trace(iters, loads, depth);
+        let lanes = 1 << lanes_pow;
+        let dp = DatapathConfig { lanes, partition: lanes, ..DatapathConfig::default() };
+        let soc = soc_with(bus, 4, 32);
+
+        let iso = run_isolated(&trace, &dp, &soc);
+        for opt in DmaOptLevel::ALL {
+            let r = run_dma(&trace, &dp, &soc, opt);
+            prop_assert!(
+                r.total_cycles >= iso.total_cycles,
+                "{opt}: dma {} < isolated {}",
+                r.total_cycles,
+                iso.total_cycles
+            );
+            let p = r.phases;
+            prop_assert_eq!(
+                p.flush_only + p.dma_flush + p.compute_dma + p.compute_only + p.other,
+                p.total
+            );
+            prop_assert!(r.energy_j() > 0.0);
+            prop_assert!(r.power_mw() > 0.0);
+        }
+        let c = run_cache(&trace, &dp, &soc);
+        prop_assert!(c.total_cycles > 0);
+        prop_assert!(c.energy_j() > 0.0);
+    }
+
+    /// Cumulative DMA optimizations never hurt by more than the bounded
+    /// per-chunk overheads, on any random kernel/config.
+    #[test]
+    fn dma_opts_never_hurt_much(
+        iters in 1usize..32,
+        loads in 1usize..5,
+        lanes_pow in 0u32..4,
+    ) {
+        let trace = random_trace(iters, loads, 2);
+        let lanes = 1 << lanes_pow;
+        let dp = DatapathConfig { lanes, partition: lanes, ..DatapathConfig::default() };
+        let soc = SocConfig::default();
+        let base = run_dma(&trace, &dp, &soc, DmaOptLevel::Baseline).total_cycles;
+        let pipe = run_dma(&trace, &dp, &soc, DmaOptLevel::Pipelined).total_cycles;
+        let full = run_dma(&trace, &dp, &soc, DmaOptLevel::Full).total_cycles;
+        prop_assert!(pipe <= base + 100, "pipelined {pipe} vs baseline {base}");
+        prop_assert!(full <= pipe + 100, "triggered {full} vs pipelined {pipe}");
+    }
+
+    /// Tree-height reduction never slows a kernel down and never changes
+    /// operation counts (hence energy components except leakage-over-time).
+    #[test]
+    fn tree_reduction_is_sound_under_flows(
+        iters in 1usize..16,
+        loads in 2usize..6,
+    ) {
+        let trace = random_trace(iters, loads, 0);
+        let (balanced, _) = aladdin_ir::rebalance_reductions(&trace, 3);
+        let dp = DatapathConfig { lanes: 4, partition: 4, ..DatapathConfig::default() };
+        let soc = SocConfig::default();
+        let serial = run_isolated(&trace, &dp, &soc);
+        let tree = run_isolated(&balanced, &dp, &soc);
+        // Rebalancing shortens dependence chains but can add a cycle or
+        // two of issue-slot contention (more simultaneously-ready ops per
+        // lane); allow that scheduling noise, never a real regression.
+        let slack = 2 + serial.total_cycles / 20;
+        prop_assert!(
+            tree.total_cycles <= serial.total_cycles + slack,
+            "balanced {} > serial {} + slack",
+            tree.total_cycles,
+            serial.total_cycles
+        );
+        prop_assert_eq!(balanced.stats().per_class, trace.stats().per_class);
+    }
+
+    /// Ready-bit granularity only shifts *when* loads unblock — coarser
+    /// granules can only delay completion, never corrupt it.
+    #[test]
+    fn coarser_granules_monotonically_delay(
+        iters in 2usize..16,
+        loads in 1usize..4,
+    ) {
+        let trace = random_trace(iters, loads, 1);
+        let dp = DatapathConfig { lanes: 2, partition: 2, ..DatapathConfig::default() };
+        let mut prev = 0u64;
+        for granule in [32u64, 256, 4096] {
+            let soc = soc_with(32, 4, granule);
+            let r = run_dma(&trace, &dp, &soc, DmaOptLevel::Full);
+            prop_assert!(
+                r.total_cycles >= prev,
+                "granule {granule}: {} < {prev}",
+                r.total_cycles
+            );
+            prev = r.total_cycles;
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: every kernel through every flow.
+
+use aladdin_accel::DatapathConfig;
+use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+use aladdin_workloads::{all_kernels, evaluation_kernels};
+
+fn dp(lanes: u32, partition: u32) -> DatapathConfig {
+    DatapathConfig {
+        lanes,
+        partition,
+        ..DatapathConfig::default()
+    }
+}
+
+#[test]
+fn every_kernel_is_functionally_correct() {
+    for kernel in all_kernels() {
+        let run = kernel.run();
+        let reference = kernel.reference();
+        assert_eq!(
+            run.outputs,
+            reference,
+            "{} traced execution diverges from reference",
+            kernel.name()
+        );
+        run.trace.validate().unwrap_or_else(|e| {
+            panic!("{} produced an invalid trace: {e}", kernel.name());
+        });
+    }
+}
+
+#[test]
+fn every_kernel_runs_every_flow() {
+    let soc = Soc::new(SocConfig::default());
+    let d = dp(2, 2);
+    for kernel in all_kernels() {
+        let trace = kernel.run().trace;
+        let iso = soc.run_isolated(&trace, &d);
+        let dma = soc.run_dma(&trace, &d, DmaOptLevel::Baseline);
+        let cache = soc.run_cache(&trace, &d);
+        assert!(iso.total_cycles > 0, "{}", kernel.name());
+        assert!(
+            dma.total_cycles > iso.total_cycles,
+            "{}: system effects must cost time ({} vs {})",
+            kernel.name(),
+            dma.total_cycles,
+            iso.total_cycles
+        );
+        assert!(cache.total_cycles > 0, "{}", kernel.name());
+        assert!(iso.energy_j() > 0.0 && dma.energy_j() > 0.0 && cache.energy_j() > 0.0);
+    }
+}
+
+#[test]
+fn dma_opt_levels_never_hurt() {
+    let soc = Soc::new(SocConfig::default());
+    let d = dp(4, 4);
+    for kernel in evaluation_kernels() {
+        let trace = kernel.run().trace;
+        let base = soc.run_dma(&trace, &d, DmaOptLevel::Baseline).total_cycles;
+        let pipe = soc.run_dma(&trace, &d, DmaOptLevel::Pipelined).total_cycles;
+        let full = soc.run_dma(&trace, &d, DmaOptLevel::Full).total_cycles;
+        // Pipelining pays per-chunk setup; allow a tiny regression margin
+        // on kernels with almost no data (aes), none elsewhere.
+        assert!(
+            pipe <= base + base / 20 + 200,
+            "{}: pipelined {pipe} vs baseline {base}",
+            kernel.name()
+        );
+        assert!(
+            full <= pipe + pipe / 50 + 50,
+            "{}: triggered {full} vs pipelined {pipe}",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn phase_attribution_is_conserved() {
+    let soc = Soc::new(SocConfig::default());
+    let d = dp(4, 4);
+    for kernel in evaluation_kernels() {
+        let trace = kernel.run().trace;
+        for opt in DmaOptLevel::ALL {
+            let r = soc.run_dma(&trace, &d, opt);
+            let p = r.phases;
+            assert_eq!(
+                p.flush_only + p.dma_flush + p.compute_dma + p.compute_only + p.other,
+                p.total,
+                "{} {opt}",
+                kernel.name()
+            );
+            assert_eq!(p.total, r.total_cycles, "{} {opt}", kernel.name());
+        }
+    }
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    let soc = Soc::new(SocConfig::default());
+    let d = dp(4, 4);
+    for kernel in evaluation_kernels().into_iter().take(3) {
+        let t1 = kernel.run().trace;
+        let t2 = kernel.run().trace;
+        assert_eq!(t1.nodes().len(), t2.nodes().len());
+        let r1 = soc.run_dma(&t1, &d, DmaOptLevel::Full);
+        let r2 = soc.run_dma(&t2, &d, DmaOptLevel::Full);
+        assert_eq!(r1.total_cycles, r2.total_cycles, "{}", kernel.name());
+        let c1 = soc.run_cache(&t1, &d);
+        let c2 = soc.run_cache(&t2, &d);
+        assert_eq!(c1.total_cycles, c2.total_cycles, "{}", kernel.name());
+    }
+}
+
+#[test]
+fn traces_serialize_round_trip() {
+    use aladdin_ir::Trace;
+    for name in ["aes-aes", "spmv-crs", "fft-transpose", "sort-radix"] {
+        let kernel = aladdin_workloads::by_name(name).expect("kernel");
+        let trace = kernel.run().trace;
+        let text = trace.to_text();
+        let parsed =
+            Trace::from_text(&text).unwrap_or_else(|e| panic!("{name} failed to re-parse: {e}"));
+        assert_eq!(parsed.nodes(), trace.nodes(), "{name}");
+        assert_eq!(parsed.arrays(), trace.arrays(), "{name}");
+        // And the re-parsed trace schedules identically.
+        let dp = dp(2, 2);
+        let soc = Soc::new(SocConfig::default());
+        assert_eq!(
+            soc.run_isolated(&parsed, &dp).total_cycles,
+            soc.run_isolated(&trace, &dp).total_cycles,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn multi_accelerator_conserves_single_job_behavior() {
+    use aladdin_core::{run_multi_dma, AcceleratorJob};
+    let soc_cfg = SocConfig::default();
+    for name in ["md-knn", "fft-transpose"] {
+        let trace = aladdin_workloads::by_name(name)
+            .expect("kernel")
+            .run()
+            .trace;
+        let d = dp(4, 4);
+        let single = aladdin_core::run_dma(&trace, &d, &soc_cfg, DmaOptLevel::Pipelined);
+        let multi = run_multi_dma(
+            &[AcceleratorJob {
+                trace,
+                datapath: d,
+                opt: DmaOptLevel::Pipelined,
+                launch_at: 0,
+            }],
+            &soc_cfg,
+        );
+        let m = multi.accelerators[0].end;
+        let s = single.total_cycles;
+        assert!(
+            m.abs_diff(s) as f64 / s as f64 <= 0.02,
+            "{name}: multi {m} vs flow {s}"
+        );
+    }
+}
+
+#[test]
+fn paper_scale_kernels_are_functionally_correct() {
+    // The cheaper paper-scale variants run under the functional check too
+    // (the heavyweight ones — gemm 64^3, stencil2d 64x128 — are exercised
+    // by the `paper_scale` bench binary in release mode).
+    for kernel in aladdin_workloads::paper_scale_kernels() {
+        let skip = ["gemm-ncubed", "stencil-stencil2d", "stencil-stencil3d"];
+        if skip.contains(&kernel.name()) {
+            continue;
+        }
+        let run = kernel.run();
+        assert_eq!(
+            run.outputs,
+            kernel.reference(),
+            "{} paper-scale run diverges",
+            kernel.name()
+        );
+        run.trace.validate().unwrap();
+    }
+}

@@ -1,0 +1,232 @@
+//! System-parameter behavior tests on real kernels: each of Figure 3's
+//! swept parameters must move performance in the physically sensible
+//! direction.
+
+use aladdin_accel::DatapathConfig;
+use aladdin_core::{run_cache, run_dma, DmaOptLevel, SocConfig};
+use aladdin_workloads::by_name;
+
+fn trace_of(name: &str) -> aladdin_ir::Trace {
+    by_name(name).expect("kernel").run().trace
+}
+
+fn dp(lanes: u32) -> DatapathConfig {
+    DatapathConfig {
+        lanes,
+        partition: lanes,
+        ..DatapathConfig::default()
+    }
+}
+
+#[test]
+fn wider_bus_speeds_up_dma_transfers() {
+    let trace = trace_of("stencil-stencil3d");
+    let soc32 = SocConfig::default();
+    let soc64 = soc32.with_64bit_bus();
+    let r32 = run_dma(&trace, &dp(4), &soc32, DmaOptLevel::Baseline);
+    let r64 = run_dma(&trace, &dp(4), &soc64, DmaOptLevel::Baseline);
+    assert!(
+        r64.total_cycles < r32.total_cycles,
+        "64-bit bus must help DMA: {} vs {}",
+        r64.total_cycles,
+        r32.total_cycles
+    );
+    // DMA time roughly halves; compute time is unchanged, so the total
+    // shrinks by less than 2x.
+    assert!(r64.total_cycles > r32.total_cycles / 2);
+}
+
+#[test]
+fn wider_bus_speeds_up_cache_fills() {
+    let trace = trace_of("fft-transpose");
+    let soc32 = SocConfig::default();
+    let soc64 = soc32.with_64bit_bus();
+    let r32 = run_cache(&trace, &dp(8), &soc32);
+    let r64 = run_cache(&trace, &dp(8), &soc64);
+    assert!(
+        r64.total_cycles < r32.total_cycles,
+        "64-bit bus must help cache fills: {} vs {}",
+        r64.total_cycles,
+        r32.total_cycles
+    );
+}
+
+#[test]
+fn bigger_caches_do_not_hurt_performance() {
+    let trace = trace_of("stencil-stencil2d");
+    let mut prev = u64::MAX;
+    for kb in [2u64, 8, 32] {
+        let mut soc = SocConfig::default();
+        soc.cache.size_bytes = kb * 1024;
+        let r = run_cache(&trace, &dp(4), &soc);
+        assert!(
+            r.total_cycles <= prev.saturating_add(prev / 50),
+            "{kb} KB cache slower than smaller one: {} vs {prev}",
+            r.total_cycles
+        );
+        prev = r.total_cycles;
+    }
+}
+
+#[test]
+fn more_cache_ports_do_not_hurt() {
+    let trace = trace_of("gemm-ncubed");
+    let mut prev = u64::MAX;
+    for ports in [1u32, 2, 4, 8] {
+        let mut soc = SocConfig::default();
+        soc.cache.ports = ports;
+        let r = run_cache(&trace, &dp(8), &soc);
+        assert!(
+            r.total_cycles <= prev,
+            "{ports} ports slower: {} vs {prev}",
+            r.total_cycles
+        );
+        prev = r.total_cycles;
+    }
+}
+
+#[test]
+fn line_size_trades_miss_count_against_miss_latency() {
+    // Larger lines fetch more per miss: fills and writebacks must drop
+    // roughly proportionally on a streaming kernel. Runtime, however, is
+    // a trade-off — each miss's transfer occupies the bus 4x longer — so
+    // we only require the cycle spread to stay modest (the paper sweeps
+    // line size precisely because neither extreme dominates).
+    let trace = trace_of("stencil-stencil2d");
+    let run_with = |line: u32| {
+        let mut soc = SocConfig::default();
+        soc.cache.line_bytes = line;
+        run_cache(&trace, &dp(4), &soc)
+    };
+    let small = run_with(16);
+    let large = run_with(64);
+    let (cs_small, cs_large) = (small.cache_stats.unwrap(), large.cache_stats.unwrap());
+    assert!(
+        cs_large.misses * 2 < cs_small.misses,
+        "4x lines must cut fills at least 2x: {} vs {}",
+        cs_large.misses,
+        cs_small.misses
+    );
+    assert!(
+        cs_large.writebacks * 2 < cs_small.writebacks.max(1),
+        "4x lines must cut writebacks: {} vs {}",
+        cs_large.writebacks,
+        cs_small.writebacks
+    );
+    let spread = small.total_cycles.abs_diff(large.total_cycles) as f64 / small.total_cycles as f64;
+    assert!(
+        spread < 0.15,
+        "line size is a trade-off, not a cliff: {spread:.2}"
+    );
+}
+
+#[test]
+fn slower_flush_constants_hurt_dma_only() {
+    let trace = trace_of("stencil-stencil3d");
+    let fast = SocConfig::default();
+    let mut slow = fast;
+    slow.flush.flush_ns_per_line = 200.0;
+    slow.flush.invalidate_ns_per_line = 180.0;
+    let d_fast = run_dma(&trace, &dp(4), &fast, DmaOptLevel::Baseline);
+    let d_slow = run_dma(&trace, &dp(4), &slow, DmaOptLevel::Baseline);
+    assert!(d_slow.total_cycles > d_fast.total_cycles);
+    // The cache flow performs no flushes, so it is unaffected.
+    let c_fast = run_cache(&trace, &dp(4), &fast);
+    let c_slow = run_cache(&trace, &dp(4), &slow);
+    assert_eq!(c_fast.total_cycles, c_slow.total_cycles);
+}
+
+#[test]
+fn tlb_miss_penalty_only_affects_cache_flow() {
+    let trace = trace_of("fft-transpose");
+    let base = SocConfig::default();
+    let mut slow_tlb = base;
+    slow_tlb.tlb.miss_cycles = 200;
+    let c_base = run_cache(&trace, &dp(4), &base);
+    let c_slow = run_cache(&trace, &dp(4), &slow_tlb);
+    assert!(
+        c_slow.total_cycles > c_base.total_cycles,
+        "10x TLB miss penalty must hurt: {} vs {}",
+        c_slow.total_cycles,
+        c_base.total_cycles
+    );
+    let d_base = run_dma(&trace, &dp(4), &base, DmaOptLevel::Full);
+    let d_slow = run_dma(&trace, &dp(4), &slow_tlb, DmaOptLevel::Full);
+    assert_eq!(d_base.total_cycles, d_slow.total_cycles);
+}
+
+#[test]
+fn dma_setup_cost_scales_with_descriptor_count() {
+    let trace = trace_of("gemm-ncubed");
+    let base = SocConfig::default();
+    let mut pricey = base;
+    pricey.dma.setup_cycles = 400;
+    let b = run_dma(&trace, &dp(4), &base, DmaOptLevel::Pipelined);
+    let p = run_dma(&trace, &dp(4), &pricey, DmaOptLevel::Pipelined);
+    // gemm moves 24 KB in + 8 KB out = ~8 page descriptors; 360 extra
+    // cycles each shows up directly.
+    let delta = p.total_cycles - b.total_cycles;
+    assert!(delta > 2000, "descriptor overhead must accumulate: {delta}");
+}
+
+#[test]
+fn inout_arrays_round_trip_through_both_flows() {
+    // aes's buf is InOut: it must be both transferred in and written back,
+    // and under the cache flow its lines become Modified and stay
+    // coherent.
+    let trace = trace_of("aes-aes");
+    let soc = SocConfig::default();
+    let d = run_dma(&trace, &dp(2), &soc, DmaOptLevel::Baseline);
+    let dstats = d.dma_stats.expect("dma stats");
+    assert!(
+        dstats.bytes >= trace.input_bytes() + trace.output_bytes(),
+        "InOut data must cross the bus twice"
+    );
+    let c = run_cache(&trace, &dp(2), &soc);
+    let cstats = c.cache_stats.expect("cache stats");
+    assert!(cstats.accesses() > 0);
+}
+
+#[test]
+fn completion_signaling_adds_observation_lag() {
+    use aladdin_core::CompletionSignal;
+    let trace = trace_of("fft-transpose");
+    let silent = SocConfig::default();
+    let spin = SocConfig {
+        completion: Some(CompletionSignal::SpinWait { poll_cycles: 64 }),
+        ..silent
+    };
+    let irq = SocConfig {
+        completion: Some(CompletionSignal::Interrupt {
+            latency_cycles: 500,
+        }),
+        ..silent
+    };
+    let base = run_dma(&trace, &dp(4), &silent, DmaOptLevel::Full).total_cycles;
+    let s = run_dma(&trace, &dp(4), &spin, DmaOptLevel::Full).total_cycles;
+    let i = run_dma(&trace, &dp(4), &irq, DmaOptLevel::Full).total_cycles;
+    assert!(
+        s >= base && s < base + 64,
+        "spin lag bounded by the poll period"
+    );
+    assert_eq!(i, base + 500, "interrupt lag is fixed");
+    // Same for the cache flow.
+    let cb = run_cache(&trace, &dp(4), &silent).total_cycles;
+    let ci = run_cache(&trace, &dp(4), &irq).total_cycles;
+    assert_eq!(ci, cb + 500);
+}
+
+#[test]
+fn blocked_gemm_has_better_cache_locality_than_naive() {
+    // Same FLOPs, different loop order: the tiled variant must show a
+    // lower cache miss ratio on a small cache.
+    let naive = trace_of("gemm-ncubed");
+    let blocked = trace_of("gemm-blocked");
+    let mut soc = SocConfig::default();
+    soc.cache.size_bytes = 2048;
+    let rn = run_cache(&naive, &dp(4), &soc);
+    let rb = run_cache(&blocked, &dp(4), &soc);
+    let mn = rn.cache_stats.unwrap().miss_ratio();
+    let mb = rb.cache_stats.unwrap().miss_ratio();
+    assert!(mb < mn, "blocked gemm should miss less: {mb:.4} vs {mn:.4}");
+}
