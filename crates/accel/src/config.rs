@@ -1,5 +1,7 @@
 //! Datapath configuration.
 
+use aladdin_ir::{Diagnostic, Locus, Report};
+
 use crate::fu::FuTiming;
 
 /// How iterations mapped to the same lane (and across lanes) synchronize.
@@ -57,22 +59,48 @@ impl DatapathConfig {
         self.partition * self.ports_per_bank
     }
 
-    /// Validates the configuration.
+    /// Checks the configuration, reporting every defect as a typed
+    /// diagnostic: zero-valued structural parameters are `L0201`, degenerate
+    /// (legal but wasteful) shapes are `L0210`-series warnings.
+    ///
+    /// Cross-checks against the SoC configuration (bank count vs lanes,
+    /// cache geometry, DMA/TLB consistency) live in `aladdin-lint` under
+    /// `L022x`; this only knows about the datapath itself.
+    #[must_use]
+    pub fn check(&self) -> Report {
+        let mut report = Report::new();
+        if self.lanes == 0 {
+            report.push(
+                Diagnostic::error("L0201", "lanes must be >= 1").at(Locus::Field("datapath.lanes")),
+            );
+        }
+        if self.partition == 0 {
+            report.push(
+                Diagnostic::error("L0201", "partition must be >= 1")
+                    .at(Locus::Field("datapath.partition")),
+            );
+        }
+        if self.ports_per_bank == 0 {
+            report.push(
+                Diagnostic::error("L0201", "ports_per_bank must be >= 1")
+                    .at(Locus::Field("datapath.ports_per_bank")),
+            );
+        }
+        report
+    }
+
+    /// Legacy check returning only the first defect's message.
     ///
     /// # Errors
     ///
-    /// Returns a message if any parameter is zero.
+    /// Returns a message if any parameter is zero. Prefer
+    /// [`check`](DatapathConfig::check), which returns a full typed report.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use DatapathConfig::check, which returns a full Report"
+    )]
     pub fn validate(&self) -> Result<(), String> {
-        if self.lanes == 0 {
-            return Err("lanes must be >= 1".to_owned());
-        }
-        if self.partition == 0 {
-            return Err("partition must be >= 1".to_owned());
-        }
-        if self.ports_per_bank == 0 {
-            return Err("ports_per_bank must be >= 1".to_owned());
-        }
-        Ok(())
+        self.check().into_result()
     }
 }
 
@@ -83,7 +111,7 @@ mod tests {
     #[test]
     fn default_is_valid() {
         let cfg = DatapathConfig::default();
-        cfg.validate().unwrap();
+        assert!(cfg.check().is_clean());
         assert_eq!(cfg.lanes, 1);
         assert_eq!(cfg.sync, LaneSync::Barrier);
         assert_eq!(cfg.local_mem_bandwidth(), 1);
@@ -115,7 +143,13 @@ mod tests {
                 ..DatapathConfig::default()
             },
         ] {
-            assert!(bad.validate().is_err());
+            let report = bad.check();
+            assert!(report.has_errors());
+            assert!(report.has_code("L0201"));
+            // The deprecated shim surfaces the same defect.
+            #[allow(deprecated)]
+            let legacy = bad.validate();
+            assert!(legacy.is_err());
         }
     }
 }

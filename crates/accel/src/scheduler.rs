@@ -175,7 +175,12 @@ pub fn schedule(
     mem: &mut dyn DatapathMemory,
     start: u64,
 ) -> ScheduleResult {
-    cfg.validate().expect("invalid datapath configuration");
+    let cfg_report = cfg.check();
+    assert!(
+        !cfg_report.has_errors(),
+        "invalid datapath configuration: {}",
+        cfg_report.to_human()
+    );
     let graph = Dddg::build(trace, cfg);
     let n = graph.len();
     if n == 0 {

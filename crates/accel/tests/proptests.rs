@@ -1,8 +1,11 @@
-//! Property-based tests of the DDDG and scheduler.
+//! Property-style tests of the DDDG and scheduler, driven by the in-tree
+//! deterministic [`aladdin_rng::SmallRng`] (the workspace builds with no
+//! crate registry, so `proptest` is unavailable). Each test replays many
+//! seeded random kernels and asserts the invariant for every one.
 
 use aladdin_accel::{schedule, DatapathConfig, Dddg, FuTiming, LaneSync, SpadMemory};
 use aladdin_ir::{ArrayKind, Opcode, TVal, Tracer};
-use proptest::prelude::*;
+use aladdin_rng::SmallRng;
 
 /// Build a random but well-formed kernel: `iters` iterations, each with a
 /// random mix of loads, compute ops and one store.
@@ -28,6 +31,11 @@ fn random_kernel(iters: usize, ops_per_iter: &[u8]) -> aladdin_ir::Trace {
     t.finish()
 }
 
+fn random_ops(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let n = rng.gen_range(0..max_len);
+    (0..n).map(|_| rng.gen_range(0..3u32) as u8).collect()
+}
+
 fn run(trace: &aladdin_ir::Trace, lanes: u32, partition: u32, sync: LaneSync) -> u64 {
     let cfg = DatapathConfig {
         lanes,
@@ -39,109 +47,125 @@ fn run(trace: &aladdin_ir::Trace, lanes: u32, partition: u32, sync: LaneSync) ->
     schedule(trace, &cfg, &mut mem, 0).cycles
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Scheduling always terminates and takes at least the critical path.
-    #[test]
-    fn schedule_bounded_below_by_critical_path(
-        iters in 1usize..24,
-        ops in prop::collection::vec(0u8..3, 0..6),
-        lanes in 1u32..8,
-        partition in 1u32..8,
-    ) {
+/// Scheduling always terminates and takes at least the critical path.
+#[test]
+fn schedule_bounded_below_by_critical_path() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xACC1 + case);
+        let iters = rng.gen_range(1..24usize);
+        let ops = random_ops(&mut rng, 6);
+        let lanes = rng.gen_range(1..8u32);
+        let partition = rng.gen_range(1..8u32);
         let trace = random_kernel(iters, &ops);
-        let cfg = DatapathConfig { lanes, partition, ..DatapathConfig::default() };
+        let cfg = DatapathConfig {
+            lanes,
+            partition,
+            ..DatapathConfig::default()
+        };
         let graph = Dddg::build(&trace, &cfg);
         let cp = graph.critical_path_cycles(&trace, &FuTiming::default());
         let cycles = run(&trace, lanes, partition, LaneSync::Barrier);
-        prop_assert!(cycles >= cp, "{cycles} cycles < critical path {cp}");
+        assert!(cycles >= cp, "{cycles} cycles < critical path {cp}");
         // And bounded above by fully-serial execution.
         let serial: u64 = trace
             .nodes()
             .iter()
             .map(|n| FuTiming::default().latency(n.opcode.fu_class()) + 1)
             .sum();
-        prop_assert!(cycles <= serial + 2, "{cycles} cycles > serial bound {serial}");
+        assert!(
+            cycles <= serial + 2,
+            "{cycles} cycles > serial bound {serial}"
+        );
     }
+}
 
-    /// More lanes never slow a kernel down (with memory scaled to match).
-    #[test]
-    fn lanes_monotonic(
-        iters in 1usize..20,
-        ops in prop::collection::vec(0u8..3, 0..5),
-    ) {
+/// More lanes never slow a kernel down (with memory scaled to match).
+#[test]
+fn lanes_monotonic() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xACC2 + case);
+        let iters = rng.gen_range(1..20usize);
+        let ops = random_ops(&mut rng, 5);
         let trace = random_kernel(iters, &ops);
         let mut prev = u64::MAX;
         for lanes in [1u32, 2, 4, 8] {
             let cycles = run(&trace, lanes, 16, LaneSync::Barrier);
-            prop_assert!(cycles <= prev, "lanes {lanes}: {cycles} > {prev}");
+            assert!(cycles <= prev, "lanes {lanes}: {cycles} > {prev}");
             prev = cycles;
         }
     }
+}
 
-    /// More scratchpad banks never slow a kernel down.
-    #[test]
-    fn partition_monotonic(
-        iters in 1usize..20,
-        ops in prop::collection::vec(0u8..3, 0..5),
-    ) {
+/// More scratchpad banks never slow a kernel down.
+#[test]
+fn partition_monotonic() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xACC3 + case);
+        let iters = rng.gen_range(1..20usize);
+        let ops = random_ops(&mut rng, 5);
         let trace = random_kernel(iters, &ops);
         let mut prev = u64::MAX;
         for partition in [1u32, 2, 4, 8] {
             let cycles = run(&trace, 8, partition, LaneSync::Barrier);
-            prop_assert!(cycles <= prev, "partition {partition}: {cycles} > {prev}");
+            assert!(cycles <= prev, "partition {partition}: {cycles} > {prev}");
             prev = cycles;
         }
     }
+}
 
-    /// Free lane synchronization is never slower than the barrier.
-    #[test]
-    fn barrier_is_conservative(
-        iters in 1usize..20,
-        ops in prop::collection::vec(0u8..3, 0..5),
-        lanes in 1u32..8,
-    ) {
+/// Free lane synchronization is never slower than the barrier.
+#[test]
+fn barrier_is_conservative() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xACC4 + case);
+        let iters = rng.gen_range(1..20usize);
+        let ops = random_ops(&mut rng, 5);
+        let lanes = rng.gen_range(1..8u32);
         let trace = random_kernel(iters, &ops);
         let barrier = run(&trace, lanes, 8, LaneSync::Barrier);
         let free = run(&trace, lanes, 8, LaneSync::Free);
-        prop_assert!(free <= barrier, "free {free} > barrier {barrier}");
+        assert!(free <= barrier, "free {free} > barrier {barrier}");
     }
+}
 
-    /// The instance-based round mapping never assigns a dependence to a
-    /// later round than its consumer (the deadlock-freedom invariant).
-    #[test]
-    fn rounds_are_monotone_along_deps(
-        iters in 1usize..24,
-        ops in prop::collection::vec(0u8..3, 0..6),
-        lanes in 1u32..8,
-    ) {
+/// The instance-based round mapping never assigns a dependence to a
+/// later round than its consumer (the deadlock-freedom invariant).
+#[test]
+fn rounds_are_monotone_along_deps() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xACC5 + case);
+        let iters = rng.gen_range(1..24usize);
+        let ops = random_ops(&mut rng, 6);
+        let lanes = rng.gen_range(1..8u32);
         let trace = random_kernel(iters, &ops);
-        let cfg = DatapathConfig { lanes, ..DatapathConfig::default() };
+        let cfg = DatapathConfig {
+            lanes,
+            ..DatapathConfig::default()
+        };
         let graph = Dddg::build(&trace, &cfg);
         for node in trace.nodes() {
             for dep in &node.deps {
-                prop_assert!(
-                    graph.rounds()[dep.index()] <= graph.rounds()[node.id.index()]
-                );
+                assert!(graph.rounds()[dep.index()] <= graph.rounds()[node.id.index()]);
             }
         }
         // Lanes stay within bounds.
         for &lane in graph.lanes() {
-            prop_assert!(lane < lanes);
+            assert!(lane < lanes);
         }
     }
+}
 
-    /// Determinism: identical inputs produce identical schedules.
-    #[test]
-    fn schedule_is_deterministic(
-        iters in 1usize..16,
-        ops in prop::collection::vec(0u8..3, 0..5),
-        lanes in 1u32..8,
-    ) {
+/// Determinism: identical inputs produce identical schedules.
+#[test]
+fn schedule_is_deterministic() {
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0xACC6 + case);
+        let iters = rng.gen_range(1..16usize);
+        let ops = random_ops(&mut rng, 5);
+        let lanes = rng.gen_range(1..8u32);
         let trace = random_kernel(iters, &ops);
         let a = run(&trace, lanes, 4, LaneSync::Barrier);
         let b = run(&trace, lanes, 4, LaneSync::Barrier);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

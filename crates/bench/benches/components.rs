@@ -1,11 +1,15 @@
-//! Criterion microbenchmarks of the simulator's own components: how fast
-//! the substrate simulates, which bounds how large a design space can be
+//! Microbenchmarks of the simulator's own components: how fast the
+//! substrate simulates, which bounds how large a design space can be
 //! swept. These are ablation-style benchmarks of the engineering choices
 //! DESIGN.md calls out (cycle-stepped bus, list scheduler, HashMap-based
 //! ready bits).
+//!
+//! The workspace builds hermetically (no crate registry), so this harness
+//! is self-contained: each benchmark runs a closure repeatedly for a fixed
+//! wall-time budget and reports the median ns/iteration.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 use aladdin_accel::{schedule, DatapathConfig, Dddg, FuTiming, SpadMemory};
 use aladdin_ir::{ArrayKind, Opcode, Tracer};
@@ -13,6 +17,22 @@ use aladdin_mem::{
     AccessKind, BusConfig, Cache, CacheConfig, DmaConfig, DmaDirection, DmaEngine, DmaTransfer,
     DramConfig, MasterId, SystemBus, Tlb, TlbConfig,
 };
+
+/// Time `f` until ~0.2 s has elapsed (at least 3 runs) and report the
+/// median nanoseconds per iteration.
+fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+    let mut samples = Vec::new();
+    let budget = std::time::Duration::from_millis(200);
+    let start = Instant::now();
+    while samples.len() < 3 || (start.elapsed() < budget && samples.len() < 10_000) {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!("{group}/{name}: {median} ns/iter ({} runs)", samples.len());
+}
 
 fn streaming_trace(iters: usize) -> aladdin_ir::Trace {
     let mut t = Tracer::new("bench-stream");
@@ -30,190 +50,138 @@ fn streaming_trace(iters: usize) -> aladdin_ir::Trace {
     t.finish()
 }
 
-fn bench_tracer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tracer");
-    g.throughput(Throughput::Elements(5 * 4096));
-    g.bench_function("record_20k_nodes", |b| {
-        b.iter(|| black_box(streaming_trace(4096)).nodes().len())
+fn bench_tracer() {
+    bench("tracer", "record_20k_nodes", || {
+        streaming_trace(4096).nodes().len()
     });
-    g.finish();
 }
 
-fn bench_dddg(c: &mut Criterion) {
+fn bench_dddg() {
     let trace = streaming_trace(4096);
     let cfg = DatapathConfig {
         lanes: 4,
         ..DatapathConfig::default()
     };
-    let mut g = c.benchmark_group("dddg");
-    g.throughput(Throughput::Elements(trace.nodes().len() as u64));
-    g.bench_function("build", |b| b.iter(|| Dddg::build(black_box(&trace), &cfg)));
+    bench("dddg", "build", || Dddg::build(black_box(&trace), &cfg));
     let graph = Dddg::build(&trace, &cfg);
-    g.bench_function("critical_path", |b| {
-        b.iter(|| graph.critical_path_cycles(black_box(&trace), &FuTiming::default()))
+    bench("dddg", "critical_path", || {
+        graph.critical_path_cycles(black_box(&trace), &FuTiming::default())
     });
-    g.finish();
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+fn bench_scheduler() {
     let trace = streaming_trace(4096);
-    let mut g = c.benchmark_group("scheduler");
-    g.throughput(Throughput::Elements(trace.nodes().len() as u64));
     for (label, lanes, partition) in [("1x1", 1u32, 1u32), ("4x4", 4, 4), ("16x16", 16, 16)] {
         let cfg = DatapathConfig {
             lanes,
             partition,
             ..DatapathConfig::default()
         };
-        g.bench_function(format!("spad_{label}"), |b| {
-            b.iter_batched(
-                || SpadMemory::new(&trace, &cfg),
-                |mut mem| schedule(black_box(&trace), &cfg, &mut mem, 0).end,
-                BatchSize::SmallInput,
-            )
+        bench("scheduler", &format!("spad_{label}"), || {
+            let mut mem = SpadMemory::new(&trace, &cfg);
+            schedule(black_box(&trace), &cfg, &mut mem, 0).end
         });
     }
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("hits_10k", |b| {
-        let mut cache = Cache::new(CacheConfig::default());
-        // Warm one line.
-        cache.begin_cycle(0);
-        cache.access(0, 0, AccessKind::Read, 0);
-        for req in cache.take_bus_requests() {
-            cache.bus_completed(req.line_addr, 0);
+fn bench_cache() {
+    let mut cache = Cache::new(CacheConfig::default());
+    // Warm one line.
+    cache.begin_cycle(0);
+    cache.access(0, 0, AccessKind::Read, 0);
+    for req in cache.take_bus_requests() {
+        cache.bus_completed(req.line_addr, 0);
+    }
+    let _ = cache.drain_completions();
+    bench("cache", "hits_10k", || {
+        let mut sum = 0u64;
+        for i in 0..10_000u64 {
+            cache.begin_cycle(i + 1);
+            if let aladdin_mem::CacheOutcome::Hit { at } =
+                cache.access(i, 8, AccessKind::Read, i + 1)
+            {
+                sum += at;
+            }
         }
-        let _ = cache.drain_completions();
-        b.iter(|| {
-            let mut sum = 0u64;
-            for i in 0..10_000u64 {
-                cache.begin_cycle(i + 1);
-                if let aladdin_mem::CacheOutcome::Hit { at } =
-                    cache.access(i, 8, AccessKind::Read, i + 1)
-                {
-                    sum += at;
+        sum
+    });
+    bench("cache", "miss_fill_cycle", || {
+        let mut cache = Cache::new(CacheConfig::default());
+        for i in 0..200u64 {
+            cache.begin_cycle(i);
+            let _ = cache.access(i, i * 64, AccessKind::Read, i);
+            for req in cache.take_bus_requests() {
+                if !req.write {
+                    cache.bus_completed(req.line_addr, i);
                 }
             }
-            sum
-        })
+            let _ = cache.drain_completions();
+        }
     });
-    g.bench_function("miss_fill_cycle", |b| {
-        b.iter_batched(
-            || Cache::new(CacheConfig::default()),
-            |mut cache| {
-                for i in 0..200u64 {
-                    cache.begin_cycle(i);
-                    let _ = cache.access(i, i * 64, AccessKind::Read, i);
-                    for req in cache.take_bus_requests() {
-                        if !req.write {
-                            cache.bus_completed(req.line_addr, i);
-                        }
-                    }
-                    let _ = cache.drain_completions();
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
 }
 
-fn bench_bus(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bus");
-    g.throughput(Throughput::Bytes(64 * 256));
-    g.bench_function("stream_16kb", |b| {
-        b.iter_batched(
-            || {
-                let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
-                for i in 0..256u64 {
-                    bus.request(MasterId::DMA, i * 64, 64, false);
-                }
-                bus
-            },
-            |mut bus| {
-                let mut cycle = 0;
-                while !bus.is_idle() {
-                    bus.tick(cycle);
-                    let _ = bus.drain_completions();
-                    cycle += 1;
-                }
-                cycle
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_bus() {
+    bench("bus", "stream_16kb", || {
+        let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+        for i in 0..256u64 {
+            bus.request(MasterId::DMA, i * 64, 64, false);
+        }
+        let mut cycle = 0;
+        while !bus.is_idle() {
+            bus.tick(cycle);
+            let _ = bus.drain_completions();
+            cycle += 1;
+        }
+        cycle
     });
-    g.finish();
 }
 
-fn bench_dma(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dma");
-    g.throughput(Throughput::Bytes(64 * 1024));
+fn bench_dma() {
     for (label, pipelined) in [("baseline", false), ("pipelined", true)] {
-        g.bench_function(format!("64kb_{label}"), |b| {
-            b.iter_batched(
-                || {
-                    let cfg = DmaConfig {
-                        pipelined,
-                        ..DmaConfig::default()
-                    };
-                    let t = [DmaTransfer {
-                        base: 0,
-                        bytes: 64 * 1024,
-                        direction: DmaDirection::In,
-                    }];
-                    let n = cfg.chunk_sizes(&t).len();
-                    (
-                        DmaEngine::new(cfg, &t, &vec![0; n]),
-                        SystemBus::new(BusConfig::default(), DramConfig::default()),
-                    )
-                },
-                |(mut dma, mut bus)| {
-                    let mut cycle = 0;
-                    while !dma.is_done() {
-                        dma.tick(cycle, &mut bus);
-                        bus.tick(cycle);
-                        for c in bus.drain_completions() {
-                            dma.on_bus_completion(c.token, c.at);
-                        }
-                        cycle += 1;
-                    }
-                    cycle
-                },
-                BatchSize::SmallInput,
-            )
+        bench("dma", &format!("64kb_{label}"), || {
+            let cfg = DmaConfig {
+                pipelined,
+                ..DmaConfig::default()
+            };
+            let t = [DmaTransfer {
+                base: 0,
+                bytes: 64 * 1024,
+                direction: DmaDirection::In,
+            }];
+            let n = cfg.chunk_sizes(&t).len();
+            let mut dma = DmaEngine::new(cfg, &t, &vec![0; n]);
+            let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+            let mut cycle = 0;
+            while !dma.is_done() {
+                dma.tick(cycle, &mut bus);
+                bus.tick(cycle);
+                for c in bus.drain_completions() {
+                    dma.on_bus_completion(c.token, c.at);
+                }
+                cycle += 1;
+            }
+            cycle
         });
     }
-    g.finish();
 }
 
-fn bench_tlb(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tlb");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("translate_10k", |b| {
-        let mut tlb = Tlb::new(TlbConfig::default());
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..10_000u64 {
-                acc += tlb.translate((i % 6) * 4096, i);
-            }
-            acc
-        })
+fn bench_tlb() {
+    let mut tlb = Tlb::new(TlbConfig::default());
+    bench("tlb", "translate_10k", || {
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc += tlb.translate((i % 6) * 4096, i);
+        }
+        acc
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tracer,
-    bench_dddg,
-    bench_scheduler,
-    bench_cache,
-    bench_bus,
-    bench_dma,
-    bench_tlb
-);
-criterion_main!(benches);
+fn main() {
+    bench_tracer();
+    bench_dddg();
+    bench_scheduler();
+    bench_cache();
+    bench_bus();
+    bench_dma();
+    bench_tlb();
+}

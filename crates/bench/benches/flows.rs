@@ -1,13 +1,31 @@
-//! Criterion benchmarks of whole co-simulation flows: one isolated / DMA /
-//! cache run per representative kernel, measuring end-to-end simulator
-//! throughput (simulated cycles per wall second drive sweep feasibility).
+//! Benchmarks of whole co-simulation flows: one isolated / DMA / cache run
+//! per representative kernel, measuring end-to-end simulator throughput
+//! (simulated cycles per wall second drive sweep feasibility).
+//!
+//! Self-contained harness (no crate registry in the build environment):
+//! each benchmark runs for a fixed wall-time budget and reports the median
+//! ns/iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 use aladdin_accel::DatapathConfig;
 use aladdin_core::{run_cache, run_dma, run_isolated, DmaOptLevel, SocConfig};
 use aladdin_workloads::by_name;
+
+fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+    let mut samples = Vec::new();
+    let budget = std::time::Duration::from_millis(200);
+    let start = Instant::now();
+    while samples.len() < 3 || (start.elapsed() < budget && samples.len() < 10_000) {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!("{group}/{name}: {median} ns/iter ({} runs)", samples.len());
+}
 
 fn dp() -> DatapathConfig {
     DatapathConfig {
@@ -17,27 +35,22 @@ fn dp() -> DatapathConfig {
     }
 }
 
-fn bench_flows(c: &mut Criterion) {
+fn main() {
     let soc = SocConfig::default();
     for name in ["aes-aes", "md-knn", "fft-transpose"] {
         let trace = by_name(name).expect("kernel").run().trace;
-        let mut g = c.benchmark_group(format!("flow/{name}"));
-        g.throughput(Throughput::Elements(trace.nodes().len() as u64));
-        g.bench_function("isolated", |b| {
-            b.iter(|| run_isolated(black_box(&trace), &dp(), &soc).total_cycles)
+        let group = format!("flow/{name}");
+        bench(&group, "isolated", || {
+            run_isolated(black_box(&trace), &dp(), &soc).total_cycles
         });
-        g.bench_function("dma_baseline", |b| {
-            b.iter(|| run_dma(black_box(&trace), &dp(), &soc, DmaOptLevel::Baseline).total_cycles)
+        bench(&group, "dma_baseline", || {
+            run_dma(black_box(&trace), &dp(), &soc, DmaOptLevel::Baseline).total_cycles
         });
-        g.bench_function("dma_full", |b| {
-            b.iter(|| run_dma(black_box(&trace), &dp(), &soc, DmaOptLevel::Full).total_cycles)
+        bench(&group, "dma_full", || {
+            run_dma(black_box(&trace), &dp(), &soc, DmaOptLevel::Full).total_cycles
         });
-        g.bench_function("cache", |b| {
-            b.iter(|| run_cache(black_box(&trace), &dp(), &soc).total_cycles)
+        bench(&group, "cache", || {
+            run_cache(black_box(&trace), &dp(), &soc).total_cycles
         });
-        g.finish();
     }
 }
-
-criterion_group!(benches, bench_flows);
-criterion_main!(benches);

@@ -4,7 +4,7 @@ use aladdin_accel::{
     schedule, DatapathConfig, DatapathMemory, EnergyReport, IssueResult, PowerModel, SpadMemory,
     SpadStats,
 };
-use aladdin_ir::{ArrayKind, Trace};
+use aladdin_ir::{ArrayKind, Diagnostic, Trace};
 use aladdin_mem::{
     CacheStats, DmaConfig, DmaDirection, DmaEngine, DmaStats, DmaTransfer, FlushSchedule,
     IntervalSet, MasterId, SystemBus, TlbStats, TrafficGenerator,
@@ -203,8 +203,10 @@ fn drive_dma_to_completion(
     bus: &mut SystemBus,
     traffic: &mut Option<TrafficGenerator>,
     mut cycle: u64,
-) -> u64 {
+) -> Result<u64, Diagnostic> {
     let mut guard = 0u64;
+    let mut idle_streak = 0u64;
+    let mut last_bytes = dma.stats().bytes;
     while !dma.is_done() {
         dma.tick(cycle, bus);
         if let Some(t) = traffic.as_mut() {
@@ -218,14 +220,41 @@ fn drive_dma_to_completion(
         }
         cycle += 1;
         guard += 1;
-        assert!(guard < 200_000_000, "DMA never finished");
+        // Stall detection: a quiet bus with no DMA bytes moving for this
+        // long cannot be a transfer waiting on eligibility or contention
+        // (flush schedules and traffic both show up as bus activity) —
+        // the engine is wedged, e.g. by a zero-descriptor window.
+        let bytes = dma.stats().bytes;
+        if bus.is_idle() && bytes == last_bytes {
+            idle_streak += 1;
+        } else {
+            idle_streak = 0;
+            last_bytes = bytes;
+        }
+        if idle_streak >= 2_000_000 || guard >= 200_000_000 {
+            return Err(Diagnostic::error(
+                "L0230",
+                format!("DMA made no progress by cycle {cycle} — likely a stalled descriptor"),
+            ));
+        }
     }
-    dma.done_at().expect("done").max(cycle)
+    dma.done_at().map(|d| d.max(cycle)).ok_or_else(|| {
+        Diagnostic::error(
+            "L0231",
+            "DMA engine reported done without a completion time",
+        )
+    })
 }
 
 /// The scratchpad/DMA flow at the given optimization level: invoke →
 /// flush/invalidate → DMA in → compute → DMA out (with overlap as the
 /// optimizations allow).
+///
+/// # Panics
+///
+/// Panics if the simulation cannot complete (e.g. the DMA engine makes
+/// no progress under a degenerate configuration); use
+/// [`try_run_dma`] to handle that as a typed diagnostic instead.
 #[must_use]
 pub fn run_dma(
     trace: &Trace,
@@ -233,6 +262,23 @@ pub fn run_dma(
     soc: &SocConfig,
     opt: DmaOptLevel,
 ) -> FlowResult {
+    try_run_dma(trace, dp, soc, opt).unwrap_or_else(|d| panic!("{d}"))
+}
+
+/// [`run_dma`], with simulation failures reported as diagnostics
+/// (`L0230`: no forward progress, `L0231`: inconsistent completion)
+/// instead of panics, so sweeps can skip degenerate points.
+///
+/// # Errors
+///
+/// Returns the diagnostic describing why the simulation could not
+/// complete.
+pub fn try_run_dma(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+) -> Result<FlowResult, Diagnostic> {
     let t0 = soc.invoke_cycles;
     let dma_cfg = DmaConfig {
         pipelined: opt.pipelined(),
@@ -280,9 +326,14 @@ pub fn run_dma(
         // The transfer may outlive the computation (e.g. not every input
         // byte is read): drain it before writeback DMA starts.
         let dma_done = if mem.dma.is_done() {
-            mem.dma.done_at().expect("done")
+            mem.dma.done_at().ok_or_else(|| {
+                Diagnostic::error(
+                    "L0231",
+                    "DMA engine reported done without a completion time",
+                )
+            })?
         } else {
-            drive_dma_to_completion(&mut mem.dma, &mut mem.bus, &mut mem.traffic, sched.end)
+            drive_dma_to_completion(&mut mem.dma, &mut mem.bus, &mut mem.traffic, sched.end)?
         };
         let compute_end = sched.end.max(dma_done);
         let stats = mem.spad.stats();
@@ -294,7 +345,7 @@ pub fn run_dma(
             // No input arrays at all: compute may start after coherence.
             flush.end().max(t0)
         } else {
-            drive_dma_to_completion(&mut dma_in, &mut bus, &mut traffic, t0)
+            drive_dma_to_completion(&mut dma_in, &mut bus, &mut traffic, t0)?
         };
         let mut spad = SpadMemory::new(trace, dp);
         let sched = schedule(trace, dp, &mut spad, dma_done);
@@ -319,7 +370,7 @@ pub fn run_dma(
     let end = if dma_out.is_done() {
         compute_end
     } else {
-        drive_dma_to_completion(&mut dma_out, &mut bus, &mut traffic, compute_end)
+        drive_dma_to_completion(&mut dma_out, &mut bus, &mut traffic, compute_end)?
     };
 
     let end = end + soc.completion.map_or(0, |c| c.observation_lag(end));
@@ -355,7 +406,7 @@ pub fn run_dma(
     dstats.bursts += o.bursts;
     dstats.bytes += o.bytes;
 
-    FlowResult {
+    Ok(FlowResult {
         kernel: trace.name().to_owned(),
         mem_kind: MemKind::Dma(opt),
         datapath: *dp,
@@ -372,7 +423,7 @@ pub fn run_dma(
         dma_stats: Some(dstats),
         local_sram_bytes: total_bytes,
         local_mem_bandwidth: dp.local_mem_bandwidth(),
-    }
+    })
 }
 
 /// The cache-based flow: shared arrays on demand through TLB + cache over
@@ -468,6 +519,15 @@ mod tests {
             partition,
             ..DatapathConfig::default()
         }
+    }
+
+    #[test]
+    fn stalled_dma_is_a_typed_diagnostic() {
+        let trace = trace_of("stencil-stencil2d");
+        let mut soc = SocConfig::default();
+        soc.dma.max_outstanding = 0; // the engine can never post a burst
+        let err = try_run_dma(&trace, &dp(2, 2), &soc, DmaOptLevel::Baseline).unwrap_err();
+        assert_eq!(err.code, "L0230", "{err}");
     }
 
     #[test]

@@ -33,12 +33,16 @@
 
 mod kiviat;
 mod pareto;
+mod preflight;
 mod scenario;
 mod space;
 mod sweep;
 
 pub use kiviat::KiviatSummary;
 pub use pareto::{edp_optimal, optimal_by, pareto_frontier, Metric};
+pub use preflight::{preflight_cache, preflight_dma, Preflight, RejectedPoint};
 pub use scenario::{run_codesign, CodesignReport, ScenarioOutcome};
 pub use space::{CachePoint, DesignSpace, DmaPoint};
-pub use sweep::{sweep_cache, sweep_dma, sweep_isolated};
+pub use sweep::{
+    sweep_cache, sweep_cache_checked, sweep_dma, sweep_dma_checked, sweep_isolated, CheckedSweep,
+};

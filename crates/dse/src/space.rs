@@ -138,6 +138,35 @@ impl DesignSpace {
         v
     }
 
+    /// Every cache combination of the space, including geometries that
+    /// cannot be constructed. [`cache_points`](DesignSpace::cache_points)
+    /// filters these silently for the unchecked sweep runners; the
+    /// pre-flight pass (`preflight_cache`) lints this unfiltered list
+    /// instead, so invalid combinations are *diagnosed* rather than
+    /// silently dropped.
+    #[must_use]
+    pub fn cache_points_unfiltered(&self) -> Vec<CachePoint> {
+        let mut v = Vec::new();
+        for &lanes in &self.lanes {
+            for &size_bytes in &self.cache_sizes {
+                for &line_bytes in &self.cache_lines {
+                    for &ports in &self.cache_ports {
+                        for &assoc in &self.cache_assocs {
+                            v.push(CachePoint {
+                                lanes,
+                                size_bytes,
+                                line_bytes,
+                                ports,
+                                assoc,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        v
+    }
+
     /// All cache design points. Geometries whose line count is smaller
     /// than the associativity are skipped (not constructible).
     #[must_use]

@@ -6,6 +6,7 @@ use std::sync::Mutex;
 use aladdin_core::{DmaOptLevel, FlowResult, SocConfig};
 use aladdin_ir::Trace;
 
+use crate::preflight::{preflight_cache, preflight_dma, RejectedPoint};
 use crate::space::DesignSpace;
 
 /// Run `job` once per index in `0..n` across all available cores,
@@ -19,7 +20,11 @@ where
         .unwrap_or(4)
         .min(n.max(1));
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<FlowResult>>> = Mutex::new(vec![None; n]);
+    // Workers append (index, result) pairs; a final sort restores index
+    // order. This avoids pre-sizing with placeholders that would need an
+    // unwrap per slot, and a poisoned lock (a worker panicked, which
+    // thread::scope re-raises anyway) still yields the finished results.
+    let results: Mutex<Vec<(usize, FlowResult)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -28,16 +33,18 @@ where
                     break;
                 }
                 let r = job(i);
-                results.lock().expect("sweep lock")[i] = Some(r);
+                results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push((i, r));
             });
         }
     });
-    results
+    let mut out = results
         .into_inner()
-        .expect("sweep lock")
-        .into_iter()
-        .map(|r| r.expect("every index ran"))
-        .collect()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    out.sort_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Sweep the isolated (system-less) design space: lanes × partitions.
@@ -73,6 +80,58 @@ pub fn sweep_cache(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> Vec<F
     })
 }
 
+/// A sweep whose space was statically pre-flighted: invalid points are
+/// rejected with diagnostics instead of panicking mid-simulation.
+#[derive(Debug, Clone)]
+pub struct CheckedSweep {
+    /// One result per accepted point, in point order.
+    pub results: Vec<FlowResult>,
+    /// Original point-list indices of the accepted points,
+    /// parallel to `results`.
+    pub accepted: Vec<usize>,
+    /// Points pruned before simulation, with their diagnostic reports.
+    pub rejected: Vec<RejectedPoint>,
+}
+
+/// [`sweep_dma`] with a static pre-flight pass: contradictory design
+/// points are pruned (with diagnostics) instead of simulated.
+#[must_use]
+pub fn sweep_dma_checked(
+    trace: &Trace,
+    space: &DesignSpace,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+) -> CheckedSweep {
+    let pre = preflight_dma(space, soc);
+    let results = parallel_map(pre.accepted.len(), |i| {
+        aladdin_core::run_dma(trace, &pre.accepted[i].1.datapath(), soc, opt)
+    });
+    CheckedSweep {
+        results,
+        accepted: pre.accepted.iter().map(|&(i, _)| i).collect(),
+        rejected: pre.rejected,
+    }
+}
+
+/// [`sweep_cache`] with a static pre-flight pass: unconstructible cache
+/// geometries (which would panic in `CacheConfig::num_sets`) and other
+/// contradictions are pruned with diagnostics instead of simulated or
+/// silently skipped. Point indices refer to
+/// [`DesignSpace::cache_points_unfiltered`].
+#[must_use]
+pub fn sweep_cache_checked(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> CheckedSweep {
+    let pre = preflight_cache(space, soc);
+    let results = parallel_map(pre.accepted.len(), |i| {
+        let point = pre.accepted[i].1;
+        aladdin_core::run_cache(trace, &point.datapath(), &point.apply(soc))
+    });
+    CheckedSweep {
+        results,
+        accepted: pre.accepted.iter().map(|&(i, _)| i).collect(),
+        rejected: pre.rejected,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +161,41 @@ mod tests {
         for (p, r) in space.dma_points().iter().zip(&results) {
             assert_eq!(r.datapath.lanes, p.lanes);
             assert_eq!(r.datapath.partition, p.partition);
+        }
+    }
+
+    #[test]
+    fn checked_sweep_prunes_contradictory_points_instead_of_panicking() {
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        // 3072 B / 32 B lines / 4 ways = 24 sets (not a power of two):
+        // the unchecked sweep would panic inside CacheConfig::num_sets.
+        let space = DesignSpace {
+            cache_sizes: vec![2048, 3072],
+            ..DesignSpace::quick()
+        };
+        let soc = SocConfig::default();
+        let out = sweep_cache_checked(&trace, &space, &soc);
+        assert!(!out.rejected.is_empty());
+        assert!(out.rejected.iter().all(|r| r.report.has_code("L0211")));
+        assert_eq!(out.results.len(), out.accepted.len());
+        let points = space.cache_points_unfiltered();
+        for (&idx, result) in out.accepted.iter().zip(&out.results) {
+            assert_eq!(points[idx].size_bytes, 2048);
+            assert!(result.total_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn checked_dma_sweep_matches_unchecked_on_a_clean_space() {
+        let trace = by_name("fft-transpose").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        let plain = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+        let checked = sweep_dma_checked(&trace, &space, &soc, DmaOptLevel::Full);
+        assert!(checked.rejected.is_empty());
+        assert_eq!(plain.len(), checked.results.len());
+        for (a, b) in plain.iter().zip(&checked.results) {
+            assert_eq!(a.total_cycles, b.total_cycles);
         }
     }
 

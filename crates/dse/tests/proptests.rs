@@ -1,10 +1,12 @@
-//! Property-based tests of the Pareto/EDP analyses, on synthetic results.
+//! Property-style tests of the Pareto/EDP analyses, on synthetic results,
+//! driven by the in-tree deterministic [`aladdin_rng::SmallRng`] (the
+//! workspace builds with no crate registry, so `proptest` is unavailable).
 
 use aladdin_accel::{DatapathConfig, EnergyReport};
 use aladdin_core::{FlowResult, MemKind, PhaseBreakdown};
 use aladdin_dse::{edp_optimal, pareto_frontier};
 use aladdin_mem::Clock;
-use proptest::prelude::*;
+use aladdin_rng::SmallRng;
 
 fn fake(cycles: u64, leak_mw: f64) -> FlowResult {
     FlowResult {
@@ -33,17 +35,23 @@ fn fake(cycles: u64, leak_mw: f64) -> FlowResult {
     }
 }
 
-proptest! {
-    /// No frontier point is dominated, and every non-frontier point is
-    /// dominated (weakly) by some frontier point.
-    #[test]
-    fn frontier_is_exactly_the_nondominated_set(
-        pts in prop::collection::vec((1u64..10_000, 1u32..1_000), 1..60)
-    ) {
-        let results: Vec<FlowResult> =
-            pts.iter().map(|&(c, p)| fake(c, f64::from(p))).collect();
+fn random_points(rng: &mut SmallRng) -> Vec<(u64, u32)> {
+    let n = rng.gen_range(1..60usize);
+    (0..n)
+        .map(|_| (rng.gen_range(1..10_000u64), rng.gen_range(1..1_000u32)))
+        .collect()
+}
+
+/// No frontier point is dominated, and every non-frontier point is
+/// dominated (weakly) by some frontier point.
+#[test]
+fn frontier_is_exactly_the_nondominated_set() {
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD5E1 + case);
+        let pts = random_points(&mut rng);
+        let results: Vec<FlowResult> = pts.iter().map(|&(c, p)| fake(c, f64::from(p))).collect();
         let frontier = pareto_frontier(&results);
-        prop_assert!(!frontier.is_empty());
+        assert!(!frontier.is_empty());
         let dominated = |i: usize, j: usize| {
             results[j].total_cycles <= results[i].total_cycles
                 && results[j].power_mw() <= results[i].power_mw()
@@ -52,43 +60,51 @@ proptest! {
         };
         for &i in &frontier {
             for j in 0..results.len() {
-                prop_assert!(!dominated(i, j), "frontier point {i} dominated by {j}");
+                assert!(!dominated(i, j), "frontier point {i} dominated by {j}");
             }
         }
         for i in 0..results.len() {
             if !frontier.contains(&i) {
-                prop_assert!(
+                assert!(
                     (0..results.len()).any(|j| dominated(i, j)),
                     "non-frontier point {i} not dominated by anyone"
                 );
             }
         }
     }
+}
 
-    /// The EDP optimum is on the Pareto frontier.
-    #[test]
-    fn edp_optimum_is_pareto(
-        pts in prop::collection::vec((1u64..10_000, 1u32..1_000), 1..60)
-    ) {
-        let results: Vec<FlowResult> =
-            pts.iter().map(|&(c, p)| fake(c, f64::from(p))).collect();
+/// The EDP optimum is on the Pareto frontier.
+#[test]
+fn edp_optimum_is_pareto() {
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD5E2 + case);
+        let pts = random_points(&mut rng);
+        let results: Vec<FlowResult> = pts.iter().map(|&(c, p)| fake(c, f64::from(p))).collect();
         let frontier = pareto_frontier(&results);
         let best = edp_optimal(&results).unwrap();
         let best_edp = best.edp();
         // Some frontier point achieves the optimal EDP (the optimum itself
         // may be a duplicate of a frontier point).
-        prop_assert!(
-            frontier.iter().any(|&i| (results[i].edp() - best_edp).abs() < best_edp * 1e-12),
+        assert!(
+            frontier
+                .iter()
+                .any(|&i| (results[i].edp() - best_edp).abs() < best_edp * 1e-12),
             "EDP optimum not on frontier"
         );
     }
+}
 
-    /// EDP is monotone: strictly improving both time and power strictly
-    /// improves EDP.
-    #[test]
-    fn edp_monotone(cycles in 2u64..100_000, leak in 2u32..10_000) {
+/// EDP is monotone: strictly improving both time and power strictly
+/// improves EDP.
+#[test]
+fn edp_monotone() {
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD5E3 + case);
+        let cycles = rng.gen_range(2..100_000u64);
+        let leak = rng.gen_range(2..10_000u32);
         let worse = fake(cycles, f64::from(leak));
         let better = fake(cycles - 1, f64::from(leak) - 1.0);
-        prop_assert!(better.edp() < worse.edp());
+        assert!(better.edp() < worse.edp());
     }
 }

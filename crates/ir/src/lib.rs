@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod array;
+pub mod diag;
 mod opcode;
 mod serialize;
 mod stats;
@@ -47,6 +48,7 @@ mod tracer;
 mod transform;
 
 pub use array::{ArrayId, ArrayInfo, ArrayKind};
+pub use diag::{Diagnostic, Locus, Report, Severity};
 pub use opcode::{FuClass, Opcode};
 pub use serialize::ParseTraceError;
 pub use stats::TraceStats;

@@ -233,9 +233,10 @@ impl Trace {
             nodes,
             arrays,
         );
-        trace
-            .validate()
-            .map_err(|m| ParseTraceError::new(0, format!("invalid trace: {m}")))?;
+        let report = trace.check();
+        if let Some(d) = report.first_error() {
+            return Err(ParseTraceError::new(0, format!("invalid trace: {d}")));
+        }
         Ok(trace)
     }
 }

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::array::{ArrayId, ArrayInfo};
+use crate::diag::{Diagnostic, Locus, Report};
 use crate::opcode::Opcode;
 use crate::stats::TraceStats;
 
@@ -179,7 +180,7 @@ impl Trace {
             nodes,
             arrays: self.arrays.clone(),
         };
-        debug_assert_eq!(out.validate(), Ok(()));
+        debug_assert!(out.check().is_clean(), "{}", out.check().to_human());
         out
     }
 
@@ -257,50 +258,108 @@ impl Trace {
             nodes,
             arrays: self.arrays.clone(),
         };
-        debug_assert_eq!(out.validate(), Ok(()));
+        debug_assert!(out.check().is_clean(), "{}", out.check().to_human());
         out
     }
 
-    /// Checks structural invariants; used by tests and debug assertions.
+    /// Checks structural invariants, reporting every violation as a typed
+    /// [`Diagnostic`](crate::Diagnostic): non-dense node ids (`L0101`),
+    /// forward or self dependences (`L0102`), memory/`MemRef` mismatches
+    /// (`L0103`), references to unknown arrays (`L0104`), and accesses out
+    /// of the owning array's bounds (`L0105`).
     ///
-    /// # Errors
-    ///
-    /// Returns a description of the first violated invariant: non-dense node
-    /// ids, forward or self dependences, memory nodes without a [`MemRef`]
-    /// (or vice versa), or references out of the owning array's bounds.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Unlike the legacy [`validate`](Trace::validate), this does not stop
+    /// at the first defect: `soclint` and the sweep pre-flight pass want
+    /// the full list. Deeper semantic lints (store→load consistency,
+    /// dependence cycles, unreachable nodes, unbalanced loop annotations)
+    /// live in the `aladdin-lint` crate under `L011x`.
+    #[must_use]
+    pub fn check(&self) -> Report {
+        let mut report = Report::new();
         for (idx, node) in self.nodes.iter().enumerate() {
             if node.id.index() != idx {
-                return Err(format!("node at position {idx} has id {}", node.id));
+                report.push(
+                    Diagnostic::error(
+                        "L0101",
+                        format!("node at position {idx} has id {}", node.id),
+                    )
+                    .at(Locus::Node(idx)),
+                );
             }
             for &dep in &node.deps {
                 if dep.index() >= idx {
-                    return Err(format!("node {} depends on non-earlier {}", node.id, dep));
+                    report.push(
+                        Diagnostic::error(
+                            "L0102",
+                            format!("node {} depends on non-earlier {}", node.id, dep),
+                        )
+                        .at(Locus::Node(idx)),
+                    );
                 }
             }
             match (&node.mem, node.opcode.is_memory()) {
                 (Some(m), true) => {
-                    let arr = self.arrays.get(m.array.index()).ok_or_else(|| {
-                        format!("node {} references unknown {}", node.id, m.array)
-                    })?;
+                    let Some(arr) = self.arrays.get(m.array.index()) else {
+                        report.push(
+                            Diagnostic::error(
+                                "L0104",
+                                format!("node {} references unknown {}", node.id, m.array),
+                            )
+                            .at(Locus::Node(idx)),
+                        );
+                        continue;
+                    };
                     let end = m.addr + u64::from(m.bytes);
                     if m.addr < arr.base_addr || end > arr.base_addr + arr.size_bytes() {
-                        return Err(format!(
-                            "node {} access [{:#x},{:#x}) outside array {}",
-                            node.id, m.addr, end, arr.name
-                        ));
+                        report.push(
+                            Diagnostic::error(
+                                "L0105",
+                                format!(
+                                    "node {} access [{:#x},{:#x}) outside array {}",
+                                    node.id, m.addr, end, arr.name
+                                ),
+                            )
+                            .at(Locus::Node(idx)),
+                        );
                     }
                 }
                 (None, false) => {}
                 (Some(_), false) => {
-                    return Err(format!("compute node {} carries a MemRef", node.id));
+                    report.push(
+                        Diagnostic::error(
+                            "L0103",
+                            format!("compute node {} carries a MemRef", node.id),
+                        )
+                        .at(Locus::Node(idx)),
+                    );
                 }
                 (None, true) => {
-                    return Err(format!("memory node {} lacks a MemRef", node.id));
+                    report.push(
+                        Diagnostic::error(
+                            "L0103",
+                            format!("memory node {} lacks a MemRef", node.id),
+                        )
+                        .at(Locus::Node(idx)),
+                    );
                 }
             }
         }
-        Ok(())
+        report
+    }
+
+    /// Legacy structural check returning only the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant's message. Prefer
+    /// [`check`](Trace::check), which reports every violation with stable
+    /// diagnostic codes.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Trace::check, which returns a full Report"
+    )]
+    pub fn validate(&self) -> Result<(), String> {
+        self.check().into_result()
     }
 }
 
@@ -323,7 +382,7 @@ mod tests {
     #[test]
     fn trace_is_valid_and_ordered() {
         let tr = tiny_trace();
-        tr.validate().expect("valid trace");
+        assert!(tr.check().is_clean(), "{}", tr.check().to_human());
         assert_eq!(tr.nodes().len(), 4);
         assert_eq!(tr.input_bytes(), 24);
         assert_eq!(tr.output_bytes(), 8);

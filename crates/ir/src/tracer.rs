@@ -398,7 +398,7 @@ impl Tracer {
     #[must_use]
     pub fn finish(self) -> Trace {
         let trace = Trace::new(self.name, self.nodes, self.arrays);
-        debug_assert_eq!(trace.validate(), Ok(()));
+        debug_assert!(trace.check().is_clean(), "{}", trace.check().to_human());
         trace
     }
 }
@@ -475,7 +475,7 @@ mod tests {
             assert!(tr.array(bi).base_addr >= tr.array(ai).base_addr + 800);
             tr
         };
-        tr.validate().unwrap();
+        assert!(tr.check().is_clean());
     }
 
     #[test]

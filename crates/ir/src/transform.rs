@@ -204,7 +204,7 @@ mod tests {
         let after = depth(&out);
         assert_eq!(stats.chains, 1);
         assert_eq!(stats.nodes, 63);
-        out.validate().unwrap();
+        assert!(out.check().is_clean());
         // Serial: ~64 levels of adds; balanced: ~log2(64) = 6 (+ loads).
         assert!(before >= 64, "before={before}");
         assert!(after <= 10, "after={after}");
@@ -288,7 +288,7 @@ mod tests {
         t.store(&mut o, 1, acc);
         let trace = t.finish();
         let (out, _) = rebalance_reductions(&trace, 3);
-        out.validate().unwrap();
+        assert!(out.check().is_clean());
         // The store's dependence is preserved.
         let store = out
             .nodes()

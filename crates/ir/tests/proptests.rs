@@ -1,7 +1,12 @@
-//! Property-based tests of the tracer and trace invariants.
+//! Property-style tests of the tracer and trace invariants.
+//!
+//! The workspace builds hermetically (no crate registry), so these use the
+//! in-tree deterministic [`aladdin_rng::SmallRng`] rather than `proptest`:
+//! each test replays many seeded random programs against the tracing DSL
+//! and asserts the structural invariant for every one.
 
 use aladdin_ir::{ArrayKind, MemAccessKind, Opcode, TVal, Tracer};
-use proptest::prelude::*;
+use aladdin_rng::SmallRng;
 
 /// A random program step executed against the tracing DSL.
 #[derive(Debug, Clone)]
@@ -12,13 +17,16 @@ enum Step {
     Iter(u32),
 }
 
-fn step_strategy(len: usize) -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0..len).prop_map(Step::Load),
-        ((0..len), any::<f64>()).prop_map(|(i, v)| Step::Store(i, v)),
-        (0u8..4).prop_map(Step::BinOp),
-        (0u32..64).prop_map(Step::Iter),
-    ]
+fn random_steps(rng: &mut SmallRng, len: usize, max_steps: usize) -> Vec<Step> {
+    let n = rng.gen_range(0..max_steps);
+    (0..n)
+        .map(|_| match rng.gen_range(0..4u32) {
+            0 => Step::Load(rng.gen_range(0..len)),
+            1 => Step::Store(rng.gen_range(0..len), rng.gen_range(-1.0e6..1.0e6)),
+            2 => Step::BinOp(rng.gen_range(0..4u32) as u8),
+            _ => Step::Iter(rng.gen_range(0..64u32)),
+        })
+        .collect()
 }
 
 fn run_steps(steps: &[Step], len: usize) -> aladdin_ir::Trace {
@@ -49,29 +57,44 @@ fn run_steps(steps: &[Step], len: usize) -> aladdin_ir::Trace {
     t.finish()
 }
 
-proptest! {
-    /// Any program the DSL can express yields a structurally valid trace.
-    #[test]
-    fn random_programs_validate(steps in prop::collection::vec(step_strategy(16), 0..200)) {
+/// Any program the DSL can express yields a structurally valid trace.
+#[test]
+fn random_programs_validate() {
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0x1001 + case);
+        let steps = random_steps(&mut rng, 16, 200);
         let trace = run_steps(&steps, 16);
-        prop_assert_eq!(trace.validate(), Ok(()));
+        let report = trace.check();
+        assert!(report.is_clean(), "{}", report.to_human());
+        // The deprecated shim must agree with the structured check.
+        #[allow(deprecated)]
+        let v = trace.validate();
+        assert_eq!(v, Ok(()));
     }
+}
 
-    /// Dependences always point strictly backwards.
-    #[test]
-    fn deps_point_backwards(steps in prop::collection::vec(step_strategy(8), 0..150)) {
+/// Dependences always point strictly backwards.
+#[test]
+fn deps_point_backwards() {
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0x2002 + case);
+        let steps = random_steps(&mut rng, 8, 150);
         let trace = run_steps(&steps, 8);
         for node in trace.nodes() {
             for dep in &node.deps {
-                prop_assert!(dep.index() < node.id.index());
+                assert!(dep.index() < node.id.index());
             }
         }
     }
+}
 
-    /// Every load that follows a store to the same element depends
-    /// (transitively through node ids) on some earlier store to it.
-    #[test]
-    fn raw_dependences_exist(steps in prop::collection::vec(step_strategy(4), 0..120)) {
+/// Every load that follows a store to the same element depends
+/// (transitively through node ids) on some earlier store to it.
+#[test]
+fn raw_dependences_exist() {
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0x3003 + case);
+        let steps = random_steps(&mut rng, 4, 120);
         let trace = run_steps(&steps, 4);
         let mut last_store: [Option<usize>; 4] = [None; 4];
         for node in trace.nodes() {
@@ -81,7 +104,7 @@ proptest! {
                     MemAccessKind::Write => last_store[elem] = Some(node.id.index()),
                     MemAccessKind::Read => {
                         if let Some(s) = last_store[elem] {
-                            prop_assert!(
+                            assert!(
                                 node.deps.iter().any(|d| d.index() == s),
                                 "load {} misses RAW dep on store {}",
                                 node.id.index(),
@@ -93,21 +116,29 @@ proptest! {
             }
         }
     }
+}
 
-    /// Trace statistics are conserved: per-class counts sum to the node
-    /// count, and loads+stores equal memory-class operations.
-    #[test]
-    fn stats_conserved(steps in prop::collection::vec(step_strategy(8), 0..150)) {
+/// Trace statistics are conserved: per-class counts sum to the node
+/// count, and loads+stores equal memory-class operations.
+#[test]
+fn stats_conserved() {
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0x4004 + case);
+        let steps = random_steps(&mut rng, 8, 150);
         let trace = run_steps(&steps, 8);
         let s = trace.stats();
-        prop_assert_eq!(s.per_class.iter().sum::<usize>(), s.nodes);
-        prop_assert_eq!(s.loads + s.stores, s.class(aladdin_ir::FuClass::Mem));
-        prop_assert_eq!(s.nodes, trace.nodes().len());
+        assert_eq!(s.per_class.iter().sum::<usize>(), s.nodes);
+        assert_eq!(s.loads + s.stores, s.class(aladdin_ir::FuClass::Mem));
+        assert_eq!(s.nodes, trace.nodes().len());
     }
+}
 
-    /// Traced functional state equals a plain-Rust shadow execution.
-    #[test]
-    fn functional_shadow_agrees(steps in prop::collection::vec(step_strategy(8), 0..150)) {
+/// Traced functional state equals a plain-Rust shadow execution.
+#[test]
+fn functional_shadow_agrees() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5005 + case);
+        let steps = random_steps(&mut rng, 8, 150);
         let mut t = Tracer::new("shadow");
         let mut arr = t.array_f64("a", &[1.0; 8], ArrayKind::InOut);
         let mut shadow = [1.0f64; 8];
@@ -121,7 +152,14 @@ proptest! {
                 }
                 Step::Store(i, v) => {
                     let val = if v.is_finite() { *v } else { 0.0 };
-                    t.store(&mut arr, *i, TVal { v: val, src: last.src });
+                    t.store(
+                        &mut arr,
+                        *i,
+                        TVal {
+                            v: val,
+                            src: last.src,
+                        },
+                    );
                     shadow[*i] = val;
                 }
                 Step::BinOp(k) => {
@@ -136,12 +174,10 @@ proptest! {
                 }
                 Step::Iter(i) => t.begin_iteration(*i),
             }
-            prop_assert!(
-                (last.v == shadow_last) || (last.v.is_nan() && shadow_last.is_nan())
-            );
+            assert!((last.v == shadow_last) || (last.v.is_nan() && shadow_last.is_nan()));
         }
         for (i, &sh) in shadow.iter().enumerate() {
-            prop_assert!((arr.peek(i) == sh) || (arr.peek(i).is_nan() && sh.is_nan()));
+            assert!((arr.peek(i) == sh) || (arr.peek(i).is_nan() && sh.is_nan()));
         }
     }
 }

@@ -2,6 +2,8 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 
+use aladdin_ir::{Diagnostic, Locus};
+
 use crate::dram::{Dram, DramConfig, DramStats};
 
 /// Identifies a bus master (requester).
@@ -126,12 +128,25 @@ pub struct SystemBus {
 
 impl SystemBus {
     /// Create a bus backed by a DRAM with the given configurations.
-    #[must_use]
-    pub fn new(cfg: BusConfig, dram_cfg: DramConfig) -> Self {
-        assert!(cfg.width_bits >= 8, "bus width must be at least one byte");
-        SystemBus {
+    ///
+    /// # Errors
+    ///
+    /// Returns an `L0213` diagnostic if the bus width is narrower than
+    /// one byte, or the DRAM configuration's own diagnostic.
+    pub fn try_new(cfg: BusConfig, dram_cfg: DramConfig) -> Result<Self, Diagnostic> {
+        if cfg.width_bits < 8 {
+            return Err(Diagnostic::error(
+                "L0213",
+                format!(
+                    "bus width must be at least one byte, got {} bits",
+                    cfg.width_bits
+                ),
+            )
+            .at(Locus::Field("bus.width_bits")));
+        }
+        Ok(SystemBus {
             cfg,
-            dram: Dram::new(dram_cfg),
+            dram: Dram::try_new(dram_cfg)?,
             queues: Default::default(),
             rr_next: 0,
             data_busy_until: 0,
@@ -140,7 +155,19 @@ impl SystemBus {
             completions: Vec::new(),
             next_token: 0,
             stats: BusStats::default(),
-        }
+        })
+    }
+
+    /// Create a bus backed by a DRAM with the given configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid bus or DRAM configuration; use
+    /// [`try_new`](SystemBus::try_new) to handle that as a typed
+    /// diagnostic instead.
+    #[must_use]
+    pub fn new(cfg: BusConfig, dram_cfg: DramConfig) -> Self {
+        SystemBus::try_new(cfg, dram_cfg).unwrap_or_else(|d| panic!("{d}"))
     }
 
     /// Bytes moved per bus cycle.
@@ -158,14 +185,44 @@ impl SystemBus {
     /// Enqueue a transaction of `bytes` at `addr` on behalf of `master`.
     /// Returns a token matched by a later [`BusCompletion`]. `write` only
     /// affects statistics; timing is symmetric.
-    pub fn request(&mut self, master: MasterId, addr: u64, bytes: u32, write: bool) -> Token {
+    ///
+    /// # Errors
+    ///
+    /// Returns an `L0215` diagnostic for a zero-byte request, which
+    /// would otherwise occupy an arbitration slot forever without a
+    /// data phase to complete it.
+    pub fn try_request(
+        &mut self,
+        master: MasterId,
+        addr: u64,
+        bytes: u32,
+        write: bool,
+    ) -> Result<Token, Diagnostic> {
         let _ = write;
-        assert!(bytes > 0, "zero-byte bus request");
+        if bytes == 0 {
+            return Err(Diagnostic::error(
+                "L0215",
+                format!(
+                    "zero-byte bus request at {addr:#x} from master {}",
+                    master.0
+                ),
+            ));
+        }
         let token = self.next_token;
         self.next_token += 1;
         self.queues[master.0 as usize].push_back(Pending { token, addr, bytes });
         self.stats.requests += 1;
-        token
+        Ok(token)
+    }
+
+    /// Like [`try_request`](SystemBus::try_request).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-byte request.
+    pub fn request(&mut self, master: MasterId, addr: u64, bytes: u32, write: bool) -> Token {
+        self.try_request(master, addr, bytes, write)
+            .unwrap_or_else(|d| panic!("{d}"))
     }
 
     /// Whether any request is queued or in flight.
@@ -266,6 +323,28 @@ mod tests {
             }
         }
         all
+    }
+
+    #[test]
+    fn bad_bus_config_is_a_typed_diagnostic() {
+        let narrow = BusConfig {
+            width_bits: 4,
+            ..BusConfig::default()
+        };
+        assert_eq!(
+            SystemBus::try_new(narrow, DramConfig::default())
+                .unwrap_err()
+                .code,
+            "L0213"
+        );
+        let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+        assert_eq!(
+            bus.try_request(MasterId::DMA, 0x100, 0, false)
+                .unwrap_err()
+                .code,
+            "L0215"
+        );
+        assert_eq!(bus.stats().requests, 0, "rejected request must not count");
     }
 
     #[test]

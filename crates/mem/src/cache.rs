@@ -13,6 +13,8 @@
 //! for the SoC to place on the bus, and [`Cache::bus_completed`] delivers
 //! fill completions back.
 
+use aladdin_ir::{Diagnostic, Locus};
+
 use crate::bus::Token;
 
 /// Read or write, from the datapath's perspective.
@@ -135,23 +137,47 @@ impl Default for CacheConfig {
 impl CacheConfig {
     /// Number of sets implied by the geometry.
     ///
+    /// # Errors
+    ///
+    /// Returns an `L0211` diagnostic — the same code `aladdin-lint`'s
+    /// configuration pass emits statically — if the geometry is
+    /// inconsistent: zero sizes, capacity not divisible into
+    /// `assoc`-way sets of `line_bytes` lines, or a non-power-of-two
+    /// set count.
+    pub fn try_num_sets(&self) -> Result<usize, Diagnostic> {
+        let geom = |msg: String| Diagnostic::error("L0211", msg).at(Locus::Field("cache"));
+        if self.line_bytes == 0 || self.assoc == 0 || self.size_bytes == 0 {
+            return Err(geom(format!(
+                "cache geometry has a zero dimension: {} B, {} B lines, {}-way",
+                self.size_bytes, self.line_bytes, self.assoc
+            )));
+        }
+        let lines = self.size_bytes / u64::from(self.line_bytes);
+        if !lines.is_multiple_of(u64::from(self.assoc)) {
+            return Err(geom(format!(
+                "cache capacity must divide into whole sets: {} lines, {}-way",
+                lines, self.assoc
+            )));
+        }
+        let sets = lines / u64::from(self.assoc);
+        if !sets.is_power_of_two() {
+            return Err(geom(format!(
+                "set count must be a power of two, got {sets}"
+            )));
+        }
+        Ok(sets as usize)
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
     /// # Panics
     ///
-    /// Panics if the geometry is inconsistent (zero sizes, capacity not
-    /// divisible into `assoc`-way sets of `line_bytes` lines, or
-    /// non-power-of-two set count).
+    /// Panics if the geometry is inconsistent; use
+    /// [`try_num_sets`](CacheConfig::try_num_sets) to handle that as a
+    /// typed diagnostic instead.
     #[must_use]
     pub fn num_sets(&self) -> usize {
-        assert!(self.line_bytes > 0 && self.assoc > 0 && self.size_bytes > 0);
-        let lines = self.size_bytes / u64::from(self.line_bytes);
-        assert_eq!(
-            lines % u64::from(self.assoc),
-            0,
-            "capacity must divide into whole sets"
-        );
-        let sets = lines / u64::from(self.assoc);
-        assert!(sets.is_power_of_two(), "set count must be a power of two");
-        sets as usize
+        self.try_num_sets().unwrap_or_else(|d| panic!("{d}"))
     }
 }
 
@@ -287,13 +313,13 @@ pub struct Cache {
 impl Cache {
     /// An empty cache.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on inconsistent geometry (see [`CacheConfig::num_sets`]).
-    #[must_use]
-    pub fn new(cfg: CacheConfig) -> Self {
-        let sets = cfg.num_sets();
-        Cache {
+    /// Returns the geometry diagnostic from
+    /// [`CacheConfig::try_num_sets`] on an inconsistent configuration.
+    pub fn try_new(cfg: CacheConfig) -> Result<Self, Diagnostic> {
+        let sets = cfg.try_num_sets()?;
+        Ok(Cache {
             cfg,
             sets: vec![
                 vec![
@@ -315,7 +341,18 @@ impl Cache {
             current_cycle: 0,
             lru_clock: 0,
             stats: CacheStats::default(),
-        }
+        })
+    }
+
+    /// An empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry; use [`try_new`](Cache::try_new)
+    /// to handle that as a typed diagnostic instead.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        Cache::try_new(cfg).unwrap_or_else(|d| panic!("{d}"))
     }
 
     /// Configuration this cache was built with.
@@ -531,18 +568,20 @@ impl Cache {
         };
         let mshr = self.mshrs.swap_remove(pos);
         let set = self.set_index(line_addr);
-        // Victim selection: any Invalid way, else true LRU.
+        // Victim selection: any Invalid way, else true LRU. Construction
+        // guarantees assoc > 0, so the LRU scan always finds a way; the
+        // `unwrap_or(0)` is unreachable rather than a hidden panic.
         let way = self.sets[set]
             .iter()
             .position(|l| !l.state.is_valid())
-            .unwrap_or_else(|| {
-                let (way, _) = self.sets[set]
+            .or_else(|| {
+                self.sets[set]
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, l)| l.lru)
-                    .expect("assoc > 0");
-                way
-            });
+                    .map(|(way, _)| way)
+            })
+            .unwrap_or(0);
         let victim = self.sets[set][way];
         if victim.state.is_dirty() {
             self.outbox.push(CacheBusRequest {
@@ -659,6 +698,21 @@ impl FillTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bad_geometry_is_a_typed_diagnostic() {
+        let cfg = CacheConfig {
+            size_bytes: 3072, // 96 lines / 4 ways = 24 sets: not 2^k
+            ..CacheConfig::default()
+        };
+        assert_eq!(cfg.try_num_sets().unwrap_err().code, "L0211");
+        assert_eq!(Cache::try_new(cfg).unwrap_err().code, "L0211");
+        let zero = CacheConfig {
+            line_bytes: 0,
+            ..CacheConfig::default()
+        };
+        assert_eq!(zero.try_num_sets().unwrap_err().code, "L0211");
+    }
 
     fn small_cache() -> Cache {
         Cache::new(CacheConfig {

@@ -1,5 +1,7 @@
 //! Accelerator clock and time-unit conversions.
 
+use aladdin_ir::{Diagnostic, Locus};
+
 /// Converts between wall-clock nanoseconds and accelerator cycles.
 ///
 /// The paper runs accelerators at 100 MHz (10 ns/cycle) so that a 4 KB DMA
@@ -13,27 +15,60 @@ pub struct Clock {
 impl Clock {
     /// A clock with the given period in nanoseconds.
     ///
+    /// # Errors
+    ///
+    /// Returns an `L0210` diagnostic if `ns_per_cycle` is not strictly
+    /// positive and finite.
+    pub fn try_from_period_ns(ns_per_cycle: f64) -> Result<Self, Diagnostic> {
+        if !(ns_per_cycle.is_finite() && ns_per_cycle > 0.0) {
+            return Err(Diagnostic::error(
+                "L0210",
+                format!("clock period must be positive, got {ns_per_cycle}"),
+            )
+            .at(Locus::Field("clock")));
+        }
+        Ok(Clock { ns_per_cycle })
+    }
+
+    /// A clock with the given period in nanoseconds.
+    ///
     /// # Panics
     ///
-    /// Panics if `ns_per_cycle` is not strictly positive and finite.
+    /// Panics if `ns_per_cycle` is not strictly positive and finite; use
+    /// [`try_from_period_ns`](Clock::try_from_period_ns) to handle that
+    /// as a typed diagnostic instead.
     #[must_use]
     pub fn from_period_ns(ns_per_cycle: f64) -> Self {
-        assert!(
-            ns_per_cycle.is_finite() && ns_per_cycle > 0.0,
-            "clock period must be positive, got {ns_per_cycle}"
-        );
-        Clock { ns_per_cycle }
+        Clock::try_from_period_ns(ns_per_cycle).unwrap_or_else(|d| panic!("{d}"))
+    }
+
+    /// A clock with the given frequency in MHz.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `L0210` diagnostic if `mhz` is not strictly positive
+    /// and finite.
+    pub fn try_from_mhz(mhz: f64) -> Result<Self, Diagnostic> {
+        if !(mhz.is_finite() && mhz > 0.0) {
+            return Err(Diagnostic::error(
+                "L0210",
+                format!("clock frequency must be positive, got {mhz}"),
+            )
+            .at(Locus::Field("clock")));
+        }
+        Clock::try_from_period_ns(1000.0 / mhz)
     }
 
     /// A clock with the given frequency in MHz.
     ///
     /// # Panics
     ///
-    /// Panics if `mhz` is not strictly positive and finite.
+    /// Panics if `mhz` is not strictly positive and finite; use
+    /// [`try_from_mhz`](Clock::try_from_mhz) to handle that as a typed
+    /// diagnostic instead.
     #[must_use]
     pub fn from_mhz(mhz: f64) -> Self {
-        assert!(mhz.is_finite() && mhz > 0.0, "frequency must be positive");
-        Clock::from_period_ns(1000.0 / mhz)
+        Clock::try_from_mhz(mhz).unwrap_or_else(|d| panic!("{d}"))
     }
 
     /// Clock period in nanoseconds.
@@ -77,6 +112,16 @@ impl Default for Clock {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bad_clock_is_a_typed_diagnostic() {
+        assert_eq!(Clock::try_from_mhz(0.0).unwrap_err().code, "L0210");
+        assert_eq!(
+            Clock::try_from_period_ns(f64::NAN).unwrap_err().code,
+            "L0210"
+        );
+        assert!(Clock::try_from_mhz(100.0).is_ok());
+    }
 
     #[test]
     fn default_is_100mhz() {

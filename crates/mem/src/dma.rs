@@ -258,10 +258,12 @@ impl DmaEngine {
             && active.outstanding.len() < self.cfg.max_outstanding
         {
             let addr = active.chunk.base + active.next_offset;
-            let bytes = u32::try_from(
-                (active.chunk.bytes - active.next_offset).min(u64::from(self.cfg.burst_bytes)),
-            )
-            .expect("burst fits u32");
+            // A burst never exceeds burst_bytes (a u32), so the remaining
+            // length only needs a fallible narrowing when it is smaller.
+            let bytes = match u32::try_from(active.chunk.bytes - active.next_offset) {
+                Ok(remaining) => remaining.min(self.cfg.burst_bytes),
+                Err(_) => self.cfg.burst_bytes,
+            };
             let write = active.chunk.direction == DmaDirection::Out;
             let token = bus.request(self.master, addr, bytes, write);
             active.outstanding.push((token, addr, bytes));

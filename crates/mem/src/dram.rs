@@ -1,5 +1,7 @@
 //! Row-buffer DRAM timing model.
 
+use aladdin_ir::{Diagnostic, Locus};
+
 /// DRAM timing configuration, in accelerator cycles.
 ///
 /// Defaults approximate a single-channel LPDDR device as seen from a 100 MHz
@@ -49,18 +51,42 @@ pub struct DramStats {
 
 impl Dram {
     /// A DRAM with all rows closed.
-    #[must_use]
-    pub fn new(cfg: DramConfig) -> Self {
-        assert!(cfg.banks > 0, "DRAM needs at least one bank");
-        assert!(
-            cfg.row_bytes.is_power_of_two(),
-            "row size must be a power of two"
-        );
-        Dram {
+    ///
+    /// # Errors
+    ///
+    /// Returns an `L0216` diagnostic for a bankless device or a
+    /// non-power-of-two row size (row indexing is a mask).
+    pub fn try_new(cfg: DramConfig) -> Result<Self, Diagnostic> {
+        if cfg.banks == 0 {
+            return Err(Diagnostic::error("L0216", "DRAM needs at least one bank")
+                .at(Locus::Field("dram.banks")));
+        }
+        if !cfg.row_bytes.is_power_of_two() {
+            return Err(Diagnostic::error(
+                "L0216",
+                format!(
+                    "DRAM row size must be a power of two, got {}",
+                    cfg.row_bytes
+                ),
+            )
+            .at(Locus::Field("dram.row_bytes")));
+        }
+        Ok(Dram {
             open_rows: vec![None; cfg.banks],
             cfg,
             stats: DramStats::default(),
-        }
+        })
+    }
+
+    /// A DRAM with all rows closed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; use [`try_new`](Dram::try_new)
+    /// to handle that as a typed diagnostic instead.
+    #[must_use]
+    pub fn new(cfg: DramConfig) -> Self {
+        Dram::try_new(cfg).unwrap_or_else(|d| panic!("{d}"))
     }
 
     /// Configuration this DRAM was built with.
@@ -94,6 +120,20 @@ impl Dram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bad_dram_config_is_a_typed_diagnostic() {
+        let bankless = DramConfig {
+            banks: 0,
+            ..DramConfig::default()
+        };
+        assert_eq!(Dram::try_new(bankless).unwrap_err().code, "L0216");
+        let odd_row = DramConfig {
+            row_bytes: 3000,
+            ..DramConfig::default()
+        };
+        assert_eq!(Dram::try_new(odd_row).unwrap_err().code, "L0216");
+    }
 
     #[test]
     fn sequential_accesses_hit_open_row() {

@@ -1,40 +1,64 @@
-//! Property-based tests of the memory substrate.
+//! Property-style tests of the memory substrate, driven by the in-tree
+//! deterministic [`aladdin_rng::SmallRng`] (the workspace builds with no
+//! crate registry, so `proptest` is unavailable). Each test replays many
+//! seeded random stimulus sequences and asserts the invariant for each.
 
 use aladdin_mem::{
     AccessKind, BusConfig, Cache, CacheConfig, CacheOutcome, DramConfig, IntervalSet, MasterId,
     PrefetcherConfig, SystemBus, Tlb, TlbConfig,
 };
-use proptest::prelude::*;
+use aladdin_rng::SmallRng;
 use std::collections::HashSet;
 
-proptest! {
-    /// IntervalSet agrees with a naive bitset model.
-    #[test]
-    fn interval_set_matches_bitset(ranges in prop::collection::vec((0u64..200, 0u64..60), 0..40)) {
+/// IntervalSet agrees with a naive bitset model.
+#[test]
+fn interval_set_matches_bitset() {
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA001 + case);
+        let n = rng.gen_range(0..40usize);
+        let ranges: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0..200u64), rng.gen_range(0..60u64)))
+            .collect();
         let mut set = IntervalSet::new();
         let mut bits = vec![false; 300];
         for &(start, len) in &ranges {
             set.push(start, start + len);
-            for b in bits.iter_mut().take((start + len) as usize).skip(start as usize) {
+            for b in bits
+                .iter_mut()
+                .take((start + len) as usize)
+                .skip(start as usize)
+            {
                 *b = true;
             }
         }
         for (i, &b) in bits.iter().enumerate() {
-            prop_assert_eq!(set.contains(i as u64), b, "cycle {}", i);
+            assert_eq!(set.contains(i as u64), b, "cycle {i}");
         }
-        prop_assert_eq!(set.total(), bits.iter().filter(|&&b| b).count() as u64);
+        assert_eq!(set.total(), bits.iter().filter(|&&b| b).count() as u64);
         // Normalized intervals are sorted and disjoint.
         for w in set.as_slice().windows(2) {
-            prop_assert!(w[0].1 < w[1].0);
+            assert!(w[0].1 < w[1].0);
         }
     }
+}
 
-    /// Every bus request completes exactly once, and never faster than the
-    /// wire-speed bound.
-    #[test]
-    fn bus_conserves_requests(
-        reqs in prop::collection::vec((0u64..1_000_000, 1u32..256, any::<bool>(), 0u8..4), 1..60)
-    ) {
+/// Every bus request completes exactly once, and never faster than the
+/// wire-speed bound.
+#[test]
+fn bus_conserves_requests() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xB002 + case);
+        let n = rng.gen_range(1..60usize);
+        let reqs: Vec<(u64, u32, bool, u8)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..1_000_000u64),
+                    rng.gen_range(1..256u32),
+                    rng.gen::<bool>(),
+                    rng.gen_range(0..4u32) as u8,
+                )
+            })
+            .collect();
         let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
         let mut tokens = HashSet::new();
         let mut total_bytes = 0u64;
@@ -47,27 +71,32 @@ proptest! {
         for cycle in 0..2_000_000u64 {
             bus.tick(cycle);
             for c in bus.drain_completions() {
-                prop_assert!(done.insert(c.token), "token {} completed twice", c.token);
-                prop_assert!(tokens.contains(&c.token));
+                assert!(done.insert(c.token), "token {} completed twice", c.token);
+                assert!(tokens.contains(&c.token));
                 last = last.max(c.at);
             }
             if bus.is_idle() {
                 break;
             }
         }
-        prop_assert_eq!(done.len(), tokens.len(), "all requests complete");
+        assert_eq!(done.len(), tokens.len(), "all requests complete");
         // Wire-speed lower bound: total bytes / bytes-per-cycle.
-        prop_assert!(last >= total_bytes / bus.bytes_per_cycle());
-        prop_assert_eq!(bus.stats().bytes, total_bytes);
+        assert!(last >= total_bytes / bus.bytes_per_cycle());
+        assert_eq!(bus.stats().bytes, total_bytes);
     }
+}
 
-    /// The cache never exceeds its port budget per cycle, never loses an
-    /// access, and its hit/miss counters are conserved.
-    #[test]
-    fn cache_conserves_accesses(
-        addrs in prop::collection::vec((0u64..4096, any::<bool>()), 1..300),
-        ports in 1u32..4,
-    ) {
+/// The cache never exceeds its port budget per cycle, never loses an
+/// access, and its hit/miss counters are conserved.
+#[test]
+fn cache_conserves_accesses() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC003 + case);
+        let n = rng.gen_range(1..300usize);
+        let addrs: Vec<(u64, bool)> = (0..n)
+            .map(|_| (rng.gen_range(0..4096u64), rng.gen::<bool>()))
+            .collect();
+        let ports = rng.gen_range(1..4u32);
         let cfg = CacheConfig {
             size_bytes: 1024,
             line_bytes: 32,
@@ -76,7 +105,10 @@ proptest! {
             mshrs: 4,
             hit_latency: 1,
             write_policy: aladdin_mem::WritePolicy::WriteBack,
-            prefetch: PrefetcherConfig { enabled: false, ..PrefetcherConfig::default() },
+            prefetch: PrefetcherConfig {
+                enabled: false,
+                ..PrefetcherConfig::default()
+            },
         };
         let mut cache = Cache::new(cfg);
         let mut completed = HashSet::new();
@@ -92,18 +124,22 @@ proptest! {
             cache.begin_cycle(cycle);
             // Model an infinitely fast bus: complete fills next cycle.
             for (id, at) in cache.drain_completions() {
-                prop_assert!(completed.insert(id));
-                prop_assert!(at >= cycle);
+                assert!(completed.insert(id));
+                assert!(at >= cycle);
             }
             for (_, line) in inflight.drain(..) {
                 cache.bus_completed(line, cycle);
             }
             let mut used = 0;
             while let Some(&(id, addr, write)) = queue.last() {
-                let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                let kind = if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 match cache.access(id, addr, kind, cycle) {
                     CacheOutcome::Hit { .. } => {
-                        prop_assert!(completed.insert(id));
+                        assert!(completed.insert(id));
                         queue.pop();
                         used += 1;
                         issued += 1;
@@ -115,7 +151,7 @@ proptest! {
                     }
                     CacheOutcome::NoPort | CacheOutcome::NoMshr => break,
                 }
-                prop_assert!(used <= ports, "port budget violated");
+                assert!(used <= ports, "port budget violated");
             }
             for req in cache.take_bus_requests() {
                 if !req.write {
@@ -125,38 +161,51 @@ proptest! {
             if queue.is_empty() && cache.outstanding_misses() == 0 && inflight.is_empty() {
                 // Final drain.
                 for (id, _) in cache.drain_completions() {
-                    prop_assert!(completed.insert(id));
+                    assert!(completed.insert(id));
                 }
                 break;
             }
         }
-        prop_assert_eq!(completed.len(), addrs.len(), "every access completes once");
-        prop_assert_eq!(issued, addrs.len() as u64);
+        assert_eq!(completed.len(), addrs.len(), "every access completes once");
+        assert_eq!(issued, addrs.len() as u64);
         let s = cache.stats();
-        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        assert_eq!(s.accesses(), addrs.len() as u64);
     }
+}
 
-    /// TLB: hits + misses equals translations; a second touch of the same
-    /// page with no intervening pressure is always a hit.
-    #[test]
-    fn tlb_counters_conserved(pages in prop::collection::vec(0u64..32, 1..200)) {
+/// TLB: hits + misses equals translations; a second touch of the same
+/// page with no intervening pressure is always a hit.
+#[test]
+fn tlb_counters_conserved() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD004 + case);
+        let n = rng.gen_range(1..200usize);
+        let pages: Vec<u64> = (0..n).map(|_| rng.gen_range(0..32u64)).collect();
         let mut tlb = Tlb::new(TlbConfig::default());
         for (i, &p) in pages.iter().enumerate() {
             let at = tlb.translate(p * 4096, i as u64);
-            prop_assert!(at == i as u64 || at == i as u64 + 20);
+            assert!(at == i as u64 || at == i as u64 + 20);
             let again = tlb.translate(p * 4096, i as u64);
-            prop_assert_eq!(again, i as u64, "immediate re-touch must hit");
+            assert_eq!(again, i as u64, "immediate re-touch must hit");
         }
         let s = tlb.stats();
-        prop_assert_eq!(s.hits + s.misses, 2 * pages.len() as u64);
+        assert_eq!(s.hits + s.misses, 2 * pages.len() as u64);
     }
+}
 
-    /// Cache line state after a write is always dirty; after snooping a
-    /// shared read it is never Modified/Exclusive.
-    #[test]
-    fn moesi_transitions(addrs in prop::collection::vec(0u64..2048, 1..50)) {
+/// Cache line state after a write is always dirty; after snooping a
+/// shared read it is never Modified/Exclusive.
+#[test]
+fn moesi_transitions() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xE005 + case);
+        let n = rng.gen_range(1..50usize);
+        let addrs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..2048u64)).collect();
         let mut cache = Cache::new(CacheConfig {
-            prefetch: PrefetcherConfig { enabled: false, ..PrefetcherConfig::default() },
+            prefetch: PrefetcherConfig {
+                enabled: false,
+                ..PrefetcherConfig::default()
+            },
             ..CacheConfig::default()
         });
         for (i, &addr) in addrs.iter().enumerate() {
@@ -170,10 +219,10 @@ proptest! {
             }
             let _ = cache.drain_completions();
             if cache.contains(addr) {
-                prop_assert!(cache.state_of(addr).is_dirty());
+                assert!(cache.state_of(addr).is_dirty());
                 cache.snoop_shared(addr);
                 let st = cache.state_of(addr);
-                prop_assert!(
+                assert!(
                     st == aladdin_mem::MoesiState::Owned || st == aladdin_mem::MoesiState::Shared
                 );
             }
@@ -181,17 +230,21 @@ proptest! {
     }
 }
 
-proptest! {
-    /// The DMA engine moves exactly the requested bytes, delivers every
-    /// input byte exactly once, and cannot beat the bus's wire speed.
-    #[test]
-    fn dma_engine_conserves_bytes(
-        sizes in prop::collection::vec(1u64..6000, 1..6),
-        pipelined in proptest::bool::ANY,
-        elig_gap in 0u64..500,
-    ) {
-        use aladdin_mem::{DmaConfig, DmaDirection, DmaEngine, DmaTransfer};
-        let cfg = DmaConfig { pipelined, ..DmaConfig::default() };
+/// The DMA engine moves exactly the requested bytes, delivers every
+/// input byte exactly once, and cannot beat the bus's wire speed.
+#[test]
+fn dma_engine_conserves_bytes() {
+    use aladdin_mem::{DmaConfig, DmaDirection, DmaEngine, DmaTransfer};
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xF006 + case);
+        let n = rng.gen_range(1..6usize);
+        let sizes: Vec<u64> = (0..n).map(|_| rng.gen_range(1..6000u64)).collect();
+        let pipelined = rng.gen::<bool>();
+        let elig_gap = rng.gen_range(0..500u64);
+        let cfg = DmaConfig {
+            pipelined,
+            ..DmaConfig::default()
+        };
         let transfers: Vec<DmaTransfer> = sizes
             .iter()
             .enumerate()
@@ -213,53 +266,59 @@ proptest! {
                 engine.on_bus_completion(c.token, c.at);
             }
             cycle += 1;
-            prop_assert!(cycle < 3_000_000, "engine never finished");
+            assert!(cycle < 3_000_000, "engine never finished");
         }
         let total: u64 = sizes.iter().sum();
-        prop_assert_eq!(engine.stats().bytes, total);
+        assert_eq!(engine.stats().bytes, total);
         // Arrivals tile each transfer exactly.
         let mut arrivals = engine.drain_arrivals();
         arrivals.sort_by_key(|a| a.addr);
         for t in &transfers {
             let mut covered = 0u64;
             let mut next = t.base;
-            for a in arrivals.iter().filter(|a| a.addr >= t.base && a.addr < t.base + t.bytes) {
-                prop_assert_eq!(a.addr, next, "gap or overlap in arrivals");
+            for a in arrivals
+                .iter()
+                .filter(|a| a.addr >= t.base && a.addr < t.base + t.bytes)
+            {
+                assert_eq!(a.addr, next, "gap or overlap in arrivals");
                 next += u64::from(a.bytes);
                 covered += u64::from(a.bytes);
             }
-            prop_assert_eq!(covered, t.bytes);
+            assert_eq!(covered, t.bytes);
         }
         // Wire-speed bound.
         let done = engine.done_at().unwrap();
-        prop_assert!(done >= total / bus.bytes_per_cycle());
+        assert!(done >= total / bus.bytes_per_cycle());
     }
+}
 
-    /// Flush schedules are monotone, cumulative, and their busy interval
-    /// covers exactly start..end.
-    #[test]
-    fn flush_schedule_is_cumulative(
-        chunks in prop::collection::vec(1u64..10_000, 0..12),
-        inval in 0u64..20_000,
-        start in 0u64..1000,
-    ) {
-        use aladdin_mem::{Clock, FlushConfig, FlushSchedule};
+/// Flush schedules are monotone, cumulative, and their busy interval
+/// covers exactly start..end.
+#[test]
+fn flush_schedule_is_cumulative() {
+    use aladdin_mem::{Clock, FlushConfig, FlushSchedule};
+    for case in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(0xF007 + case);
+        let n = rng.gen_range(0..12usize);
+        let chunks: Vec<u64> = (0..n).map(|_| rng.gen_range(1..10_000u64)).collect();
+        let inval = rng.gen_range(0..20_000u64);
+        let start = rng.gen_range(0..1000u64);
         let cfg = FlushConfig::default();
         let clock = Clock::default();
         let s = FlushSchedule::new(cfg, clock, start, &chunks, inval);
         let mut prev = start;
         for (k, &bytes) in chunks.iter().enumerate() {
             let done = s.chunk_done(k);
-            prop_assert_eq!(done - prev, cfg.flush_cycles(clock, bytes));
-            prop_assert!(done >= prev);
+            assert_eq!(done - prev, cfg.flush_cycles(clock, bytes));
+            assert!(done >= prev);
             prev = done;
         }
-        prop_assert_eq!(s.flush_end(), prev);
-        prop_assert_eq!(s.end(), prev + cfg.invalidate_cycles(clock, inval));
+        assert_eq!(s.flush_end(), prev);
+        assert_eq!(s.end(), prev + cfg.invalidate_cycles(clock, inval));
         if s.end() > start {
-            prop_assert_eq!(s.busy().total(), s.end() - start);
+            assert_eq!(s.busy().total(), s.end() - start);
         } else {
-            prop_assert!(s.busy().is_empty());
+            assert!(s.busy().is_empty());
         }
     }
 }

@@ -1,0 +1,265 @@
+//! `soclint` — static analysis and model checking for the
+//! gem5-aladdin-rs stack, from the command line.
+//!
+//! ```text
+//! soclint [--format human|json] <command> [args]
+//!
+//! commands:
+//!   trace [KERNEL...]        lint the traces and DDDGs of bundled
+//!                            workloads (default: all 16)
+//!   config                   lint the default design point
+//!   sweep                    pre-flight the full Fig. 3 design space
+//!   protocol [--seeded-bug NAME]
+//!                            model-check the MOESI-lite protocol
+//!                            (optionally with a seeded bug)
+//!   all                      trace + config + sweep + protocol
+//! ```
+//!
+//! Exit status: 0 when no error-severity diagnostic fired, 1 when at
+//! least one did, 2 on usage errors. Diagnostic codes are documented in
+//! `crates/lint/README.md`.
+
+use aladdin_accel::DatapathConfig;
+use aladdin_core::SocConfig;
+use aladdin_dse::{preflight_cache, preflight_dma, DesignSpace};
+use aladdin_ir::{Diagnostic, Report};
+use aladdin_lint::{lint_dddg, lint_design, lint_trace, ProtocolChecker, SeededBug};
+use aladdin_workloads::{all_kernels, by_name};
+
+/// One named analysis target and its report.
+struct Target {
+    name: String,
+    report: Report,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soclint [--format human|json] <trace [KERNEL...] | config | sweep | protocol [--seeded-bug NAME] | all>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = Format::Human;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--format" {
+            match it.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                _ => usage(),
+            }
+        } else {
+            rest.push(a);
+        }
+    }
+    let (command, cmd_args) = match rest.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => usage(),
+    };
+
+    let targets = match command {
+        "trace" => lint_traces(cmd_args),
+        "config" => vec![lint_default_config()],
+        "sweep" => lint_fig3_space(),
+        "protocol" => vec![lint_protocol(cmd_args)],
+        "all" => {
+            let mut t = lint_traces(&[]);
+            t.push(lint_default_config());
+            t.extend(lint_fig3_space());
+            t.push(lint_protocol(&[]));
+            t
+        }
+        _ => usage(),
+    };
+
+    let any_error = targets.iter().any(|t| t.report.has_errors());
+    if let Err(e) = emit(&targets, format) {
+        // A reader that closes the pipe early (`soclint ... | head`) is
+        // normal; anything else is a real I/O failure.
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            eprintln!("soclint: {e}");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(i32::from(any_error));
+}
+
+fn emit(targets: &[Target], format: Format) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut stdout = std::io::stdout().lock();
+    match format {
+        Format::Human => {
+            for t in targets {
+                writeln!(stdout, "== {} ==", t.name)?;
+                writeln!(stdout, "{}", t.report.to_human())?;
+            }
+        }
+        Format::Json => {
+            let mut out = String::from("{\"targets\":[");
+            for (i, t) in targets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"name\":\"");
+                out.push_str(&t.name); // kernel/target names need no escaping
+                out.push_str("\",\"report\":");
+                out.push_str(&t.report.to_json());
+                out.push('}');
+            }
+            out.push_str(&format!(
+                "],\"errors\":{}}}",
+                targets
+                    .iter()
+                    .map(|t| t.report.count(aladdin_ir::Severity::Error))
+                    .sum::<usize>()
+            ));
+            writeln!(stdout, "{out}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Lint the traces (and DDDGs, at a representative 4-lane point) of the
+/// named kernels, or of all bundled kernels.
+fn lint_traces(names: &[String]) -> Vec<Target> {
+    let kernels: Vec<_> = if names.is_empty() {
+        all_kernels()
+    } else {
+        names
+            .iter()
+            .map(|n| match by_name(n) {
+                Some(k) => k,
+                None => {
+                    eprintln!("soclint: unknown kernel {n:?}");
+                    std::process::exit(2);
+                }
+            })
+            .collect()
+    };
+    let dddg_cfg = DatapathConfig {
+        lanes: 4,
+        partition: 4,
+        ..DatapathConfig::default()
+    };
+    kernels
+        .into_iter()
+        .map(|kernel| {
+            let trace = kernel.run().trace;
+            let mut report = lint_trace(&trace);
+            report.merge(lint_dddg(&trace, &dddg_cfg));
+            Target {
+                name: kernel.name().to_owned(),
+                report,
+            }
+        })
+        .collect()
+}
+
+fn lint_default_config() -> Target {
+    Target {
+        name: "default-design-point".to_owned(),
+        report: lint_design(&DatapathConfig::default(), &SocConfig::default()),
+    }
+}
+
+/// Pre-flight every point of the paper's Figure 3 design space.
+fn lint_fig3_space() -> Vec<Target> {
+    let soc = SocConfig::default();
+    let space = DesignSpace::paper();
+
+    let dma = preflight_dma(&space, &soc);
+    let mut dma_report = Report::new();
+    dma_report.push(Diagnostic::info(
+        "L0200",
+        format!(
+            "{} of {} scratchpad/DMA points pass pre-flight",
+            dma.accepted.len(),
+            dma.accepted.len() + dma.rejected.len()
+        ),
+    ));
+    for r in &dma.rejected {
+        dma_report.merge(r.report.clone());
+    }
+
+    let cache = preflight_cache(&space, &soc);
+    let mut cache_report = Report::new();
+    cache_report.push(Diagnostic::info(
+        "L0200",
+        format!(
+            "{} of {} cache points pass pre-flight",
+            cache.accepted.len(),
+            cache.accepted.len() + cache.rejected.len()
+        ),
+    ));
+    for r in &cache.rejected {
+        cache_report.merge(r.report.clone());
+    }
+
+    vec![
+        Target {
+            name: "fig3-dma-space".to_owned(),
+            report: dma_report,
+        },
+        Target {
+            name: "fig3-cache-space".to_owned(),
+            report: cache_report,
+        },
+    ]
+}
+
+/// Model-check the MOESI-lite protocol, optionally with a seeded bug.
+fn lint_protocol(args: &[String]) -> Target {
+    let mut bug = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seeded-bug" {
+            bug = match it.next().map(|n| (SeededBug::by_name(n), n)) {
+                Some((Some(b), _)) => Some(b),
+                Some((None, n)) => {
+                    eprintln!(
+                        "soclint: unknown seeded bug {n:?} (known: {})",
+                        SeededBug::ALL
+                            .iter()
+                            .map(|b| b.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                }
+                None => usage(),
+            };
+        } else {
+            usage();
+        }
+    }
+    let checker = match bug {
+        Some(b) => ProtocolChecker::with_bug(b),
+        None => ProtocolChecker::new(),
+    };
+    let out = checker.check();
+    let mut report = Report::new();
+    report.push(Diagnostic::info(
+        "L0300",
+        format!(
+            "exhaustively enumerated {} states over {} transitions",
+            out.states, out.transitions
+        ),
+    ));
+    report.merge(out.report);
+    Target {
+        name: match bug {
+            Some(b) => format!("moesi-lite+{}", b.name()),
+            None => "moesi-lite".to_owned(),
+        },
+        report,
+    }
+}

@@ -1,0 +1,86 @@
+//! Golden tests for `soclint --format json`: the JSON surface is a
+//! stable machine interface, so these pin exact bytes, not just shape.
+
+use std::process::Command;
+
+fn soclint(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_soclint"))
+        .args(args)
+        .output()
+        .expect("run soclint");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        out.status.code().expect("exit code"),
+    )
+}
+
+#[test]
+fn protocol_json_is_stable() {
+    let (stdout, _, code) = soclint(&["--format", "json", "protocol"]);
+    assert_eq!(
+        stdout,
+        concat!(
+            r#"{"targets":[{"name":"moesi-lite","report":{"diagnostics":[{"code":"L0300","#,
+            r#""severity":"info","locus":null,"message":"exhaustively enumerated 12 states "#,
+            r#"over 60 transitions"}],"errors":0,"warnings":0,"infos":1}}],"errors":0}"#,
+            "\n"
+        )
+    );
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn config_json_is_stable() {
+    let (stdout, _, code) = soclint(&["--format", "json", "config"]);
+    assert_eq!(
+        stdout,
+        concat!(
+            r#"{"targets":[{"name":"default-design-point","report":{"diagnostics":[],"#,
+            r#""errors":0,"warnings":0,"infos":0}}],"errors":0}"#,
+            "\n"
+        )
+    );
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn seeded_protocol_bug_is_caught_with_nonzero_exit() {
+    for bug in [
+        "silent-drop-on-snoop",
+        "skip-invalidate-on-dma-write",
+        "no-writeback-on-evict",
+    ] {
+        let (stdout, _, code) = soclint(&["--format", "json", "protocol", "--seeded-bug", bug]);
+        assert_eq!(code, 1, "{bug} must make the check fail");
+        assert!(
+            stdout.contains(r#""name":"moesi-lite+"#) && stdout.contains(r#""severity":"error""#),
+            "{bug}: {stdout}"
+        );
+        // Each seeded bug manifests as a safety or coherence violation.
+        assert!(
+            ["L0301", "L0302", "L0303", "L0304"]
+                .iter()
+                .any(|c| stdout.contains(c)),
+            "{bug}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn sweep_json_accepts_the_whole_paper_space() {
+    let (stdout, _, code) = soclint(&["--format", "json", "sweep"]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains(r#""name":"fig3-dma-space""#));
+    assert!(stdout.contains(r#""name":"fig3-cache-space""#));
+    assert!(stdout.ends_with("\"errors\":0}\n"), "{stdout}");
+}
+
+#[test]
+fn unknown_arguments_exit_2() {
+    let (_, _, code) = soclint(&["frobnicate"]);
+    assert_eq!(code, 2);
+    let (_, stderr, code) = soclint(&["protocol", "--seeded-bug", "nope"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown seeded bug"), "{stderr}");
+}

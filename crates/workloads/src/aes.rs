@@ -7,8 +7,7 @@
 //! an internal ROM-like array.
 
 use aladdin_ir::{ArrayKind, Opcode, TArray, TVal, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 
@@ -369,7 +368,11 @@ mod tests {
         assert!(run.trace.output_bytes() <= 64);
         // But the integer work is substantial relative to the data.
         assert!(run.trace.stats().compute_to_memory_ratio() > 0.5);
-        run.trace.validate().unwrap();
+        assert!(
+            run.trace.check().is_clean(),
+            "{}",
+            run.trace.check().to_human()
+        );
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! pointers make even the streams data-dependent.
 
 use aladdin_ir::{ArrayKind, Opcode, TVal, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 
@@ -135,6 +134,10 @@ mod tests {
             .collect();
         assert_eq!(addrs.len(), k.n * k.l);
         assert!(addrs.windows(2).all(|w| w[1] == w[0] + 8));
-        run.trace.validate().unwrap();
+        assert!(
+            run.trace.check().is_clean(),
+            "{}",
+            run.trace.check().to_human()
+        );
     }
 }

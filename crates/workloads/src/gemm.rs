@@ -7,8 +7,7 @@
 //! DMA performance with a cache but pays extra power for it (Section V-A).
 
 use aladdin_ir::{ArrayKind, Opcode, TVal, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 
@@ -112,7 +111,11 @@ mod tests {
         assert_eq!(s.loads, 2 * 4 * 4 * 4);
         assert_eq!(s.stores, 16);
         assert_eq!(s.iterations, 16);
-        run.trace.validate().unwrap();
+        assert!(
+            run.trace.check().is_clean(),
+            "{}",
+            run.trace.check().to_human()
+        );
     }
 
     #[test]

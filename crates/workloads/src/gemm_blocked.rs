@@ -7,8 +7,7 @@
 //! designs, making the pair a useful A/B for the Figure 8 methodology.
 
 use aladdin_ir::{ArrayKind, Opcode, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 

@@ -4,8 +4,7 @@
 //! the Figure 2b breadth sweep.
 
 use aladdin_ir::{ArrayKind, TVal, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 

@@ -7,8 +7,7 @@
 //! array) rather than gather-by-neighbor-list.
 
 use aladdin_ir::{ArrayKind, Opcode, TVal, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 
@@ -234,7 +233,11 @@ mod tests {
         let s = run.trace.stats();
         use aladdin_ir::FuClass;
         assert!(s.class(FuClass::FpMul) > s.loads / 2);
-        run.trace.validate().unwrap();
+        assert!(
+            run.trace.check().is_clean(),
+            "{}",
+            run.trace.check().to_human()
+        );
     }
 
     #[test]

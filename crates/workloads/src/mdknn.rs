@@ -8,8 +8,7 @@
 //! only four lanes (Section IV-C1).
 
 use aladdin_ir::{ArrayKind, Opcode, TVal, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 
@@ -193,7 +192,11 @@ mod tests {
             s.class(FuClass::FpMul),
             s.loads
         );
-        run.trace.validate().unwrap();
+        assert!(
+            run.trace.check().is_clean(),
+            "{}",
+            run.trace.check().to_human()
+        );
     }
 
     #[test]

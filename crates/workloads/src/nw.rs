@@ -8,8 +8,7 @@
 //! (Section IV-D).
 
 use aladdin_ir::{ArrayKind, Opcode, TVal, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 
@@ -44,7 +43,7 @@ impl NeedlemanWunsch {
         let bases = [b'A' as i64, b'C' as i64, b'G' as i64, b'T' as i64];
         let gen = |rng: &mut SmallRng| {
             (0..self.seq_len)
-                .map(|_| bases[rng.gen_range(0..4)])
+                .map(|_| bases[rng.gen_range(0..4usize)])
                 .collect::<Vec<i64>>()
         };
         (gen(&mut rng), gen(&mut rng))
@@ -320,7 +319,11 @@ mod tests {
             seed: 6,
         };
         let run = k.run();
-        run.trace.validate().unwrap();
+        assert!(
+            run.trace.check().is_clean(),
+            "{}",
+            run.trace.check().to_human()
+        );
         let m_id = run
             .trace
             .arrays()

@@ -5,8 +5,7 @@
 //! `sort-merge` (indirect stores instead of streaming merges).
 
 use aladdin_ir::{ArrayKind, Opcode, TVal, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 
@@ -183,6 +182,10 @@ mod tests {
             })
             .count();
         assert_eq!(scatters, 32 * 2); // one scatter per element per pass
-        run.trace.validate().unwrap();
+        assert!(
+            run.trace.check().is_clean(),
+            "{}",
+            run.trace.check().to_human()
+        );
     }
 }

@@ -4,8 +4,7 @@
 //! ping-pong temporary buffer — part of the Figure 2b breadth sweep.
 
 use aladdin_ir::{ArrayKind, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 

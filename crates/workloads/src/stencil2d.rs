@@ -6,8 +6,7 @@
 //! movement time on this kernel (Section IV-C1).
 
 use aladdin_ir::{ArrayKind, Opcode, TVal, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 
@@ -132,6 +131,10 @@ mod tests {
         assert_eq!(s.stores, 16);
         assert_eq!(s.loads, 16 * 18);
         assert_eq!(s.iterations, 16);
-        run.trace.validate().unwrap();
+        assert!(
+            run.trace.check().is_clean(),
+            "{}",
+            run.trace.check().to_human()
+        );
     }
 }

@@ -6,8 +6,7 @@
 //! is the paper's motivating kernel (Figure 1).
 
 use aladdin_ir::{ArrayKind, Opcode, TVal, Tracer};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use aladdin_rng::SmallRng;
 
 use crate::kernel::{Kernel, KernelRun};
 
@@ -158,7 +157,11 @@ mod tests {
         assert_eq!(s.stores, 8);
         assert_eq!(s.loads, 8 * 7);
         assert_eq!(s.iterations, 8);
-        run.trace.validate().unwrap();
+        assert!(
+            run.trace.check().is_clean(),
+            "{}",
+            run.trace.check().to_human()
+        );
     }
 
     #[test]

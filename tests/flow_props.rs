@@ -1,11 +1,13 @@
-//! Property-based tests over whole co-simulation flows: random small
+//! Property-style tests over whole co-simulation flows: random small
 //! kernels × random configurations must preserve the paper's structural
-//! invariants.
+//! invariants. Driven by the in-tree deterministic
+//! [`aladdin_rng::SmallRng`] (the workspace builds with no crate registry,
+//! so `proptest` is unavailable).
 
 use aladdin_accel::DatapathConfig;
 use aladdin_core::{run_cache, run_dma, run_isolated, DmaOptLevel, SocConfig};
 use aladdin_ir::{ArrayKind, Opcode, TVal, Trace, Tracer};
-use proptest::prelude::*;
+use aladdin_rng::SmallRng;
 
 /// A random streaming kernel: `iters` iterations, `loads_per_iter` loads
 /// feeding a small FP expression, one store.
@@ -37,75 +39,87 @@ fn soc_with(bus_bits: u32, cache_kb: u64, granule: u64) -> SocConfig {
     soc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Isolated is a lower bound for every system-aware flow; phases are
-    /// conserved everywhere; every flow terminates with positive energy.
-    #[test]
-    fn flow_ordering_invariants(
-        iters in 1usize..24,
-        loads in 1usize..5,
-        depth in 0usize..4,
-        lanes_pow in 0u32..4,
-        bus in prop::sample::select(vec![32u32, 64]),
-    ) {
+/// Isolated is a lower bound for every system-aware flow; phases are
+/// conserved everywhere; every flow terminates with positive energy.
+#[test]
+fn flow_ordering_invariants() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xF101 + case);
+        let iters = rng.gen_range(1..24usize);
+        let loads = rng.gen_range(1..5usize);
+        let depth = rng.gen_range(0..4usize);
+        let lanes = 1 << rng.gen_range(0..4u32);
+        let bus = [32u32, 64][rng.gen_range(0..2usize)];
         let trace = random_trace(iters, loads, depth);
-        let lanes = 1 << lanes_pow;
-        let dp = DatapathConfig { lanes, partition: lanes, ..DatapathConfig::default() };
+        let dp = DatapathConfig {
+            lanes,
+            partition: lanes,
+            ..DatapathConfig::default()
+        };
         let soc = soc_with(bus, 4, 32);
 
         let iso = run_isolated(&trace, &dp, &soc);
         for opt in DmaOptLevel::ALL {
             let r = run_dma(&trace, &dp, &soc, opt);
-            prop_assert!(
+            assert!(
                 r.total_cycles >= iso.total_cycles,
                 "{opt}: dma {} < isolated {}",
                 r.total_cycles,
                 iso.total_cycles
             );
             let p = r.phases;
-            prop_assert_eq!(
+            assert_eq!(
                 p.flush_only + p.dma_flush + p.compute_dma + p.compute_only + p.other,
                 p.total
             );
-            prop_assert!(r.energy_j() > 0.0);
-            prop_assert!(r.power_mw() > 0.0);
+            assert!(r.energy_j() > 0.0);
+            assert!(r.power_mw() > 0.0);
         }
         let c = run_cache(&trace, &dp, &soc);
-        prop_assert!(c.total_cycles > 0);
-        prop_assert!(c.energy_j() > 0.0);
+        assert!(c.total_cycles > 0);
+        assert!(c.energy_j() > 0.0);
     }
+}
 
-    /// Cumulative DMA optimizations never hurt by more than the bounded
-    /// per-chunk overheads, on any random kernel/config.
-    #[test]
-    fn dma_opts_never_hurt_much(
-        iters in 1usize..32,
-        loads in 1usize..5,
-        lanes_pow in 0u32..4,
-    ) {
+/// Cumulative DMA optimizations never hurt by more than the bounded
+/// per-chunk overheads, on any random kernel/config.
+#[test]
+fn dma_opts_never_hurt_much() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xF202 + case);
+        let iters = rng.gen_range(1..32usize);
+        let loads = rng.gen_range(1..5usize);
+        let lanes = 1 << rng.gen_range(0..4u32);
         let trace = random_trace(iters, loads, 2);
-        let lanes = 1 << lanes_pow;
-        let dp = DatapathConfig { lanes, partition: lanes, ..DatapathConfig::default() };
+        let dp = DatapathConfig {
+            lanes,
+            partition: lanes,
+            ..DatapathConfig::default()
+        };
         let soc = SocConfig::default();
         let base = run_dma(&trace, &dp, &soc, DmaOptLevel::Baseline).total_cycles;
         let pipe = run_dma(&trace, &dp, &soc, DmaOptLevel::Pipelined).total_cycles;
         let full = run_dma(&trace, &dp, &soc, DmaOptLevel::Full).total_cycles;
-        prop_assert!(pipe <= base + 100, "pipelined {pipe} vs baseline {base}");
-        prop_assert!(full <= pipe + 100, "triggered {full} vs pipelined {pipe}");
+        assert!(pipe <= base + 100, "pipelined {pipe} vs baseline {base}");
+        assert!(full <= pipe + 100, "triggered {full} vs pipelined {pipe}");
     }
+}
 
-    /// Tree-height reduction never slows a kernel down and never changes
-    /// operation counts (hence energy components except leakage-over-time).
-    #[test]
-    fn tree_reduction_is_sound_under_flows(
-        iters in 1usize..16,
-        loads in 2usize..6,
-    ) {
+/// Tree-height reduction never slows a kernel down and never changes
+/// operation counts (hence energy components except leakage-over-time).
+#[test]
+fn tree_reduction_is_sound_under_flows() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xF303 + case);
+        let iters = rng.gen_range(1..16usize);
+        let loads = rng.gen_range(2..6usize);
         let trace = random_trace(iters, loads, 0);
         let (balanced, _) = aladdin_ir::rebalance_reductions(&trace, 3);
-        let dp = DatapathConfig { lanes: 4, partition: 4, ..DatapathConfig::default() };
+        let dp = DatapathConfig {
+            lanes: 4,
+            partition: 4,
+            ..DatapathConfig::default()
+        };
         let soc = SocConfig::default();
         let serial = run_isolated(&trace, &dp, &soc);
         let tree = run_isolated(&balanced, &dp, &soc);
@@ -113,29 +127,35 @@ proptest! {
         // two of issue-slot contention (more simultaneously-ready ops per
         // lane); allow that scheduling noise, never a real regression.
         let slack = 2 + serial.total_cycles / 20;
-        prop_assert!(
+        assert!(
             tree.total_cycles <= serial.total_cycles + slack,
             "balanced {} > serial {} + slack",
             tree.total_cycles,
             serial.total_cycles
         );
-        prop_assert_eq!(balanced.stats().per_class, trace.stats().per_class);
+        assert_eq!(balanced.stats().per_class, trace.stats().per_class);
     }
+}
 
-    /// Ready-bit granularity only shifts *when* loads unblock — coarser
-    /// granules can only delay completion, never corrupt it.
-    #[test]
-    fn coarser_granules_monotonically_delay(
-        iters in 2usize..16,
-        loads in 1usize..4,
-    ) {
+/// Ready-bit granularity only shifts *when* loads unblock — coarser
+/// granules can only delay completion, never corrupt it.
+#[test]
+fn coarser_granules_monotonically_delay() {
+    for case in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(0xF404 + case);
+        let iters = rng.gen_range(2..16usize);
+        let loads = rng.gen_range(1..4usize);
         let trace = random_trace(iters, loads, 1);
-        let dp = DatapathConfig { lanes: 2, partition: 2, ..DatapathConfig::default() };
+        let dp = DatapathConfig {
+            lanes: 2,
+            partition: 2,
+            ..DatapathConfig::default()
+        };
         let mut prev = 0u64;
         for granule in [32u64, 256, 4096] {
             let soc = soc_with(32, 4, granule);
             let r = run_dma(&trace, &dp, &soc, DmaOptLevel::Full);
-            prop_assert!(
+            assert!(
                 r.total_cycles >= prev,
                 "granule {granule}: {} < {prev}",
                 r.total_cycles

@@ -23,9 +23,13 @@ fn every_kernel_is_functionally_correct() {
             "{} traced execution diverges from reference",
             kernel.name()
         );
-        run.trace.validate().unwrap_or_else(|e| {
-            panic!("{} produced an invalid trace: {e}", kernel.name());
-        });
+        let report = run.trace.check();
+        assert!(
+            report.is_clean(),
+            "{} produced an invalid trace: {}",
+            kernel.name(),
+            report.to_human()
+        );
     }
 }
 
@@ -180,6 +184,6 @@ fn paper_scale_kernels_are_functionally_correct() {
             "{} paper-scale run diverges",
             kernel.name()
         );
-        run.trace.validate().unwrap();
+        assert!(run.trace.check().is_clean());
     }
 }
