@@ -56,4 +56,6 @@ pub use dddg::Dddg;
 pub use fu::FuTiming;
 pub use meminterface::{DatapathMemory, IssueResult, SpadMemory, SpadStats};
 pub use power::{CacheEnergyParams, EnergyReport, PowerModel};
-pub use scheduler::{schedule, ScheduleResult};
+pub use scheduler::{
+    schedule, schedule_prepared, PreparedDddg, ScheduleResult, SchedulerWorkspace,
+};

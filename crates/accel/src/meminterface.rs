@@ -55,6 +55,19 @@ pub trait DatapathMemory {
         let _ = cycle;
         None
     }
+
+    /// Whether this memory is *passive*: it never makes progress on its own
+    /// between cycles. For a passive memory, `begin_cycle`/`end_cycle` only
+    /// reset per-cycle bookkeeping, and completions can only appear as a
+    /// direct consequence of an `issue` or an external `push`-style call —
+    /// so if no operation is in flight, skipping cycles cannot change its
+    /// behavior. Memories with autonomous activity (a ticking bus, DMA
+    /// engine, or cache fill pipeline) must leave this `false` (the
+    /// default); claiming passivity while ticking state in `end_cycle`
+    /// breaks the scheduler's idle fast-forward.
+    fn is_passive(&self) -> bool {
+        false
+    }
 }
 
 /// Scratchpad statistics.
@@ -301,6 +314,12 @@ impl DatapathMemory for SpadMemory {
     }
 
     fn end_cycle(&mut self, _cycle: u64) {}
+
+    // The scratchpad never acts between cycles: completions arise only from
+    // `issue` and `push_arrival`, so idle windows are safe to skip.
+    fn is_passive(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

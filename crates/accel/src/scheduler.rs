@@ -12,6 +12,24 @@
 //!   blocks independent operations in other lanes (hit-under-miss),
 //! * under [`LaneSync::Barrier`], all lanes synchronize before the next
 //!   unrolled iteration round begins.
+//!
+//! # Sweep fast path
+//!
+//! Design-space sweeps re-schedule the same trace hundreds of times. Two
+//! pieces of per-run work are invariant or reusable across points and can
+//! be hoisted out of the inner loop:
+//!
+//! * [`PreparedDddg`] — the graph (successor lists, in-degrees, lane/round
+//!   structure) depends only on the trace and the lane count, so a cache
+//!   sweep at fixed lanes can build it once and share it (via `Arc`)
+//!   across every cache geometry and every worker thread.
+//! * [`SchedulerWorkspace`] — the engine's heaps and vectors are sized by
+//!   the trace, not the config; keeping them alive between runs turns ~10
+//!   allocations per design point into zero.
+//!
+//! [`schedule`] remains the convenient one-shot entry point; it builds
+//! both on the fly and produces bit-identical results to
+//! [`schedule_prepared`].
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -24,7 +42,7 @@ use crate::dddg::Dddg;
 use crate::meminterface::{DatapathMemory, IssueResult};
 
 /// Outcome of scheduling a trace on a datapath.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleResult {
     /// Cycle the scheduler started at.
     pub start: u64,
@@ -41,6 +59,13 @@ pub struct ScheduleResult {
     pub mem_rejects: u64,
     /// Total cycles simulated (`end - start`).
     pub cycles: u64,
+    /// Scheduler loop iterations actually executed. Idle fast-forwarding
+    /// makes this smaller than `cycles`; the gap is simulation work saved.
+    pub stepped_cycles: u64,
+    /// Scheduler events processed: issues plus retires. A throughput
+    /// denominator for "how much simulation happened", independent of how
+    /// many idle cycles were skipped.
+    pub events: u64,
 }
 
 impl ScheduleResult {
@@ -55,24 +80,110 @@ impl ScheduleResult {
 
 const CLASSES: usize = 6;
 
-/// Mutable scheduling state. Read-only inputs (trace nodes, graph) are
-/// passed into methods to keep borrows simple.
-struct Engine {
-    /// Per-node lane assignment (from the DDDG's instance mapping).
-    node_lane: Vec<u32>,
-    barrier: bool,
-    indeg: Vec<u32>,
+/// A DDDG prepared for scheduling: the graph plus the per-round node
+/// counts the barrier model needs.
+///
+/// The graph structure depends only on the trace and `cfg.lanes` — not on
+/// partitioning, port counts, timing, or anything in the SoC — so sweeps
+/// over cache geometry or scratchpad partitioning at a fixed lane count
+/// can prepare once and schedule many times. Sharing across worker threads
+/// is cheap: wrap it in an `Arc` and hand every worker a clone.
+#[derive(Debug, Clone)]
+pub struct PreparedDddg {
+    graph: Dddg,
     round_total: Vec<usize>,
+    lanes: u32,
+}
+
+impl PreparedDddg {
+    /// Build the graph for `trace` as seen by a datapath with `cfg.lanes`
+    /// lanes. Only the lane count matters; every other field of `cfg` is
+    /// ignored here and may vary freely between [`schedule_prepared`]
+    /// calls that reuse this preparation.
+    #[must_use]
+    pub fn new(trace: &Trace, cfg: &DatapathConfig) -> Self {
+        let graph = Dddg::build(trace, cfg);
+        let mut round_total = vec![0usize; graph.num_rounds() as usize];
+        for &r in graph.rounds() {
+            round_total[r as usize] += 1;
+        }
+        PreparedDddg {
+            graph,
+            round_total,
+            lanes: cfg.lanes,
+        }
+    }
+
+    /// The prepared graph.
+    #[must_use]
+    pub fn graph(&self) -> &Dddg {
+        &self.graph
+    }
+
+    /// The lane count this preparation was built for.
+    #[must_use]
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+}
+
+/// Reusable scheduling buffers: heaps, per-node state, and scratch vectors
+/// the engine would otherwise allocate afresh for every design point.
+///
+/// A workspace is plain state — create one per worker thread and pass it
+/// to [`schedule_prepared`] for every point that worker simulates. All
+/// contents are cleared (but their capacity retained) at the start of each
+/// run, so reuse cannot leak state between points; results are
+/// bit-identical to a cold [`schedule`] call.
+#[derive(Debug, Default)]
+pub struct SchedulerWorkspace {
+    indeg: Vec<u32>,
     round_done: Vec<usize>,
-    current_round: usize,
     parked: Vec<Vec<u32>>,
     ready_compute: Vec<BinaryHeap<Reverse<u32>>>,
+    ready_mask: Vec<u64>,
     ready_mem: BinaryHeap<Reverse<u32>>,
-    ready_count: usize,
     wheel: BinaryHeap<Reverse<(u64, u32)>>,
+    mem_wheel: BinaryHeap<Reverse<(u64, u32)>>,
+    mem_retry: Vec<u32>,
+}
+
+impl SchedulerWorkspace {
+    /// An empty workspace. Buffers grow to fit the first trace scheduled
+    /// and are retained afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        SchedulerWorkspace::default()
+    }
+}
+
+/// Mutable scheduling state. Read-only inputs (trace nodes, graph) are
+/// passed into methods to keep borrows simple. All container fields are
+/// borrowed from a [`SchedulerWorkspace`] so their allocations survive
+/// across runs.
+struct Engine<'w> {
+    barrier: bool,
+    indeg: &'w mut Vec<u32>,
+    round_total: &'w [usize],
+    round_done: &'w mut Vec<usize>,
+    current_round: usize,
+    parked: &'w mut Vec<Vec<u32>>,
+    ready_compute: &'w mut Vec<BinaryHeap<Reverse<u32>>>,
+    /// One bit per `ready_compute` slot; set iff the slot's heap is
+    /// non-empty. The issue loop walks set bits instead of scanning all
+    /// `lanes × CLASSES` heaps every cycle.
+    ready_mask: &'w mut Vec<u64>,
+    ready_mem: &'w mut BinaryHeap<Reverse<u32>>,
+    ready_count: usize,
+    wheel: &'w mut BinaryHeap<Reverse<(u64, u32)>>,
     /// Memory-system completions not yet due (delivered with a future
     /// completion cycle, e.g. a known DMA arrival time).
-    mem_wheel: BinaryHeap<Reverse<(u64, u32)>>,
+    mem_wheel: &'w mut BinaryHeap<Reverse<(u64, u32)>>,
+    /// Memory operations issued into the memory system whose completions
+    /// have not yet been drained. While this is non-zero the memory system
+    /// owes us events at unknown cycles, so idle fast-forwarding must not
+    /// skip its per-cycle advancement.
+    mem_inflight: usize,
     active: usize,
     busy_start: u64,
     busy: IntervalSet,
@@ -80,17 +191,19 @@ struct Engine {
     last_retire: u64,
     issued_per_class: [u64; 6],
     mem_rejects: u64,
+    events: u64,
 }
 
-impl Engine {
-    fn enqueue(&mut self, idx: usize, nodes: &[TraceNode]) {
+impl Engine<'_> {
+    fn enqueue(&mut self, idx: usize, nodes: &[TraceNode], lanes: &[u32]) {
         let node = &nodes[idx];
         if node.opcode.is_memory() {
             self.ready_mem.push(Reverse(idx as u32));
         } else {
-            let lane = self.node_lane[idx] as usize;
+            let lane = lanes[idx] as usize;
             let slot = lane * CLASSES + node.opcode.fu_class().index();
             self.ready_compute[slot].push(Reverse(idx as u32));
+            self.ready_mask[slot / 64] |= 1u64 << (slot % 64);
         }
         self.ready_count += 1;
     }
@@ -101,7 +214,7 @@ impl Engine {
         if self.barrier && r > self.current_round {
             self.parked[r].push(idx as u32);
         } else {
-            self.enqueue(idx, nodes);
+            self.enqueue(idx, nodes, graph.lanes());
         }
     }
 
@@ -131,6 +244,7 @@ impl Engine {
             }
         }
         self.completed += 1;
+        self.events += 1;
         self.last_retire = self.last_retire.max(cycle);
         self.round_done[graph.rounds()[idx] as usize] += 1;
 
@@ -150,7 +264,7 @@ impl Engine {
                 if self.current_round < self.round_total.len() {
                     let waiting = std::mem::take(&mut self.parked[self.current_round]);
                     for w in waiting {
-                        self.enqueue(w as usize, nodes);
+                        self.enqueue(w as usize, nodes, graph.lanes());
                     }
                 }
             }
@@ -164,6 +278,10 @@ impl Engine {
 /// Returns cycle-level results; `mem` retains its own statistics (accesses,
 /// conflicts, stalls) for the power model.
 ///
+/// One-shot convenience over [`schedule_prepared`]: builds the DDDG and a
+/// fresh workspace internally. Sweeps that revisit the same trace should
+/// prepare once and reuse a workspace instead.
+///
 /// # Panics
 ///
 /// Panics if `cfg` is invalid, or on a scheduling deadlock (which would
@@ -175,14 +293,47 @@ pub fn schedule(
     mem: &mut dyn DatapathMemory,
     start: u64,
 ) -> ScheduleResult {
+    let prepared = PreparedDddg::new(trace, cfg);
+    let mut ws = SchedulerWorkspace::new();
+    schedule_prepared(trace, cfg, &prepared, &mut ws, mem, start)
+}
+
+/// [`schedule`] with the DDDG prepared up front and the engine's buffers
+/// supplied by a reusable workspace — the sweep fast path.
+///
+/// Produces bit-identical results to [`schedule`] for the same inputs.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid, if `prepared` was built for a different
+/// lane count or trace, or on a scheduling deadlock.
+#[must_use]
+pub fn schedule_prepared(
+    trace: &Trace,
+    cfg: &DatapathConfig,
+    prepared: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+    mem: &mut dyn DatapathMemory,
+    start: u64,
+) -> ScheduleResult {
     let cfg_report = cfg.check();
     assert!(
         !cfg_report.has_errors(),
         "invalid datapath configuration: {}",
         cfg_report.to_human()
     );
-    let graph = Dddg::build(trace, cfg);
+    assert_eq!(
+        prepared.lanes, cfg.lanes,
+        "PreparedDddg built for {} lanes, scheduling with {}",
+        prepared.lanes, cfg.lanes
+    );
+    let graph = &prepared.graph;
     let n = graph.len();
+    assert_eq!(
+        n,
+        trace.nodes().len(),
+        "PreparedDddg built for another trace"
+    );
     if n == 0 {
         return ScheduleResult {
             start,
@@ -191,30 +342,54 @@ pub fn schedule(
             issued_per_class: [0; 6],
             mem_rejects: 0,
             cycles: 0,
+            stepped_cycles: 0,
+            events: 0,
         };
     }
 
     let lanes = cfg.lanes as usize;
     let num_rounds = graph.num_rounds() as usize;
-    let mut round_total = vec![0usize; num_rounds];
-    for &r in graph.rounds() {
-        round_total[r as usize] += 1;
+    let slots = lanes * CLASSES;
+
+    // Reset the workspace: clear everything, reuse every allocation.
+    ws.indeg.clear();
+    ws.indeg.extend_from_slice(graph.indegrees());
+    ws.round_done.clear();
+    ws.round_done.resize(num_rounds, 0);
+    if ws.parked.len() < num_rounds {
+        ws.parked.resize_with(num_rounds, Vec::new);
     }
+    for p in &mut ws.parked[..num_rounds] {
+        p.clear();
+    }
+    if ws.ready_compute.len() < slots {
+        ws.ready_compute.resize_with(slots, BinaryHeap::new);
+    }
+    for h in &mut ws.ready_compute[..slots] {
+        h.clear();
+    }
+    ws.ready_mask.clear();
+    ws.ready_mask.resize(slots.div_ceil(64), 0);
+    ws.ready_mem.clear();
+    ws.wheel.clear();
+    ws.mem_wheel.clear();
+    ws.mem_retry.clear();
 
     let nodes = trace.nodes();
     let mut eng = Engine {
-        node_lane: graph.lanes().to_vec(),
         barrier: cfg.sync == LaneSync::Barrier,
-        indeg: graph.indegrees().to_vec(),
-        round_done: vec![0usize; num_rounds],
-        round_total,
+        indeg: &mut ws.indeg,
+        round_total: &prepared.round_total,
+        round_done: &mut ws.round_done,
         current_round: 0,
-        parked: vec![Vec::new(); num_rounds],
-        ready_compute: (0..lanes * CLASSES).map(|_| BinaryHeap::new()).collect(),
-        ready_mem: BinaryHeap::new(),
+        parked: &mut ws.parked,
+        ready_compute: &mut ws.ready_compute,
+        ready_mask: &mut ws.ready_mask,
+        ready_mem: &mut ws.ready_mem,
         ready_count: 0,
-        wheel: BinaryHeap::new(),
-        mem_wheel: BinaryHeap::new(),
+        wheel: &mut ws.wheel,
+        mem_wheel: &mut ws.mem_wheel,
+        mem_inflight: 0,
         active: 0,
         busy_start: start,
         busy: IntervalSet::new(),
@@ -222,20 +397,25 @@ pub fn schedule(
         last_retire: start,
         issued_per_class: [0; 6],
         mem_rejects: 0,
+        events: 0,
     };
 
     for idx in 0..n {
         if eng.indeg[idx] == 0 {
-            eng.release(idx, &graph, nodes);
+            eng.release(idx, graph, nodes);
         }
     }
 
     let mut cycle = start;
-    let mut mem_retry: Vec<u32> = Vec::new();
     let mem_budget = 8 + 4 * lanes + 2 * cfg.partition as usize;
     let mut idle_cycles = 0u64;
+    let mut stepped = 0u64;
+    // Whether the memory system is passive (no autonomous between-cycle
+    // behavior): queried once, it licenses the tightened idle jump below.
+    let mem_passive = mem.is_passive();
 
     while eng.completed < n {
+        stepped += 1;
         mem.begin_cycle(cycle);
         let mut progressed = false;
 
@@ -245,16 +425,17 @@ pub fn schedule(
                 break;
             }
             eng.wheel.pop();
-            eng.retire(idx as usize, at, true, &graph, nodes);
+            eng.retire(idx as usize, at, true, graph, nodes);
             progressed = true;
         }
 
         // 2. Retire memory-system completions; buffer those not yet due.
         for (id, at) in mem.drain_completions() {
+            eng.mem_inflight -= 1;
             if at > cycle {
                 eng.mem_wheel.push(Reverse((at, id as u32)));
             } else {
-                eng.retire(id as usize, at.max(cycle), false, &graph, nodes);
+                eng.retire(id as usize, at.max(cycle), false, graph, nodes);
                 progressed = true;
             }
         }
@@ -263,13 +444,24 @@ pub fn schedule(
                 break;
             }
             eng.mem_wheel.pop();
-            eng.retire(idx as usize, at, false, &graph, nodes);
+            eng.retire(idx as usize, at, false, graph, nodes);
             progressed = true;
         }
 
-        // 3. Issue compute: one op per lane per class.
-        for slot in 0..lanes * CLASSES {
-            if let Some(Reverse(idx)) = eng.ready_compute[slot].pop() {
+        // 3. Issue compute: one op per lane per class. Only slots whose
+        // ready heap is non-empty are visited (bitmask), in the same
+        // ascending slot order a full scan would use.
+        for w in 0..eng.ready_mask.len() {
+            let mut word = eng.ready_mask[w];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let slot = w * 64 + bit;
+                let heap = &mut eng.ready_compute[slot];
+                let Reverse(idx) = heap.pop().expect("set bit implies non-empty heap");
+                if heap.is_empty() {
+                    eng.ready_mask[w] &= !(1u64 << bit);
+                }
                 let node = &nodes[idx as usize];
                 let class = node.opcode.fu_class();
                 eng.wheel
@@ -277,6 +469,7 @@ pub fn schedule(
                 eng.issued_per_class[class.index()] += 1;
                 eng.begin_busy(cycle);
                 eng.ready_count -= 1;
+                eng.events += 1;
                 progressed = true;
             }
         }
@@ -299,6 +492,7 @@ pub fn schedule(
                     eng.issued_per_class[FuClass::Mem.index()] += 1;
                     eng.begin_busy(cycle);
                     eng.ready_count -= 1;
+                    eng.events += 1;
                     progressed = true;
                 }
                 IssueResult::Pending => {
@@ -307,15 +501,17 @@ pub fn schedule(
                     // count toward busy time.
                     eng.issued_per_class[FuClass::Mem.index()] += 1;
                     eng.ready_count -= 1;
+                    eng.mem_inflight += 1;
+                    eng.events += 1;
                     progressed = true;
                 }
                 IssueResult::Reject => {
                     eng.mem_rejects += 1;
-                    mem_retry.push(idx);
+                    ws.mem_retry.push(idx);
                 }
             }
         }
-        for idx in mem_retry.drain(..) {
+        for idx in ws.mem_retry.drain(..) {
             eng.ready_mem.push(Reverse(idx));
         }
 
@@ -345,8 +541,15 @@ pub fn schedule(
             match (wheel_next, mem_next) {
                 (Some(w), Some(m)) => w.min(m).max(cycle + 1),
                 // Only wheel events pending and nothing else in flight:
-                // jump straight to the next completion.
-                (Some(w), None) if wheel_only => w.max(cycle + 1),
+                // jump straight to the next completion. With a passive
+                // memory (no autonomous between-cycle behavior) the same
+                // jump is safe whenever no memory op is in flight, even if
+                // dependents are still waiting on those wheel retires —
+                // nothing can become ready before the next retire, and a
+                // passive memory cannot act in the skipped window.
+                (Some(w), None) if wheel_only || (mem_passive && eng.mem_inflight == 0) => {
+                    w.max(cycle + 1)
+                }
                 _ => cycle + 1,
             }
         } else {
@@ -362,6 +565,8 @@ pub fn schedule(
         issued_per_class: eng.issued_per_class,
         mem_rejects: eng.mem_rejects,
         cycles: end - start,
+        stepped_cycles: stepped,
+        events: eng.events,
     }
 }
 
@@ -392,6 +597,33 @@ mod tests {
         schedule(trace, cfg, &mut mem, 0)
     }
 
+    /// Wraps a memory and hides its passivity, forcing the scheduler onto
+    /// the untightened cycle-by-cycle idle path — the pre-optimization
+    /// reference behavior.
+    struct NotPassive<'a>(&'a mut SpadMemory);
+
+    impl DatapathMemory for NotPassive<'_> {
+        fn begin_cycle(&mut self, cycle: u64) {
+            self.0.begin_cycle(cycle);
+        }
+        fn issue(
+            &mut self,
+            id: u64,
+            addr: u64,
+            bytes: u32,
+            write: bool,
+            cycle: u64,
+        ) -> IssueResult {
+            self.0.issue(id, addr, bytes, write, cycle)
+        }
+        fn drain_completions(&mut self) -> Vec<(u64, u64)> {
+            self.0.drain_completions()
+        }
+        fn end_cycle(&mut self, cycle: u64) {
+            self.0.end_cycle(cycle);
+        }
+    }
+
     #[test]
     fn empty_trace_is_zero_cycles() {
         let trace = Tracer::new("e").finish();
@@ -411,6 +643,93 @@ mod tests {
         // 10 dependent FAdds at 3 cycles each; each issues the cycle after
         // its predecessor completes.
         assert_eq!(r.cycles, 30);
+    }
+
+    #[test]
+    fn idle_jump_shrinks_stepped_cycles_without_changing_results() {
+        // A serial chain is maximally idle-heavy: after each issue the
+        // scheduler waits out the full FU latency with nothing ready.
+        let mut t = Tracer::new("idle-chain");
+        let mut acc = TVal::lit(1.0);
+        for _ in 0..50 {
+            acc = t.binop(Opcode::FDiv, acc, TVal::lit(2.0)); // 16-cycle FU
+        }
+        let trace = t.finish();
+        let cfg = DatapathConfig::default();
+
+        let fast = run(&trace, &cfg);
+        let mut spad = SpadMemory::new(&trace, &cfg);
+        let slow = schedule(&trace, &cfg, &mut NotPassive(&mut spad), 0);
+
+        // The tightened jump may not skip a retire or change any outcome.
+        assert_eq!(fast.end, slow.end);
+        assert_eq!(fast.busy, slow.busy);
+        assert_eq!(fast.issued_per_class, slow.issued_per_class);
+        assert_eq!(fast.mem_rejects, slow.mem_rejects);
+        assert_eq!(fast.events, slow.events);
+        // ...but it must do far fewer loop iterations than cycles exist.
+        // The reference path only jumps once everything is in the wheel
+        // (the final op), so it steps nearly every cycle.
+        assert!(slow.stepped_cycles > slow.cycles - 16);
+        assert!(
+            fast.stepped_cycles * 4 < slow.stepped_cycles,
+            "fast path stepped {} of {} cycles",
+            fast.stepped_cycles,
+            slow.stepped_cycles
+        );
+    }
+
+    #[test]
+    fn prepared_and_workspace_reuse_match_one_shot_schedule() {
+        let trace = parallel_kernel(32);
+        let mut ws = SchedulerWorkspace::new();
+        for lanes in [1u32, 2, 4, 8] {
+            let prepared = PreparedDddg::new(
+                &trace,
+                &DatapathConfig {
+                    lanes,
+                    ..DatapathConfig::default()
+                },
+            );
+            // Reuse the same preparation across points that differ only in
+            // memory geometry, and the same workspace across everything.
+            for partition in [1u32, 2, 8] {
+                for sync in [LaneSync::Barrier, LaneSync::Free] {
+                    let cfg = DatapathConfig {
+                        lanes,
+                        partition,
+                        sync,
+                        ..DatapathConfig::default()
+                    };
+                    let mut mem = SpadMemory::new(&trace, &cfg);
+                    let fast = schedule_prepared(&trace, &cfg, &prepared, &mut ws, &mut mem, 7);
+                    let mut mem2 = SpadMemory::new(&trace, &cfg);
+                    let one_shot = schedule(&trace, &cfg, &mut mem2, 7);
+                    assert_eq!(fast, one_shot, "lanes={lanes} partition={partition}");
+                    assert_eq!(mem.stats(), mem2.stats());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PreparedDddg built for 2 lanes")]
+    fn prepared_lane_mismatch_panics() {
+        let trace = parallel_kernel(4);
+        let prepared = PreparedDddg::new(
+            &trace,
+            &DatapathConfig {
+                lanes: 2,
+                ..DatapathConfig::default()
+            },
+        );
+        let cfg = DatapathConfig {
+            lanes: 4,
+            ..DatapathConfig::default()
+        };
+        let mut ws = SchedulerWorkspace::new();
+        let mut mem = SpadMemory::new(&trace, &cfg);
+        let _ = schedule_prepared(&trace, &cfg, &prepared, &mut ws, &mut mem, 0);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Sweep-throughput benchmarks: design points simulated per second, the
+//! quantity the DSE layer optimizes (the paper's whole pitch is rapid
+//! pre-RTL exploration, so the simulator's own sweep rate is a first-class
+//! metric).
+//!
+//! Self-contained harness (the workspace builds with no crate registry):
+//! each benchmark runs for a fixed wall-time budget and reports the median.
+//! Output doubles as the source for `BENCH_sweep.json`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use aladdin_core::{DmaOptLevel, SocConfig};
+use aladdin_dse::{sweep_cache, sweep_dma, DesignSpace};
+use aladdin_workloads::by_name;
+
+/// Run `f` (which sweeps `points` design points) repeatedly for ~1 s and
+/// report the median points/second.
+fn bench_sweep(name: &str, points: usize, mut f: impl FnMut() -> u64) -> f64 {
+    let budget = std::time::Duration::from_millis(1000);
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while samples.len() < 3 || (start.elapsed() < budget && samples.len() < 1000) {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let pps = points as f64 / median;
+    println!(
+        "sweep/{name}: {pps:.1} points/s ({points} points, {:.1} ms/sweep, {} runs)",
+        median * 1e3,
+        samples.len()
+    );
+    pps
+}
+
+fn main() {
+    let space = DesignSpace::quick();
+    let soc = SocConfig::default();
+    let dma_points = space.dma_points().len();
+    let cache_points = space.cache_points().len();
+
+    for kernel in ["aes-aes", "fft-transpose"] {
+        let trace = by_name(kernel).expect("kernel").run().trace;
+
+        // Cold: every invocation re-simulates (or, with the result cache
+        // enabled, the first iteration simulates and the rest hit — the
+        // median then reports warm throughput; the separate cold/warm split
+        // below keeps both visible).
+        let cold = bench_sweep(&format!("{kernel}/dma/cold"), dma_points, || {
+            aladdin_dse::reset_sweep_cache();
+            sweep_dma(&trace, &space, &soc, DmaOptLevel::Full).len() as u64
+        });
+        let warm = bench_sweep(&format!("{kernel}/dma/warm"), dma_points, || {
+            sweep_dma(&trace, &space, &soc, DmaOptLevel::Full).len() as u64
+        });
+        println!("json: {{\"kernel\": \"{kernel}\", \"sweep\": \"dma\", \"points\": {dma_points}, \"cold_points_per_sec\": {cold:.1}, \"warm_points_per_sec\": {warm:.1}}}");
+
+        let cold = bench_sweep(&format!("{kernel}/cache/cold"), cache_points, || {
+            aladdin_dse::reset_sweep_cache();
+            sweep_cache(&trace, &space, &soc).len() as u64
+        });
+        let warm = bench_sweep(&format!("{kernel}/cache/warm"), cache_points, || {
+            sweep_cache(&trace, &space, &soc).len() as u64
+        });
+        println!("json: {{\"kernel\": \"{kernel}\", \"sweep\": \"cache\", \"points\": {cache_points}, \"cold_points_per_sec\": {cold:.1}, \"warm_points_per_sec\": {warm:.1}}}");
+    }
+}

@@ -16,4 +16,5 @@ fn main() {
     aladdin_bench::fig09::run();
     aladdin_bench::fig10::run();
     println!("\nall figures regenerated in {:.1?}", t0.elapsed());
+    println!("{}", aladdin_dse::global_perf());
 }

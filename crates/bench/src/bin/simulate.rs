@@ -7,7 +7,8 @@
 //! ```
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+use aladdin_core::{DmaOptLevel, MemKind, SocConfig};
+use aladdin_dse::run_point_cached;
 use aladdin_workloads::{all_kernels, by_name};
 
 struct Args {
@@ -99,19 +100,19 @@ fn main() {
     if let Some(period) = args.traffic_period {
         soc_cfg.traffic = Some(aladdin_core::TrafficConfig { period, bytes: 64 });
     }
-    let soc = Soc::new(soc_cfg);
     let dp = DatapathConfig {
         lanes: args.lanes,
         partition: args.partition,
         ..DatapathConfig::default()
     };
 
-    let r = match args.mem.as_str() {
-        "isolated" => soc.run_isolated(&run.trace, &dp),
-        "dma" => soc.run_dma(&run.trace, &dp, args.opt),
-        "cache" => soc.run_cache(&run.trace, &dp),
+    let kind = match args.mem.as_str() {
+        "isolated" => MemKind::Isolated,
+        "dma" => MemKind::Dma(args.opt),
+        "cache" => MemKind::Cache,
         _ => usage(),
     };
+    let r = run_point_cached(&run.trace, &dp, &soc_cfg, kind);
 
     println!("kernel:   {} ({})", kernel.name(), kernel.description());
     println!("trace:    {}", run.trace.stats());
@@ -152,4 +153,6 @@ fn main() {
             s.reads, s.writes, s.bank_conflicts, s.ready_stalls
         );
     }
+    println!();
+    println!("{}", aladdin_dse::global_perf());
 }

@@ -1,8 +1,8 @@
 //! The three CPU↔accelerator flows: isolated, scratchpad+DMA, and cache.
 
 use aladdin_accel::{
-    schedule, DatapathConfig, DatapathMemory, EnergyReport, IssueResult, PowerModel, SpadMemory,
-    SpadStats,
+    schedule_prepared, DatapathConfig, DatapathMemory, EnergyReport, IssueResult, PowerModel,
+    PreparedDddg, SchedulerWorkspace, SpadMemory, SpadStats,
 };
 use aladdin_ir::{ArrayKind, Diagnostic, Trace};
 use aladdin_mem::{
@@ -15,7 +15,11 @@ use crate::config::{DmaOptLevel, MemKind, SocConfig};
 use crate::phase::PhaseBreakdown;
 
 /// Everything measured from one simulated accelerator invocation.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field bit-exactly (including the f64 energy
+/// numbers) — the contract the sweep result cache and the fast-path parity
+/// tests rely on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowResult {
     /// Kernel name.
     pub kernel: String,
@@ -51,6 +55,12 @@ pub struct FlowResult {
     /// Peak local memory bandwidth in accesses/cycle — the third Kiviat
     /// axis.
     pub local_mem_bandwidth: u32,
+    /// Scheduler loop iterations actually executed (idle fast-forwarding
+    /// makes this smaller than the simulated cycle count).
+    pub sched_stepped_cycles: u64,
+    /// Scheduler events (issues + retires) processed — the throughput
+    /// denominator `SweepPerf` aggregates.
+    pub sched_events: u64,
 }
 
 impl FlowResult {
@@ -112,8 +122,29 @@ fn spad_energy_pj(
 /// in isolation" scenario of Figures 1, 9 and 10).
 #[must_use]
 pub fn run_isolated(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig) -> FlowResult {
+    run_isolated_prepared(
+        trace,
+        dp,
+        soc,
+        &PreparedDddg::new(trace, dp),
+        &mut SchedulerWorkspace::new(),
+    )
+}
+
+/// [`run_isolated`] on the sweep fast path: the DDDG is prepared by the
+/// caller (shareable across points at the same lane count) and the
+/// scheduler reuses `ws`'s buffers. Bit-identical results to
+/// [`run_isolated`].
+#[must_use]
+pub fn run_isolated_prepared(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    prep: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+) -> FlowResult {
     let mut spad = SpadMemory::new(trace, dp);
-    let sched = schedule(trace, dp, &mut spad, 0);
+    let sched = schedule_prepared(trace, dp, prep, ws, &mut spad, 0);
     let pm = PowerModel::default_40nm();
     let stats = trace.stats();
     let total_bytes = total_array_bytes(trace);
@@ -149,6 +180,8 @@ pub fn run_isolated(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig) -> Flow
         dma_stats: None,
         local_sram_bytes: total_bytes,
         local_mem_bandwidth: dp.local_mem_bandwidth(),
+        sched_stepped_cycles: sched.stepped_cycles,
+        sched_events: sched.events,
     }
 }
 
@@ -279,6 +312,31 @@ pub fn try_run_dma(
     soc: &SocConfig,
     opt: DmaOptLevel,
 ) -> Result<FlowResult, Diagnostic> {
+    try_run_dma_prepared(
+        trace,
+        dp,
+        soc,
+        opt,
+        &PreparedDddg::new(trace, dp),
+        &mut SchedulerWorkspace::new(),
+    )
+}
+
+/// [`try_run_dma`] on the sweep fast path (caller-prepared DDDG, reused
+/// scheduler workspace). Bit-identical results to [`try_run_dma`].
+///
+/// # Errors
+///
+/// Returns the diagnostic describing why the simulation could not
+/// complete.
+pub fn try_run_dma_prepared(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+    prep: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+) -> Result<FlowResult, Diagnostic> {
     let t0 = soc.invoke_cycles;
     let dma_cfg = DmaConfig {
         pipelined: opt.pipelined(),
@@ -322,7 +380,7 @@ pub fn try_run_dma(
             bus,
             traffic,
         };
-        let sched = schedule(trace, dp, &mut mem, t0);
+        let sched = schedule_prepared(trace, dp, prep, ws, &mut mem, t0);
         // The transfer may outlive the computation (e.g. not every input
         // byte is read): drain it before writeback DMA starts.
         let dma_done = if mem.dma.is_done() {
@@ -348,7 +406,7 @@ pub fn try_run_dma(
             drive_dma_to_completion(&mut dma_in, &mut bus, &mut traffic, t0)?
         };
         let mut spad = SpadMemory::new(trace, dp);
-        let sched = schedule(trace, dp, &mut spad, dma_done);
+        let sched = schedule_prepared(trace, dp, prep, ws, &mut spad, dma_done);
         let end = sched.end;
         (sched, spad.stats(), dma_in, bus, traffic, end)
     };
@@ -423,6 +481,8 @@ pub fn try_run_dma(
         dma_stats: Some(dstats),
         local_sram_bytes: total_bytes,
         local_mem_bandwidth: dp.local_mem_bandwidth(),
+        sched_stepped_cycles: sched.stepped_cycles,
+        sched_events: sched.events,
     })
 }
 
@@ -433,16 +493,47 @@ pub fn run_cache(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig) -> FlowRes
     run_cache_inner(trace, dp, soc, false)
 }
 
+/// [`run_cache`] on the sweep fast path (caller-prepared DDDG, reused
+/// scheduler workspace). Bit-identical results to [`run_cache`].
+#[must_use]
+pub fn run_cache_prepared(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    prep: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+) -> FlowResult {
+    run_cache_inner_prepared(trace, dp, soc, false, prep, ws)
+}
+
 pub(crate) fn run_cache_inner(
     trace: &Trace,
     dp: &DatapathConfig,
     soc: &SocConfig,
     ideal: bool,
 ) -> FlowResult {
+    run_cache_inner_prepared(
+        trace,
+        dp,
+        soc,
+        ideal,
+        &PreparedDddg::new(trace, dp),
+        &mut SchedulerWorkspace::new(),
+    )
+}
+
+fn run_cache_inner_prepared(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    ideal: bool,
+    prep: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+) -> FlowResult {
     let t0 = soc.invoke_cycles;
     let mut mem = CacheDatapathMemory::new(trace, dp, soc);
     mem.set_ideal(ideal);
-    let sched = schedule(trace, dp, &mut mem, t0);
+    let sched = schedule_prepared(trace, dp, prep, ws, &mut mem, t0);
     let end = sched.end + soc.completion.map_or(0, |c| c.observation_lag(sched.end));
 
     let pm = PowerModel::default_40nm();
@@ -501,6 +592,8 @@ pub(crate) fn run_cache_inner(
         dma_stats: None,
         local_sram_bytes: soc.cache.size_bytes + internal_bytes,
         local_mem_bandwidth: soc.cache.ports,
+        sched_stepped_cycles: sched.stepped_cycles,
+        sched_events: sched.events,
     }
 }
 

@@ -1,0 +1,580 @@
+//! Content-addressed design-point result cache.
+//!
+//! A design point's outcome is a pure function of the trace content, the
+//! datapath configuration, the SoC configuration, and the flow (memory
+//! kind + DMA optimization level). The cache keys on exactly that —
+//! [`Trace::fingerprint`] plus the `Debug` rendering of every config — so
+//! `all_figures`, checked-vs-unchecked runs, and repeated `dse`
+//! invocations skip points they have already simulated, and any change to
+//! any config field or to the trace changes the key and misses.
+//!
+//! Two tiers:
+//!
+//! * **in-memory** (default on): a process-wide map shared by all sweeps.
+//!   Hits return a clone of the stored [`FlowResult`] — bit-identical by
+//!   construction.
+//! * **on-disk** (opt-in): text files under `target/sweep-cache/`, one per
+//!   point, surviving across processes. Floats are written with `{:?}`
+//!   (shortest round-tripping representation), so a disk hit is also
+//!   bit-identical. Files embed their full key and a format version; a
+//!   mismatch on either (hash collision, stale format) is treated as a
+//!   miss. Disk persistence is opt-in because results are only valid for
+//!   the simulator build that wrote them — wipe the directory (or bump
+//!   [`FORMAT_VERSION`]) when simulation semantics change.
+//!
+//! Control via environment: `ALADDIN_SWEEP_CACHE=off|mem|full` (default
+//! `mem`), `ALADDIN_SWEEP_CACHE_DIR=<dir>` to relocate the disk tier.
+//! Tests and benches use [`set_sweep_cache_mode`]/[`reset_sweep_cache`]
+//! instead of mutating the environment.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use aladdin_accel::{DatapathConfig, FuTiming, LaneSync};
+use aladdin_core::{DmaOptLevel, FlowResult, MemKind, SocConfig};
+use aladdin_ir::Trace;
+use aladdin_mem::Clock;
+
+/// Bumped whenever the on-disk rendering of a [`FlowResult`] (or the
+/// meaning of any simulated quantity) changes; older files then miss.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Which tiers of the result cache are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepCacheMode {
+    /// No caching: every point is simulated.
+    Off,
+    /// In-memory tier only (the default).
+    Mem,
+    /// In-memory plus the on-disk tier under the cache directory.
+    Full,
+}
+
+struct CacheState {
+    mode: SweepCacheMode,
+    dir: PathBuf,
+    mem: HashMap<String, FlowResult>,
+}
+
+fn state() -> &'static Mutex<CacheState> {
+    static STATE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let mode = match std::env::var("ALADDIN_SWEEP_CACHE").as_deref() {
+            Ok("off") => SweepCacheMode::Off,
+            Ok("full") => SweepCacheMode::Full,
+            _ => SweepCacheMode::Mem,
+        };
+        let dir = std::env::var("ALADDIN_SWEEP_CACHE_DIR")
+            .map_or_else(|_| PathBuf::from("target/sweep-cache"), PathBuf::from);
+        Mutex::new(CacheState {
+            mode,
+            dir,
+            mem: HashMap::new(),
+        })
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, CacheState> {
+    state()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Override the cache mode for this process (tests and benches; normal
+/// runs configure via `ALADDIN_SWEEP_CACHE`).
+pub fn set_sweep_cache_mode(mode: SweepCacheMode) {
+    lock().mode = mode;
+}
+
+/// Override the on-disk tier's directory for this process.
+pub fn set_sweep_cache_dir(dir: &Path) {
+    lock().dir = dir.to_path_buf();
+}
+
+/// Drop every in-memory cached result (the disk tier is untouched).
+/// Benches call this to measure cold-cache throughput.
+pub fn reset_sweep_cache() {
+    lock().mem.clear();
+}
+
+/// The canonical cache key of a design point. Every field of every config
+/// participates (via `Debug`, which renders floats exactly), so changing
+/// anything — trace content, a latency, a cache geometry, the DMA
+/// optimization level — yields a different key.
+#[must_use]
+pub(crate) fn point_key(
+    trace_fp: u128,
+    kind: MemKind,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+) -> String {
+    format!("v{FORMAT_VERSION}|{trace_fp:032x}|{kind:?}|{dp:?}|{soc:?}")
+}
+
+/// FNV-1a over the key, twice with distinct bases — the disk file name.
+fn file_name(key: &str) -> String {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lo: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hi: u64 = 0x6c62_272e_07bb_0142;
+    for &b in key.as_bytes() {
+        lo = (lo ^ u64::from(b)).wrapping_mul(PRIME);
+        hi = (hi ^ u64::from(b ^ 0x5a)).wrapping_mul(PRIME);
+    }
+    format!("{hi:016x}{lo:016x}.flow")
+}
+
+/// Look `key` up: memory tier first, then (mode permitting) disk. A disk
+/// hit is promoted into the memory tier.
+pub(crate) fn lookup(key: &str) -> Option<FlowResult> {
+    let mut st = lock();
+    match st.mode {
+        SweepCacheMode::Off => None,
+        SweepCacheMode::Mem => st.mem.get(key).cloned(),
+        SweepCacheMode::Full => {
+            if let Some(r) = st.mem.get(key) {
+                return Some(r.clone());
+            }
+            let path = st.dir.join(file_name(key));
+            let text = std::fs::read_to_string(path).ok()?;
+            let r = parse_flow(&text, key)?;
+            st.mem.insert(key.to_owned(), r.clone());
+            Some(r)
+        }
+    }
+}
+
+/// Store a freshly simulated result under `key` in every active tier.
+/// Disk writes are atomic (temp file + rename) so concurrent sweeps can
+/// never observe a torn file; any I/O failure silently degrades to
+/// not-cached.
+pub(crate) fn insert(key: &str, result: &FlowResult) {
+    let mut st = lock();
+    if st.mode == SweepCacheMode::Off {
+        return;
+    }
+    st.mem.insert(key.to_owned(), result.clone());
+    if st.mode == SweepCacheMode::Full {
+        let text = render_flow(result, key);
+        let path = st.dir.join(file_name(key));
+        let tmp = st
+            .dir
+            .join(format!("{}.tmp-{}", file_name(key), std::process::id()));
+        let _ = std::fs::create_dir_all(&st.dir);
+        if std::fs::write(&tmp, text).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+/// Run one design point through the result cache: a hit returns the
+/// stored result (bit-identical to re-simulating), a miss simulates via
+/// the corresponding `aladdin-core` flow and stores the outcome.
+///
+/// This is the convenience entry for binaries that evaluate single
+/// points; sweeps integrate the cache with DDDG sharing and workspace
+/// reuse internally.
+///
+/// # Panics
+///
+/// Panics if the underlying flow does (e.g. a DMA configuration that
+/// cannot make progress).
+#[must_use]
+pub fn run_point_cached(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    kind: MemKind,
+) -> FlowResult {
+    let t0 = std::time::Instant::now();
+    let key = point_key(trace.fingerprint(), kind, dp, soc);
+    let (result, hit) = match lookup(&key) {
+        Some(hit) => (hit, true),
+        None => {
+            let r = match kind {
+                MemKind::Isolated => aladdin_core::run_isolated(trace, dp, soc),
+                MemKind::Dma(opt) => aladdin_core::run_dma(trace, dp, soc, opt),
+                MemKind::Cache => aladdin_core::run_cache(trace, dp, soc),
+            };
+            insert(&key, &r);
+            (r, false)
+        }
+    };
+    crate::perf::record_global(&crate::SweepPerf {
+        points: 1,
+        cache_hits: u64::from(hit),
+        stepped_cycles: if hit { 0 } else { result.sched_stepped_cycles },
+        events: if hit { 0 } else { result.sched_events },
+        wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    });
+    result
+}
+
+// ---------------------------------------------------------------------------
+// On-disk text format: line-oriented `field value...` pairs, floats via
+// `{:?}` (round-trips exactly), preceded by a version/key header that must
+// match on read.
+
+fn render_flow(r: &FlowResult, key: &str) -> String {
+    let mut s = String::with_capacity(1024);
+    let _ = writeln!(s, "aladdin-sweep-cache v{FORMAT_VERSION}");
+    let _ = writeln!(s, "key {key}");
+    let _ = writeln!(s, "kernel {}", r.kernel);
+    let kind = match r.mem_kind {
+        MemKind::Isolated => "isolated".to_owned(),
+        MemKind::Dma(opt) => format!("dma-{opt:?}"),
+        MemKind::Cache => "cache".to_owned(),
+    };
+    let _ = writeln!(s, "mem_kind {kind}");
+    let _ = writeln!(
+        s,
+        "datapath {} {} {}",
+        r.datapath.lanes, r.datapath.partition, r.datapath.ports_per_bank
+    );
+    let lat: Vec<String> = aladdin_ir::FuClass::ALL
+        .iter()
+        .map(|&c| r.datapath.timing.latency(c).to_string())
+        .collect();
+    let _ = writeln!(s, "timing {}", lat.join(" "));
+    let sync = match r.datapath.sync {
+        LaneSync::Barrier => "barrier",
+        LaneSync::Free => "free",
+    };
+    let _ = writeln!(s, "sync {sync}");
+    let _ = writeln!(s, "span {} {} {}", r.start, r.end, r.total_cycles);
+    let p = r.phases;
+    let _ = writeln!(
+        s,
+        "phases {} {} {} {} {} {}",
+        p.flush_only, p.dma_flush, p.compute_dma, p.compute_only, p.other, p.total
+    );
+    let e = &r.energy;
+    let _ = writeln!(
+        s,
+        "energy {:?} {:?} {:?} {} {:?}",
+        e.datapath_pj,
+        e.local_mem_pj,
+        e.leakage_mw,
+        e.runtime_cycles,
+        e.clock.period_ns()
+    );
+    let _ = writeln!(
+        s,
+        "sched {} {} {} {}",
+        r.compute_busy_cycles, r.mem_rejects, r.sched_stepped_cycles, r.sched_events
+    );
+    match r.spad_stats {
+        Some(st) => {
+            let _ = writeln!(
+                s,
+                "spad {} {} {} {} {}",
+                st.reads, st.writes, st.bank_conflicts, st.ready_stalls, st.ready_stall_cycles
+            );
+        }
+        None => {
+            let _ = writeln!(s, "spad none");
+        }
+    }
+    match r.cache_stats {
+        Some(st) => {
+            let _ = writeln!(
+                s,
+                "cache {} {} {} {} {} {} {} {} {}",
+                st.hits,
+                st.misses,
+                st.secondary_misses,
+                st.port_rejects,
+                st.mshr_rejects,
+                st.writebacks,
+                st.writethroughs,
+                st.prefetches,
+                st.useful_prefetches
+            );
+        }
+        None => {
+            let _ = writeln!(s, "cache none");
+        }
+    }
+    match r.tlb_stats {
+        Some(st) => {
+            let _ = writeln!(s, "tlb {} {}", st.hits, st.misses);
+        }
+        None => {
+            let _ = writeln!(s, "tlb none");
+        }
+    }
+    match r.dma_stats {
+        Some(st) => {
+            let _ = writeln!(s, "dma {} {} {}", st.descriptors, st.bursts, st.bytes);
+        }
+        None => {
+            let _ = writeln!(s, "dma none");
+        }
+    }
+    let _ = writeln!(s, "local {} {}", r.local_sram_bytes, r.local_mem_bandwidth);
+    s
+}
+
+/// Parse a cache file, validating its header against `expected_key`.
+/// Any malformation yields `None` (treated as a miss).
+fn parse_flow(text: &str, expected_key: &str) -> Option<FlowResult> {
+    let mut lines = text.lines();
+    if lines.next()? != format!("aladdin-sweep-cache v{FORMAT_VERSION}") {
+        return None;
+    }
+    if lines.next()?.strip_prefix("key ")? != expected_key {
+        return None;
+    }
+
+    fn field<'a>(line: &'a str, name: &str) -> Option<Vec<&'a str>> {
+        let rest = line.strip_prefix(name)?.strip_prefix(' ')?;
+        Some(rest.split(' ').collect())
+    }
+    fn one<T: std::str::FromStr>(v: &[&str], i: usize) -> Option<T> {
+        v.get(i)?.parse().ok()
+    }
+
+    let kernel = lines.next()?.strip_prefix("kernel ")?.to_owned();
+    let mem_kind = match lines.next()?.strip_prefix("mem_kind ")? {
+        "isolated" => MemKind::Isolated,
+        "dma-Baseline" => MemKind::Dma(DmaOptLevel::Baseline),
+        "dma-Pipelined" => MemKind::Dma(DmaOptLevel::Pipelined),
+        "dma-Full" => MemKind::Dma(DmaOptLevel::Full),
+        "cache" => MemKind::Cache,
+        _ => return None,
+    };
+    let d = field(lines.next()?, "datapath")?;
+    let t = field(lines.next()?, "timing")?;
+    if t.len() != 6 {
+        return None;
+    }
+    let mut latencies = [0u64; 6];
+    for (slot, v) in latencies.iter_mut().zip(&t) {
+        *slot = v.parse().ok()?;
+    }
+    let sync = match lines.next()?.strip_prefix("sync ")? {
+        "barrier" => LaneSync::Barrier,
+        "free" => LaneSync::Free,
+        _ => return None,
+    };
+    let datapath = DatapathConfig {
+        lanes: one(&d, 0)?,
+        partition: one(&d, 1)?,
+        ports_per_bank: one(&d, 2)?,
+        timing: FuTiming::from_latencies(latencies),
+        sync,
+    };
+    let span = field(lines.next()?, "span")?;
+    let p = field(lines.next()?, "phases")?;
+    let phases = aladdin_core::PhaseBreakdown {
+        flush_only: one(&p, 0)?,
+        dma_flush: one(&p, 1)?,
+        compute_dma: one(&p, 2)?,
+        compute_only: one(&p, 3)?,
+        other: one(&p, 4)?,
+        total: one(&p, 5)?,
+    };
+    let e = field(lines.next()?, "energy")?;
+    let energy = aladdin_accel::EnergyReport {
+        datapath_pj: one(&e, 0)?,
+        local_mem_pj: one(&e, 1)?,
+        leakage_mw: one(&e, 2)?,
+        runtime_cycles: one(&e, 3)?,
+        clock: Clock::try_from_period_ns(one(&e, 4)?).ok()?,
+    };
+    let sched = field(lines.next()?, "sched")?;
+    let spad_line = lines.next()?;
+    let spad_stats = if spad_line == "spad none" {
+        None
+    } else {
+        let v = field(spad_line, "spad")?;
+        Some(aladdin_accel::SpadStats {
+            reads: one(&v, 0)?,
+            writes: one(&v, 1)?,
+            bank_conflicts: one(&v, 2)?,
+            ready_stalls: one(&v, 3)?,
+            ready_stall_cycles: one(&v, 4)?,
+        })
+    };
+    let cache_line = lines.next()?;
+    let cache_stats = if cache_line == "cache none" {
+        None
+    } else {
+        let v = field(cache_line, "cache")?;
+        Some(aladdin_mem::CacheStats {
+            hits: one(&v, 0)?,
+            misses: one(&v, 1)?,
+            secondary_misses: one(&v, 2)?,
+            port_rejects: one(&v, 3)?,
+            mshr_rejects: one(&v, 4)?,
+            writebacks: one(&v, 5)?,
+            writethroughs: one(&v, 6)?,
+            prefetches: one(&v, 7)?,
+            useful_prefetches: one(&v, 8)?,
+        })
+    };
+    let tlb_line = lines.next()?;
+    let tlb_stats = if tlb_line == "tlb none" {
+        None
+    } else {
+        let v = field(tlb_line, "tlb")?;
+        Some(aladdin_mem::TlbStats {
+            hits: one(&v, 0)?,
+            misses: one(&v, 1)?,
+        })
+    };
+    let dma_line = lines.next()?;
+    let dma_stats = if dma_line == "dma none" {
+        None
+    } else {
+        let v = field(dma_line, "dma")?;
+        Some(aladdin_mem::DmaStats {
+            descriptors: one(&v, 0)?,
+            bursts: one(&v, 1)?,
+            bytes: one(&v, 2)?,
+        })
+    };
+    let local = field(lines.next()?, "local")?;
+
+    Some(FlowResult {
+        kernel,
+        mem_kind,
+        datapath,
+        start: one(&span, 0)?,
+        end: one(&span, 1)?,
+        total_cycles: one(&span, 2)?,
+        phases,
+        energy,
+        compute_busy_cycles: one(&sched, 0)?,
+        mem_rejects: one(&sched, 1)?,
+        spad_stats,
+        cache_stats,
+        tlb_stats,
+        dma_stats,
+        local_sram_bytes: one(&local, 0)?,
+        local_mem_bandwidth: one(&local, 1)?,
+        sched_stepped_cycles: one(&sched, 2)?,
+        sched_events: one(&sched, 3)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladdin_workloads::by_name;
+
+    fn sample_result(kind: MemKind) -> FlowResult {
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let dp = DatapathConfig {
+            lanes: 2,
+            partition: 2,
+            ..DatapathConfig::default()
+        };
+        let soc = SocConfig::default();
+        match kind {
+            MemKind::Isolated => aladdin_core::run_isolated(&trace, &dp, &soc),
+            MemKind::Dma(opt) => aladdin_core::run_dma(&trace, &dp, &soc, opt),
+            MemKind::Cache => aladdin_core::run_cache(&trace, &dp, &soc),
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_bit_exact_for_every_flow() {
+        for kind in [
+            MemKind::Isolated,
+            MemKind::Dma(DmaOptLevel::Baseline),
+            MemKind::Dma(DmaOptLevel::Pipelined),
+            MemKind::Dma(DmaOptLevel::Full),
+            MemKind::Cache,
+        ] {
+            let r = sample_result(kind);
+            let text = render_flow(&r, "some-key");
+            let back = parse_flow(&text, "some-key").expect("parses");
+            assert_eq!(r, back, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn header_mismatches_are_misses() {
+        let r = sample_result(MemKind::Isolated);
+        let text = render_flow(&r, "key-a");
+        // Wrong key (hash collision or stale config) → miss.
+        assert!(parse_flow(&text, "key-b").is_none());
+        // Wrong format version → miss.
+        let stale = text.replacen(
+            &format!("v{FORMAT_VERSION}"),
+            &format!("v{}", FORMAT_VERSION + 1),
+            1,
+        );
+        assert!(parse_flow(&stale, "key-a").is_none());
+        // Truncated file → miss, not a panic.
+        let cut = &text[..text.len() / 2];
+        assert!(parse_flow(cut, "key-a").is_none());
+    }
+
+    #[test]
+    fn key_changes_with_trace_and_every_config_field() {
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let other = by_name("fft-transpose").expect("kernel").run().trace;
+        let dp = DatapathConfig::default();
+        let soc = SocConfig::default();
+        let base = point_key(trace.fingerprint(), MemKind::Cache, &dp, &soc);
+
+        // Trace fingerprint participates.
+        assert_ne!(
+            base,
+            point_key(other.fingerprint(), MemKind::Cache, &dp, &soc)
+        );
+        // Flow kind participates.
+        assert_ne!(
+            base,
+            point_key(trace.fingerprint(), MemKind::Isolated, &dp, &soc)
+        );
+        assert_ne!(
+            point_key(
+                trace.fingerprint(),
+                MemKind::Dma(DmaOptLevel::Baseline),
+                &dp,
+                &soc
+            ),
+            point_key(
+                trace.fingerprint(),
+                MemKind::Dma(DmaOptLevel::Full),
+                &dp,
+                &soc
+            )
+        );
+        // Every datapath field participates (Debug covers all fields).
+        let dp2 = DatapathConfig {
+            ports_per_bank: 2,
+            ..dp
+        };
+        assert_ne!(
+            base,
+            point_key(trace.fingerprint(), MemKind::Cache, &dp2, &soc)
+        );
+        // SoC fields participate — including nested cache geometry.
+        let mut soc2 = soc;
+        soc2.cache.size_bytes *= 2;
+        assert_ne!(
+            base,
+            point_key(trace.fingerprint(), MemKind::Cache, &dp, &soc2)
+        );
+        let mut soc3 = soc;
+        soc3.invoke_cycles += 1;
+        assert_ne!(
+            base,
+            point_key(trace.fingerprint(), MemKind::Cache, &dp, &soc3)
+        );
+    }
+
+    #[test]
+    fn file_names_are_distinct_and_stable() {
+        let a = file_name("alpha");
+        let b = file_name("beta");
+        assert_ne!(a, b);
+        assert_eq!(a, file_name("alpha"));
+        assert!(a.ends_with(".flow"));
+    }
+}

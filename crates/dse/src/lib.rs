@@ -31,18 +31,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod kiviat;
 mod pareto;
+mod perf;
 mod preflight;
 mod scenario;
 mod space;
 mod sweep;
 
+pub use cache::{
+    reset_sweep_cache, run_point_cached, set_sweep_cache_dir, set_sweep_cache_mode, SweepCacheMode,
+    FORMAT_VERSION,
+};
 pub use kiviat::KiviatSummary;
 pub use pareto::{edp_optimal, optimal_by, pareto_frontier, Metric};
+pub use perf::{global_perf, SweepPerf};
 pub use preflight::{preflight_cache, preflight_dma, Preflight, RejectedPoint};
 pub use scenario::{run_codesign, CodesignReport, ScenarioOutcome};
 pub use space::{CachePoint, DesignSpace, DmaPoint};
 pub use sweep::{
-    sweep_cache, sweep_cache_checked, sweep_dma, sweep_dma_checked, sweep_isolated, CheckedSweep,
+    sweep_cache, sweep_cache_checked, sweep_cache_perf, sweep_dma, sweep_dma_checked,
+    sweep_dma_perf, sweep_isolated, sweep_isolated_perf, CheckedSweep,
 };

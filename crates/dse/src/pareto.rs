@@ -122,6 +122,8 @@ mod tests {
             dma_stats: None,
             local_sram_bytes: 1024,
             local_mem_bandwidth: 1,
+            sched_stepped_cycles: cycles,
+            sched_events: 0,
         }
     }
 

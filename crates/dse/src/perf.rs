@@ -1,0 +1,135 @@
+//! Sweep-throughput observability: the [`SweepPerf`] roll-up.
+//!
+//! Every sweep records what it did — points simulated, result-cache hits,
+//! scheduler work (stepped cycles and events), and wall time — both into
+//! its own returned [`SweepPerf`] and into a process-wide accumulator that
+//! `simulate`/`all_figures` print at exit. Design points per second is the
+//! quantity the whole fast path optimizes; this is where it's measured.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Aggregate performance counters for one sweep (or, via
+/// [`global_perf`], for every sweep the process has run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepPerf {
+    /// Design points requested (simulated + served from cache).
+    pub points: u64,
+    /// Points served from the result cache instead of simulated.
+    pub cache_hits: u64,
+    /// Scheduler loop iterations executed across simulated points.
+    pub stepped_cycles: u64,
+    /// Scheduler events (issues + retires) across simulated points.
+    pub events: u64,
+    /// Wall-clock nanoseconds spent inside sweep calls.
+    pub wall_ns: u64,
+}
+
+impl SweepPerf {
+    /// Wall time as a [`Duration`].
+    #[must_use]
+    pub fn wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_ns)
+    }
+
+    /// Design points per wall-clock second (simulated + cached).
+    #[must_use]
+    pub fn points_per_sec(&self) -> f64 {
+        let secs = self.wall_ns as f64 / 1e9;
+        if secs > 0.0 {
+            self.points as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Merge another roll-up into this one.
+    pub fn absorb(&mut self, other: &SweepPerf) {
+        self.points += other.points;
+        self.cache_hits += other.cache_hits;
+        self.stepped_cycles += other.stepped_cycles;
+        self.events += other.events;
+        self.wall_ns += other.wall_ns;
+    }
+}
+
+impl fmt::Display for SweepPerf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep-perf: {} points ({} cache hits), {} events, {} stepped cycles, {:.1} ms wall, {:.1} points/s",
+            self.points,
+            self.cache_hits,
+            self.events,
+            self.stepped_cycles,
+            self.wall_ns as f64 / 1e6,
+            self.points_per_sec()
+        )
+    }
+}
+
+static POINTS: AtomicU64 = AtomicU64::new(0);
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static STEPPED: AtomicU64 = AtomicU64::new(0);
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+static WALL_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Fold one sweep's counters into the process-wide accumulator.
+pub(crate) fn record_global(perf: &SweepPerf) {
+    POINTS.fetch_add(perf.points, Ordering::Relaxed);
+    CACHE_HITS.fetch_add(perf.cache_hits, Ordering::Relaxed);
+    STEPPED.fetch_add(perf.stepped_cycles, Ordering::Relaxed);
+    EVENTS.fetch_add(perf.events, Ordering::Relaxed);
+    WALL_NS.fetch_add(perf.wall_ns, Ordering::Relaxed);
+}
+
+/// Snapshot of everything every sweep in this process has done so far.
+/// Binaries print this once at the end of a run.
+#[must_use]
+pub fn global_perf() -> SweepPerf {
+    SweepPerf {
+        points: POINTS.load(Ordering::Relaxed),
+        cache_hits: CACHE_HITS.load(Ordering::Relaxed),
+        stepped_cycles: STEPPED.load(Ordering::Relaxed),
+        events: EVENTS.load(Ordering::Relaxed),
+        wall_ns: WALL_NS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_rate() {
+        let p = SweepPerf {
+            points: 10,
+            cache_hits: 4,
+            stepped_cycles: 1000,
+            events: 500,
+            wall_ns: 2_000_000_000,
+        };
+        assert!((p.points_per_sec() - 5.0).abs() < 1e-9);
+        let s = p.to_string();
+        assert!(s.contains("10 points"), "{s}");
+        assert!(s.contains("4 cache hits"), "{s}");
+        assert!(s.contains("points/s"), "{s}");
+        // Zero wall time must not divide by zero.
+        assert_eq!(SweepPerf::default().points_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = SweepPerf {
+            points: 1,
+            cache_hits: 1,
+            stepped_cycles: 10,
+            events: 5,
+            wall_ns: 100,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.points, 2);
+        assert_eq!(a.wall_ns, 200);
+    }
+}

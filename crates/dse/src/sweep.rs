@@ -1,59 +1,163 @@
-//! Multithreaded sweep runners.
+//! Multithreaded sweep runners — the sweep-throughput fast path.
+//!
+//! Every sweep funnels through one engine that layers three optimizations,
+//! all invisible in the results (bit-exact against running each point's
+//! `aladdin-core` flow directly):
+//!
+//! 1. **Result cache** — each point is looked up in the content-addressed
+//!    cache ([`crate::run_point_cached`]'s machinery) before simulating.
+//! 2. **Shared DDDG preparation** — the dependence graph depends only on
+//!    the trace and the lane count, so one [`PreparedDddg`] per distinct
+//!    lane count is built lazily and shared across all worker threads via
+//!    `Arc`.
+//! 3. **Workspace reuse** — each worker owns one [`SchedulerWorkspace`],
+//!    so the scheduler's heaps and vectors are allocated once per thread,
+//!    not once per design point.
+//!
+//! Each sweep returns (via the `*_perf` variants) a [`SweepPerf`] roll-up
+//! and folds it into the process-wide accumulator [`crate::global_perf`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
-use aladdin_core::{DmaOptLevel, FlowResult, SocConfig};
+use aladdin_accel::{DatapathConfig, PreparedDddg, SchedulerWorkspace};
+use aladdin_core::{DmaOptLevel, FlowResult, MemKind, SocConfig};
 use aladdin_ir::Trace;
 
+use crate::cache;
+use crate::perf::{record_global, SweepPerf};
 use crate::preflight::{preflight_cache, preflight_dma, RejectedPoint};
 use crate::space::DesignSpace;
 
-/// Run `job` once per index in `0..n` across all available cores,
-/// collecting results in index order.
-fn parallel_map<F>(n: usize, job: F) -> Vec<FlowResult>
+/// Run `job` once per index in `0..n` across all available cores. Each
+/// worker owns a state built by `init` (scheduler workspaces, here).
+/// Results land in pre-allocated per-index slots — no lock on the result
+/// path, no final sort.
+fn parallel_map<T, S, I, F>(n: usize, init: I, job: F) -> Vec<T>
 where
-    F: Fn(usize) -> FlowResult + Sync,
+    T: Send + Sync,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
 {
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(n.max(1));
     let next = AtomicUsize::new(0);
-    // Workers append (index, result) pairs; a final sort restores index
-    // order. This avoids pre-sizing with placeholders that would need an
-    // unwrap per slot, and a poisoned lock (a worker panicked, which
-    // thread::scope re-raises anyway) still yields the finished results.
-    let results: Mutex<Vec<(usize, FlowResult)>> = Mutex::new(Vec::with_capacity(n));
+    let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = job(i, &mut state);
+                    // Indices are claimed uniquely, so the slot is empty.
+                    let _ = slots[i].set(r);
                 }
-                let r = job(i);
-                results
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .push((i, r));
             });
         }
     });
-    let mut out = results
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    out.sort_by_key(|&(i, _)| i);
-    out.into_iter().map(|(_, r)| r).collect()
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("worker filled every claimed slot"))
+        .collect()
+}
+
+/// One design point as the sweep engine sees it: which flow, which
+/// datapath, which (point-adjusted) SoC.
+struct PointSpec {
+    kind: MemKind,
+    dp: DatapathConfig,
+    soc: SocConfig,
+}
+
+/// The sweep engine: cache lookup, lazy shared DDDG preparation, per-worker
+/// workspace reuse, and perf accounting.
+fn run_specs(trace: &Trace, specs: &[PointSpec]) -> (Vec<FlowResult>, SweepPerf) {
+    let t0 = Instant::now();
+    let fp = trace.fingerprint();
+
+    // One lazily-built PreparedDddg per distinct lane count, shared across
+    // workers. Lazy so a fully cache-warm sweep builds no graphs at all.
+    let mut lane_slot: HashMap<u32, usize> = HashMap::new();
+    for s in specs {
+        let next = lane_slot.len();
+        lane_slot.entry(s.dp.lanes).or_insert(next);
+    }
+    let preps: Vec<OnceLock<Arc<PreparedDddg>>> =
+        (0..lane_slot.len()).map(|_| OnceLock::new()).collect();
+
+    let hits = AtomicU64::new(0);
+    let stepped = AtomicU64::new(0);
+    let events = AtomicU64::new(0);
+
+    let results = parallel_map(specs.len(), SchedulerWorkspace::new, |i, ws| {
+        let s = &specs[i];
+        let key = cache::point_key(fp, s.kind, &s.dp, &s.soc);
+        if let Some(hit) = cache::lookup(&key) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        let prep = Arc::clone(
+            preps[lane_slot[&s.dp.lanes]].get_or_init(|| Arc::new(PreparedDddg::new(trace, &s.dp))),
+        );
+        let r = match s.kind {
+            MemKind::Isolated => {
+                aladdin_core::run_isolated_prepared(trace, &s.dp, &s.soc, &prep, ws)
+            }
+            MemKind::Dma(opt) => {
+                aladdin_core::try_run_dma_prepared(trace, &s.dp, &s.soc, opt, &prep, ws)
+                    .unwrap_or_else(|d| panic!("{d}"))
+            }
+            MemKind::Cache => aladdin_core::run_cache_prepared(trace, &s.dp, &s.soc, &prep, ws),
+        };
+        stepped.fetch_add(r.sched_stepped_cycles, Ordering::Relaxed);
+        events.fetch_add(r.sched_events, Ordering::Relaxed);
+        cache::insert(&key, &r);
+        r
+    });
+
+    let perf = SweepPerf {
+        points: specs.len() as u64,
+        cache_hits: hits.into_inner(),
+        stepped_cycles: stepped.into_inner(),
+        events: events.into_inner(),
+        wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    };
+    record_global(&perf);
+    (results, perf)
 }
 
 /// Sweep the isolated (system-less) design space: lanes × partitions.
 #[must_use]
 pub fn sweep_isolated(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> Vec<FlowResult> {
-    let points = space.dma_points();
-    parallel_map(points.len(), |i| {
-        aladdin_core::run_isolated(trace, &points[i].datapath(), soc)
-    })
+    sweep_isolated_perf(trace, space, soc).0
+}
+
+/// [`sweep_isolated`], also returning the sweep's [`SweepPerf`] roll-up.
+#[must_use]
+pub fn sweep_isolated_perf(
+    trace: &Trace,
+    space: &DesignSpace,
+    soc: &SocConfig,
+) -> (Vec<FlowResult>, SweepPerf) {
+    let specs: Vec<PointSpec> = space
+        .dma_points()
+        .iter()
+        .map(|p| PointSpec {
+            kind: MemKind::Isolated,
+            dp: p.datapath(),
+            soc: *soc,
+        })
+        .collect();
+    run_specs(trace, &specs)
 }
 
 /// Sweep the scratchpad/DMA design space at the given optimization level.
@@ -64,20 +168,52 @@ pub fn sweep_dma(
     soc: &SocConfig,
     opt: DmaOptLevel,
 ) -> Vec<FlowResult> {
-    let points = space.dma_points();
-    parallel_map(points.len(), |i| {
-        aladdin_core::run_dma(trace, &points[i].datapath(), soc, opt)
-    })
+    sweep_dma_perf(trace, space, soc, opt).0
+}
+
+/// [`sweep_dma`], also returning the sweep's [`SweepPerf`] roll-up.
+#[must_use]
+pub fn sweep_dma_perf(
+    trace: &Trace,
+    space: &DesignSpace,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+) -> (Vec<FlowResult>, SweepPerf) {
+    let specs: Vec<PointSpec> = space
+        .dma_points()
+        .iter()
+        .map(|p| PointSpec {
+            kind: MemKind::Dma(opt),
+            dp: p.datapath(),
+            soc: *soc,
+        })
+        .collect();
+    run_specs(trace, &specs)
 }
 
 /// Sweep the cache design space (lanes × cache geometry).
 #[must_use]
 pub fn sweep_cache(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> Vec<FlowResult> {
-    let points = space.cache_points();
-    parallel_map(points.len(), |i| {
-        let soc_i = points[i].apply(soc);
-        aladdin_core::run_cache(trace, &points[i].datapath(), &soc_i)
-    })
+    sweep_cache_perf(trace, space, soc).0
+}
+
+/// [`sweep_cache`], also returning the sweep's [`SweepPerf`] roll-up.
+#[must_use]
+pub fn sweep_cache_perf(
+    trace: &Trace,
+    space: &DesignSpace,
+    soc: &SocConfig,
+) -> (Vec<FlowResult>, SweepPerf) {
+    let specs: Vec<PointSpec> = space
+        .cache_points()
+        .iter()
+        .map(|p| PointSpec {
+            kind: MemKind::Cache,
+            dp: p.datapath(),
+            soc: p.apply(soc),
+        })
+        .collect();
+    run_specs(trace, &specs)
 }
 
 /// A sweep whose space was statically pre-flighted: invalid points are
@@ -91,6 +227,8 @@ pub struct CheckedSweep {
     pub accepted: Vec<usize>,
     /// Points pruned before simulation, with their diagnostic reports.
     pub rejected: Vec<RejectedPoint>,
+    /// Throughput roll-up of the simulation pass over accepted points.
+    pub perf: SweepPerf,
 }
 
 /// [`sweep_dma`] with a static pre-flight pass: contradictory design
@@ -103,13 +241,21 @@ pub fn sweep_dma_checked(
     opt: DmaOptLevel,
 ) -> CheckedSweep {
     let pre = preflight_dma(space, soc);
-    let results = parallel_map(pre.accepted.len(), |i| {
-        aladdin_core::run_dma(trace, &pre.accepted[i].1.datapath(), soc, opt)
-    });
+    let specs: Vec<PointSpec> = pre
+        .accepted
+        .iter()
+        .map(|(_, p)| PointSpec {
+            kind: MemKind::Dma(opt),
+            dp: p.datapath(),
+            soc: *soc,
+        })
+        .collect();
+    let (results, perf) = run_specs(trace, &specs);
     CheckedSweep {
         results,
         accepted: pre.accepted.iter().map(|&(i, _)| i).collect(),
         rejected: pre.rejected,
+        perf,
     }
 }
 
@@ -121,20 +267,30 @@ pub fn sweep_dma_checked(
 #[must_use]
 pub fn sweep_cache_checked(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> CheckedSweep {
     let pre = preflight_cache(space, soc);
-    let results = parallel_map(pre.accepted.len(), |i| {
-        let point = pre.accepted[i].1;
-        aladdin_core::run_cache(trace, &point.datapath(), &point.apply(soc))
-    });
+    let specs: Vec<PointSpec> = pre
+        .accepted
+        .iter()
+        .map(|(_, p)| PointSpec {
+            kind: MemKind::Cache,
+            dp: p.datapath(),
+            soc: p.apply(soc),
+        })
+        .collect();
+    let (results, perf) = run_specs(trace, &specs);
     CheckedSweep {
         results,
         accepted: pre.accepted.iter().map(|&(i, _)| i).collect(),
         rejected: pre.rejected,
+        perf,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::{
+        reset_sweep_cache, set_sweep_cache_dir, set_sweep_cache_mode, SweepCacheMode,
+    };
     use crate::pareto::edp_optimal;
     use aladdin_workloads::by_name;
 
@@ -178,6 +334,7 @@ mod tests {
         assert!(!out.rejected.is_empty());
         assert!(out.rejected.iter().all(|r| r.report.has_code("L0211")));
         assert_eq!(out.results.len(), out.accepted.len());
+        assert_eq!(out.perf.points, out.results.len() as u64);
         let points = space.cache_points_unfiltered();
         for (&idx, result) in out.accepted.iter().zip(&out.results) {
             assert_eq!(points[idx].size_bytes, 2048);
@@ -213,5 +370,121 @@ mod tests {
             .map(|r| r.total_cycles)
             .collect();
         assert_eq!(a, b);
+    }
+
+    /// The acceptance bar for the whole fast path: for the quick space on
+    /// two kernels, the sweep engine (prepared DDDG + workspace reuse +
+    /// result cache, warm or cold) must be bit-identical — every field,
+    /// including phases, energy, and all stats blocks — to running each
+    /// point's plain `aladdin-core` flow sequentially.
+    #[test]
+    fn fast_path_is_bit_exact_against_sequential_flows() {
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        for kernel in ["aes-aes", "fft-transpose"] {
+            let trace = by_name(kernel).expect("kernel").run().trace;
+
+            let dma_ref: Vec<FlowResult> = space
+                .dma_points()
+                .iter()
+                .map(|p| aladdin_core::run_dma(&trace, &p.datapath(), &soc, DmaOptLevel::Full))
+                .collect();
+            let cache_ref: Vec<FlowResult> = space
+                .cache_points()
+                .iter()
+                .map(|p| aladdin_core::run_cache(&trace, &p.datapath(), &p.apply(&soc)))
+                .collect();
+
+            // Cold-ish pass (may or may not hit depending on test order —
+            // either way the results must match the reference)...
+            let dma = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+            let cache = sweep_cache(&trace, &space, &soc);
+            assert_eq!(dma, dma_ref, "{kernel}: dma sweep diverged");
+            assert_eq!(cache, cache_ref, "{kernel}: cache sweep diverged");
+
+            // ...and a guaranteed-warm pass, served from the result cache.
+            let (dma_warm, perf) = sweep_dma_perf(&trace, &space, &soc, DmaOptLevel::Full);
+            assert_eq!(dma_warm, dma_ref, "{kernel}: warm dma sweep diverged");
+            assert_eq!(
+                perf.cache_hits,
+                space.dma_points().len() as u64,
+                "{kernel}: warm sweep should be all cache hits"
+            );
+            let cache_warm = sweep_cache(&trace, &space, &soc);
+            assert_eq!(cache_warm, cache_ref, "{kernel}: warm cache sweep diverged");
+        }
+    }
+
+    /// The on-disk tier survives an in-memory wipe (simulating a new
+    /// process) bit-exactly, and never serves results across config or
+    /// trace changes.
+    #[test]
+    fn disk_tier_round_trips_bit_exactly_across_memory_wipes() {
+        let dir = std::path::PathBuf::from("target/test-sweep-cache");
+        let _ = std::fs::remove_dir_all(&dir);
+        set_sweep_cache_dir(&dir);
+        set_sweep_cache_mode(SweepCacheMode::Full);
+
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        // A SoC no other test sweeps, so concurrently running tests cannot
+        // have pre-warmed the in-memory tier for these keys.
+        let mut soc = SocConfig::default();
+        soc.invoke_cycles += 17;
+        let first = sweep_cache(&trace, &space, &soc);
+        let files = || {
+            std::fs::read_dir(&dir)
+                .map(|d| d.filter_map(Result::ok).count())
+                .unwrap_or(0)
+        };
+        assert!(
+            files() >= space.cache_points().len(),
+            "disk tier not written"
+        );
+
+        // New-process simulation: wipe the memory tier, sweep again. Every
+        // point must come back from disk, bit-identical.
+        reset_sweep_cache();
+        let (second, perf) = sweep_cache_perf(&trace, &space, &soc);
+        assert_eq!(first, second, "disk tier round-trip diverged");
+        assert_eq!(perf.cache_hits, space.cache_points().len() as u64);
+
+        // A changed SoC field is a different key: nothing is served stale.
+        reset_sweep_cache();
+        let before = files();
+        let mut soc2 = soc;
+        soc2.invoke_cycles += 1;
+        let shifted = sweep_cache(&trace, &space, &soc2);
+        assert!(files() > before, "changed config must re-simulate, not hit");
+        assert_ne!(first, shifted);
+
+        set_sweep_cache_mode(SweepCacheMode::Mem);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Quick-mode throughput smoke test: bounded sanity on the SweepPerf
+    /// counters, deliberately not a flaky points/sec threshold.
+    #[test]
+    fn sweep_perf_counters_are_sane() {
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        let (_, first) = sweep_dma_perf(&trace, &space, &soc, DmaOptLevel::Pipelined);
+        let n = space.dma_points().len() as u64;
+        assert_eq!(first.points, n);
+        assert!(first.wall_ns > 0);
+        assert!(first.points_per_sec() > 0.0);
+        // Simulated points did scheduler work; cached points did none.
+        if first.cache_hits < n {
+            assert!(first.events > 0);
+            assert!(first.stepped_cycles > 0);
+        }
+        // A second, warm sweep is all hits and does no scheduler work.
+        let (_, warm) = sweep_dma_perf(&trace, &space, &soc, DmaOptLevel::Pipelined);
+        assert_eq!(warm.cache_hits, n);
+        assert_eq!(warm.events, 0);
+        // Both sweeps landed in the process-wide accumulator.
+        let g = crate::global_perf();
+        assert!(g.points >= first.points + warm.points);
     }
 }

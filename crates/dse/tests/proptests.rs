@@ -32,6 +32,8 @@ fn fake(cycles: u64, leak_mw: f64) -> FlowResult {
         dma_stats: None,
         local_sram_bytes: 1024,
         local_mem_bandwidth: 1,
+        sched_stepped_cycles: cycles,
+        sched_events: 0,
     }
 }
 

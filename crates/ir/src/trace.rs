@@ -153,6 +153,63 @@ impl Trace {
         TraceStats::compute(self)
     }
 
+    /// A 128-bit content fingerprint of the trace: name, arrays, and every
+    /// node (opcode, dependences, memory reference, iteration label).
+    ///
+    /// Two traces with equal fingerprints schedule identically, so the DSE
+    /// layer uses this as the trace component of its result-cache key. The
+    /// value is stable across processes and runs (no pointer or hash-seed
+    /// dependence): two independent FNV-1a hashes with distinct offset
+    /// bases over the same byte stream.
+    #[must_use]
+    pub fn fingerprint(&self) -> u128 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat_byte(st: &mut (u64, u64), b: u8) {
+            st.0 = (st.0 ^ u64::from(b)).wrapping_mul(PRIME);
+            st.1 = (st.1 ^ u64::from(b ^ 0x5a)).wrapping_mul(PRIME);
+        }
+        fn eat(st: &mut (u64, u64), word: u64) {
+            for b in word.to_le_bytes() {
+                eat_byte(st, b);
+            }
+        }
+        fn eat_str(st: &mut (u64, u64), s: &str) {
+            for &b in s.as_bytes() {
+                eat_byte(st, b);
+            }
+        }
+        // FNV-1a offset basis and a second, distinct stream.
+        let mut st = (0xcbf2_9ce4_8422_2325u64, 0x6c62_272e_07bb_0142u64);
+        eat_str(&mut st, &self.name);
+        eat(&mut st, self.arrays.len() as u64);
+        for a in &self.arrays {
+            eat_str(&mut st, &a.name);
+            eat(&mut st, a.kind as u64);
+            eat(&mut st, a.base_addr);
+            eat(&mut st, u64::from(a.elem_bytes));
+            eat(&mut st, a.len);
+        }
+        eat(&mut st, self.nodes.len() as u64);
+        for node in &self.nodes {
+            eat(&mut st, node.opcode as u64);
+            eat(&mut st, node.deps.len() as u64);
+            for d in &node.deps {
+                eat(&mut st, d.index() as u64);
+            }
+            match &node.mem {
+                Some(m) => {
+                    eat(&mut st, 1 + m.array.index() as u64);
+                    eat(&mut st, m.addr);
+                    eat(&mut st, u64::from(m.bytes));
+                    eat(&mut st, u64::from(m.kind == MemAccessKind::Write));
+                }
+                None => eat(&mut st, 0),
+            }
+            eat(&mut st, u64::from(node.iteration));
+        }
+        (u128::from(st.1) << 64) | u128::from(st.0)
+    }
+
     /// A copy of this trace with every node's dependence list replaced
     /// (ids unchanged; every new dependence must still point backwards).
     /// Trace optimizations that may need forward references use
@@ -414,6 +471,31 @@ mod tests {
         assert!(store.deps.contains(&NodeId(2)));
         let m = store.mem.expect("store has memref");
         assert_eq!(m.kind, MemAccessKind::Write);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = tiny_trace();
+        let b = tiny_trace();
+        // Same content → same fingerprint, across independent constructions.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Any content change — here a single dependence — must change it.
+        let mut deps: Vec<Vec<NodeId>> = a.nodes().iter().map(|n| n.deps.clone()).collect();
+        deps[3].clear();
+        let c = a.with_deps(deps);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        // The kernel name participates too (two kernels can share a body).
+        let mut t = Tracer::new("other-name");
+        let arr = t.array_f64("a", &[1.0, 2.0, 3.0], ArrayKind::Input);
+        let mut o = t.array_f64("o", &[0.0], ArrayKind::Output);
+        let x = t.load(&arr, 0);
+        let y = t.load(&arr, 1);
+        let s = t.binop(Opcode::FMul, x, y);
+        t.store(&mut o, 0, s);
+        let renamed = t.finish();
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
     }
 
     #[test]
