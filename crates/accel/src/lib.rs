@@ -57,5 +57,6 @@ pub use fu::FuTiming;
 pub use meminterface::{DatapathMemory, IssueResult, SpadMemory, SpadStats};
 pub use power::{CacheEnergyParams, EnergyReport, PowerModel};
 pub use scheduler::{
-    schedule, schedule_prepared, PreparedDddg, ScheduleResult, SchedulerWorkspace,
+    schedule, schedule_prepared, try_schedule, try_schedule_prepared, PreparedDddg, ScheduleResult,
+    SchedulerWorkspace,
 };

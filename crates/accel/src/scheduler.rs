@@ -34,6 +34,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use aladdin_faults::{DeadlockSnapshot, SimError, Watchdog};
 use aladdin_ir::{FuClass, MemAccessKind, NodeId, Trace, TraceNode};
 use aladdin_mem::IntervalSet;
 
@@ -298,6 +299,33 @@ pub fn schedule(
     schedule_prepared(trace, cfg, &prepared, &mut ws, mem, start)
 }
 
+/// Fallible [`schedule`]: a deadlock or a watchdog expiry is returned as a
+/// typed [`SimError`] (with a forensic [`DeadlockSnapshot`]) instead of
+/// panicking.
+///
+/// # Errors
+///
+/// `SimError::Deadlock` when no progress is made for
+/// `watchdog.no_progress_cycles` consecutive stepped cycles;
+/// `SimError::WatchdogExpired` when the simulated cycle count crosses
+/// `watchdog.max_cycles`.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid — that is a configuration bug, detectable
+/// statically before any simulation starts.
+pub fn try_schedule(
+    trace: &Trace,
+    cfg: &DatapathConfig,
+    mem: &mut dyn DatapathMemory,
+    start: u64,
+    watchdog: &Watchdog,
+) -> Result<ScheduleResult, SimError> {
+    let prepared = PreparedDddg::new(trace, cfg);
+    let mut ws = SchedulerWorkspace::new();
+    try_schedule_prepared(trace, cfg, &prepared, &mut ws, mem, start, watchdog)
+}
+
 /// [`schedule`] with the DDDG prepared up front and the engine's buffers
 /// supplied by a reusable workspace — the sweep fast path.
 ///
@@ -316,6 +344,53 @@ pub fn schedule_prepared(
     mem: &mut dyn DatapathMemory,
     start: u64,
 ) -> ScheduleResult {
+    try_schedule_prepared(trace, cfg, prepared, ws, mem, start, &Watchdog::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Summarize a completion wheel as `(due_cycle, count)` pairs, soonest
+/// first, truncated to the eight soonest distinct cycles.
+fn wheel_snapshot(wheel: &BinaryHeap<Reverse<(u64, u32)>>) -> Vec<(u64, u32)> {
+    let mut times: Vec<u64> = wheel.iter().map(|&Reverse((at, _))| at).collect();
+    times.sort_unstable();
+    let mut out: Vec<(u64, u32)> = Vec::new();
+    for t in times {
+        match out.last_mut() {
+            Some((cycle, count)) if *cycle == t => *count += 1,
+            _ => out.push((t, 1)),
+        }
+    }
+    out.truncate(8);
+    out
+}
+
+/// Fallible [`schedule_prepared`]: the watchdog's no-progress and
+/// max-cycles guards return typed [`SimError`]s carrying a forensic
+/// [`DeadlockSnapshot`] instead of panicking, so sweeps can record the
+/// failed point and keep going.
+///
+/// # Errors
+///
+/// `SimError::Deadlock` when no progress is made for
+/// `watchdog.no_progress_cycles` consecutive stepped cycles;
+/// `SimError::WatchdogExpired` when the simulated cycle count crosses
+/// `watchdog.max_cycles`.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid or `prepared` does not match the trace and
+/// lane count — those are configuration bugs, detectable statically
+/// before any simulation starts.
+#[allow(clippy::too_many_lines)]
+pub fn try_schedule_prepared(
+    trace: &Trace,
+    cfg: &DatapathConfig,
+    prepared: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+    mem: &mut dyn DatapathMemory,
+    start: u64,
+    watchdog: &Watchdog,
+) -> Result<ScheduleResult, SimError> {
     let cfg_report = cfg.check();
     assert!(
         !cfg_report.has_errors(),
@@ -335,7 +410,7 @@ pub fn schedule_prepared(
         "PreparedDddg built for another trace"
     );
     if n == 0 {
-        return ScheduleResult {
+        return Ok(ScheduleResult {
             start,
             end: start,
             busy: IntervalSet::new(),
@@ -344,7 +419,7 @@ pub fn schedule_prepared(
             cycles: 0,
             stepped_cycles: 0,
             events: 0,
-        };
+        });
     }
 
     let lanes = cfg.lanes as usize;
@@ -415,6 +490,17 @@ pub fn schedule_prepared(
     let mem_passive = mem.is_passive();
 
     while eng.completed < n {
+        if let Some(limit) = watchdog.max_cycles {
+            if cycle.saturating_sub(start) > limit {
+                return Err(SimError::WatchdogExpired {
+                    limit,
+                    cycle,
+                    completed: eng.completed,
+                    total: n,
+                    notes: Vec::new(),
+                });
+            }
+        }
         stepped += 1;
         mem.begin_cycle(cycle);
         let mut progressed = false;
@@ -522,11 +608,20 @@ pub fn schedule_prepared(
             idle_cycles = 0;
         } else {
             idle_cycles += 1;
-            assert!(
-                idle_cycles < 4_000_000,
-                "scheduler deadlock at cycle {cycle}: {}/{n} nodes done",
-                eng.completed
-            );
+            if idle_cycles >= watchdog.no_progress_cycles {
+                return Err(SimError::Deadlock(Box::new(DeadlockSnapshot {
+                    cycle,
+                    completed: eng.completed,
+                    total: n,
+                    idle_cycles,
+                    ready_compute: eng.ready_count - eng.ready_mem.len(),
+                    ready_mem: eng.ready_mem.len(),
+                    wheel: wheel_snapshot(eng.wheel),
+                    mem_wheel: wheel_snapshot(eng.mem_wheel),
+                    mem_inflight: eng.mem_inflight,
+                    notes: Vec::new(),
+                })));
+            }
         }
         cycle = if eng.ready_count == 0 {
             let wheel_next = match (
@@ -558,7 +653,7 @@ pub fn schedule_prepared(
     }
 
     let end = eng.last_retire.max(start);
-    ScheduleResult {
+    Ok(ScheduleResult {
         start,
         end,
         busy: eng.busy,
@@ -567,7 +662,7 @@ pub fn schedule_prepared(
         cycles: end - start,
         stepped_cycles: stepped,
         events: eng.events,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -622,6 +717,94 @@ mod tests {
         fn end_cycle(&mut self, cycle: u64) {
             self.0.end_cycle(cycle);
         }
+    }
+
+    /// A memory that accepts every issue and never completes any of them —
+    /// the shape of a lost-completion bug, used to exercise the watchdog.
+    #[derive(Default)]
+    struct BlackHoleMemory;
+
+    impl DatapathMemory for BlackHoleMemory {
+        fn begin_cycle(&mut self, _cycle: u64) {}
+        fn issue(
+            &mut self,
+            _id: u64,
+            _addr: u64,
+            _bytes: u32,
+            _write: bool,
+            _cycle: u64,
+        ) -> IssueResult {
+            IssueResult::Pending
+        }
+        fn drain_completions(&mut self) -> Vec<(u64, u64)> {
+            Vec::new()
+        }
+        fn end_cycle(&mut self, _cycle: u64) {}
+    }
+
+    #[test]
+    fn deadlock_is_a_typed_error_with_a_forensic_snapshot() {
+        let trace = parallel_kernel(4);
+        let cfg = DatapathConfig::default();
+        let prepared = PreparedDddg::new(&trace, &cfg);
+        let mut ws = SchedulerWorkspace::new();
+        let wd = Watchdog {
+            max_cycles: None,
+            no_progress_cycles: 64,
+        };
+        let err = try_schedule_prepared(
+            &trace,
+            &cfg,
+            &prepared,
+            &mut ws,
+            &mut BlackHoleMemory,
+            0,
+            &wd,
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "L0232");
+        let SimError::Deadlock(snap) = err else {
+            panic!("expected a deadlock, got {err}");
+        };
+        assert_eq!(snap.idle_cycles, 64);
+        assert!(snap.mem_inflight > 0, "the black hole swallowed issues");
+        assert!(snap.completed < snap.total);
+        assert_eq!(snap.total, trace.nodes().len());
+    }
+
+    #[test]
+    fn watchdog_cycle_ceiling_is_a_typed_error() {
+        let mut t = Tracer::new("chain");
+        let mut acc = TVal::lit(1.0);
+        for _ in 0..10 {
+            acc = t.binop(Opcode::FAdd, acc, TVal::lit(1.0));
+        }
+        let trace = t.finish();
+        let cfg = DatapathConfig::default();
+        let mut mem = SpadMemory::new(&trace, &cfg);
+        let wd = Watchdog {
+            max_cycles: Some(10),
+            no_progress_cycles: 4_000_000,
+        };
+        // The chain needs 30 cycles; a 10-cycle ceiling must expire.
+        let err = try_schedule(&trace, &cfg, &mut mem, 0, &wd).unwrap_err();
+        assert_eq!(err.code(), "L0233");
+        assert!(err.to_string().contains("watchdog expired"));
+    }
+
+    #[test]
+    fn try_schedule_matches_schedule_under_default_watchdog() {
+        let trace = parallel_kernel(16);
+        let cfg = DatapathConfig {
+            lanes: 4,
+            partition: 4,
+            ..DatapathConfig::default()
+        };
+        let mut mem = SpadMemory::new(&trace, &cfg);
+        let fallible = try_schedule(&trace, &cfg, &mut mem, 0, &Watchdog::default()).unwrap();
+        let mut mem2 = SpadMemory::new(&trace, &cfg);
+        let infallible = schedule(&trace, &cfg, &mut mem2, 0);
+        assert_eq!(fallible, infallible);
     }
 
     #[test]

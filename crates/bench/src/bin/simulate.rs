@@ -7,7 +7,9 @@
 //! ```
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{DmaOptLevel, MemKind, SocConfig};
+use aladdin_core::{
+    try_run_cache, try_run_dma, try_run_isolated, DmaOptLevel, MemKind, SimHarness, SocConfig,
+};
 use aladdin_dse::run_point_cached;
 use aladdin_workloads::{all_kernels, by_name};
 
@@ -21,6 +23,7 @@ struct Args {
     cache_kb: u64,
     cache_ports: u32,
     traffic_period: Option<u64>,
+    fault_seed: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -28,7 +31,7 @@ fn usage() -> ! {
         "usage: simulate [--kernel NAME] [--mem isolated|dma|cache] \
          [--opt baseline|pipelined|full] [--lanes N] [--partition N] \
          [--bus-bits 32|64] [--cache-kb N] [--cache-ports N] \
-         [--traffic-period CYCLES] [--list]"
+         [--traffic-period CYCLES] [--faults SEED] [--list]"
     );
     std::process::exit(2);
 }
@@ -44,6 +47,7 @@ fn parse_args() -> Args {
         cache_kb: 4,
         cache_ports: 2,
         traffic_period: None,
+        fault_seed: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -79,6 +83,9 @@ fn parse_args() -> Args {
             "--traffic-period" => {
                 args.traffic_period = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
             }
+            "--faults" => {
+                args.fault_seed = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
             _ => usage(),
         }
         i += 1;
@@ -112,7 +119,31 @@ fn main() {
         "cache" => MemKind::Cache,
         _ => usage(),
     };
-    let r = run_point_cached(&run.trace, &dp, &soc_cfg, kind);
+    // Fault-injected runs go through the fallible flows and bypass the
+    // result cache: perturbed results must never be cached, and a failed
+    // simulation reports its forensic diagnostic instead of panicking.
+    let r = if let Some(seed) = args.fault_seed {
+        let harness = SimHarness::with_seed(seed);
+        println!("faults:   seed {seed}");
+        // Skip the format header and the seed line — both shown above.
+        for line in harness.plan.to_text().lines().skip(2) {
+            println!("          {line}");
+        }
+        let result = match kind {
+            MemKind::Isolated => try_run_isolated(&run.trace, &dp, &soc_cfg, &harness),
+            MemKind::Dma(opt) => try_run_dma(&run.trace, &dp, &soc_cfg, opt, &harness),
+            MemKind::Cache => try_run_cache(&run.trace, &dp, &soc_cfg, &harness),
+        };
+        match result {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}", e.to_report().to_human());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        run_point_cached(&run.trace, &dp, &soc_cfg, kind)
+    };
 
     println!("kernel:   {} ({})", kernel.name(), kernel.description());
     println!("trace:    {}", run.trace.stats());

@@ -7,10 +7,11 @@
 //! system" (Section IV-D).
 
 use aladdin_accel::{DatapathConfig, DatapathMemory, IssueResult, SpadMemory, SpadStats};
+use aladdin_faults::FaultPlan;
 use aladdin_ir::{ArrayKind, Trace};
 use aladdin_mem::{
-    AccessKind, BusStats, Cache, CacheOutcome, CacheStats, DramStats, FillTracker, MasterId,
-    SystemBus, Tlb, TlbStats, TrafficGenerator,
+    AccessKind, BusFaults, BusStats, Cache, CacheOutcome, CacheStats, DramStats, FillTracker,
+    MasterId, SystemBus, Tlb, TlbStats, TrafficGenerator,
 };
 
 use crate::config::SocConfig;
@@ -74,6 +75,25 @@ impl CacheDatapathMemory {
     /// Make every access a single-cycle hit (Fig. 7 processing-time bound).
     pub fn set_ideal(&mut self, ideal: bool) {
         self.ideal = ideal;
+    }
+
+    /// Arm fault injection from `plan`: bus-grant delays, burst NACKs and
+    /// DRAM latency spikes land on the fill path, TLB page-walk faults on
+    /// translation. An empty plan leaves timing bit-identical.
+    pub fn set_faults(&mut self, plan: &FaultPlan) {
+        self.bus.set_faults(BusFaults::from_plan(plan));
+        self.tlb.set_faults(plan.tlb_injector());
+    }
+
+    /// One-line state summary for deadlock forensics.
+    #[must_use]
+    pub fn forensic_note(&self) -> String {
+        format!(
+            "cache-mem: {} TLB-delayed access(es); bus: {} queued request(s), {} in flight",
+            self.delayed.len(),
+            self.bus.queue_depths().iter().sum::<usize>(),
+            self.bus.in_flight_count()
+        )
     }
 
     fn is_shared(&self, addr: u64) -> bool {

@@ -1,13 +1,14 @@
 //! The three CPU↔accelerator flows: isolated, scratchpad+DMA, and cache.
 
 use aladdin_accel::{
-    schedule_prepared, DatapathConfig, DatapathMemory, EnergyReport, IssueResult, PowerModel,
+    try_schedule_prepared, DatapathConfig, DatapathMemory, EnergyReport, IssueResult, PowerModel,
     PreparedDddg, SchedulerWorkspace, SpadMemory, SpadStats,
 };
+use aladdin_faults::{SimError, SimHarness};
 use aladdin_ir::{ArrayKind, Diagnostic, Trace};
 use aladdin_mem::{
-    CacheStats, DmaConfig, DmaDirection, DmaEngine, DmaStats, DmaTransfer, FlushSchedule,
-    IntervalSet, MasterId, SystemBus, TlbStats, TrafficGenerator,
+    BusFaults, CacheStats, DmaConfig, DmaDirection, DmaEngine, DmaStats, DmaTransfer,
+    FlushSchedule, IntervalSet, MasterId, SystemBus, TlbStats, TrafficGenerator,
 };
 
 use crate::cachemem::CacheDatapathMemory;
@@ -143,8 +144,53 @@ pub fn run_isolated_prepared(
     prep: &PreparedDddg,
     ws: &mut SchedulerWorkspace,
 ) -> FlowResult {
+    try_run_isolated_prepared(trace, dp, soc, prep, ws, &SimHarness::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_isolated`] under a [`SimHarness`]: the watchdog bounds the
+/// schedule instead of a hard panic. The isolated flow has no bus, DMA,
+/// TLB or flush, so fault injection has no sites here — an empty plan
+/// and a loaded plan both reproduce [`run_isolated`] bit-exactly.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the watchdog expires or the scheduler
+/// deadlocks.
+pub fn try_run_isolated(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    harness: &SimHarness,
+) -> Result<FlowResult, SimError> {
+    try_run_isolated_prepared(
+        trace,
+        dp,
+        soc,
+        &PreparedDddg::new(trace, dp),
+        &mut SchedulerWorkspace::new(),
+        harness,
+    )
+}
+
+/// [`try_run_isolated`] on the sweep fast path (caller-prepared DDDG,
+/// reused scheduler workspace). Bit-identical results to
+/// [`try_run_isolated`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the watchdog expires or the scheduler
+/// deadlocks.
+pub fn try_run_isolated_prepared(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    prep: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+    harness: &SimHarness,
+) -> Result<FlowResult, SimError> {
     let mut spad = SpadMemory::new(trace, dp);
-    let sched = schedule_prepared(trace, dp, prep, ws, &mut spad, 0);
+    let sched = try_schedule_prepared(trace, dp, prep, ws, &mut spad, 0, &harness.watchdog)?;
     let pm = PowerModel::default_40nm();
     let stats = trace.stats();
     let total_bytes = total_array_bytes(trace);
@@ -163,7 +209,7 @@ pub fn run_isolated_prepared(
         0,
         sched.end,
     );
-    FlowResult {
+    Ok(FlowResult {
         kernel: trace.name().to_owned(),
         mem_kind: MemKind::Isolated,
         datapath: *dp,
@@ -182,7 +228,7 @@ pub fn run_isolated_prepared(
         local_mem_bandwidth: dp.local_mem_bandwidth(),
         sched_stepped_cycles: sched.stepped_cycles,
         sched_events: sched.events,
-    }
+    })
 }
 
 /// Co-simulation wrapper for DMA-triggered computation: the scratchpad's
@@ -267,7 +313,10 @@ fn drive_dma_to_completion(
         if idle_streak >= 2_000_000 || guard >= 200_000_000 {
             return Err(Diagnostic::error(
                 "L0230",
-                format!("DMA made no progress by cycle {cycle} — likely a stalled descriptor"),
+                format!(
+                    "DMA made no progress by cycle {cycle} — likely a stalled descriptor; {}",
+                    dma.describe_state()
+                ),
             ));
         }
     }
@@ -295,23 +344,28 @@ pub fn run_dma(
     soc: &SocConfig,
     opt: DmaOptLevel,
 ) -> FlowResult {
-    try_run_dma(trace, dp, soc, opt).unwrap_or_else(|d| panic!("{d}"))
+    try_run_dma(trace, dp, soc, opt, &SimHarness::default()).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// [`run_dma`], with simulation failures reported as diagnostics
-/// (`L0230`: no forward progress, `L0231`: inconsistent completion)
-/// instead of panics, so sweeps can skip degenerate points.
+/// [`run_dma`] under a [`SimHarness`]: simulation failures (`L0230`: no
+/// forward progress, `L0231`: inconsistent completion, `L0232`:
+/// scheduler deadlock, `L0233`: watchdog expiry) come back as typed
+/// [`SimError`]s instead of panics, so sweeps can skip degenerate
+/// points; the harness's [`FaultPlan`](aladdin_faults::FaultPlan) arms
+/// bus-grant delays, burst NACKs, DRAM latency spikes, and flush
+/// contention stalls. An empty plan reproduces [`run_dma`] bit-exactly.
 ///
 /// # Errors
 ///
-/// Returns the diagnostic describing why the simulation could not
+/// Returns the [`SimError`] describing why the simulation could not
 /// complete.
 pub fn try_run_dma(
     trace: &Trace,
     dp: &DatapathConfig,
     soc: &SocConfig,
     opt: DmaOptLevel,
-) -> Result<FlowResult, Diagnostic> {
+    harness: &SimHarness,
+) -> Result<FlowResult, SimError> {
     try_run_dma_prepared(
         trace,
         dp,
@@ -319,6 +373,7 @@ pub fn try_run_dma(
         opt,
         &PreparedDddg::new(trace, dp),
         &mut SchedulerWorkspace::new(),
+        harness,
     )
 }
 
@@ -327,8 +382,9 @@ pub fn try_run_dma(
 ///
 /// # Errors
 ///
-/// Returns the diagnostic describing why the simulation could not
+/// Returns the [`SimError`] describing why the simulation could not
 /// complete.
+#[allow(clippy::too_many_lines)]
 pub fn try_run_dma_prepared(
     trace: &Trace,
     dp: &DatapathConfig,
@@ -336,7 +392,8 @@ pub fn try_run_dma_prepared(
     opt: DmaOptLevel,
     prep: &PreparedDddg,
     ws: &mut SchedulerWorkspace,
-) -> Result<FlowResult, Diagnostic> {
+    harness: &SimHarness,
+) -> Result<FlowResult, SimError> {
     let t0 = soc.invoke_cycles;
     let dma_cfg = DmaConfig {
         pipelined: opt.pipelined(),
@@ -357,7 +414,14 @@ pub fn try_run_dma_prepared(
         })
         .collect();
     let chunks = dma_cfg.chunk_sizes(&in_transfers);
-    let flush = FlushSchedule::new(soc.flush, soc.clock, t0, &chunks, trace.output_bytes());
+    let flush = FlushSchedule::new_with_faults(
+        soc.flush,
+        soc.clock,
+        t0,
+        &chunks,
+        trace.output_bytes(),
+        harness.plan.flush_injector(),
+    );
     let eligibility: Vec<u64> = if opt.pipelined() {
         flush.chunk_times().to_vec()
     } else {
@@ -365,6 +429,7 @@ pub fn try_run_dma_prepared(
     };
 
     let mut bus = SystemBus::new(soc.bus, soc.dram);
+    bus.set_faults(BusFaults::from_plan(&harness.plan));
     let mut traffic = soc
         .traffic
         .map(|t| TrafficGenerator::new(t.period, t.bytes, 0x4000_0000, 16 << 20));
@@ -380,7 +445,19 @@ pub fn try_run_dma_prepared(
             bus,
             traffic,
         };
-        let sched = schedule_prepared(trace, dp, prep, ws, &mut mem, t0);
+        let sched =
+            match try_schedule_prepared(trace, dp, prep, ws, &mut mem, t0, &harness.watchdog) {
+                Ok(s) => s,
+                Err(mut e) => {
+                    e.push_note(format!(
+                        "bus: {} queued request(s), {} in flight",
+                        mem.bus.queue_depths().iter().sum::<usize>(),
+                        mem.bus.in_flight_count()
+                    ));
+                    e.push_note(mem.dma.describe_state());
+                    return Err(e);
+                }
+            };
         // The transfer may outlive the computation (e.g. not every input
         // byte is read): drain it before writeback DMA starts.
         let dma_done = if mem.dma.is_done() {
@@ -406,7 +483,26 @@ pub fn try_run_dma_prepared(
             drive_dma_to_completion(&mut dma_in, &mut bus, &mut traffic, t0)?
         };
         let mut spad = SpadMemory::new(trace, dp);
-        let sched = schedule_prepared(trace, dp, prep, ws, &mut spad, dma_done);
+        let sched = match try_schedule_prepared(
+            trace,
+            dp,
+            prep,
+            ws,
+            &mut spad,
+            dma_done,
+            &harness.watchdog,
+        ) {
+            Ok(s) => s,
+            Err(mut e) => {
+                e.push_note(format!(
+                    "bus: {} queued request(s), {} in flight",
+                    bus.queue_depths().iter().sum::<usize>(),
+                    bus.in_flight_count()
+                ));
+                e.push_note(dma_in.describe_state());
+                return Err(e);
+            }
+        };
         let end = sched.end;
         (sched, spad.stats(), dma_in, bus, traffic, end)
     };
@@ -506,6 +602,50 @@ pub fn run_cache_prepared(
     run_cache_inner_prepared(trace, dp, soc, false, prep, ws)
 }
 
+/// [`run_cache`] under a [`SimHarness`]: the plan's TLB page-walk,
+/// bus-grant, NACK and DRAM-spike faults land on the fill path, and the
+/// watchdog bounds the schedule. An empty plan reproduces [`run_cache`]
+/// bit-exactly.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the watchdog expires or the scheduler
+/// deadlocks.
+pub fn try_run_cache(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    harness: &SimHarness,
+) -> Result<FlowResult, SimError> {
+    try_run_cache_prepared(
+        trace,
+        dp,
+        soc,
+        &PreparedDddg::new(trace, dp),
+        &mut SchedulerWorkspace::new(),
+        harness,
+    )
+}
+
+/// [`try_run_cache`] on the sweep fast path (caller-prepared DDDG,
+/// reused scheduler workspace). Bit-identical results to
+/// [`try_run_cache`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the watchdog expires or the scheduler
+/// deadlocks.
+pub fn try_run_cache_prepared(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    prep: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+    harness: &SimHarness,
+) -> Result<FlowResult, SimError> {
+    try_run_cache_inner_prepared(trace, dp, soc, false, prep, ws, harness)
+}
+
 pub(crate) fn run_cache_inner(
     trace: &Trace,
     dp: &DatapathConfig,
@@ -530,10 +670,30 @@ fn run_cache_inner_prepared(
     prep: &PreparedDddg,
     ws: &mut SchedulerWorkspace,
 ) -> FlowResult {
+    try_run_cache_inner_prepared(trace, dp, soc, ideal, prep, ws, &SimHarness::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn try_run_cache_inner_prepared(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    ideal: bool,
+    prep: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+    harness: &SimHarness,
+) -> Result<FlowResult, SimError> {
     let t0 = soc.invoke_cycles;
     let mut mem = CacheDatapathMemory::new(trace, dp, soc);
     mem.set_ideal(ideal);
-    let sched = schedule_prepared(trace, dp, prep, ws, &mut mem, t0);
+    mem.set_faults(&harness.plan);
+    let sched = match try_schedule_prepared(trace, dp, prep, ws, &mut mem, t0, &harness.watchdog) {
+        Ok(s) => s,
+        Err(mut e) => {
+            e.push_note(mem.forensic_note());
+            return Err(e);
+        }
+    };
     let end = sched.end + soc.completion.map_or(0, |c| c.observation_lag(sched.end));
 
     let pm = PowerModel::default_40nm();
@@ -575,7 +735,7 @@ fn run_cache_inner_prepared(
         0,
         end,
     );
-    FlowResult {
+    Ok(FlowResult {
         kernel: trace.name().to_owned(),
         mem_kind: MemKind::Cache,
         datapath: *dp,
@@ -594,7 +754,7 @@ fn run_cache_inner_prepared(
         local_mem_bandwidth: soc.cache.ports,
         sched_stepped_cycles: sched.stepped_cycles,
         sched_events: sched.events,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -619,8 +779,59 @@ mod tests {
         let trace = trace_of("stencil-stencil2d");
         let mut soc = SocConfig::default();
         soc.dma.max_outstanding = 0; // the engine can never post a burst
-        let err = try_run_dma(&trace, &dp(2, 2), &soc, DmaOptLevel::Baseline).unwrap_err();
-        assert_eq!(err.code, "L0230", "{err}");
+        let err = try_run_dma(
+            &trace,
+            &dp(2, 2),
+            &soc,
+            DmaOptLevel::Baseline,
+            &SimHarness::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "L0230", "{err}");
+        // The diagnostic carries the DMA engine's forensic state.
+        assert!(err.to_string().contains("dma:"), "{err}");
+    }
+
+    #[test]
+    fn empty_harness_matches_plain_runs_bit_exactly() {
+        let trace = trace_of("fft-transpose");
+        let soc = SocConfig::default();
+        let d = dp(2, 2);
+        let h = SimHarness::default();
+        assert_eq!(
+            try_run_isolated(&trace, &d, &soc, &h).unwrap(),
+            run_isolated(&trace, &d, &soc)
+        );
+        assert_eq!(
+            try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h).unwrap(),
+            run_dma(&trace, &d, &soc, DmaOptLevel::Full)
+        );
+        assert_eq!(
+            try_run_cache(&trace, &d, &soc, &h).unwrap(),
+            run_cache(&trace, &d, &soc)
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_no_faster() {
+        let trace = trace_of("fft-transpose");
+        let soc = SocConfig::default();
+        let d = dp(2, 2);
+        let h = SimHarness::with_seed(7);
+        let a = try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h).unwrap();
+        let b = try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h).unwrap();
+        assert_eq!(a, b, "same seed must reproduce bit-exactly");
+        let clean = run_dma(&trace, &d, &soc, DmaOptLevel::Full);
+        assert!(
+            a.total_cycles >= clean.total_cycles,
+            "faults cannot speed the run up: {} vs {}",
+            a.total_cycles,
+            clean.total_cycles
+        );
+        let ca = try_run_cache(&trace, &d, &soc, &h).unwrap();
+        let cb = try_run_cache(&trace, &d, &soc, &h).unwrap();
+        assert_eq!(ca, cb);
+        assert!(ca.total_cycles >= run_cache(&trace, &d, &soc).total_cycles);
     }
 
     #[test]

@@ -53,12 +53,16 @@ mod soc;
 mod validation;
 
 pub use aladdin_accel::EnergyReport;
+pub use aladdin_faults::{
+    DeadlockSnapshot, FaultPlan, FaultSpec, NackSpec, SimError, SimHarness, Watchdog,
+};
 pub use cachemem::CacheDatapathMemory;
 pub use config::{CompletionSignal, DmaOptLevel, MemKind, SocConfig, TrafficConfig};
 pub use decompose::{decompose_cache_time, TimeDecomposition};
 pub use flows::{
-    run_cache, run_cache_prepared, run_dma, run_isolated, run_isolated_prepared, try_run_dma,
-    try_run_dma_prepared, FlowResult,
+    run_cache, run_cache_prepared, run_dma, run_isolated, run_isolated_prepared, try_run_cache,
+    try_run_cache_prepared, try_run_dma, try_run_dma_prepared, try_run_isolated,
+    try_run_isolated_prepared, FlowResult,
 };
 pub use multi::{run_multi_dma, AcceleratorJob, AcceleratorTimeline, MultiSocResult};
 pub use phase::PhaseBreakdown;

@@ -1,10 +1,13 @@
 //! The `Soc` facade: one configuration, many runs.
 
 use aladdin_accel::DatapathConfig;
+use aladdin_faults::{SimError, SimHarness};
 use aladdin_ir::Trace;
 
 use crate::config::{DmaOptLevel, SocConfig};
-use crate::flows::{run_cache, run_dma, run_isolated, FlowResult};
+use crate::flows::{
+    run_cache, run_dma, run_isolated, try_run_cache, try_run_dma, try_run_isolated, FlowResult,
+};
 
 /// An SoC platform an accelerator can be dropped into.
 ///
@@ -57,6 +60,49 @@ impl Soc {
     #[must_use]
     pub fn run_cache(&self, trace: &Trace, dp: &DatapathConfig) -> FlowResult {
         run_cache(trace, dp, &self.cfg)
+    }
+
+    /// [`Soc::run_isolated`] under a fault-injection/watchdog harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the simulation cannot complete.
+    pub fn try_run_isolated(
+        &self,
+        trace: &Trace,
+        dp: &DatapathConfig,
+        harness: &SimHarness,
+    ) -> Result<FlowResult, SimError> {
+        try_run_isolated(trace, dp, &self.cfg, harness)
+    }
+
+    /// [`Soc::run_dma`] under a fault-injection/watchdog harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the simulation cannot complete.
+    pub fn try_run_dma(
+        &self,
+        trace: &Trace,
+        dp: &DatapathConfig,
+        opt: DmaOptLevel,
+        harness: &SimHarness,
+    ) -> Result<FlowResult, SimError> {
+        try_run_dma(trace, dp, &self.cfg, opt, harness)
+    }
+
+    /// [`Soc::run_cache`] under a fault-injection/watchdog harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the simulation cannot complete.
+    pub fn try_run_cache(
+        &self,
+        trace: &Trace,
+        dp: &DatapathConfig,
+        harness: &SimHarness,
+    ) -> Result<FlowResult, SimError> {
+        try_run_cache(trace, dp, &self.cfg, harness)
     }
 }
 

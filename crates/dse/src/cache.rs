@@ -99,6 +99,15 @@ pub fn reset_sweep_cache() {
     lock().mem.clear();
 }
 
+/// Serializes tests that flip the process-global cache mode/directory, so
+/// disk-tier tests in different modules cannot interleave.
+#[cfg(test)]
+pub(crate) fn test_disk_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The canonical cache key of a design point. Every field of every config
 /// participates (via `Debug`, which renders floats exactly), so changing
 /// anything — trace content, a latency, a cache geometry, the DMA
@@ -206,6 +215,7 @@ pub fn run_point_cached(
         cache_hits: u64::from(hit),
         stepped_cycles: if hit { 0 } else { result.sched_stepped_cycles },
         events: if hit { 0 } else { result.sched_events },
+        failures: 0,
         wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
     });
     result
@@ -567,6 +577,54 @@ mod tests {
             base,
             point_key(trace.fingerprint(), MemKind::Cache, &dp, &soc3)
         );
+    }
+
+    /// Satellite robustness property of the disk tier: a corrupted or
+    /// truncated cache file is a silent miss — the point re-simulates
+    /// bit-identically and the file is rewritten valid. Never a panic.
+    #[test]
+    fn corrupted_disk_files_are_misses_and_get_rewritten() {
+        let _guard = crate::cache::test_disk_lock();
+        let dir = std::path::PathBuf::from("target/test-sweep-cache-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        set_sweep_cache_dir(&dir);
+        set_sweep_cache_mode(SweepCacheMode::Full);
+
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let dp = DatapathConfig {
+            lanes: 2,
+            partition: 2,
+            ..DatapathConfig::default()
+        };
+        // A SoC no other test sweeps, so these keys are ours alone.
+        let mut soc = SocConfig::default();
+        soc.invoke_cycles += 23;
+        let kind = MemKind::Dma(DmaOptLevel::Pipelined);
+        let first = run_point_cached(&trace, &dp, &soc, kind);
+        let key = point_key(trace.fingerprint(), kind, &dp, &soc);
+        let path = dir.join(file_name(&key));
+        assert!(path.exists(), "disk tier not written");
+
+        let valid = render_flow(&first, &key);
+        let corruptions: [&[u8]; 3] = [
+            b"this is not a cache file at all\n",
+            &[0xff, 0xfe, 0x00, 0x99, 0x01],      // invalid UTF-8
+            &valid.as_bytes()[..valid.len() / 3], // truncated mid-record
+        ];
+        for garbage in corruptions {
+            std::fs::write(&path, garbage).expect("corrupt the file");
+            reset_sweep_cache(); // force the disk tier to be consulted
+            let again = run_point_cached(&trace, &dp, &soc, kind);
+            assert_eq!(first, again, "corrupted file must re-simulate bit-exactly");
+            let rewritten = std::fs::read_to_string(&path).expect("file rewritten");
+            assert!(
+                parse_flow(&rewritten, &key).is_some(),
+                "miss must rewrite a valid file"
+            );
+        }
+
+        set_sweep_cache_mode(SweepCacheMode::Mem);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

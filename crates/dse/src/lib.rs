@@ -51,6 +51,7 @@ pub use preflight::{preflight_cache, preflight_dma, Preflight, RejectedPoint};
 pub use scenario::{run_codesign, CodesignReport, ScenarioOutcome};
 pub use space::{CachePoint, DesignSpace, DmaPoint};
 pub use sweep::{
-    sweep_cache, sweep_cache_checked, sweep_cache_perf, sweep_dma, sweep_dma_checked,
-    sweep_dma_perf, sweep_isolated, sweep_isolated_perf, CheckedSweep,
+    sweep_cache, sweep_cache_checked, sweep_cache_faulted, sweep_cache_perf, sweep_dma,
+    sweep_dma_checked, sweep_dma_faulted, sweep_dma_perf, sweep_isolated, sweep_isolated_faulted,
+    sweep_isolated_perf, CheckedSweep, FailedPoint, SweepOutcome,
 };

@@ -22,6 +22,9 @@ pub struct SweepPerf {
     pub stepped_cycles: u64,
     /// Scheduler events (issues + retires) across simulated points.
     pub events: u64,
+    /// Points whose simulation failed (watchdog expiry, deadlock, or a
+    /// stalled flow) and were skipped instead of aborting the sweep.
+    pub failures: u64,
     /// Wall-clock nanoseconds spent inside sweep calls.
     pub wall_ns: u64,
 }
@@ -50,6 +53,7 @@ impl SweepPerf {
         self.cache_hits += other.cache_hits;
         self.stepped_cycles += other.stepped_cycles;
         self.events += other.events;
+        self.failures += other.failures;
         self.wall_ns += other.wall_ns;
     }
 }
@@ -58,9 +62,10 @@ impl fmt::Display for SweepPerf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sweep-perf: {} points ({} cache hits), {} events, {} stepped cycles, {:.1} ms wall, {:.1} points/s",
+            "sweep-perf: {} points ({} cache hits, {} failed), {} events, {} stepped cycles, {:.1} ms wall, {:.1} points/s",
             self.points,
             self.cache_hits,
+            self.failures,
             self.events,
             self.stepped_cycles,
             self.wall_ns as f64 / 1e6,
@@ -73,6 +78,7 @@ static POINTS: AtomicU64 = AtomicU64::new(0);
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static STEPPED: AtomicU64 = AtomicU64::new(0);
 static EVENTS: AtomicU64 = AtomicU64::new(0);
+static FAILURES: AtomicU64 = AtomicU64::new(0);
 static WALL_NS: AtomicU64 = AtomicU64::new(0);
 
 /// Fold one sweep's counters into the process-wide accumulator.
@@ -81,6 +87,7 @@ pub(crate) fn record_global(perf: &SweepPerf) {
     CACHE_HITS.fetch_add(perf.cache_hits, Ordering::Relaxed);
     STEPPED.fetch_add(perf.stepped_cycles, Ordering::Relaxed);
     EVENTS.fetch_add(perf.events, Ordering::Relaxed);
+    FAILURES.fetch_add(perf.failures, Ordering::Relaxed);
     WALL_NS.fetch_add(perf.wall_ns, Ordering::Relaxed);
 }
 
@@ -93,6 +100,7 @@ pub fn global_perf() -> SweepPerf {
         cache_hits: CACHE_HITS.load(Ordering::Relaxed),
         stepped_cycles: STEPPED.load(Ordering::Relaxed),
         events: EVENTS.load(Ordering::Relaxed),
+        failures: FAILURES.load(Ordering::Relaxed),
         wall_ns: WALL_NS.load(Ordering::Relaxed),
     }
 }
@@ -108,12 +116,14 @@ mod tests {
             cache_hits: 4,
             stepped_cycles: 1000,
             events: 500,
+            failures: 2,
             wall_ns: 2_000_000_000,
         };
         assert!((p.points_per_sec() - 5.0).abs() < 1e-9);
         let s = p.to_string();
         assert!(s.contains("10 points"), "{s}");
         assert!(s.contains("4 cache hits"), "{s}");
+        assert!(s.contains("2 failed"), "{s}");
         assert!(s.contains("points/s"), "{s}");
         // Zero wall time must not divide by zero.
         assert_eq!(SweepPerf::default().points_per_sec(), 0.0);
@@ -126,10 +136,12 @@ mod tests {
             cache_hits: 1,
             stepped_cycles: 10,
             events: 5,
+            failures: 3,
             wall_ns: 100,
         };
         a.absorb(&a.clone());
         assert_eq!(a.points, 2);
+        assert_eq!(a.failures, 6);
         assert_eq!(a.wall_ns, 200);
     }
 }

@@ -23,8 +23,8 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use aladdin_accel::{DatapathConfig, PreparedDddg, SchedulerWorkspace};
-use aladdin_core::{DmaOptLevel, FlowResult, MemKind, SocConfig};
-use aladdin_ir::Trace;
+use aladdin_core::{DmaOptLevel, FlowResult, MemKind, SimError, SimHarness, SocConfig};
+use aladdin_ir::{Report, Trace};
 
 use crate::cache;
 use crate::perf::{record_global, SweepPerf};
@@ -79,10 +79,32 @@ struct PointSpec {
 }
 
 /// The sweep engine: cache lookup, lazy shared DDDG preparation, per-worker
-/// workspace reuse, and perf accounting.
+/// workspace reuse, and perf accounting. The plain (no-harness) entry —
+/// any simulation failure here is a hard bug, so it panics.
 fn run_specs(trace: &Trace, specs: &[PointSpec]) -> (Vec<FlowResult>, SweepPerf) {
+    let (results, perf) = run_specs_harness(trace, specs, &SimHarness::default());
+    let results = results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    (results, perf)
+}
+
+/// The sweep engine under a [`SimHarness`]: per-point failures come back
+/// as `Err` slots instead of aborting the sweep.
+///
+/// Fault-injected runs (non-empty plan) bypass the result cache entirely,
+/// in both directions: the cache key does not include the plan, and a
+/// perturbed result must never be served to — or recorded for — a clean
+/// sweep.
+fn run_specs_harness(
+    trace: &Trace,
+    specs: &[PointSpec],
+    harness: &SimHarness,
+) -> (Vec<Result<FlowResult, SimError>>, SweepPerf) {
     let t0 = Instant::now();
     let fp = trace.fingerprint();
+    let use_cache = harness.plan.is_empty();
 
     // One lazily-built PreparedDddg per distinct lane count, shared across
     // workers. Lazy so a fully cache-warm sweep builds no graphs at all.
@@ -97,31 +119,45 @@ fn run_specs(trace: &Trace, specs: &[PointSpec]) -> (Vec<FlowResult>, SweepPerf)
     let hits = AtomicU64::new(0);
     let stepped = AtomicU64::new(0);
     let events = AtomicU64::new(0);
+    let failures = AtomicU64::new(0);
 
     let results = parallel_map(specs.len(), SchedulerWorkspace::new, |i, ws| {
         let s = &specs[i];
-        let key = cache::point_key(fp, s.kind, &s.dp, &s.soc);
-        if let Some(hit) = cache::lookup(&key) {
-            hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+        let key = use_cache.then(|| cache::point_key(fp, s.kind, &s.dp, &s.soc));
+        if let Some(key) = &key {
+            if let Some(hit) = cache::lookup(key) {
+                hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
         }
         let prep = Arc::clone(
             preps[lane_slot[&s.dp.lanes]].get_or_init(|| Arc::new(PreparedDddg::new(trace, &s.dp))),
         );
         let r = match s.kind {
             MemKind::Isolated => {
-                aladdin_core::run_isolated_prepared(trace, &s.dp, &s.soc, &prep, ws)
+                aladdin_core::try_run_isolated_prepared(trace, &s.dp, &s.soc, &prep, ws, harness)
             }
             MemKind::Dma(opt) => {
-                aladdin_core::try_run_dma_prepared(trace, &s.dp, &s.soc, opt, &prep, ws)
-                    .unwrap_or_else(|d| panic!("{d}"))
+                aladdin_core::try_run_dma_prepared(trace, &s.dp, &s.soc, opt, &prep, ws, harness)
             }
-            MemKind::Cache => aladdin_core::run_cache_prepared(trace, &s.dp, &s.soc, &prep, ws),
+            MemKind::Cache => {
+                aladdin_core::try_run_cache_prepared(trace, &s.dp, &s.soc, &prep, ws, harness)
+            }
         };
-        stepped.fetch_add(r.sched_stepped_cycles, Ordering::Relaxed);
-        events.fetch_add(r.sched_events, Ordering::Relaxed);
-        cache::insert(&key, &r);
-        r
+        match r {
+            Ok(r) => {
+                stepped.fetch_add(r.sched_stepped_cycles, Ordering::Relaxed);
+                events.fetch_add(r.sched_events, Ordering::Relaxed);
+                if let Some(key) = &key {
+                    cache::insert(key, &r);
+                }
+                Ok(r)
+            }
+            Err(e) => {
+                failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
     });
 
     let perf = SweepPerf {
@@ -129,6 +165,7 @@ fn run_specs(trace: &Trace, specs: &[PointSpec]) -> (Vec<FlowResult>, SweepPerf)
         cache_hits: hits.into_inner(),
         stepped_cycles: stepped.into_inner(),
         events: events.into_inner(),
+        failures: failures.into_inner(),
         wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
     };
     record_global(&perf);
@@ -285,6 +322,134 @@ pub fn sweep_cache_checked(trace: &Trace, space: &DesignSpace, soc: &SocConfig) 
     }
 }
 
+/// One design point that failed under a [`SimHarness`].
+#[derive(Debug, Clone)]
+pub struct FailedPoint {
+    /// Index into the sweep's point list.
+    pub index: usize,
+    /// Why the simulation could not complete.
+    pub error: SimError,
+}
+
+/// Roll-up of a harnessed sweep: the sweep completes even when individual
+/// points fail, reporting them instead of aborting.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One slot per point, in point order; `None` where the point failed.
+    pub results: Vec<Option<FlowResult>>,
+    /// The failed points with their errors, in point order.
+    pub failures: Vec<FailedPoint>,
+    /// Throughput roll-up (its `failures` counter matches
+    /// `failures.len()`).
+    pub perf: SweepPerf,
+}
+
+fn run_specs_faulted(
+    trace: &Trace,
+    specs: &[PointSpec],
+    harness: &SimHarness,
+) -> Result<SweepOutcome, Report> {
+    let report = harness.plan.validate();
+    if report.has_errors() {
+        return Err(report);
+    }
+    let (raw, perf) = run_specs_harness(trace, specs, harness);
+    let mut results = Vec::with_capacity(raw.len());
+    let mut failures = Vec::new();
+    for (index, r) in raw.into_iter().enumerate() {
+        match r {
+            Ok(r) => results.push(Some(r)),
+            Err(error) => {
+                results.push(None);
+                failures.push(FailedPoint { index, error });
+            }
+        }
+    }
+    Ok(SweepOutcome {
+        results,
+        failures,
+        perf,
+    })
+}
+
+/// [`sweep_isolated`] under a fault-injection/watchdog harness: failed
+/// points are reported in the [`SweepOutcome`] instead of aborting the
+/// sweep.
+///
+/// # Errors
+///
+/// Returns the harness plan's validation [`Report`] if the plan itself
+/// is invalid (`L0240`/`L0241`); no point is simulated in that case.
+pub fn sweep_isolated_faulted(
+    trace: &Trace,
+    space: &DesignSpace,
+    soc: &SocConfig,
+    harness: &SimHarness,
+) -> Result<SweepOutcome, Report> {
+    let specs: Vec<PointSpec> = space
+        .dma_points()
+        .iter()
+        .map(|p| PointSpec {
+            kind: MemKind::Isolated,
+            dp: p.datapath(),
+            soc: *soc,
+        })
+        .collect();
+    run_specs_faulted(trace, &specs, harness)
+}
+
+/// [`sweep_dma`] under a fault-injection/watchdog harness: failed points
+/// are reported in the [`SweepOutcome`] instead of aborting the sweep.
+///
+/// # Errors
+///
+/// Returns the harness plan's validation [`Report`] if the plan itself
+/// is invalid (`L0240`/`L0241`); no point is simulated in that case.
+pub fn sweep_dma_faulted(
+    trace: &Trace,
+    space: &DesignSpace,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+    harness: &SimHarness,
+) -> Result<SweepOutcome, Report> {
+    let specs: Vec<PointSpec> = space
+        .dma_points()
+        .iter()
+        .map(|p| PointSpec {
+            kind: MemKind::Dma(opt),
+            dp: p.datapath(),
+            soc: *soc,
+        })
+        .collect();
+    run_specs_faulted(trace, &specs, harness)
+}
+
+/// [`sweep_cache`] under a fault-injection/watchdog harness: failed
+/// points are reported in the [`SweepOutcome`] instead of aborting the
+/// sweep.
+///
+/// # Errors
+///
+/// Returns the harness plan's validation [`Report`] if the plan itself
+/// is invalid (`L0240`/`L0241`); no point is simulated in that case.
+pub fn sweep_cache_faulted(
+    trace: &Trace,
+    space: &DesignSpace,
+    soc: &SocConfig,
+    harness: &SimHarness,
+) -> Result<SweepOutcome, Report> {
+    let specs: Vec<PointSpec> = space
+        .cache_points()
+        .iter()
+        .map(|p| PointSpec {
+            kind: MemKind::Cache,
+            dp: p.datapath(),
+            soc: p.apply(soc),
+        })
+        .collect();
+    run_specs_faulted(trace, &specs, harness)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,6 +585,7 @@ mod tests {
     /// trace changes.
     #[test]
     fn disk_tier_round_trips_bit_exactly_across_memory_wipes() {
+        let _guard = crate::cache::test_disk_lock();
         let dir = std::path::PathBuf::from("target/test-sweep-cache");
         let _ = std::fs::remove_dir_all(&dir);
         set_sweep_cache_dir(&dir);
@@ -460,6 +626,108 @@ mod tests {
 
         set_sweep_cache_mode(SweepCacheMode::Mem);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The graceful-degradation acceptance bar: a sweep with per-point
+    /// failures completes, reports the failed points in the roll-up, and
+    /// keeps every surviving result addressable by point index.
+    #[test]
+    fn faulted_sweep_reports_failures_and_keeps_going() {
+        use aladdin_core::{FaultPlan, SimHarness, Watchdog};
+        let trace = by_name("fft-transpose").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        // A ceiling low enough that every point's compute phase trips it.
+        let harness = SimHarness {
+            plan: FaultPlan::none(),
+            watchdog: Watchdog {
+                max_cycles: Some(8),
+                no_progress_cycles: 4_000_000,
+            },
+        };
+        let out = sweep_dma_faulted(&trace, &space, &soc, DmaOptLevel::Baseline, &harness)
+            .expect("valid plan");
+        assert_eq!(out.results.len(), space.dma_points().len());
+        assert!(!out.failures.is_empty(), "the tiny ceiling must trip");
+        assert_eq!(out.perf.failures, out.failures.len() as u64);
+        for f in &out.failures {
+            assert_eq!(f.error.code(), "L0233", "{}", f.error);
+            assert!(out.results[f.index].is_none());
+        }
+    }
+
+    #[test]
+    fn faulted_sweep_with_empty_plan_matches_the_clean_sweep() {
+        use aladdin_core::SimHarness;
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        let out = sweep_dma_faulted(
+            &trace,
+            &space,
+            &soc,
+            DmaOptLevel::Full,
+            &SimHarness::default(),
+        )
+        .expect("valid plan");
+        assert!(out.failures.is_empty());
+        assert_eq!(out.perf.failures, 0);
+        let clean = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+        let got: Vec<FlowResult> = out.results.into_iter().map(Option::unwrap).collect();
+        assert_eq!(got, clean, "empty plan must be invisible");
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected_before_any_simulation() {
+        use aladdin_core::{FaultPlan, FaultSpec, SimHarness, Watchdog};
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        let mut plan = FaultPlan::from_seed(1);
+        plan.bus_grant = Some(FaultSpec {
+            rate: 2.0, // probabilities live in [0, 1]
+            max_extra: 4,
+        });
+        let harness = SimHarness {
+            plan,
+            watchdog: Watchdog::default(),
+        };
+        let err = sweep_dma_faulted(&trace, &space, &soc, DmaOptLevel::Full, &harness)
+            .expect_err("invalid rate");
+        assert!(err.has_code("L0240"), "{}", err.to_human());
+    }
+
+    /// Fault-injected results must never pollute (or be served from) the
+    /// result cache: the cache key does not include the plan.
+    #[test]
+    fn faulted_sweeps_bypass_the_result_cache() {
+        use aladdin_core::SimHarness;
+        let trace = by_name("fft-transpose").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        // A SoC no other test sweeps, so the cache keys are ours alone.
+        let mut soc = SocConfig::default();
+        soc.invoke_cycles += 29;
+        let h = SimHarness::with_seed(11);
+        let faulted =
+            sweep_dma_faulted(&trace, &space, &soc, DmaOptLevel::Full, &h).expect("valid plan");
+        assert_eq!(
+            faulted.perf.cache_hits, 0,
+            "faulted sweeps must not read the cache"
+        );
+        // A clean sweep afterwards matches sequential plain flows — the
+        // faulted pass left nothing perturbed behind.
+        let clean = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+        let sequential: Vec<FlowResult> = space
+            .dma_points()
+            .iter()
+            .map(|p| aladdin_core::run_dma(&trace, &p.datapath(), &soc, DmaOptLevel::Full))
+            .collect();
+        assert_eq!(clean, sequential, "faulted results leaked into the cache");
+        // Same seed, same outcome — and still no cache interaction.
+        let again =
+            sweep_dma_faulted(&trace, &space, &soc, DmaOptLevel::Full, &h).expect("valid plan");
+        assert_eq!(again.perf.cache_hits, 0);
+        assert_eq!(faulted.results, again.results);
     }
 
     /// Quick-mode throughput smoke test: bounded sanity on the SweepPerf

@@ -2,6 +2,7 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 
+use aladdin_faults::{FaultInjector, FaultPlan, NackInjector};
 use aladdin_ir::{Diagnostic, Locus};
 
 use crate::dram::{Dram, DramConfig, DramStats};
@@ -74,11 +75,47 @@ pub struct BusStats {
     pub bytes_per_master: [u64; MasterId::COUNT],
 }
 
+/// Live fault-injection state for one bus and the DRAM behind it.
+///
+/// Construct per simulation run with [`BusFaults::from_plan`]; each field
+/// left `None` leaves that site on the exact unperturbed code path.
+#[derive(Debug, Default)]
+pub struct BusFaults {
+    /// Grant-delay injector (arbitration takes extra cycles).
+    pub grant: Option<FaultInjector>,
+    /// Burst-NACK injector (bounded retry/backoff per request).
+    pub nack: Option<NackInjector>,
+    /// DRAM latency-spike injector.
+    pub dram: Option<FaultInjector>,
+}
+
+impl BusFaults {
+    /// Fresh injectors for the bus-related sites of `plan`.
+    #[must_use]
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        BusFaults {
+            grant: plan.grant_injector(),
+            nack: plan.nack_injector(),
+            dram: plan.dram_injector(),
+        }
+    }
+
+    /// Whether no bus-related site is configured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.grant.is_none() && self.nack.is_none() && self.dram.is_none()
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     token: Token,
     addr: u64,
     bytes: u32,
+    /// Earliest cycle this request may re-arbitrate (NACK backoff).
+    not_before: u64,
+    /// Grant attempts already NACKed for this request.
+    retries: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +161,8 @@ pub struct SystemBus {
     completions: Vec<BusCompletion>,
     next_token: Token,
     stats: BusStats,
+    grant_faults: Option<FaultInjector>,
+    nack_faults: Option<NackInjector>,
 }
 
 impl SystemBus {
@@ -155,6 +194,8 @@ impl SystemBus {
             completions: Vec::new(),
             next_token: 0,
             stats: BusStats::default(),
+            grant_faults: None,
+            nack_faults: None,
         })
     }
 
@@ -210,7 +251,13 @@ impl SystemBus {
         }
         let token = self.next_token;
         self.next_token += 1;
-        self.queues[master.0 as usize].push_back(Pending { token, addr, bytes });
+        self.queues[master.0 as usize].push_back(Pending {
+            token,
+            addr,
+            bytes,
+            not_before: 0,
+            retries: 0,
+        });
         self.stats.requests += 1;
         Ok(token)
     }
@@ -235,13 +282,44 @@ impl SystemBus {
         u64::from(bytes).div_ceil(self.bytes_per_cycle())
     }
 
+    /// Arm fault injection for this bus and its DRAM. Injectors must be
+    /// fresh (constructed for this run) so the draw sequence is
+    /// deterministic; passing a default [`BusFaults`] restores the exact
+    /// unperturbed behavior.
+    pub fn set_faults(&mut self, faults: BusFaults) {
+        self.grant_faults = faults.grant;
+        self.nack_faults = faults.nack;
+        self.dram.set_faults(faults.dram);
+    }
+
     fn schedule_one(&mut self, cycle: u64) -> bool {
         // Round-robin over masters with pending work.
         for i in 0..MasterId::COUNT {
             let m = (self.rr_next + i) % MasterId::COUNT;
+            let Some(&head) = self.queues[m].front() else {
+                continue;
+            };
+            // A NACKed request holds its (in-order) queue until backoff
+            // elapses; other masters still arbitrate.
+            if head.not_before > cycle {
+                continue;
+            }
+            if let Some(nack) = self.nack_faults.as_mut() {
+                if let Some(backoff) = nack.nack(head.retries) {
+                    if let Some(p) = self.queues[m].front_mut() {
+                        p.not_before = cycle + backoff;
+                        p.retries += 1;
+                    }
+                    continue;
+                }
+            }
             if let Some(p) = self.queues[m].pop_front() {
                 self.rr_next = (m + 1) % MasterId::COUNT;
-                let lat = self.dram.access(p.addr);
+                let extra = self
+                    .grant_faults
+                    .as_mut()
+                    .map_or(0, FaultInjector::extra_cycles);
+                let lat = self.dram.access(p.addr) + extra;
                 let xfer = self.transfer_cycles(p.bytes);
                 let done = if self.cfg.infinite_bandwidth {
                     cycle + lat + xfer
@@ -300,6 +378,23 @@ impl SystemBus {
     #[must_use]
     pub fn stats(&self) -> BusStats {
         self.stats
+    }
+
+    /// Queued (not yet scheduled) requests per master — forensic state for
+    /// deadlock snapshots.
+    #[must_use]
+    pub fn queue_depths(&self) -> [usize; MasterId::COUNT] {
+        let mut out = [0; MasterId::COUNT];
+        for (d, q) in out.iter_mut().zip(&self.queues) {
+            *d = q.len();
+        }
+        out
+    }
+
+    /// Requests whose data phase is scheduled but not yet complete.
+    #[must_use]
+    pub fn in_flight_count(&self) -> usize {
+        self.scheduled
     }
 
     /// Backing DRAM statistics.
@@ -497,5 +592,80 @@ mod tests {
     fn zero_byte_request_rejected() {
         let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
         bus.request(MasterId::DMA, 0, 0, false);
+    }
+
+    #[test]
+    fn empty_faults_leave_timing_bit_identical() {
+        let mut plain = SystemBus::new(BusConfig::default(), DramConfig::default());
+        let mut armed = SystemBus::new(BusConfig::default(), DramConfig::default());
+        armed.set_faults(BusFaults::from_plan(&FaultPlan::none()));
+        for i in 0..8u64 {
+            plain.request(MasterId::DMA, i * 64, 64, false);
+            armed.request(MasterId::DMA, i * 64, 64, false);
+        }
+        let a = run_until_idle(&mut plain, 10_000);
+        let b = run_until_idle(&mut armed, 10_000);
+        assert_eq!(a, b);
+        assert_eq!(plain.stats(), armed.stats());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_bounded_and_terminating() {
+        use aladdin_faults::{FaultSpec, NackSpec};
+        let plan = FaultPlan {
+            seed: 3,
+            bus_grant: Some(FaultSpec {
+                rate: 0.5,
+                max_extra: 7,
+            }),
+            bus_nack: Some(NackSpec {
+                rate: 0.5,
+                max_retries: 3,
+                backoff_cycles: 5,
+            }),
+            dram: Some(FaultSpec {
+                rate: 0.5,
+                max_extra: 9,
+            }),
+            ..FaultPlan::none()
+        };
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+            bus.set_faults(BusFaults::from_plan(&plan));
+            for i in 0..16u64 {
+                bus.request(MasterId::DMA, i * 64, 64, false);
+                bus.request(MasterId::TRAFFIC, 0x200_0000 + i * 64, 64, false);
+            }
+            let done = run_until_idle(&mut bus, 100_000);
+            assert_eq!(done.len(), 32, "every request completes despite NACKs");
+            runs.push(done);
+        }
+        assert_eq!(runs[0], runs[1], "same seed, same completion schedule");
+
+        let mut plain = SystemBus::new(BusConfig::default(), DramConfig::default());
+        for i in 0..16u64 {
+            plain.request(MasterId::DMA, i * 64, 64, false);
+            plain.request(MasterId::TRAFFIC, 0x200_0000 + i * 64, 64, false);
+        }
+        let base = run_until_idle(&mut plain, 100_000);
+        let base_last = base.iter().map(|c| c.at).max().unwrap();
+        let fault_last = runs[0].iter().map(|c| c.at).max().unwrap();
+        assert!(fault_last > base_last, "heavy injection must cost cycles");
+    }
+
+    #[test]
+    fn queue_depths_report_backlog() {
+        let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+        for i in 0..4u64 {
+            bus.request(MasterId::DMA, i * 64, 64, false);
+        }
+        bus.request(MasterId::CPU, 0x8000, 64, false);
+        let d = bus.queue_depths();
+        assert_eq!(d[MasterId::DMA.0 as usize], 4);
+        assert_eq!(d[MasterId::CPU.0 as usize], 1);
+        assert_eq!(bus.in_flight_count(), 0);
+        bus.tick(0);
+        assert_eq!(bus.in_flight_count(), 2);
     }
 }

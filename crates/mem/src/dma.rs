@@ -22,6 +22,8 @@
 
 use std::collections::VecDeque;
 
+use aladdin_ir::Diagnostic;
+
 use crate::bus::{MasterId, SystemBus, Token};
 use crate::intervals::IntervalSet;
 
@@ -159,17 +161,26 @@ impl DmaEngine {
     /// earliest cycle its descriptor may be serviced — the flush-completion
     /// times for pipelined input DMA, a constant for everything else.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `eligibility.len()` does not match the number of chunks.
-    #[must_use]
-    pub fn new(cfg: DmaConfig, transfers: &[DmaTransfer], eligibility: &[u64]) -> Self {
+    /// Returns an `L0217` diagnostic if `eligibility.len()` does not match
+    /// the number of chunks the transfers split into.
+    pub fn try_new(
+        cfg: DmaConfig,
+        transfers: &[DmaTransfer],
+        eligibility: &[u64],
+    ) -> Result<Self, Diagnostic> {
         let sizes = cfg.chunk_sizes(transfers);
-        assert_eq!(
-            sizes.len(),
-            eligibility.len(),
-            "one eligibility time per chunk required"
-        );
+        if sizes.len() != eligibility.len() {
+            return Err(Diagnostic::error(
+                "L0217",
+                format!(
+                    "one eligibility time per chunk required: {} chunk(s), {} eligibility time(s)",
+                    sizes.len(),
+                    eligibility.len()
+                ),
+            ));
+        }
         let mut queue = VecDeque::with_capacity(sizes.len());
         let mut k = 0;
         for t in transfers {
@@ -191,7 +202,7 @@ impl DmaEngine {
             }
         }
         let total_chunks = queue.len();
-        DmaEngine {
+        Ok(DmaEngine {
             cfg,
             master: MasterId::DMA,
             queue,
@@ -202,7 +213,19 @@ impl DmaEngine {
             done_at: if total_chunks == 0 { Some(0) } else { None },
             total_chunks,
             finished_chunks: 0,
-        }
+        })
+    }
+
+    /// Create an engine servicing `transfers` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eligibility.len()` does not match the number of chunks;
+    /// use [`try_new`](DmaEngine::try_new) to handle that as a typed
+    /// diagnostic instead.
+    #[must_use]
+    pub fn new(cfg: DmaConfig, transfers: &[DmaTransfer], eligibility: &[u64]) -> Self {
+        DmaEngine::try_new(cfg, transfers, eligibility).unwrap_or_else(|d| panic!("{d}"))
     }
 
     /// Issue bus requests as `master` instead of [`MasterId::DMA`] — used
@@ -310,6 +333,30 @@ impl DmaEngine {
     #[must_use]
     pub fn stats(&self) -> DmaStats {
         self.stats
+    }
+
+    /// One-line forensic description of descriptor progress, for deadlock
+    /// snapshots.
+    #[must_use]
+    pub fn describe_state(&self) -> String {
+        match &self.active {
+            Some(a) => format!(
+                "dma: descriptor {}/{} active at {:#x} ({}/{} bytes posted, \
+                 {} burst(s) outstanding)",
+                self.finished_chunks + 1,
+                self.total_chunks,
+                a.chunk.base,
+                a.next_offset,
+                a.chunk.bytes,
+                a.outstanding.len()
+            ),
+            None => format!(
+                "dma: {}/{} descriptor(s) done, {} queued",
+                self.finished_chunks,
+                self.total_chunks,
+                self.queue.len()
+            ),
+        }
     }
 }
 
@@ -463,5 +510,33 @@ mod tests {
             direction: DmaDirection::In,
         }];
         let _ = DmaEngine::new(DmaConfig::default(), &t, &[]);
+    }
+
+    #[test]
+    fn eligibility_mismatch_is_a_typed_diagnostic() {
+        let t = [DmaTransfer {
+            base: 0,
+            bytes: 100,
+            direction: DmaDirection::In,
+        }];
+        let err = DmaEngine::try_new(DmaConfig::default(), &t, &[]).unwrap_err();
+        assert_eq!(err.code, "L0217");
+        assert!(err.message.contains("one eligibility time per chunk"));
+    }
+
+    #[test]
+    fn state_description_tracks_progress() {
+        let t = [DmaTransfer {
+            base: 0x1000,
+            bytes: 256,
+            direction: DmaDirection::In,
+        }];
+        let mut e = DmaEngine::new(DmaConfig::default(), &t, &[0]);
+        assert!(e.describe_state().contains("0/1 descriptor(s) done"));
+        let mut b = bus();
+        e.tick(0, &mut b);
+        assert!(e.describe_state().contains("descriptor 1/1 active"));
+        let _ = run(&mut e, &mut b, 10_000);
+        assert!(e.describe_state().contains("1/1 descriptor(s) done"));
     }
 }

@@ -1,5 +1,6 @@
 //! Row-buffer DRAM timing model.
 
+use aladdin_faults::FaultInjector;
 use aladdin_ir::{Diagnostic, Locus};
 
 /// DRAM timing configuration, in accelerator cycles.
@@ -38,6 +39,7 @@ pub struct Dram {
     cfg: DramConfig,
     open_rows: Vec<Option<u64>>,
     stats: DramStats,
+    faults: Option<FaultInjector>,
 }
 
 /// DRAM access counters.
@@ -75,6 +77,7 @@ impl Dram {
             open_rows: vec![None; cfg.banks],
             cfg,
             stats: DramStats::default(),
+            faults: None,
         })
     }
 
@@ -95,18 +98,25 @@ impl Dram {
         self.cfg
     }
 
+    /// Arm latency-spike injection (e.g. refresh collisions). `None`
+    /// restores the exact unperturbed timing.
+    pub fn set_faults(&mut self, faults: Option<FaultInjector>) {
+        self.faults = faults;
+    }
+
     /// Perform an access at `addr`, returning its device latency in cycles
     /// and updating the open-row state.
     pub fn access(&mut self, addr: u64) -> u64 {
         let row = addr / self.cfg.row_bytes;
         let bank = (row as usize) % self.cfg.banks;
+        let spike = self.faults.as_mut().map_or(0, FaultInjector::extra_cycles);
         if self.open_rows[bank] == Some(row) {
             self.stats.row_hits += 1;
-            self.cfg.row_hit_cycles
+            self.cfg.row_hit_cycles + spike
         } else {
             self.open_rows[bank] = Some(row);
             self.stats.row_misses += 1;
-            self.cfg.row_miss_cycles
+            self.cfg.row_miss_cycles + spike
         }
     }
 

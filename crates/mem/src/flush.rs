@@ -9,6 +9,8 @@
 //! model and produces the per-chunk completion times that pipelined DMA
 //! synchronizes against.
 
+use aladdin_faults::FaultInjector;
+
 use crate::clock::Clock;
 use crate::intervals::IntervalSet;
 
@@ -90,10 +92,27 @@ impl FlushSchedule {
         chunk_bytes: &[u64],
         invalidate_bytes: u64,
     ) -> Self {
+        FlushSchedule::new_with_faults(cfg, clock, start, chunk_bytes, invalidate_bytes, None)
+    }
+
+    /// Like [`new`](FlushSchedule::new), with an optional flush-contention
+    /// injector: each chunk's flush may stall a bounded number of extra
+    /// cycles (the CPU contending for its own cache ports). `None` gives
+    /// the exact unperturbed schedule.
+    #[must_use]
+    pub fn new_with_faults(
+        cfg: FlushConfig,
+        clock: Clock,
+        start: u64,
+        chunk_bytes: &[u64],
+        invalidate_bytes: u64,
+        mut faults: Option<FaultInjector>,
+    ) -> Self {
         let mut t = start;
         let mut chunk_done = Vec::with_capacity(chunk_bytes.len());
         for &bytes in chunk_bytes {
-            t += cfg.flush_cycles(clock, bytes);
+            let stall = faults.as_mut().map_or(0, FaultInjector::extra_cycles);
+            t += cfg.flush_cycles(clock, bytes) + stall;
             chunk_done.push(t);
         }
         let flush_end = t;
@@ -193,6 +212,49 @@ mod tests {
         assert_eq!(s.end(), 5);
         assert!(s.busy().is_empty());
         assert!(s.chunk_times().is_empty());
+    }
+
+    #[test]
+    fn faulted_schedule_stalls_but_stays_ordered() {
+        use aladdin_faults::{salt, FaultSpec};
+        let chunks = [4096u64, 4096, 4096];
+        let plain = FlushSchedule::new(FlushConfig::default(), Clock::default(), 0, &chunks, 4096);
+        let inj = FaultInjector::new(
+            FaultSpec {
+                rate: 1.0,
+                max_extra: 10,
+            },
+            5,
+            salt::FLUSH,
+        );
+        let faulted = FlushSchedule::new_with_faults(
+            FlushConfig::default(),
+            Clock::default(),
+            0,
+            &chunks,
+            4096,
+            Some(inj),
+        );
+        for k in 0..chunks.len() {
+            assert!(faulted.chunk_done(k) > plain.chunk_done(k));
+            assert!(faulted.chunk_done(k) <= plain.chunk_done(k) + 10 * (k as u64 + 1));
+        }
+        assert_eq!(
+            faulted.end() - faulted.flush_end(),
+            plain.end() - plain.flush_end(),
+            "invalidate phase is not an injection site"
+        );
+        // None restores bit-identical schedules.
+        let off = FlushSchedule::new_with_faults(
+            FlushConfig::default(),
+            Clock::default(),
+            0,
+            &chunks,
+            4096,
+            None,
+        );
+        assert_eq!(off.chunk_times(), plain.chunk_times());
+        assert_eq!(off.end(), plain.end());
     }
 
     #[test]

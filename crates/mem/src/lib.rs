@@ -44,6 +44,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod bus;
 mod cache;
@@ -55,7 +56,7 @@ mod intervals;
 mod tlb;
 mod traffic;
 
-pub use bus::{BusCompletion, BusConfig, BusStats, MasterId, SystemBus, Token};
+pub use bus::{BusCompletion, BusConfig, BusFaults, BusStats, MasterId, SystemBus, Token};
 pub use cache::{
     AccessKind, Cache, CacheBusRequest, CacheConfig, CacheOutcome, CacheStats, FillTracker,
     MoesiState, PrefetcherConfig, WritePolicy,

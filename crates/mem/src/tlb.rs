@@ -6,6 +6,9 @@
 //! fully-associative translation cache with LRU replacement and a
 //! pre-characterized miss penalty covering the page-table walk.
 
+use aladdin_faults::FaultInjector;
+use aladdin_ir::{Diagnostic, Locus};
+
 /// TLB configuration.
 ///
 /// Defaults are the paper's: 8 entries, 200 ns miss penalty (20 cycles at
@@ -56,27 +59,53 @@ pub struct Tlb {
     /// Resident page numbers, most recently used last.
     pages: Vec<u64>,
     stats: TlbStats,
+    faults: Option<FaultInjector>,
 }
 
 impl Tlb {
     /// An empty TLB.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration has zero entries or a non-power-of-two
-    /// page size.
-    #[must_use]
-    pub fn new(cfg: TlbConfig) -> Self {
-        assert!(cfg.entries > 0, "TLB needs at least one entry");
-        assert!(
-            cfg.page_bytes.is_power_of_two(),
-            "page size must be a power of two"
-        );
-        Tlb {
+    /// Returns an `L0212` diagnostic if the configuration has zero entries
+    /// or a non-power-of-two page size.
+    pub fn try_new(cfg: TlbConfig) -> Result<Self, Diagnostic> {
+        if cfg.entries == 0 {
+            return Err(Diagnostic::error("L0212", "TLB needs at least one entry")
+                .at(Locus::Field("tlb.entries")));
+        }
+        if !cfg.page_bytes.is_power_of_two() {
+            return Err(Diagnostic::error(
+                "L0212",
+                format!("page size must be a power of two, got {}", cfg.page_bytes),
+            )
+            .at(Locus::Field("tlb.page_bytes")));
+        }
+        Ok(Tlb {
             cfg,
             pages: Vec::with_capacity(cfg.entries),
             stats: TlbStats::default(),
-        }
+            faults: None,
+        })
+    }
+
+    /// An empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero entries or a non-power-of-two
+    /// page size; use [`try_new`](Tlb::try_new) to handle that as a typed
+    /// diagnostic instead.
+    #[must_use]
+    pub fn new(cfg: TlbConfig) -> Self {
+        Tlb::try_new(cfg).unwrap_or_else(|d| panic!("{d}"))
+    }
+
+    /// Arm page-fault-walk injection: an occasional miss pays a bounded
+    /// extra walk penalty (a fault requiring a retried long walk). `None`
+    /// restores the exact unperturbed timing.
+    pub fn set_faults(&mut self, faults: Option<FaultInjector>) {
+        self.faults = faults;
     }
 
     /// Configuration this TLB was built with.
@@ -101,7 +130,8 @@ impl Tlb {
             }
             self.pages.push(page);
             self.stats.misses += 1;
-            cycle + self.cfg.miss_cycles
+            let walk = self.faults.as_mut().map_or(0, FaultInjector::extra_cycles);
+            cycle + self.cfg.miss_cycles + walk
         }
     }
 
@@ -162,5 +192,38 @@ mod tests {
             entries: 0,
             ..TlbConfig::default()
         });
+    }
+
+    #[test]
+    fn bad_tlb_config_is_a_typed_diagnostic() {
+        let no_entries = TlbConfig {
+            entries: 0,
+            ..TlbConfig::default()
+        };
+        assert_eq!(Tlb::try_new(no_entries).unwrap_err().code, "L0212");
+        let odd_page = TlbConfig {
+            page_bytes: 3000,
+            ..TlbConfig::default()
+        };
+        assert_eq!(Tlb::try_new(odd_page).unwrap_err().code, "L0212");
+    }
+
+    #[test]
+    fn fault_walks_only_lengthen_misses() {
+        use aladdin_faults::{salt, FaultSpec};
+        let mut tlb = Tlb::new(TlbConfig::default());
+        tlb.set_faults(Some(FaultInjector::new(
+            FaultSpec {
+                rate: 1.0,
+                max_extra: 30,
+            },
+            7,
+            salt::TLB,
+        )));
+        let miss = tlb.translate(0x1000, 100);
+        assert!(miss > 120, "a certain fault lengthens the walk: {miss}");
+        assert!(miss <= 150, "walk penalty is bounded: {miss}");
+        // A hit never consults the injector.
+        assert_eq!(tlb.translate(0x1800, 200), 200);
     }
 }

@@ -12,6 +12,8 @@
 //!   protocol [--seeded-bug NAME]
 //!                            model-check the MOESI-lite protocol
 //!                            (optionally with a seeded bug)
+//!   faultplan FILE...        validate fault-plan files (bounds, rates,
+//!                            format) before a fault-injection run
 //!   all                      trace + config + sweep + protocol
 //! ```
 //!
@@ -40,7 +42,7 @@ enum Format {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soclint [--format human|json] <trace [KERNEL...] | config | sweep | protocol [--seeded-bug NAME] | all>"
+        "usage: soclint [--format human|json] <trace [KERNEL...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | all>"
     );
     std::process::exit(2);
 }
@@ -71,6 +73,7 @@ fn main() {
         "config" => vec![lint_default_config()],
         "sweep" => lint_fig3_space(),
         "protocol" => vec![lint_protocol(cmd_args)],
+        "faultplan" => lint_fault_plans(cmd_args),
         "all" => {
             let mut t = lint_traces(&[]);
             t.push(lint_default_config());
@@ -214,6 +217,43 @@ fn lint_fig3_space() -> Vec<Target> {
             report: cache_report,
         },
     ]
+}
+
+/// Statically validate fault-plan files: parse (`L0243` on malformed
+/// lines), then bound-check every site (`L0240` rates, `L0241`
+/// magnitudes, `L0242` plans that inject nothing) — the same
+/// `FaultPlan::validate` the sweep runners apply, so a plan that lints
+/// clean here is accepted at run time.
+fn lint_fault_plans(paths: &[String]) -> Vec<Target> {
+    if paths.is_empty() {
+        usage();
+    }
+    paths
+        .iter()
+        .map(|path| {
+            let mut report = Report::new();
+            match std::fs::read_to_string(path) {
+                Ok(text) => match aladdin_core::FaultPlan::from_text(&text) {
+                    Ok(plan) => {
+                        report.push(Diagnostic::info(
+                            "L0243",
+                            format!("fault plan parsed: seed {}", plan.seed),
+                        ));
+                        report.merge(plan.validate());
+                    }
+                    Err(d) => report.push(d),
+                },
+                Err(e) => report.push(Diagnostic::error(
+                    "L0243",
+                    format!("cannot read fault plan: {e}"),
+                )),
+            }
+            Target {
+                name: path.clone(),
+                report,
+            }
+        })
+        .collect()
 }
 
 /// Model-check the MOESI-lite protocol, optionally with a seeded bug.

@@ -1,0 +1,166 @@
+//! Fault-injection properties across the three flows.
+//!
+//! The two invariants the fault subsystem guarantees:
+//!
+//! 1. An empty [`FaultPlan`] is a zero-overhead off switch — every flow
+//!    reproduces its plain `run_*` result bit-exactly.
+//! 2. Any *bounded* fault plan leaves every simulation terminating, with
+//!    the same seed reproducing the same (slower) result.
+//!
+//! Plus the failure contract: watchdog expiry and scheduler deadlock are
+//! typed [`SimError`]s carrying a forensic diagnostic, never panics.
+
+use aladdin_accel::DatapathConfig;
+use aladdin_core::{
+    run_cache, run_dma, run_isolated, try_run_cache, try_run_dma, try_run_isolated, DmaOptLevel,
+    FaultPlan, FaultSpec, NackSpec, SimHarness, SocConfig, Watchdog,
+};
+use aladdin_ir::Trace;
+use aladdin_rng::SmallRng;
+use aladdin_workloads::by_name;
+
+fn trace_of(name: &str) -> Trace {
+    by_name(name).expect("kernel").run().trace
+}
+
+fn dp(lanes: u32, partition: u32) -> DatapathConfig {
+    DatapathConfig {
+        lanes,
+        partition,
+        ..DatapathConfig::default()
+    }
+}
+
+/// A random but *bounded* plan: every rate below 1, every magnitude and
+/// retry count finite — the class of plans the termination property
+/// quantifies over.
+fn random_bounded_plan(seed: u64) -> FaultPlan {
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xfa17);
+    FaultPlan {
+        seed: rng.next_u64(),
+        bus_grant: Some(FaultSpec {
+            rate: rng.gen_range(0.0..0.3),
+            max_extra: rng.gen_range(1..32u64),
+        }),
+        bus_nack: Some(NackSpec {
+            rate: rng.gen_range(0.0..0.2),
+            max_retries: rng.gen_range(1..16u32),
+            backoff_cycles: rng.gen_range(1..32u64),
+        }),
+        dram: Some(FaultSpec {
+            rate: rng.gen_range(0.0..0.3),
+            max_extra: rng.gen_range(1..48u64),
+        }),
+        tlb: Some(FaultSpec {
+            rate: rng.gen_range(0.0..0.2),
+            max_extra: rng.gen_range(1..64u64),
+        }),
+        flush: Some(FaultSpec {
+            rate: rng.gen_range(0.0..0.3),
+            max_extra: rng.gen_range(1..16u64),
+        }),
+    }
+}
+
+#[test]
+fn empty_plan_is_bit_identical_for_every_flow() {
+    let soc = SocConfig::default();
+    let d = dp(2, 2);
+    let h = SimHarness::default();
+    assert!(h.plan.is_empty());
+    for name in ["aes-aes", "fft-transpose"] {
+        let trace = trace_of(name);
+        assert_eq!(
+            try_run_isolated(&trace, &d, &soc, &h).unwrap(),
+            run_isolated(&trace, &d, &soc),
+            "{name} isolated"
+        );
+        for opt in [DmaOptLevel::Baseline, DmaOptLevel::Full] {
+            assert_eq!(
+                try_run_dma(&trace, &d, &soc, opt, &h).unwrap(),
+                run_dma(&trace, &d, &soc, opt),
+                "{name} dma {opt}"
+            );
+        }
+        assert_eq!(
+            try_run_cache(&trace, &d, &soc, &h).unwrap(),
+            run_cache(&trace, &d, &soc),
+            "{name} cache"
+        );
+    }
+}
+
+#[test]
+fn random_bounded_plans_always_terminate_and_reproduce() {
+    let trace = trace_of("fft-transpose");
+    let soc = SocConfig::default();
+    let d = dp(2, 2);
+    let baseline_dma = run_dma(&trace, &d, &soc, DmaOptLevel::Full);
+    let baseline_cache = run_cache(&trace, &d, &soc);
+    for seed in 0..6u64 {
+        let plan = random_bounded_plan(seed);
+        assert!(!plan.validate().has_errors(), "plan {seed} must be valid");
+        let h = SimHarness {
+            plan,
+            watchdog: Watchdog::default(),
+        };
+        let iso = try_run_isolated(&trace, &d, &soc, &h)
+            .unwrap_or_else(|e| panic!("isolated seed {seed}: {e}"));
+        assert!(iso.total_cycles > 0);
+        let dma = try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h)
+            .unwrap_or_else(|e| panic!("dma seed {seed}: {e}"));
+        assert!(
+            dma.total_cycles >= baseline_dma.total_cycles,
+            "seed {seed}: faults cannot speed DMA up"
+        );
+        let cache = try_run_cache(&trace, &d, &soc, &h)
+            .unwrap_or_else(|e| panic!("cache seed {seed}: {e}"));
+        assert!(
+            cache.total_cycles >= baseline_cache.total_cycles,
+            "seed {seed}: faults cannot speed the cache flow up"
+        );
+        // Same seed, same result — per-site RNGs are rebuilt per run.
+        let dma2 = try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h).unwrap();
+        assert_eq!(dma, dma2, "seed {seed} must reproduce bit-exactly");
+    }
+    // All that injection left the no-fault baseline untouched.
+    assert_eq!(run_dma(&trace, &d, &soc, DmaOptLevel::Full), baseline_dma);
+    assert_eq!(run_cache(&trace, &d, &soc), baseline_cache);
+}
+
+#[test]
+fn watchdog_expiry_is_typed_and_forensic() {
+    let trace = trace_of("stencil-stencil2d");
+    let soc = SocConfig::default();
+    let h = SimHarness {
+        plan: FaultPlan::none(),
+        watchdog: Watchdog {
+            max_cycles: Some(8),
+            no_progress_cycles: 4_000_000,
+        },
+    };
+    let err = try_run_dma(&trace, &dp(2, 2), &soc, DmaOptLevel::Baseline, &h).unwrap_err();
+    assert_eq!(err.code(), "L0233", "{err}");
+    let json = err.to_report().to_json();
+    assert!(json.contains("watchdog expired"), "{json}");
+    // The flow attached bus and DMA state to the report.
+    assert!(json.contains("bus:"), "{json}");
+    assert!(json.contains("dma:"), "{json}");
+
+    let err = try_run_isolated(&trace, &dp(2, 2), &soc, &h).unwrap_err();
+    assert_eq!(err.code(), "L0233", "{err}");
+}
+
+#[test]
+fn from_seed_plans_run_every_flow() {
+    // The CLI's `--faults <seed>` harness must be usable as-is.
+    let trace = trace_of("aes-aes");
+    let soc = SocConfig::default();
+    let d = dp(2, 2);
+    let h = SimHarness::with_seed(42);
+    assert!(!h.plan.is_empty());
+    assert!(!h.plan.validate().has_errors());
+    try_run_isolated(&trace, &d, &soc, &h).unwrap();
+    try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h).unwrap();
+    try_run_cache(&trace, &d, &soc, &h).unwrap();
+}
