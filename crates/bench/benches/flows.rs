@@ -10,8 +10,15 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{run_cache, run_dma, run_isolated, DmaOptLevel, SocConfig};
+use aladdin_core::{simulate, DmaOptLevel, FlowSpec, MemKind, SocConfig};
+use aladdin_ir::Trace;
 use aladdin_workloads::by_name;
+
+fn run(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig, kind: MemKind) -> u64 {
+    simulate(trace, dp, soc, &FlowSpec::new(kind))
+        .expect("flow completes")
+        .total_cycles
+}
 
 fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
     let mut samples = Vec::new();
@@ -41,16 +48,26 @@ fn main() {
         let trace = by_name(name).expect("kernel").run().trace;
         let group = format!("flow/{name}");
         bench(&group, "isolated", || {
-            run_isolated(black_box(&trace), &dp(), &soc).total_cycles
+            run(black_box(&trace), &dp(), &soc, MemKind::Isolated)
         });
         bench(&group, "dma_baseline", || {
-            run_dma(black_box(&trace), &dp(), &soc, DmaOptLevel::Baseline).total_cycles
+            run(
+                black_box(&trace),
+                &dp(),
+                &soc,
+                MemKind::Dma(DmaOptLevel::Baseline),
+            )
         });
         bench(&group, "dma_full", || {
-            run_dma(black_box(&trace), &dp(), &soc, DmaOptLevel::Full).total_cycles
+            run(
+                black_box(&trace),
+                &dp(),
+                &soc,
+                MemKind::Dma(DmaOptLevel::Full),
+            )
         });
         bench(&group, "cache", || {
-            run_cache(black_box(&trace), &dp(), &soc).total_cycles
+            run(black_box(&trace), &dp(), &soc, MemKind::Cache)
         });
     }
 }

@@ -10,9 +10,11 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use aladdin_core::{DmaOptLevel, SocConfig};
-use aladdin_dse::{sweep_cache, sweep_dma, DesignSpace};
+use aladdin_core::{DmaOptLevel, MemKind, SocConfig};
+use aladdin_dse::{sweep, DesignSpace};
 use aladdin_workloads::by_name;
+
+const FULL: MemKind = MemKind::Dma(DmaOptLevel::Full);
 
 /// Run `f` (which sweeps `points` design points) repeatedly for ~1 s and
 /// report the median points/second.
@@ -51,19 +53,19 @@ fn main() {
         // below keeps both visible).
         let cold = bench_sweep(&format!("{kernel}/dma/cold"), dma_points, || {
             aladdin_dse::reset_sweep_cache();
-            sweep_dma(&trace, &space, &soc, DmaOptLevel::Full).len() as u64
+            sweep(&trace, &space, &soc, FULL).len() as u64
         });
         let warm = bench_sweep(&format!("{kernel}/dma/warm"), dma_points, || {
-            sweep_dma(&trace, &space, &soc, DmaOptLevel::Full).len() as u64
+            sweep(&trace, &space, &soc, FULL).len() as u64
         });
         println!("json: {{\"kernel\": \"{kernel}\", \"sweep\": \"dma\", \"points\": {dma_points}, \"cold_points_per_sec\": {cold:.1}, \"warm_points_per_sec\": {warm:.1}}}");
 
         let cold = bench_sweep(&format!("{kernel}/cache/cold"), cache_points, || {
             aladdin_dse::reset_sweep_cache();
-            sweep_cache(&trace, &space, &soc).len() as u64
+            sweep(&trace, &space, &soc, MemKind::Cache).len() as u64
         });
         let warm = bench_sweep(&format!("{kernel}/cache/warm"), cache_points, || {
-            sweep_cache(&trace, &space, &soc).len() as u64
+            sweep(&trace, &space, &soc, MemKind::Cache).len() as u64
         });
         println!("json: {{\"kernel\": \"{kernel}\", \"sweep\": \"cache\", \"points\": {cache_points}, \"cold_points_per_sec\": {cold:.1}, \"warm_points_per_sec\": {warm:.1}}}");
     }

@@ -14,8 +14,17 @@
 //!    and larger chunks.
 
 use aladdin_accel::{schedule, DatapathConfig, LaneSync, SpadMemory};
-use aladdin_core::{run_cache, run_dma, DmaOptLevel, SocConfig};
+use aladdin_core::{simulate, DmaOptLevel, FlowResult, FlowSpec, MemKind, SocConfig};
+use aladdin_ir::Trace;
 use aladdin_workloads::by_name;
+
+fn run_dma(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig, opt: DmaOptLevel) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(MemKind::Dma(opt))).expect("flow completes")
+}
+
+fn run_cache(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(MemKind::Cache)).expect("flow completes")
+}
 
 const KERNELS: [&str; 4] = ["stencil-stencil2d", "md-knn", "spmv-crs", "fft-transpose"];
 

@@ -15,10 +15,24 @@
 
 use aladdin_accel::DatapathConfig;
 use aladdin_core::{
-    run_cache, run_dma, run_isolated, try_run_cache, try_run_dma, try_run_isolated, DmaOptLevel,
-    FlowResult, SimError, SimHarness, SocConfig,
+    simulate, DmaOptLevel, FlowResult, FlowSpec, MemKind, SimError, SimHarness, SocConfig,
 };
+use aladdin_ir::Trace;
 use aladdin_workloads::by_name;
+
+fn run(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig, kind: MemKind) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(kind)).expect("clean flow completes")
+}
+
+fn try_run(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    kind: MemKind,
+    h: &SimHarness,
+) -> Result<FlowResult, SimError> {
+    simulate(trace, dp, soc, &FlowSpec::new(kind).with_harness(h))
+}
 
 /// One flow under one seed, run twice: report any contract violation.
 fn soak_one(
@@ -73,31 +87,31 @@ fn main() {
     let mut runs = 0u32;
     for kernel in ["aes-aes", "fft-transpose"] {
         let trace = by_name(kernel).expect("known kernel").run().trace;
-        let base_iso = run_isolated(&trace, &dp, &soc);
-        let base_dma = run_dma(&trace, &dp, &soc, DmaOptLevel::Full);
-        let base_cache = run_cache(&trace, &dp, &soc);
+        let base_iso = run(&trace, &dp, &soc, MemKind::Isolated);
+        let base_dma = run(&trace, &dp, &soc, MemKind::Dma(DmaOptLevel::Full));
+        let base_cache = run(&trace, &dp, &soc, MemKind::Cache);
         for seed in 0..seeds {
             let h = SimHarness::with_seed(seed);
             failures += soak_one(
                 &format!("{kernel}/isolated"),
                 seed,
                 &base_iso,
-                try_run_isolated(&trace, &dp, &soc, &h),
-                try_run_isolated(&trace, &dp, &soc, &h),
+                try_run(&trace, &dp, &soc, MemKind::Isolated, &h),
+                try_run(&trace, &dp, &soc, MemKind::Isolated, &h),
             );
             failures += soak_one(
                 &format!("{kernel}/dma"),
                 seed,
                 &base_dma,
-                try_run_dma(&trace, &dp, &soc, DmaOptLevel::Full, &h),
-                try_run_dma(&trace, &dp, &soc, DmaOptLevel::Full, &h),
+                try_run(&trace, &dp, &soc, MemKind::Dma(DmaOptLevel::Full), &h),
+                try_run(&trace, &dp, &soc, MemKind::Dma(DmaOptLevel::Full), &h),
             );
             failures += soak_one(
                 &format!("{kernel}/cache"),
                 seed,
                 &base_cache,
-                try_run_cache(&trace, &dp, &soc, &h),
-                try_run_cache(&trace, &dp, &soc, &h),
+                try_run(&trace, &dp, &soc, MemKind::Cache, &h),
+                try_run(&trace, &dp, &soc, MemKind::Cache, &h),
             );
             runs += 3;
         }

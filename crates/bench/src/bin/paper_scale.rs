@@ -8,8 +8,21 @@
 
 use aladdin_accel::DatapathConfig;
 use aladdin_bench::{banner, write_csv};
-use aladdin_core::{run_cache, run_dma, DmaOptLevel, FlowResult, SocConfig};
+use aladdin_core::{simulate, DmaOptLevel, FlowResult, FlowSpec, MemKind, SocConfig};
 use aladdin_workloads::{evaluation_kernels, paper_scale_kernels};
+
+fn run_dma(
+    trace: &aladdin_ir::Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(MemKind::Dma(opt))).expect("flow completes")
+}
+
+fn run_cache(trace: &aladdin_ir::Trace, dp: &DatapathConfig, soc: &SocConfig) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(MemKind::Cache)).expect("flow completes")
+}
 
 fn dp(lanes: u32) -> DatapathConfig {
     DatapathConfig {

@@ -13,8 +13,8 @@
 //! ```
 
 use aladdin_bench::{banner, write_csv};
-use aladdin_core::{DmaOptLevel, SocConfig};
-use aladdin_dse::{edp_optimal, sweep_cache, sweep_dma, DesignSpace};
+use aladdin_core::{DmaOptLevel, MemKind, SocConfig};
+use aladdin_dse::{edp_optimal, sweep, DesignSpace};
 use aladdin_workloads::evaluation_kernels;
 
 fn main() {
@@ -30,11 +30,11 @@ fn main() {
     for k in evaluation_kernels() {
         let trace = k.run().trace;
         // PARADE-style: baseline DMA only.
-        let parade = sweep_dma(&trace, &space, &soc, DmaOptLevel::Baseline);
+        let parade = sweep(&trace, &space, &soc, MemKind::Dma(DmaOptLevel::Baseline));
         let parade_opt = edp_optimal(&parade).expect("sweep");
         // gem5-Aladdin: optimized DMA and caches both available.
-        let dma = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
-        let cache = sweep_cache(&trace, &space, &soc);
+        let dma = sweep(&trace, &space, &soc, MemKind::Dma(DmaOptLevel::Full));
+        let cache = sweep(&trace, &space, &soc, MemKind::Cache);
         let dma_opt = edp_optimal(&dma).expect("sweep");
         let cache_opt = edp_optimal(&cache).expect("sweep");
         let (full_opt, winner) = if dma_opt.edp() <= cache_opt.edp() {

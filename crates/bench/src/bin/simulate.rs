@@ -1,14 +1,20 @@
-//! Command-line front end: simulate one kernel on one configuration.
+//! Command-line front end: simulate one kernel on one configuration, or
+//! a heterogeneous multi-accelerator SoC.
 //!
 //! ```sh
 //! cargo run --release -p aladdin-bench --bin simulate -- \
 //!     --kernel stencil-stencil3d --mem dma --opt full \
 //!     --lanes 8 --partition 8 --bus-bits 64
+//!
+//! # Two accelerators sharing one bus: a cache-based spmv next to a
+//! # DMA stencil launched 5k cycles later (Figure 3's ACCEL0/ACCEL1).
+//! cargo run --release -p aladdin-bench --bin simulate -- \
+//!     --multi spmv-crs:cache --multi stencil-stencil2d:dma:full:5000
 //! ```
 
 use aladdin_accel::DatapathConfig;
 use aladdin_core::{
-    try_run_cache, try_run_dma, try_run_isolated, DmaOptLevel, MemKind, SimHarness, SocConfig,
+    simulate, simulate_multi, AcceleratorJob, DmaOptLevel, FlowSpec, MemKind, SimHarness, SocConfig,
 };
 use aladdin_dse::run_point_cached;
 use aladdin_workloads::{all_kernels, by_name};
@@ -24,6 +30,7 @@ struct Args {
     cache_ports: u32,
     traffic_period: Option<u64>,
     fault_seed: Option<u64>,
+    multi: Vec<String>,
 }
 
 fn usage() -> ! {
@@ -31,7 +38,12 @@ fn usage() -> ! {
         "usage: simulate [--kernel NAME] [--mem isolated|dma|cache] \
          [--opt baseline|pipelined|full] [--lanes N] [--partition N] \
          [--bus-bits 32|64] [--cache-kb N] [--cache-ports N] \
-         [--traffic-period CYCLES] [--faults SEED] [--list]"
+         [--traffic-period CYCLES] [--faults SEED] [--list] \
+         [--multi KERNEL:MEM[:OPT][:LAUNCH]]..."
+    );
+    eprintln!(
+        "  --multi may be repeated; each spec adds one accelerator to a \
+         shared-bus SoC, e.g. --multi spmv-crs:cache --multi aes-aes:dma:full:5000"
     );
     std::process::exit(2);
 }
@@ -48,6 +60,7 @@ fn parse_args() -> Args {
         cache_ports: 2,
         traffic_period: None,
         fault_seed: None,
+        multi: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -86,11 +99,109 @@ fn parse_args() -> Args {
             "--faults" => {
                 args.fault_seed = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
             }
+            "--multi" => args.multi.push(value(&mut i)),
             _ => usage(),
         }
         i += 1;
     }
     args
+}
+
+/// Parse one `--multi` spec: `KERNEL:MEM[:OPT][:LAUNCH]`, where MEM is
+/// `isolated`, `dma`, or `cache`, OPT (DMA only) is
+/// `baseline|pipelined|full`, and LAUNCH is a cycle count.
+fn parse_job(spec: &str, dp: DatapathConfig) -> Result<AcceleratorJob, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let (name, mem) = match parts.as_slice() {
+        [name, mem, ..] => (*name, *mem),
+        _ => return Err(format!("{spec:?}: expected KERNEL:MEM[:OPT][:LAUNCH]")),
+    };
+    let kernel = by_name(name).ok_or_else(|| format!("unknown kernel {name:?}; use --list"))?;
+    let mut rest = parts[2..].iter();
+    let kind = match mem {
+        "isolated" => MemKind::Isolated,
+        "cache" => MemKind::Cache,
+        "dma" => {
+            let opt = match rest.clone().next().copied() {
+                Some("baseline") => Some(DmaOptLevel::Baseline),
+                Some("pipelined") => Some(DmaOptLevel::Pipelined),
+                Some("full") => Some(DmaOptLevel::Full),
+                _ => None,
+            };
+            if opt.is_some() {
+                rest.next();
+            }
+            MemKind::Dma(opt.unwrap_or(DmaOptLevel::Full))
+        }
+        other => return Err(format!("{spec:?}: unknown memory system {other:?}")),
+    };
+    let launch_at = match rest.next() {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("{spec:?}: bad launch cycle {s:?}"))?,
+        None => 0,
+    };
+    if rest.next().is_some() {
+        return Err(format!("{spec:?}: trailing fields"));
+    }
+    Ok(AcceleratorJob::new(kernel.run().trace, dp, kind, launch_at))
+}
+
+fn run_multi(args: &Args, soc_cfg: &SocConfig, dp: DatapathConfig) -> ! {
+    let jobs: Vec<AcceleratorJob> = args
+        .multi
+        .iter()
+        .map(|spec| {
+            parse_job(spec, dp).unwrap_or_else(|e| {
+                eprintln!("--multi {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let harness = match args.fault_seed {
+        Some(seed) => {
+            println!("faults:   seed {seed}");
+            SimHarness::with_seed(seed)
+        }
+        None => SimHarness::default(),
+    };
+    let report = aladdin_core::validate_multi_jobs(&jobs, soc_cfg);
+    if !report.is_clean() {
+        eprintln!("{}", report.to_human());
+        if report.has_errors() {
+            std::process::exit(1);
+        }
+    }
+    match simulate_multi(&jobs, soc_cfg, &harness) {
+        Ok(r) => {
+            println!(
+                "soc:      {} accelerators, bus moved {} KB, {:.0}% utilized, done at {}",
+                r.accelerators.len(),
+                r.bus_bytes / 1024,
+                r.bus_utilization * 100.0,
+                r.end
+            );
+            for a in &r.accelerators {
+                println!(
+                    "  {:<20} {:<10} launch {:>8}  data-in {:>8}  compute {:>8}  \
+                     done {:>8}  latency {:>8}  bus {} KB",
+                    a.kernel,
+                    a.kind.to_string(),
+                    a.launched,
+                    a.data_in_done,
+                    a.compute_done,
+                    a.end,
+                    a.latency(),
+                    a.bus_bytes / 1024
+                );
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{}", e.to_report().to_human());
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -113,6 +224,10 @@ fn main() {
         ..DatapathConfig::default()
     };
 
+    if !args.multi.is_empty() {
+        run_multi(&args, &soc_cfg, dp);
+    }
+
     let kind = match args.mem.as_str() {
         "isolated" => MemKind::Isolated,
         "dma" => MemKind::Dma(args.opt),
@@ -129,11 +244,12 @@ fn main() {
         for line in harness.plan.to_text().lines().skip(2) {
             println!("          {line}");
         }
-        let result = match kind {
-            MemKind::Isolated => try_run_isolated(&run.trace, &dp, &soc_cfg, &harness),
-            MemKind::Dma(opt) => try_run_dma(&run.trace, &dp, &soc_cfg, opt, &harness),
-            MemKind::Cache => try_run_cache(&run.trace, &dp, &soc_cfg, &harness),
-        };
+        let result = simulate(
+            &run.trace,
+            &dp,
+            &soc_cfg,
+            &FlowSpec::new(kind).with_harness(&harness),
+        );
         match result {
             Ok(r) => r,
             Err(e) => {

@@ -1,8 +1,8 @@
 //! Figure 1: design-space exploration for `stencil3d`, isolated vs
 //! co-designed, with EDP-optimal stars.
 
-use aladdin_core::{DmaOptLevel, SocConfig};
-use aladdin_dse::{edp_optimal, sweep_dma, sweep_isolated, DesignSpace};
+use aladdin_core::{DmaOptLevel, MemKind, SocConfig};
+use aladdin_dse::{edp_optimal, sweep, DesignSpace};
 use aladdin_workloads::by_name;
 
 /// Regenerate Figure 1.
@@ -12,8 +12,8 @@ pub fn run() {
     let space = DesignSpace::paper();
     let soc = SocConfig::default();
 
-    let iso = sweep_isolated(&trace, &space, &soc);
-    let dma = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+    let iso = sweep(&trace, &space, &soc, MemKind::Isolated);
+    let dma = sweep(&trace, &space, &soc, MemKind::Dma(DmaOptLevel::Full));
     let iso_opt = edp_optimal(&iso).expect("sweep");
     let dma_opt = edp_optimal(&dma).expect("sweep");
 
@@ -65,7 +65,13 @@ pub fn run() {
 
     // The paper's takeaway: applying system effects to the isolated
     // optimum is much worse than the co-designed optimum.
-    let iso_in_system = aladdin_core::run_dma(&trace, &iso_opt.datapath, &soc, DmaOptLevel::Full);
+    let iso_in_system = aladdin_core::simulate(
+        &trace,
+        &iso_opt.datapath,
+        &soc,
+        &aladdin_core::FlowSpec::new(MemKind::Dma(DmaOptLevel::Full)),
+    )
+    .expect("flow completes");
     println!(
         "\nisolated optimum ({} lanes x{}) believed {:.1} us; in a real system: {:.1} us",
         iso_opt.datapath.lanes,

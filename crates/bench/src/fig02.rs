@@ -5,8 +5,17 @@
 //! parallelism, over the full kernel set.
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{run_dma, DmaOptLevel, SocConfig};
+use aladdin_core::{simulate, DmaOptLevel, FlowResult, FlowSpec, MemKind, SocConfig};
 use aladdin_workloads::{all_kernels, by_name};
+
+fn run_dma(
+    trace: &aladdin_ir::Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(MemKind::Dma(opt))).expect("flow completes")
+}
 
 fn sixteen_way() -> DatapathConfig {
     DatapathConfig {

@@ -5,8 +5,17 @@
 //! under each cumulative optimization.
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{run_dma, DmaOptLevel, SocConfig};
+use aladdin_core::{simulate, DmaOptLevel, FlowResult, FlowSpec, MemKind, SocConfig};
 use aladdin_workloads::by_name;
+
+fn run_dma(
+    trace: &aladdin_ir::Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(MemKind::Dma(opt))).expect("flow completes")
+}
 
 /// Regenerate Figure 5.
 pub fn run() {

@@ -2,8 +2,17 @@
 //! of datapath parallelism with all optimizations applied.
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{run_dma, DmaOptLevel, SocConfig};
+use aladdin_core::{simulate, DmaOptLevel, FlowResult, FlowSpec, MemKind, SocConfig};
 use aladdin_workloads::evaluation_kernels;
+
+fn run_dma(
+    trace: &aladdin_ir::Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(MemKind::Dma(opt))).expect("flow completes")
+}
 
 fn dp(lanes: u32) -> DatapathConfig {
     DatapathConfig {

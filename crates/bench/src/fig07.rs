@@ -1,9 +1,17 @@
 //! Figure 7: effect of datapath parallelism on cache-based accelerators,
 //! decomposed into processing / latency / bandwidth time (Burger-style).
 
-use aladdin_core::{decompose_cache_time, run_cache, SocConfig};
+use aladdin_core::{decompose_cache_time, simulate, FlowResult, FlowSpec, MemKind, SocConfig};
 use aladdin_dse::CachePoint;
 use aladdin_workloads::evaluation_kernels;
+
+fn run_cache(
+    trace: &aladdin_ir::Trace,
+    dp: &aladdin_accel::DatapathConfig,
+    soc: &SocConfig,
+) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(MemKind::Cache)).expect("flow completes")
+}
 
 /// Find the smallest swept cache size at which performance saturates
 /// (within 2% of the largest size), at 4 lanes — the paper's methodology.

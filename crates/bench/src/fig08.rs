@@ -1,8 +1,8 @@
 //! Figure 8: power-performance Pareto curves for DMA- and cache-based
 //! accelerators, with EDP-optimal stars, in the paper's preference order.
 
-use aladdin_core::{DmaOptLevel, FlowResult, SocConfig};
-use aladdin_dse::{edp_optimal, pareto_frontier, sweep_cache, sweep_dma, DesignSpace};
+use aladdin_core::{DmaOptLevel, FlowResult, MemKind, SocConfig};
+use aladdin_dse::{edp_optimal, pareto_frontier, sweep, DesignSpace};
 use aladdin_workloads::evaluation_kernels;
 
 fn print_frontier(label: &str, results: &[FlowResult], rows: &mut Vec<Vec<String>>, kernel: &str) {
@@ -42,8 +42,8 @@ pub fn run() {
     for k in evaluation_kernels() {
         let trace = k.run().trace;
         println!("\n  {}:", k.name());
-        let dma = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
-        let cache = sweep_cache(&trace, &space, &soc);
+        let dma = sweep(&trace, &space, &soc, MemKind::Dma(DmaOptLevel::Full));
+        let cache = sweep(&trace, &space, &soc, MemKind::Cache);
         print_frontier("dma", &dma, &mut rows, k.name());
         print_frontier("cache", &cache, &mut rows, k.name());
         let dma_opt = edp_optimal(&dma).expect("sweep");

@@ -5,6 +5,12 @@
 //! arrays keep using scratchpad banks, per the paper's design choice of
 //! only caching "data that must eventually be shared with the rest of the
 //! system" (Section IV-D).
+//!
+//! The cache side is split from bus ownership so it can be used two ways:
+//! [`CacheDatapathMemory`] owns a private [`SystemBus`] (the
+//! single-accelerator cache flow), while the multi-accelerator engine
+//! registers a [`CacheClient`] on a bus shared with DMA engines and
+//! traffic generators (the paper's Fig. 3 heterogeneous topology).
 
 use aladdin_accel::{DatapathConfig, DatapathMemory, IssueResult, SpadMemory, SpadStats};
 use aladdin_faults::FaultPlan;
@@ -24,76 +30,65 @@ struct Delayed {
     ready_at: u64,
 }
 
-/// A [`DatapathMemory`] that services shared arrays from a cache behind
-/// the system bus, and private arrays from scratchpad banks.
-///
-/// Set `ideal` to make every access single-cycle (the Fig. 7 "processing
-/// time" bound); combine with an infinite-bandwidth bus (see
-/// [`BusConfig::infinite_bandwidth`](aladdin_mem::BusConfig)) for the
-/// "latency time" bound.
+/// The bus-client half of a cache-based accelerator: TLB, cache,
+/// fill tracking and private scratchpads — everything except the bus,
+/// which its owner supplies each cycle via [`CacheClient::push_bus_requests`]
+/// and [`CacheClient::on_bus_completion`].
 #[derive(Debug)]
-pub struct CacheDatapathMemory {
+pub(crate) struct CacheClient {
     spad: SpadMemory,
     shared_ranges: Vec<(u64, u64)>,
     tlb: Tlb,
     cache: Cache,
-    bus: SystemBus,
     fills: FillTracker,
-    traffic: Option<TrafficGenerator>,
     delayed: Vec<Delayed>,
     completions: Vec<(u64, u64)>,
     ideal: bool,
+    master: MasterId,
 }
 
-impl CacheDatapathMemory {
-    /// Build for `trace` under `cfg`/`soc`.
-    #[must_use]
-    pub fn new(trace: &Trace, cfg: &DatapathConfig, soc: &SocConfig) -> Self {
+impl CacheClient {
+    pub(crate) fn new(
+        trace: &Trace,
+        cfg: &DatapathConfig,
+        soc: &SocConfig,
+        master: MasterId,
+    ) -> Self {
         let shared_ranges = trace
             .arrays()
             .iter()
             .filter(|a| a.kind != ArrayKind::Internal)
             .map(|a| (a.base_addr, a.base_addr + a.size_bytes()))
             .collect();
-        let traffic = soc
-            .traffic
-            .map(|t| TrafficGenerator::new(t.period, t.bytes, 0x4000_0000, 16 << 20));
-        CacheDatapathMemory {
+        CacheClient {
             spad: SpadMemory::new(trace, cfg),
             shared_ranges,
             tlb: Tlb::new(soc.tlb),
             cache: Cache::new(soc.cache),
-            bus: SystemBus::new(soc.bus, soc.dram),
             fills: FillTracker::new(),
-            traffic,
             delayed: Vec::new(),
             completions: Vec::new(),
             ideal: false,
+            master,
         }
     }
 
-    /// Make every access a single-cycle hit (Fig. 7 processing-time bound).
-    pub fn set_ideal(&mut self, ideal: bool) {
+    pub(crate) fn set_ideal(&mut self, ideal: bool) {
         self.ideal = ideal;
     }
 
-    /// Arm fault injection from `plan`: bus-grant delays, burst NACKs and
-    /// DRAM latency spikes land on the fill path, TLB page-walk faults on
-    /// translation. An empty plan leaves timing bit-identical.
-    pub fn set_faults(&mut self, plan: &FaultPlan) {
-        self.bus.set_faults(BusFaults::from_plan(plan));
+    /// Arm the TLB page-walk injection site (bus/DRAM sites are armed by
+    /// whoever owns the bus).
+    pub(crate) fn set_faults(&mut self, plan: &FaultPlan) {
         self.tlb.set_faults(plan.tlb_injector());
     }
 
-    /// One-line state summary for deadlock forensics.
-    #[must_use]
-    pub fn forensic_note(&self) -> String {
-        format!(
-            "cache-mem: {} TLB-delayed access(es); bus: {} queued request(s), {} in flight",
-            self.delayed.len(),
-            self.bus.queue_depths().iter().sum::<usize>(),
-            self.bus.in_flight_count()
-        )
+    pub(crate) fn master(&self) -> MasterId {
+        self.master
+    }
+
+    pub(crate) fn delayed_count(&self) -> usize {
+        self.delayed.len()
     }
 
     fn is_shared(&self, addr: u64) -> bool {
@@ -115,43 +110,19 @@ impl CacheDatapathMemory {
         }
     }
 
-    /// Cache statistics so far.
-    #[must_use]
-    pub fn cache_stats(&self) -> CacheStats {
+    pub(crate) fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
-    /// TLB statistics so far.
-    #[must_use]
-    pub fn tlb_stats(&self) -> TlbStats {
+    pub(crate) fn tlb_stats(&self) -> TlbStats {
         self.tlb.stats()
     }
 
-    /// Bus statistics so far.
-    #[must_use]
-    pub fn bus_stats(&self) -> BusStats {
-        self.bus.stats()
-    }
-
-    /// DRAM statistics so far.
-    #[must_use]
-    pub fn dram_stats(&self) -> DramStats {
-        self.dram_stats_inner()
-    }
-
-    fn dram_stats_inner(&self) -> DramStats {
-        self.bus.dram_stats()
-    }
-
-    /// Scratchpad statistics (private arrays) so far.
-    #[must_use]
-    pub fn spad_stats(&self) -> SpadStats {
+    pub(crate) fn spad_stats(&self) -> SpadStats {
         self.spad.stats()
     }
-}
 
-impl DatapathMemory for CacheDatapathMemory {
-    fn begin_cycle(&mut self, cycle: u64) {
+    pub(crate) fn begin_cycle(&mut self, cycle: u64) {
         self.spad.begin_cycle(cycle);
         self.cache.begin_cycle(cycle);
         // Retry TLB-delayed accesses that are now translated.
@@ -175,7 +146,14 @@ impl DatapathMemory for CacheDatapathMemory {
         self.delayed = still;
     }
 
-    fn issue(&mut self, id: u64, addr: u64, bytes: u32, write: bool, cycle: u64) -> IssueResult {
+    pub(crate) fn issue(
+        &mut self,
+        id: u64,
+        addr: u64,
+        bytes: u32,
+        write: bool,
+        cycle: u64,
+    ) -> IssueResult {
         if self.ideal {
             return IssueResult::Done { at: cycle + 1 };
         }
@@ -197,39 +175,148 @@ impl DatapathMemory for CacheDatapathMemory {
         self.cache_try(id, addr, write, cycle)
     }
 
-    fn drain_completions(&mut self) -> Vec<(u64, u64)> {
+    pub(crate) fn drain_completions(&mut self) -> Vec<(u64, u64)> {
         let mut out = std::mem::take(&mut self.completions);
         out.extend(self.spad.drain_completions());
         out
     }
 
-    fn end_cycle(&mut self, cycle: u64) {
-        // Forward new cache transactions to the bus.
+    /// Forward the cache's new transactions to `bus` under this client's
+    /// master id, tracking read fills.
+    pub(crate) fn push_bus_requests(&mut self, bus: &mut SystemBus) {
         for req in self.cache.take_bus_requests() {
-            let token =
-                self.bus
-                    .request(MasterId::ACCEL_CACHE, req.line_addr, req.bytes, req.write);
+            let token = bus.request(self.master, req.line_addr, req.bytes, req.write);
             if !req.write {
                 self.fills.insert(token, req.line_addr);
             }
         }
+    }
+
+    /// Deliver one bus completion addressed to this client.
+    pub(crate) fn on_bus_completion(&mut self, token: u64, at: u64) {
+        if let Some(line_addr) = self.fills.remove(token) {
+            self.cache.bus_completed(line_addr, at);
+        }
+    }
+
+    /// Collect waiters released by fills that completed this tick.
+    pub(crate) fn collect_cache_completions(&mut self) {
+        for (id, at) in self.cache.drain_completions() {
+            self.completions.push((id, at));
+        }
+    }
+}
+
+/// A [`DatapathMemory`] that services shared arrays from a cache behind
+/// the system bus, and private arrays from scratchpad banks.
+///
+/// Set `ideal` to make every access single-cycle (the Fig. 7 "processing
+/// time" bound); combine with an infinite-bandwidth bus (see
+/// [`BusConfig::infinite_bandwidth`](aladdin_mem::BusConfig)) for the
+/// "latency time" bound.
+#[derive(Debug)]
+pub struct CacheDatapathMemory {
+    client: CacheClient,
+    bus: SystemBus,
+    traffic: Option<TrafficGenerator>,
+}
+
+impl CacheDatapathMemory {
+    /// Build for `trace` under `cfg`/`soc`.
+    #[must_use]
+    pub fn new(trace: &Trace, cfg: &DatapathConfig, soc: &SocConfig) -> Self {
+        let traffic = soc
+            .traffic
+            .map(|t| TrafficGenerator::new(t.period, t.bytes, 0x4000_0000, 16 << 20));
+        CacheDatapathMemory {
+            client: CacheClient::new(trace, cfg, soc, MasterId::ACCEL_CACHE),
+            bus: SystemBus::new(soc.bus, soc.dram),
+            traffic,
+        }
+    }
+
+    /// Make every access a single-cycle hit (Fig. 7 processing-time bound).
+    pub fn set_ideal(&mut self, ideal: bool) {
+        self.client.set_ideal(ideal);
+    }
+
+    /// Arm fault injection from `plan`: bus-grant delays, burst NACKs and
+    /// DRAM latency spikes land on the fill path, TLB page-walk faults on
+    /// translation. An empty plan leaves timing bit-identical.
+    pub fn set_faults(&mut self, plan: &FaultPlan) {
+        self.bus.set_faults(BusFaults::from_plan(plan));
+        self.client.set_faults(plan);
+    }
+
+    /// One-line state summary for deadlock forensics.
+    #[must_use]
+    pub fn forensic_note(&self) -> String {
+        format!(
+            "cache-mem: {} TLB-delayed access(es); bus: {} queued request(s), {} in flight",
+            self.client.delayed_count(),
+            self.bus.queue_depths().iter().sum::<usize>(),
+            self.bus.in_flight_count()
+        )
+    }
+
+    /// Cache statistics so far.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.client.cache_stats()
+    }
+
+    /// TLB statistics so far.
+    #[must_use]
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.client.tlb_stats()
+    }
+
+    /// Bus statistics so far.
+    #[must_use]
+    pub fn bus_stats(&self) -> BusStats {
+        self.bus.stats()
+    }
+
+    /// DRAM statistics so far.
+    #[must_use]
+    pub fn dram_stats(&self) -> DramStats {
+        self.bus.dram_stats()
+    }
+
+    /// Scratchpad statistics (private arrays) so far.
+    #[must_use]
+    pub fn spad_stats(&self) -> SpadStats {
+        self.client.spad_stats()
+    }
+}
+
+impl DatapathMemory for CacheDatapathMemory {
+    fn begin_cycle(&mut self, cycle: u64) {
+        self.client.begin_cycle(cycle);
+    }
+
+    fn issue(&mut self, id: u64, addr: u64, bytes: u32, write: bool, cycle: u64) -> IssueResult {
+        self.client.issue(id, addr, bytes, write, cycle)
+    }
+
+    fn drain_completions(&mut self) -> Vec<(u64, u64)> {
+        self.client.drain_completions()
+    }
+
+    fn end_cycle(&mut self, cycle: u64) {
+        // Forward new cache transactions to the bus.
+        self.client.push_bus_requests(&mut self.bus);
         if let Some(t) = self.traffic.as_mut() {
             t.tick(cycle, &mut self.bus);
         }
         self.bus.tick(cycle);
         for c in self.bus.drain_completions() {
-            if c.master == MasterId::ACCEL_CACHE {
-                if let Some(line_addr) = self.fills.remove(c.token) {
-                    self.cache.bus_completed(line_addr, c.at);
-                }
+            if c.master == self.client.master() {
+                self.client.on_bus_completion(c.token, c.at);
             }
         }
         // Fills may complete in the same tick; collect their waiters.
-        for (id, at) in self.cache.drain_completions() {
-            self.completions.push((id, at));
-        }
-        let _ = self.spad;
-        let _ = cycle;
+        self.client.collect_cache_completions();
     }
 }
 

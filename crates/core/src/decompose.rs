@@ -14,7 +14,7 @@ use aladdin_accel::DatapathConfig;
 use aladdin_ir::Trace;
 
 use crate::config::SocConfig;
-use crate::flows::run_cache_inner;
+use crate::engine::simulate_cache_ideal;
 
 /// The three-way decomposition of a cache-based run's execution time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,11 +53,11 @@ pub fn decompose_cache_time(
     dp: &DatapathConfig,
     soc: &SocConfig,
 ) -> TimeDecomposition {
-    let ideal = run_cache_inner(trace, dp, soc, true);
+    let ideal = simulate_cache_ideal(trace, dp, soc, true);
     let mut inf_bus = *soc;
     inf_bus.bus.infinite_bandwidth = true;
-    let latency_run = run_cache_inner(trace, dp, &inf_bus, false);
-    let real = run_cache_inner(trace, dp, soc, false);
+    let latency_run = simulate_cache_ideal(trace, dp, &inf_bus, false);
+    let real = simulate_cache_ideal(trace, dp, soc, false);
 
     let processing = ideal.total_cycles;
     let latency = latency_run.total_cycles.saturating_sub(processing);

@@ -1,0 +1,996 @@
+//! The unified simulation engine: one [`FlowSpec`] descriptor, one
+//! fallible [`simulate`] core.
+//!
+//! Every way of running an accelerator against an SoC — isolated
+//! Aladdin, scratchpad+DMA at any optimization level, the cache+TLB
+//! flow; with or without a fault-injection/watchdog harness; on or off
+//! the prepared-DDDG sweep fast path — is one call:
+//!
+//! ```
+//! use aladdin_core::{simulate, FlowSpec, MemKind, SocConfig};
+//! use aladdin_accel::DatapathConfig;
+//! use aladdin_workloads::by_name;
+//!
+//! let trace = by_name("aes-aes").expect("kernel").run().trace;
+//! let dp = DatapathConfig { lanes: 2, partition: 2, ..DatapathConfig::default() };
+//! let r = simulate(&trace, &dp, &SocConfig::default(), &FlowSpec::new(MemKind::Cache))
+//!     .expect("simulation completes");
+//! assert!(r.total_cycles > 0);
+//! ```
+//!
+//! The legacy `run_*`/`try_run_*`/`*_prepared` entry points in
+//! [`crate::flows`] are thin deprecated wrappers over this engine and
+//! produce bit-identical results.
+
+use aladdin_accel::{
+    try_schedule_prepared, DatapathConfig, DatapathMemory, EnergyReport, IssueResult, PowerModel,
+    PreparedDddg, SchedulerWorkspace, SpadMemory, SpadStats,
+};
+use aladdin_faults::{SimError, SimHarness};
+use aladdin_ir::{ArrayKind, Diagnostic, Locus, Report, Trace};
+use aladdin_mem::{
+    BusFaults, CacheStats, DmaConfig, DmaDirection, DmaEngine, DmaStats, DmaTransfer,
+    FlushSchedule, IntervalSet, MasterId, SystemBus, TlbStats, TrafficGenerator,
+};
+
+use crate::cachemem::CacheDatapathMemory;
+use crate::config::{DmaOptLevel, MemKind, SocConfig};
+use crate::phase::PhaseBreakdown;
+
+/// Everything measured from one simulated accelerator invocation.
+///
+/// `PartialEq` compares every field bit-exactly (including the f64 energy
+/// numbers) — the contract the sweep result cache and the fast-path parity
+/// tests rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowResult {
+    /// Kernel name.
+    pub kernel: String,
+    /// Which memory system serviced the datapath.
+    pub mem_kind: MemKind,
+    /// Datapath configuration the run used.
+    pub datapath: DatapathConfig,
+    /// Cycle the invocation began (always 0).
+    pub start: u64,
+    /// Cycle everything (including writeback DMA) finished.
+    pub end: u64,
+    /// `end - start`.
+    pub total_cycles: u64,
+    /// The paper's four-phase runtime attribution.
+    pub phases: PhaseBreakdown,
+    /// Accelerator energy/power roll-up.
+    pub energy: EnergyReport,
+    /// Cycles with at least one datapath operation in flight.
+    pub compute_busy_cycles: u64,
+    /// Structural memory rejects seen by the scheduler.
+    pub mem_rejects: u64,
+    /// Scratchpad statistics (spad-backed flows and private arrays).
+    pub spad_stats: Option<SpadStats>,
+    /// Cache statistics (cache flow).
+    pub cache_stats: Option<CacheStats>,
+    /// TLB statistics (cache flow).
+    pub tlb_stats: Option<TlbStats>,
+    /// DMA engine statistics (DMA flows; in + out combined).
+    pub dma_stats: Option<DmaStats>,
+    /// Total local SRAM the design provisions (scratchpads and/or cache),
+    /// bytes — a Figure 9 Kiviat axis.
+    pub local_sram_bytes: u64,
+    /// Peak local memory bandwidth in accesses/cycle — the third Kiviat
+    /// axis.
+    pub local_mem_bandwidth: u32,
+    /// Scheduler loop iterations actually executed (idle fast-forwarding
+    /// makes this smaller than the simulated cycle count).
+    pub sched_stepped_cycles: u64,
+    /// Scheduler events (issues + retires) processed — the throughput
+    /// denominator `SweepPerf` aggregates.
+    pub sched_events: u64,
+}
+
+impl FlowResult {
+    /// Runtime in seconds.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.energy.runtime_s()
+    }
+
+    /// Total accelerator energy in joules.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        self.energy.energy_j()
+    }
+
+    /// Average accelerator power in milliwatts.
+    #[must_use]
+    pub fn power_mw(&self) -> f64 {
+        self.energy.avg_power_mw()
+    }
+
+    /// Energy-delay product in joule-seconds.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy.edp()
+    }
+}
+
+/// One simulation, fully described: which flow to run, under which
+/// harness, on which prepared graph.
+///
+/// The two borrowed fields are optional layers: `harness` arms fault
+/// injection and the watchdog (`None` runs clean under the default
+/// watchdog, bit-identical to a harness with an empty plan), and
+/// `prepared` supplies a caller-built [`PreparedDddg`] so sweeps can
+/// share one graph per (trace, lane count) across workers (`None`
+/// prepares a private graph, bit-identical results either way).
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec<'a> {
+    /// Which CPU↔accelerator flow to simulate.
+    pub kind: MemKind,
+    /// Optional fault-injection/watchdog harness.
+    pub harness: Option<&'a SimHarness>,
+    /// Optional caller-prepared DDDG (the sweep fast path).
+    pub prepared: Option<&'a PreparedDddg>,
+}
+
+impl<'a> FlowSpec<'a> {
+    /// A clean spec for `kind`: default watchdog, no fault injection, no
+    /// shared graph.
+    #[must_use]
+    pub fn new(kind: MemKind) -> Self {
+        FlowSpec {
+            kind,
+            harness: None,
+            prepared: None,
+        }
+    }
+
+    /// Run under `harness` (fault plan + watchdog).
+    #[must_use]
+    pub fn with_harness(mut self, harness: &'a SimHarness) -> Self {
+        self.harness = Some(harness);
+        self
+    }
+
+    /// Reuse a caller-prepared DDDG (must match the trace and lane count
+    /// passed to [`simulate`]).
+    #[must_use]
+    pub fn with_prepared(mut self, prepared: &'a PreparedDddg) -> Self {
+        self.prepared = Some(prepared);
+        self
+    }
+
+    /// Statically validate this spec against `soc`: combinations that can
+    /// never complete (a cache flow with zero MSHRs or zero cache ports
+    /// would reject every access forever) are reported as `L0253` errors
+    /// before any cycle is simulated. `soclint flowspec` runs the same
+    /// check.
+    #[must_use]
+    pub fn preflight(&self, soc: &SocConfig) -> Report {
+        let mut r = Report::new();
+        if self.kind == MemKind::Cache {
+            if soc.cache.mshrs == 0 {
+                r.push(
+                    Diagnostic::error(
+                        "L0253",
+                        "cache flow with zero MSHRs can never start a fill; every miss \
+                         rejects forever",
+                    )
+                    .at(Locus::Field("cache.mshrs")),
+                );
+            }
+            if soc.cache.ports == 0 {
+                r.push(
+                    Diagnostic::error(
+                        "L0253",
+                        "cache flow with zero cache ports can never accept an access",
+                    )
+                    .at(Locus::Field("cache.ports")),
+                );
+            }
+        }
+        r
+    }
+}
+
+/// Run one accelerator invocation described by `spec`.
+///
+/// This is the single simulation core: every other entry point
+/// (the deprecated `run_*`/`try_run_*` family, [`Soc`](crate::Soc)'s
+/// convenience methods, the sweep runners in `aladdin-dse`) is a thin
+/// wrapper over this function and produces bit-identical results.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the spec fails [`FlowSpec::preflight`]
+/// (`L0253`), the DMA engine stalls (`L0230`/`L0231`), the scheduler
+/// deadlocks (`L0232`), or the watchdog expires (`L0233`).
+pub fn simulate(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    spec: &FlowSpec,
+) -> Result<FlowResult, SimError> {
+    simulate_prepared(trace, dp, soc, spec, &mut SchedulerWorkspace::new())
+}
+
+/// [`simulate`] on the sweep fast path: the scheduler reuses `ws`'s
+/// buffers (and `spec.prepared`'s graph, if supplied). Bit-identical
+/// results to [`simulate`].
+///
+/// # Errors
+///
+/// As for [`simulate`].
+pub fn simulate_prepared(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    spec: &FlowSpec,
+    ws: &mut SchedulerWorkspace,
+) -> Result<FlowResult, SimError> {
+    let pre = spec.preflight(soc);
+    if pre.has_errors() {
+        return Err(report_error(pre));
+    }
+    let default_harness;
+    let harness = match spec.harness {
+        Some(h) => h,
+        None => {
+            default_harness = SimHarness::default();
+            &default_harness
+        }
+    };
+    let built;
+    let prep = match spec.prepared {
+        Some(p) => p,
+        None => {
+            built = PreparedDddg::new(trace, dp);
+            &built
+        }
+    };
+    match spec.kind {
+        MemKind::Isolated => sim_isolated(trace, dp, soc, prep, ws, harness),
+        MemKind::Dma(opt) => sim_dma(trace, dp, soc, opt, prep, ws, harness),
+        MemKind::Cache => sim_cache(trace, dp, soc, false, prep, ws, harness),
+    }
+}
+
+/// First error of `report` as a [`SimError`].
+pub(crate) fn report_error(report: Report) -> SimError {
+    let diag = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.severity == aladdin_ir::Severity::Error)
+        .cloned()
+        .unwrap_or_else(|| Diagnostic::error("L0253", "flow spec failed preflight"));
+    SimError::Diag(diag)
+}
+
+/// Unwrap a simulation result, panicking with the rendered error — the
+/// behavior the legacy infallible entry points promise.
+pub(crate) fn expect_flow(r: Result<FlowResult, SimError>) -> FlowResult {
+    r.unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn total_array_bytes(trace: &Trace) -> u64 {
+    trace.arrays().iter().map(|a| a.size_bytes()).sum()
+}
+
+fn internal_array_bytes(trace: &Trace) -> u64 {
+    trace
+        .arrays()
+        .iter()
+        .filter(|a| a.kind == ArrayKind::Internal)
+        .map(|a| a.size_bytes())
+        .sum()
+}
+
+/// Scratchpad energy: datapath accesses plus (for DMA flows) the words the
+/// DMA engine moved in and out of the banks.
+fn spad_energy_pj(
+    pm: &PowerModel,
+    spad: &SpadStats,
+    total_bytes: u64,
+    partition: u32,
+    dma_in_bytes: u64,
+    dma_out_bytes: u64,
+) -> f64 {
+    let bank = (total_bytes / u64::from(partition.max(1))).max(64);
+    let reads = spad.reads + dma_out_bytes / 8;
+    let writes = spad.writes + dma_in_bytes / 8;
+    reads as f64 * pm.sram_read_pj(bank) + writes as f64 * pm.sram_write_pj(bank)
+}
+
+/// The isolated flow: scratchpads pre-loaded, compute only.
+fn sim_isolated(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    prep: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+    harness: &SimHarness,
+) -> Result<FlowResult, SimError> {
+    let mut spad = SpadMemory::new(trace, dp);
+    let sched = try_schedule_prepared(trace, dp, prep, ws, &mut spad, 0, &harness.watchdog)?;
+    let pm = PowerModel::default_40nm();
+    let stats = trace.stats();
+    let total_bytes = total_array_bytes(trace);
+    let energy = EnergyReport {
+        datapath_pj: pm.datapath_energy_pj(&stats),
+        local_mem_pj: spad_energy_pj(&pm, &spad.stats(), total_bytes, dp.partition, 0, 0),
+        leakage_mw: pm.datapath_leakage_mw(dp.lanes)
+            + pm.spad_leakage_mw(total_bytes, dp.ports_per_bank),
+        runtime_cycles: sched.cycles,
+        clock: soc.clock,
+    };
+    let phases = PhaseBreakdown::classify(
+        &IntervalSet::new(),
+        &IntervalSet::new(),
+        &sched.busy,
+        0,
+        sched.end,
+    );
+    Ok(FlowResult {
+        kernel: trace.name().to_owned(),
+        mem_kind: MemKind::Isolated,
+        datapath: *dp,
+        start: 0,
+        end: sched.end,
+        total_cycles: sched.cycles,
+        phases,
+        energy,
+        compute_busy_cycles: sched.busy.total(),
+        mem_rejects: sched.mem_rejects,
+        spad_stats: Some(spad.stats()),
+        cache_stats: None,
+        tlb_stats: None,
+        dma_stats: None,
+        local_sram_bytes: total_bytes,
+        local_mem_bandwidth: dp.local_mem_bandwidth(),
+        sched_stepped_cycles: sched.stepped_cycles,
+        sched_events: sched.events,
+    })
+}
+
+/// Co-simulation wrapper for DMA-triggered computation: the scratchpad's
+/// full/empty bits are fed by the DMA engine, which shares the bus the
+/// datapath's completion loop advances.
+struct TriggeredSpadMemory {
+    spad: SpadMemory,
+    dma: DmaEngine,
+    bus: SystemBus,
+    traffic: Option<TrafficGenerator>,
+}
+
+impl TriggeredSpadMemory {
+    fn pump(&mut self, cycle: u64) {
+        self.dma.tick(cycle, &mut self.bus);
+        if let Some(t) = self.traffic.as_mut() {
+            t.tick(cycle, &mut self.bus);
+        }
+        self.bus.tick(cycle);
+        for c in self.bus.drain_completions() {
+            if c.master == MasterId::DMA {
+                self.dma.on_bus_completion(c.token, c.at);
+            }
+        }
+        for a in self.dma.drain_arrivals() {
+            self.spad.push_arrival(a.addr, a.bytes, a.at);
+        }
+    }
+}
+
+impl DatapathMemory for TriggeredSpadMemory {
+    fn begin_cycle(&mut self, cycle: u64) {
+        self.spad.begin_cycle(cycle);
+    }
+
+    fn issue(&mut self, id: u64, addr: u64, bytes: u32, write: bool, cycle: u64) -> IssueResult {
+        self.spad.issue(id, addr, bytes, write, cycle)
+    }
+
+    fn drain_completions(&mut self) -> Vec<(u64, u64)> {
+        self.spad.drain_completions()
+    }
+
+    fn end_cycle(&mut self, cycle: u64) {
+        self.pump(cycle);
+    }
+}
+
+pub(crate) fn drive_dma_to_completion(
+    dma: &mut DmaEngine,
+    bus: &mut SystemBus,
+    traffic: &mut Option<TrafficGenerator>,
+    mut cycle: u64,
+) -> Result<u64, Diagnostic> {
+    let mut guard = 0u64;
+    let mut idle_streak = 0u64;
+    let mut last_bytes = dma.stats().bytes;
+    while !dma.is_done() {
+        dma.tick(cycle, bus);
+        if let Some(t) = traffic.as_mut() {
+            t.tick(cycle, bus);
+        }
+        bus.tick(cycle);
+        for c in bus.drain_completions() {
+            if c.master == MasterId::DMA {
+                dma.on_bus_completion(c.token, c.at);
+            }
+        }
+        cycle += 1;
+        guard += 1;
+        // Stall detection: a quiet bus with no DMA bytes moving for this
+        // long cannot be a transfer waiting on eligibility or contention
+        // (flush schedules and traffic both show up as bus activity) —
+        // the engine is wedged, e.g. by a zero-descriptor window.
+        let bytes = dma.stats().bytes;
+        if bus.is_idle() && bytes == last_bytes {
+            idle_streak += 1;
+        } else {
+            idle_streak = 0;
+            last_bytes = bytes;
+        }
+        if idle_streak >= 2_000_000 || guard >= 200_000_000 {
+            return Err(Diagnostic::error(
+                "L0230",
+                format!(
+                    "DMA made no progress by cycle {cycle} — likely a stalled descriptor; {}",
+                    dma.describe_state()
+                ),
+            ));
+        }
+    }
+    dma.done_at().map(|d| d.max(cycle)).ok_or_else(|| {
+        Diagnostic::error(
+            "L0231",
+            "DMA engine reported done without a completion time",
+        )
+    })
+}
+
+/// The scratchpad/DMA flow at the given optimization level: invoke →
+/// flush/invalidate → DMA in → compute → DMA out (with overlap as the
+/// optimizations allow).
+#[allow(clippy::too_many_lines)]
+fn sim_dma(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+    prep: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+    harness: &SimHarness,
+) -> Result<FlowResult, SimError> {
+    let t0 = soc.invoke_cycles;
+    let dma_cfg = DmaConfig {
+        pipelined: opt.pipelined(),
+        ..soc.dma
+    };
+    // Descriptor order follows array registration order — i.e. the order
+    // of the kernel's `dmaLoad` calls, exactly as in gem5-Aladdin. Under
+    // DMA-triggered computation this order decides how effective
+    // full/empty bits are: a kernel that gathers through an array
+    // delivered last (spmv's `vec`) stalls, one whose small operands
+    // arrive first (stencil filters) streams.
+    let in_transfers: Vec<DmaTransfer> = trace
+        .input_arrays()
+        .map(|a| DmaTransfer {
+            base: a.base_addr,
+            bytes: a.size_bytes(),
+            direction: DmaDirection::In,
+        })
+        .collect();
+    let chunks = dma_cfg.chunk_sizes(&in_transfers);
+    let flush = FlushSchedule::new_with_faults(
+        soc.flush,
+        soc.clock,
+        t0,
+        &chunks,
+        trace.output_bytes(),
+        harness.plan.flush_injector(),
+    );
+    let eligibility: Vec<u64> = if opt.pipelined() {
+        flush.chunk_times().to_vec()
+    } else {
+        vec![flush.end(); chunks.len()]
+    };
+
+    let mut bus = SystemBus::new(soc.bus, soc.dram);
+    bus.set_faults(BusFaults::from_plan(&harness.plan));
+    let mut traffic = soc
+        .traffic
+        .map(|t| TrafficGenerator::new(t.period, t.bytes, 0x4000_0000, 16 << 20));
+    let dma_in = DmaEngine::new(dma_cfg, &in_transfers, &eligibility);
+
+    let (sched, spad_stats, dma_in, mut bus, mut traffic, compute_end) = if opt.triggered() {
+        let mut spad = SpadMemory::new(trace, dp);
+        spad.enable_ready_bits();
+        spad.set_ready_granularity(soc.ready_bits_granule);
+        let mut mem = TriggeredSpadMemory {
+            spad,
+            dma: dma_in,
+            bus,
+            traffic,
+        };
+        let sched =
+            match try_schedule_prepared(trace, dp, prep, ws, &mut mem, t0, &harness.watchdog) {
+                Ok(s) => s,
+                Err(mut e) => {
+                    e.push_note(format!(
+                        "bus: {} queued request(s), {} in flight",
+                        mem.bus.queue_depths().iter().sum::<usize>(),
+                        mem.bus.in_flight_count()
+                    ));
+                    e.push_note(mem.dma.describe_state());
+                    return Err(e);
+                }
+            };
+        // The transfer may outlive the computation (e.g. not every input
+        // byte is read): drain it before writeback DMA starts.
+        let dma_done = if mem.dma.is_done() {
+            mem.dma.done_at().ok_or_else(|| {
+                Diagnostic::error(
+                    "L0231",
+                    "DMA engine reported done without a completion time",
+                )
+            })?
+        } else {
+            drive_dma_to_completion(&mut mem.dma, &mut mem.bus, &mut mem.traffic, sched.end)?
+        };
+        let compute_end = sched.end.max(dma_done);
+        let stats = mem.spad.stats();
+        (sched, stats, mem.dma, mem.bus, mem.traffic, compute_end)
+    } else {
+        // Baseline / pipelined: compute begins only when all data is in.
+        let mut dma_in = dma_in;
+        let dma_done = if dma_in.is_done() {
+            // No input arrays at all: compute may start after coherence.
+            flush.end().max(t0)
+        } else {
+            drive_dma_to_completion(&mut dma_in, &mut bus, &mut traffic, t0)?
+        };
+        let mut spad = SpadMemory::new(trace, dp);
+        let sched = match try_schedule_prepared(
+            trace,
+            dp,
+            prep,
+            ws,
+            &mut spad,
+            dma_done,
+            &harness.watchdog,
+        ) {
+            Ok(s) => s,
+            Err(mut e) => {
+                e.push_note(format!(
+                    "bus: {} queued request(s), {} in flight",
+                    bus.queue_depths().iter().sum::<usize>(),
+                    bus.in_flight_count()
+                ));
+                e.push_note(dma_in.describe_state());
+                return Err(e);
+            }
+        };
+        let end = sched.end;
+        (sched, spad.stats(), dma_in, bus, traffic, end)
+    };
+    // Writeback DMA of the output arrays.
+    let out_transfers: Vec<DmaTransfer> = trace
+        .output_arrays()
+        .map(|a| DmaTransfer {
+            base: a.base_addr,
+            bytes: a.size_bytes(),
+            direction: DmaDirection::Out,
+        })
+        .collect();
+    let out_chunks = dma_cfg.chunk_sizes(&out_transfers);
+    let mut dma_out = DmaEngine::new(
+        dma_cfg,
+        &out_transfers,
+        &vec![compute_end; out_chunks.len()],
+    );
+    let end = if dma_out.is_done() {
+        compute_end
+    } else {
+        drive_dma_to_completion(&mut dma_out, &mut bus, &mut traffic, compute_end)?
+    };
+
+    let end = end + soc.completion.map_or(0, |c| c.observation_lag(end));
+
+    // Phase attribution (the epilogue shared with the multi-accelerator
+    // engine).
+    let phases = PhaseBreakdown::for_dma_run(
+        flush.busy(),
+        dma_in.busy(),
+        dma_out.busy(),
+        &sched.busy,
+        end,
+    );
+
+    // Energy.
+    let pm = PowerModel::default_40nm();
+    let stats = trace.stats();
+    let total_bytes = total_array_bytes(trace);
+    let energy = EnergyReport {
+        datapath_pj: pm.datapath_energy_pj(&stats),
+        local_mem_pj: spad_energy_pj(
+            &pm,
+            &spad_stats,
+            total_bytes,
+            dp.partition,
+            trace.input_bytes(),
+            trace.output_bytes(),
+        ),
+        leakage_mw: pm.datapath_leakage_mw(dp.lanes)
+            + pm.spad_leakage_mw(total_bytes, dp.ports_per_bank),
+        runtime_cycles: end,
+        clock: soc.clock,
+    };
+
+    let mut dstats = dma_in.stats();
+    let o = dma_out.stats();
+    dstats.descriptors += o.descriptors;
+    dstats.bursts += o.bursts;
+    dstats.bytes += o.bytes;
+
+    Ok(FlowResult {
+        kernel: trace.name().to_owned(),
+        mem_kind: MemKind::Dma(opt),
+        datapath: *dp,
+        start: 0,
+        end,
+        total_cycles: end,
+        phases,
+        energy,
+        compute_busy_cycles: sched.busy.total(),
+        mem_rejects: sched.mem_rejects,
+        spad_stats: Some(spad_stats),
+        cache_stats: None,
+        tlb_stats: None,
+        dma_stats: Some(dstats),
+        local_sram_bytes: total_bytes,
+        local_mem_bandwidth: dp.local_mem_bandwidth(),
+        sched_stepped_cycles: sched.stepped_cycles,
+        sched_events: sched.events,
+    })
+}
+
+/// The cache-based flow, optionally with ideal (single-cycle) memory —
+/// the `ideal` variant exists for the Figure 7 time decomposition.
+pub(crate) fn sim_cache(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    ideal: bool,
+    prep: &PreparedDddg,
+    ws: &mut SchedulerWorkspace,
+    harness: &SimHarness,
+) -> Result<FlowResult, SimError> {
+    let t0 = soc.invoke_cycles;
+    let mut mem = CacheDatapathMemory::new(trace, dp, soc);
+    mem.set_ideal(ideal);
+    mem.set_faults(&harness.plan);
+    let sched = match try_schedule_prepared(trace, dp, prep, ws, &mut mem, t0, &harness.watchdog) {
+        Ok(s) => s,
+        Err(mut e) => {
+            e.push_note(mem.forensic_note());
+            return Err(e);
+        }
+    };
+    let end = sched.end + soc.completion.map_or(0, |c| c.observation_lag(sched.end));
+
+    let pm = PowerModel::default_40nm();
+    let stats = trace.stats();
+    let cs = mem.cache_stats();
+    let ts = mem.tlb_stats();
+    let internal_bytes = internal_array_bytes(trace);
+    let cache_params = aladdin_accel::CacheEnergyParams {
+        size_bytes: soc.cache.size_bytes,
+        line_bytes: soc.cache.line_bytes,
+        assoc: soc.cache.assoc,
+        ports: soc.cache.ports,
+        mshrs: soc.cache.mshrs,
+    };
+    let cache_dyn = cs.accesses() as f64 * pm.cache_access_pj(cache_params)
+        + (cs.misses + cs.prefetches) as f64 * pm.cache_fill_pj(cache_params)
+        + (ts.hits + ts.misses) as f64 * pm.tlb_access_pj();
+    let spad_dyn = spad_energy_pj(
+        &pm,
+        &mem.spad_stats(),
+        internal_bytes.max(64),
+        dp.partition,
+        0,
+        0,
+    );
+    let energy = EnergyReport {
+        datapath_pj: pm.datapath_energy_pj(&stats),
+        local_mem_pj: cache_dyn + spad_dyn,
+        leakage_mw: pm.datapath_leakage_mw(dp.lanes)
+            + pm.cache_leakage_mw(cache_params)
+            + pm.spad_leakage_mw(internal_bytes, dp.ports_per_bank),
+        runtime_cycles: end,
+        clock: soc.clock,
+    };
+    let phases = PhaseBreakdown::classify(
+        &IntervalSet::new(),
+        &IntervalSet::new(),
+        &sched.busy,
+        0,
+        end,
+    );
+    Ok(FlowResult {
+        kernel: trace.name().to_owned(),
+        mem_kind: MemKind::Cache,
+        datapath: *dp,
+        start: 0,
+        end,
+        total_cycles: end,
+        phases,
+        energy,
+        compute_busy_cycles: sched.busy.total(),
+        mem_rejects: sched.mem_rejects,
+        spad_stats: Some(mem.spad_stats()),
+        cache_stats: Some(cs),
+        tlb_stats: Some(ts),
+        dma_stats: None,
+        local_sram_bytes: soc.cache.size_bytes + internal_bytes,
+        local_mem_bandwidth: soc.cache.ports,
+        sched_stepped_cycles: sched.stepped_cycles,
+        sched_events: sched.events,
+    })
+}
+
+/// The ideal/real cache runs the Figure 7 decomposition needs, without
+/// exposing `ideal` on the public [`FlowSpec`].
+pub(crate) fn simulate_cache_ideal(
+    trace: &Trace,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    ideal: bool,
+) -> FlowResult {
+    expect_flow(sim_cache(
+        trace,
+        dp,
+        soc,
+        ideal,
+        &PreparedDddg::new(trace, dp),
+        &mut SchedulerWorkspace::new(),
+        &SimHarness::default(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladdin_workloads::by_name;
+
+    fn trace_of(name: &str) -> Trace {
+        by_name(name).expect("kernel").run().trace
+    }
+
+    fn dp(lanes: u32, partition: u32) -> DatapathConfig {
+        DatapathConfig {
+            lanes,
+            partition,
+            ..DatapathConfig::default()
+        }
+    }
+
+    #[test]
+    fn stalled_dma_is_a_typed_diagnostic() {
+        let trace = trace_of("stencil-stencil2d");
+        let mut soc = SocConfig::default();
+        soc.dma.max_outstanding = 0; // the engine can never post a burst
+        let err = simulate(
+            &trace,
+            &dp(2, 2),
+            &soc,
+            &FlowSpec::new(MemKind::Dma(DmaOptLevel::Baseline)),
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "L0230", "{err}");
+        // The diagnostic carries the DMA engine's forensic state.
+        assert!(err.to_string().contains("dma:"), "{err}");
+    }
+
+    #[test]
+    fn harness_and_prepared_layers_are_invisible() {
+        let trace = trace_of("fft-transpose");
+        let soc = SocConfig::default();
+        let d = dp(2, 2);
+        let h = SimHarness::default();
+        let prep = PreparedDddg::new(&trace, &d);
+        for kind in [
+            MemKind::Isolated,
+            MemKind::Dma(DmaOptLevel::Full),
+            MemKind::Cache,
+        ] {
+            let plain = simulate(&trace, &d, &soc, &FlowSpec::new(kind)).unwrap();
+            let layered = simulate_prepared(
+                &trace,
+                &d,
+                &soc,
+                &FlowSpec::new(kind).with_harness(&h).with_prepared(&prep),
+                &mut SchedulerWorkspace::new(),
+            )
+            .unwrap();
+            assert_eq!(plain, layered, "{kind}: layers must be bit-invisible");
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_no_faster() {
+        let trace = trace_of("fft-transpose");
+        let soc = SocConfig::default();
+        let d = dp(2, 2);
+        let h = SimHarness::with_seed(7);
+        let spec = FlowSpec::new(MemKind::Dma(DmaOptLevel::Full)).with_harness(&h);
+        let a = simulate(&trace, &d, &soc, &spec).unwrap();
+        let b = simulate(&trace, &d, &soc, &spec).unwrap();
+        assert_eq!(a, b, "same seed must reproduce bit-exactly");
+        let clean = simulate(
+            &trace,
+            &d,
+            &soc,
+            &FlowSpec::new(MemKind::Dma(DmaOptLevel::Full)),
+        )
+        .unwrap();
+        assert!(
+            a.total_cycles >= clean.total_cycles,
+            "faults cannot speed the run up: {} vs {}",
+            a.total_cycles,
+            clean.total_cycles
+        );
+        let cache_spec = FlowSpec::new(MemKind::Cache).with_harness(&h);
+        let ca = simulate(&trace, &d, &soc, &cache_spec).unwrap();
+        let cb = simulate(&trace, &d, &soc, &cache_spec).unwrap();
+        assert_eq!(ca, cb);
+        let cache_clean = simulate(&trace, &d, &soc, &FlowSpec::new(MemKind::Cache)).unwrap();
+        assert!(ca.total_cycles >= cache_clean.total_cycles);
+    }
+
+    fn run(trace: &Trace, d: &DatapathConfig, soc: &SocConfig, kind: MemKind) -> FlowResult {
+        simulate(trace, d, soc, &FlowSpec::new(kind)).expect("flow completes")
+    }
+
+    #[test]
+    fn isolated_is_fastest() {
+        let trace = trace_of("stencil-stencil2d");
+        let soc = SocConfig::default();
+        let iso = run(&trace, &dp(4, 4), &soc, MemKind::Isolated);
+        let dma = run(&trace, &dp(4, 4), &soc, MemKind::Dma(DmaOptLevel::Baseline));
+        assert!(iso.total_cycles < dma.total_cycles);
+        assert_eq!(iso.phases.flush_only, 0);
+        assert!(dma.phases.flush_only > 0);
+    }
+
+    #[test]
+    fn dma_optimizations_monotonically_help() {
+        let trace = trace_of("stencil-stencil2d");
+        let soc = SocConfig::default();
+        let base = run(&trace, &dp(4, 4), &soc, MemKind::Dma(DmaOptLevel::Baseline));
+        let pipe = run(
+            &trace,
+            &dp(4, 4),
+            &soc,
+            MemKind::Dma(DmaOptLevel::Pipelined),
+        );
+        let full = run(&trace, &dp(4, 4), &soc, MemKind::Dma(DmaOptLevel::Full));
+        assert!(
+            pipe.total_cycles < base.total_cycles,
+            "pipelined {} !< baseline {}",
+            pipe.total_cycles,
+            base.total_cycles
+        );
+        assert!(
+            full.total_cycles < pipe.total_cycles,
+            "triggered {} !< pipelined {}",
+            full.total_cycles,
+            pipe.total_cycles
+        );
+        // Pipelining hides flush-only time almost entirely.
+        assert!(pipe.phases.flush_only * 10 < base.phases.flush_only.max(1) * 12);
+        // Triggered compute overlaps compute with DMA.
+        assert!(full.phases.compute_dma > 0);
+    }
+
+    #[test]
+    fn phase_totals_match_runtime() {
+        let trace = trace_of("gemm-ncubed");
+        let soc = SocConfig::default();
+        for opt in DmaOptLevel::ALL {
+            let r = run(&trace, &dp(2, 2), &soc, MemKind::Dma(opt));
+            let p = r.phases;
+            assert_eq!(
+                p.flush_only + p.dma_flush + p.compute_dma + p.compute_only + p.other,
+                p.total,
+                "{opt}"
+            );
+            assert_eq!(p.total, r.total_cycles);
+        }
+    }
+
+    #[test]
+    fn cache_flow_runs_every_kernel_cheaply() {
+        // Smoke test on the two smallest kernels.
+        let soc = SocConfig::default();
+        for name in ["aes-aes", "fft-transpose"] {
+            let trace = trace_of(name);
+            let r = run(&trace, &dp(2, 2), &soc, MemKind::Cache);
+            assert!(r.total_cycles > 0, "{name}");
+            assert!(r.energy_j() > 0.0, "{name}");
+            assert!(r.cache_stats.unwrap().accesses() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn spmv_prefers_cache_over_dma() {
+        // The paper's key qualitative result for irregular kernels.
+        let trace = trace_of("spmv-crs");
+        let soc = SocConfig::default();
+        let d = dp(4, 4);
+        let dma = run(&trace, &d, &soc, MemKind::Dma(DmaOptLevel::Full));
+        let cache = run(&trace, &d, &soc, MemKind::Cache);
+        assert!(
+            cache.total_cycles < dma.total_cycles,
+            "cache {} should beat DMA {} on spmv",
+            cache.total_cycles,
+            dma.total_cycles
+        );
+    }
+
+    #[test]
+    fn aes_prefers_dma_over_cache() {
+        // aes moves almost no data, so runtimes are close — but the cache
+        // design pays tag/TLB energy and leakage for nothing, losing on
+        // EDP (the paper's Figure 8 preference metric).
+        let trace = trace_of("aes-aes");
+        let soc = SocConfig::default();
+        let d = dp(4, 4);
+        let dma = run(&trace, &d, &soc, MemKind::Dma(DmaOptLevel::Full));
+        let cache = run(&trace, &d, &soc, MemKind::Cache);
+        assert!(
+            dma.edp() < cache.edp(),
+            "DMA EDP {:.3e} should beat cache {:.3e} on aes",
+            dma.edp(),
+            cache.edp()
+        );
+        assert!(
+            dma.power_mw() < cache.power_mw(),
+            "DMA power {:.2} should beat cache {:.2} on aes",
+            dma.power_mw(),
+            cache.power_mw()
+        );
+    }
+
+    #[test]
+    fn energy_and_edp_are_positive_and_consistent() {
+        let trace = trace_of("md-knn");
+        let soc = SocConfig::default();
+        let r = run(&trace, &dp(4, 4), &soc, MemKind::Dma(DmaOptLevel::Full));
+        assert!(r.energy_j() > 0.0);
+        assert!(r.power_mw() > 0.0);
+        let edp = r.edp();
+        assert!((edp - r.energy_j() * r.seconds()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let trace = trace_of("stencil-stencil3d");
+        let soc = SocConfig::default();
+        let a = run(&trace, &dp(4, 4), &soc, MemKind::Dma(DmaOptLevel::Full));
+        let b = run(&trace, &dp(4, 4), &soc, MemKind::Dma(DmaOptLevel::Full));
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.phases, b.phases);
+    }
+
+    #[test]
+    fn zero_mshr_cache_spec_fails_preflight() {
+        let trace = trace_of("aes-aes");
+        let mut soc = SocConfig::default();
+        soc.cache.mshrs = 0;
+        let err = simulate(&trace, &dp(2, 2), &soc, &FlowSpec::new(MemKind::Cache)).unwrap_err();
+        assert_eq!(err.code(), "L0253", "{err}");
+        // The same config is fine for flows that never touch the cache.
+        let ok = simulate(&trace, &dp(2, 2), &soc, &FlowSpec::new(MemKind::Isolated));
+        assert!(ok.is_ok());
+    }
+}

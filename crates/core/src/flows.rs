@@ -1,141 +1,39 @@
-//! The three CPU↔accelerator flows: isolated, scratchpad+DMA, and cache.
+//! Legacy flow entry points, kept for API compatibility.
+//!
+//! Every function here is a thin wrapper over the unified engine in
+//! [`crate::engine`] — one [`FlowSpec`] descriptor consumed by a single
+//! fallible [`simulate`](crate::simulate) core — and produces bit-exact
+//! results (see `tests/engine_equivalence.rs`). New code should call
+//! `simulate` directly, or the [`Soc`](crate::Soc) convenience methods:
+//!
+//! | Legacy call | Unified call |
+//! |---|---|
+//! | `run_isolated(t, dp, soc)` | `simulate(t, dp, soc, &FlowSpec::new(MemKind::Isolated))` |
+//! | `run_dma(t, dp, soc, opt)` | `simulate(t, dp, soc, &FlowSpec::new(MemKind::Dma(opt)))` |
+//! | `run_cache(t, dp, soc)` | `simulate(t, dp, soc, &FlowSpec::new(MemKind::Cache))` |
+//! | `try_run_*(…, harness)` | `…&FlowSpec::new(kind).with_harness(harness)` |
+//! | `*_prepared(…, prep, ws)` | `simulate_prepared(…, &spec.with_prepared(prep), ws)` |
 
-use aladdin_accel::{
-    try_schedule_prepared, DatapathConfig, DatapathMemory, EnergyReport, IssueResult, PowerModel,
-    PreparedDddg, SchedulerWorkspace, SpadMemory, SpadStats,
-};
+use aladdin_accel::{DatapathConfig, PreparedDddg, SchedulerWorkspace};
 use aladdin_faults::{SimError, SimHarness};
-use aladdin_ir::{ArrayKind, Diagnostic, Trace};
-use aladdin_mem::{
-    BusFaults, CacheStats, DmaConfig, DmaDirection, DmaEngine, DmaStats, DmaTransfer,
-    FlushSchedule, IntervalSet, MasterId, SystemBus, TlbStats, TrafficGenerator,
-};
+use aladdin_ir::Trace;
 
-use crate::cachemem::CacheDatapathMemory;
 use crate::config::{DmaOptLevel, MemKind, SocConfig};
-use crate::phase::PhaseBreakdown;
-
-/// Everything measured from one simulated accelerator invocation.
-///
-/// `PartialEq` compares every field bit-exactly (including the f64 energy
-/// numbers) — the contract the sweep result cache and the fast-path parity
-/// tests rely on.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FlowResult {
-    /// Kernel name.
-    pub kernel: String,
-    /// Which memory system serviced the datapath.
-    pub mem_kind: MemKind,
-    /// Datapath configuration the run used.
-    pub datapath: DatapathConfig,
-    /// Cycle the invocation began (always 0).
-    pub start: u64,
-    /// Cycle everything (including writeback DMA) finished.
-    pub end: u64,
-    /// `end - start`.
-    pub total_cycles: u64,
-    /// The paper's four-phase runtime attribution.
-    pub phases: PhaseBreakdown,
-    /// Accelerator energy/power roll-up.
-    pub energy: EnergyReport,
-    /// Cycles with at least one datapath operation in flight.
-    pub compute_busy_cycles: u64,
-    /// Structural memory rejects seen by the scheduler.
-    pub mem_rejects: u64,
-    /// Scratchpad statistics (spad-backed flows and private arrays).
-    pub spad_stats: Option<SpadStats>,
-    /// Cache statistics (cache flow).
-    pub cache_stats: Option<CacheStats>,
-    /// TLB statistics (cache flow).
-    pub tlb_stats: Option<TlbStats>,
-    /// DMA engine statistics (DMA flows; in + out combined).
-    pub dma_stats: Option<DmaStats>,
-    /// Total local SRAM the design provisions (scratchpads and/or cache),
-    /// bytes — a Figure 9 Kiviat axis.
-    pub local_sram_bytes: u64,
-    /// Peak local memory bandwidth in accesses/cycle — the third Kiviat
-    /// axis.
-    pub local_mem_bandwidth: u32,
-    /// Scheduler loop iterations actually executed (idle fast-forwarding
-    /// makes this smaller than the simulated cycle count).
-    pub sched_stepped_cycles: u64,
-    /// Scheduler events (issues + retires) processed — the throughput
-    /// denominator `SweepPerf` aggregates.
-    pub sched_events: u64,
-}
-
-impl FlowResult {
-    /// Runtime in seconds.
-    #[must_use]
-    pub fn seconds(&self) -> f64 {
-        self.energy.runtime_s()
-    }
-
-    /// Total accelerator energy in joules.
-    #[must_use]
-    pub fn energy_j(&self) -> f64 {
-        self.energy.energy_j()
-    }
-
-    /// Average accelerator power in milliwatts.
-    #[must_use]
-    pub fn power_mw(&self) -> f64 {
-        self.energy.avg_power_mw()
-    }
-
-    /// Energy-delay product in joule-seconds.
-    #[must_use]
-    pub fn edp(&self) -> f64 {
-        self.energy.edp()
-    }
-}
-
-fn total_array_bytes(trace: &Trace) -> u64 {
-    trace.arrays().iter().map(|a| a.size_bytes()).sum()
-}
-
-fn internal_array_bytes(trace: &Trace) -> u64 {
-    trace
-        .arrays()
-        .iter()
-        .filter(|a| a.kind == ArrayKind::Internal)
-        .map(|a| a.size_bytes())
-        .sum()
-}
-
-/// Scratchpad energy: datapath accesses plus (for DMA flows) the words the
-/// DMA engine moved in and out of the banks.
-fn spad_energy_pj(
-    pm: &PowerModel,
-    spad: &SpadStats,
-    total_bytes: u64,
-    partition: u32,
-    dma_in_bytes: u64,
-    dma_out_bytes: u64,
-) -> f64 {
-    let bank = (total_bytes / u64::from(partition.max(1))).max(64);
-    let reads = spad.reads + dma_out_bytes / 8;
-    let writes = spad.writes + dma_in_bytes / 8;
-    reads as f64 * pm.sram_read_pj(bank) + writes as f64 * pm.sram_write_pj(bank)
-}
+use crate::engine::{expect_flow, simulate, simulate_prepared, FlowResult, FlowSpec};
 
 /// Isolated Aladdin: scratchpads pre-loaded, compute only (the "designed
 /// in isolation" scenario of Figures 1, 9 and 10).
+#[deprecated(note = "use `simulate(trace, dp, soc, &FlowSpec::new(MemKind::Isolated))`")]
 #[must_use]
 pub fn run_isolated(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig) -> FlowResult {
-    run_isolated_prepared(
-        trace,
-        dp,
-        soc,
-        &PreparedDddg::new(trace, dp),
-        &mut SchedulerWorkspace::new(),
-    )
+    expect_flow(simulate(trace, dp, soc, &FlowSpec::new(MemKind::Isolated)))
 }
 
-/// [`run_isolated`] on the sweep fast path: the DDDG is prepared by the
-/// caller (shareable across points at the same lane count) and the
-/// scheduler reuses `ws`'s buffers. Bit-identical results to
-/// [`run_isolated`].
+/// [`run_isolated`] on the sweep fast path (caller-prepared DDDG, reused
+/// scheduler workspace). Bit-identical results to [`run_isolated`].
+#[deprecated(
+    note = "use `simulate_prepared` with `FlowSpec::new(MemKind::Isolated).with_prepared(prep)`"
+)]
 #[must_use]
 pub fn run_isolated_prepared(
     trace: &Trace,
@@ -144,43 +42,42 @@ pub fn run_isolated_prepared(
     prep: &PreparedDddg,
     ws: &mut SchedulerWorkspace,
 ) -> FlowResult {
-    try_run_isolated_prepared(trace, dp, soc, prep, ws, &SimHarness::default())
-        .unwrap_or_else(|e| panic!("{e}"))
+    let spec = FlowSpec::new(MemKind::Isolated).with_prepared(prep);
+    expect_flow(simulate_prepared(trace, dp, soc, &spec, ws))
 }
 
 /// [`run_isolated`] under a [`SimHarness`]: the watchdog bounds the
-/// schedule instead of a hard panic. The isolated flow has no bus, DMA,
-/// TLB or flush, so fault injection has no sites here — an empty plan
-/// and a loaded plan both reproduce [`run_isolated`] bit-exactly.
+/// schedule instead of a hard panic.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] if the watchdog expires or the scheduler
 /// deadlocks.
+#[deprecated(note = "use `simulate` with `FlowSpec::new(MemKind::Isolated).with_harness(harness)`")]
 pub fn try_run_isolated(
     trace: &Trace,
     dp: &DatapathConfig,
     soc: &SocConfig,
     harness: &SimHarness,
 ) -> Result<FlowResult, SimError> {
-    try_run_isolated_prepared(
+    simulate(
         trace,
         dp,
         soc,
-        &PreparedDddg::new(trace, dp),
-        &mut SchedulerWorkspace::new(),
-        harness,
+        &FlowSpec::new(MemKind::Isolated).with_harness(harness),
     )
 }
 
-/// [`try_run_isolated`] on the sweep fast path (caller-prepared DDDG,
-/// reused scheduler workspace). Bit-identical results to
+/// [`try_run_isolated`] on the sweep fast path. Bit-identical results to
 /// [`try_run_isolated`].
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] if the watchdog expires or the scheduler
 /// deadlocks.
+#[deprecated(
+    note = "use `simulate_prepared` with `FlowSpec::new(MemKind::Isolated).with_harness(harness).with_prepared(prep)`"
+)]
 pub fn try_run_isolated_prepared(
     trace: &Trace,
     dp: &DatapathConfig,
@@ -189,154 +86,20 @@ pub fn try_run_isolated_prepared(
     ws: &mut SchedulerWorkspace,
     harness: &SimHarness,
 ) -> Result<FlowResult, SimError> {
-    let mut spad = SpadMemory::new(trace, dp);
-    let sched = try_schedule_prepared(trace, dp, prep, ws, &mut spad, 0, &harness.watchdog)?;
-    let pm = PowerModel::default_40nm();
-    let stats = trace.stats();
-    let total_bytes = total_array_bytes(trace);
-    let energy = EnergyReport {
-        datapath_pj: pm.datapath_energy_pj(&stats),
-        local_mem_pj: spad_energy_pj(&pm, &spad.stats(), total_bytes, dp.partition, 0, 0),
-        leakage_mw: pm.datapath_leakage_mw(dp.lanes)
-            + pm.spad_leakage_mw(total_bytes, dp.ports_per_bank),
-        runtime_cycles: sched.cycles,
-        clock: soc.clock,
-    };
-    let phases = PhaseBreakdown::classify(
-        &IntervalSet::new(),
-        &IntervalSet::new(),
-        &sched.busy,
-        0,
-        sched.end,
-    );
-    Ok(FlowResult {
-        kernel: trace.name().to_owned(),
-        mem_kind: MemKind::Isolated,
-        datapath: *dp,
-        start: 0,
-        end: sched.end,
-        total_cycles: sched.cycles,
-        phases,
-        energy,
-        compute_busy_cycles: sched.busy.total(),
-        mem_rejects: sched.mem_rejects,
-        spad_stats: Some(spad.stats()),
-        cache_stats: None,
-        tlb_stats: None,
-        dma_stats: None,
-        local_sram_bytes: total_bytes,
-        local_mem_bandwidth: dp.local_mem_bandwidth(),
-        sched_stepped_cycles: sched.stepped_cycles,
-        sched_events: sched.events,
-    })
+    let spec = FlowSpec::new(MemKind::Isolated)
+        .with_harness(harness)
+        .with_prepared(prep);
+    simulate_prepared(trace, dp, soc, &spec, ws)
 }
 
-/// Co-simulation wrapper for DMA-triggered computation: the scratchpad's
-/// full/empty bits are fed by the DMA engine, which shares the bus the
-/// datapath's completion loop advances.
-struct TriggeredSpadMemory {
-    spad: SpadMemory,
-    dma: DmaEngine,
-    bus: SystemBus,
-    traffic: Option<TrafficGenerator>,
-}
-
-impl TriggeredSpadMemory {
-    fn pump(&mut self, cycle: u64) {
-        self.dma.tick(cycle, &mut self.bus);
-        if let Some(t) = self.traffic.as_mut() {
-            t.tick(cycle, &mut self.bus);
-        }
-        self.bus.tick(cycle);
-        for c in self.bus.drain_completions() {
-            if c.master == MasterId::DMA {
-                self.dma.on_bus_completion(c.token, c.at);
-            }
-        }
-        for a in self.dma.drain_arrivals() {
-            self.spad.push_arrival(a.addr, a.bytes, a.at);
-        }
-    }
-}
-
-impl DatapathMemory for TriggeredSpadMemory {
-    fn begin_cycle(&mut self, cycle: u64) {
-        self.spad.begin_cycle(cycle);
-    }
-
-    fn issue(&mut self, id: u64, addr: u64, bytes: u32, write: bool, cycle: u64) -> IssueResult {
-        self.spad.issue(id, addr, bytes, write, cycle)
-    }
-
-    fn drain_completions(&mut self) -> Vec<(u64, u64)> {
-        self.spad.drain_completions()
-    }
-
-    fn end_cycle(&mut self, cycle: u64) {
-        self.pump(cycle);
-    }
-}
-
-fn drive_dma_to_completion(
-    dma: &mut DmaEngine,
-    bus: &mut SystemBus,
-    traffic: &mut Option<TrafficGenerator>,
-    mut cycle: u64,
-) -> Result<u64, Diagnostic> {
-    let mut guard = 0u64;
-    let mut idle_streak = 0u64;
-    let mut last_bytes = dma.stats().bytes;
-    while !dma.is_done() {
-        dma.tick(cycle, bus);
-        if let Some(t) = traffic.as_mut() {
-            t.tick(cycle, bus);
-        }
-        bus.tick(cycle);
-        for c in bus.drain_completions() {
-            if c.master == MasterId::DMA {
-                dma.on_bus_completion(c.token, c.at);
-            }
-        }
-        cycle += 1;
-        guard += 1;
-        // Stall detection: a quiet bus with no DMA bytes moving for this
-        // long cannot be a transfer waiting on eligibility or contention
-        // (flush schedules and traffic both show up as bus activity) —
-        // the engine is wedged, e.g. by a zero-descriptor window.
-        let bytes = dma.stats().bytes;
-        if bus.is_idle() && bytes == last_bytes {
-            idle_streak += 1;
-        } else {
-            idle_streak = 0;
-            last_bytes = bytes;
-        }
-        if idle_streak >= 2_000_000 || guard >= 200_000_000 {
-            return Err(Diagnostic::error(
-                "L0230",
-                format!(
-                    "DMA made no progress by cycle {cycle} — likely a stalled descriptor; {}",
-                    dma.describe_state()
-                ),
-            ));
-        }
-    }
-    dma.done_at().map(|d| d.max(cycle)).ok_or_else(|| {
-        Diagnostic::error(
-            "L0231",
-            "DMA engine reported done without a completion time",
-        )
-    })
-}
-
-/// The scratchpad/DMA flow at the given optimization level: invoke →
-/// flush/invalidate → DMA in → compute → DMA out (with overlap as the
-/// optimizations allow).
+/// The scratchpad/DMA flow at the given optimization level.
 ///
 /// # Panics
 ///
 /// Panics if the simulation cannot complete (e.g. the DMA engine makes
-/// no progress under a degenerate configuration); use
-/// [`try_run_dma`] to handle that as a typed diagnostic instead.
+/// no progress under a degenerate configuration); use the fallible
+/// [`simulate`] to handle that as a typed diagnostic instead.
+#[deprecated(note = "use `simulate(trace, dp, soc, &FlowSpec::new(MemKind::Dma(opt)))`")]
 #[must_use]
 pub fn run_dma(
     trace: &Trace,
@@ -344,21 +107,18 @@ pub fn run_dma(
     soc: &SocConfig,
     opt: DmaOptLevel,
 ) -> FlowResult {
-    try_run_dma(trace, dp, soc, opt, &SimHarness::default()).unwrap_or_else(|e| panic!("{e}"))
+    expect_flow(simulate(trace, dp, soc, &FlowSpec::new(MemKind::Dma(opt))))
 }
 
-/// [`run_dma`] under a [`SimHarness`]: simulation failures (`L0230`: no
-/// forward progress, `L0231`: inconsistent completion, `L0232`:
-/// scheduler deadlock, `L0233`: watchdog expiry) come back as typed
-/// [`SimError`]s instead of panics, so sweeps can skip degenerate
-/// points; the harness's [`FaultPlan`](aladdin_faults::FaultPlan) arms
-/// bus-grant delays, burst NACKs, DRAM latency spikes, and flush
-/// contention stalls. An empty plan reproduces [`run_dma`] bit-exactly.
+/// [`run_dma`] under a [`SimHarness`]: simulation failures come back as
+/// typed [`SimError`]s, and the harness's fault plan arms bus, DRAM and
+/// flush injection sites.
 ///
 /// # Errors
 ///
 /// Returns the [`SimError`] describing why the simulation could not
 /// complete.
+#[deprecated(note = "use `simulate` with `FlowSpec::new(MemKind::Dma(opt)).with_harness(harness)`")]
 pub fn try_run_dma(
     trace: &Trace,
     dp: &DatapathConfig,
@@ -366,25 +126,24 @@ pub fn try_run_dma(
     opt: DmaOptLevel,
     harness: &SimHarness,
 ) -> Result<FlowResult, SimError> {
-    try_run_dma_prepared(
+    simulate(
         trace,
         dp,
         soc,
-        opt,
-        &PreparedDddg::new(trace, dp),
-        &mut SchedulerWorkspace::new(),
-        harness,
+        &FlowSpec::new(MemKind::Dma(opt)).with_harness(harness),
     )
 }
 
-/// [`try_run_dma`] on the sweep fast path (caller-prepared DDDG, reused
-/// scheduler workspace). Bit-identical results to [`try_run_dma`].
+/// [`try_run_dma`] on the sweep fast path. Bit-identical results to
+/// [`try_run_dma`].
 ///
 /// # Errors
 ///
 /// Returns the [`SimError`] describing why the simulation could not
 /// complete.
-#[allow(clippy::too_many_lines)]
+#[deprecated(
+    note = "use `simulate_prepared` with `FlowSpec::new(MemKind::Dma(opt)).with_harness(harness).with_prepared(prep)`"
+)]
 pub fn try_run_dma_prepared(
     trace: &Trace,
     dp: &DatapathConfig,
@@ -394,203 +153,25 @@ pub fn try_run_dma_prepared(
     ws: &mut SchedulerWorkspace,
     harness: &SimHarness,
 ) -> Result<FlowResult, SimError> {
-    let t0 = soc.invoke_cycles;
-    let dma_cfg = DmaConfig {
-        pipelined: opt.pipelined(),
-        ..soc.dma
-    };
-    // Descriptor order follows array registration order — i.e. the order
-    // of the kernel's `dmaLoad` calls, exactly as in gem5-Aladdin. Under
-    // DMA-triggered computation this order decides how effective
-    // full/empty bits are: a kernel that gathers through an array
-    // delivered last (spmv's `vec`) stalls, one whose small operands
-    // arrive first (stencil filters) streams.
-    let in_transfers: Vec<DmaTransfer> = trace
-        .input_arrays()
-        .map(|a| DmaTransfer {
-            base: a.base_addr,
-            bytes: a.size_bytes(),
-            direction: DmaDirection::In,
-        })
-        .collect();
-    let chunks = dma_cfg.chunk_sizes(&in_transfers);
-    let flush = FlushSchedule::new_with_faults(
-        soc.flush,
-        soc.clock,
-        t0,
-        &chunks,
-        trace.output_bytes(),
-        harness.plan.flush_injector(),
-    );
-    let eligibility: Vec<u64> = if opt.pipelined() {
-        flush.chunk_times().to_vec()
-    } else {
-        vec![flush.end(); chunks.len()]
-    };
-
-    let mut bus = SystemBus::new(soc.bus, soc.dram);
-    bus.set_faults(BusFaults::from_plan(&harness.plan));
-    let mut traffic = soc
-        .traffic
-        .map(|t| TrafficGenerator::new(t.period, t.bytes, 0x4000_0000, 16 << 20));
-    let dma_in = DmaEngine::new(dma_cfg, &in_transfers, &eligibility);
-
-    let (sched, spad_stats, dma_in, mut bus, mut traffic, compute_end) = if opt.triggered() {
-        let mut spad = SpadMemory::new(trace, dp);
-        spad.enable_ready_bits();
-        spad.set_ready_granularity(soc.ready_bits_granule);
-        let mut mem = TriggeredSpadMemory {
-            spad,
-            dma: dma_in,
-            bus,
-            traffic,
-        };
-        let sched =
-            match try_schedule_prepared(trace, dp, prep, ws, &mut mem, t0, &harness.watchdog) {
-                Ok(s) => s,
-                Err(mut e) => {
-                    e.push_note(format!(
-                        "bus: {} queued request(s), {} in flight",
-                        mem.bus.queue_depths().iter().sum::<usize>(),
-                        mem.bus.in_flight_count()
-                    ));
-                    e.push_note(mem.dma.describe_state());
-                    return Err(e);
-                }
-            };
-        // The transfer may outlive the computation (e.g. not every input
-        // byte is read): drain it before writeback DMA starts.
-        let dma_done = if mem.dma.is_done() {
-            mem.dma.done_at().ok_or_else(|| {
-                Diagnostic::error(
-                    "L0231",
-                    "DMA engine reported done without a completion time",
-                )
-            })?
-        } else {
-            drive_dma_to_completion(&mut mem.dma, &mut mem.bus, &mut mem.traffic, sched.end)?
-        };
-        let compute_end = sched.end.max(dma_done);
-        let stats = mem.spad.stats();
-        (sched, stats, mem.dma, mem.bus, mem.traffic, compute_end)
-    } else {
-        // Baseline / pipelined: compute begins only when all data is in.
-        let mut dma_in = dma_in;
-        let dma_done = if dma_in.is_done() {
-            // No input arrays at all: compute may start after coherence.
-            flush.end().max(t0)
-        } else {
-            drive_dma_to_completion(&mut dma_in, &mut bus, &mut traffic, t0)?
-        };
-        let mut spad = SpadMemory::new(trace, dp);
-        let sched = match try_schedule_prepared(
-            trace,
-            dp,
-            prep,
-            ws,
-            &mut spad,
-            dma_done,
-            &harness.watchdog,
-        ) {
-            Ok(s) => s,
-            Err(mut e) => {
-                e.push_note(format!(
-                    "bus: {} queued request(s), {} in flight",
-                    bus.queue_depths().iter().sum::<usize>(),
-                    bus.in_flight_count()
-                ));
-                e.push_note(dma_in.describe_state());
-                return Err(e);
-            }
-        };
-        let end = sched.end;
-        (sched, spad.stats(), dma_in, bus, traffic, end)
-    };
-    // Writeback DMA of the output arrays.
-    let out_transfers: Vec<DmaTransfer> = trace
-        .output_arrays()
-        .map(|a| DmaTransfer {
-            base: a.base_addr,
-            bytes: a.size_bytes(),
-            direction: DmaDirection::Out,
-        })
-        .collect();
-    let out_chunks = dma_cfg.chunk_sizes(&out_transfers);
-    let mut dma_out = DmaEngine::new(
-        dma_cfg,
-        &out_transfers,
-        &vec![compute_end; out_chunks.len()],
-    );
-    let end = if dma_out.is_done() {
-        compute_end
-    } else {
-        drive_dma_to_completion(&mut dma_out, &mut bus, &mut traffic, compute_end)?
-    };
-
-    let end = end + soc.completion.map_or(0, |c| c.observation_lag(end));
-
-    // Phase attribution.
-    let mut dma_busy = dma_in.busy().clone();
-    dma_busy.extend(dma_out.busy().as_slice().iter().copied());
-    let phases = PhaseBreakdown::classify(flush.busy(), &dma_busy, &sched.busy, 0, end);
-
-    // Energy.
-    let pm = PowerModel::default_40nm();
-    let stats = trace.stats();
-    let total_bytes = total_array_bytes(trace);
-    let energy = EnergyReport {
-        datapath_pj: pm.datapath_energy_pj(&stats),
-        local_mem_pj: spad_energy_pj(
-            &pm,
-            &spad_stats,
-            total_bytes,
-            dp.partition,
-            trace.input_bytes(),
-            trace.output_bytes(),
-        ),
-        leakage_mw: pm.datapath_leakage_mw(dp.lanes)
-            + pm.spad_leakage_mw(total_bytes, dp.ports_per_bank),
-        runtime_cycles: end,
-        clock: soc.clock,
-    };
-
-    let mut dstats = dma_in.stats();
-    let o = dma_out.stats();
-    dstats.descriptors += o.descriptors;
-    dstats.bursts += o.bursts;
-    dstats.bytes += o.bytes;
-
-    Ok(FlowResult {
-        kernel: trace.name().to_owned(),
-        mem_kind: MemKind::Dma(opt),
-        datapath: *dp,
-        start: 0,
-        end,
-        total_cycles: end,
-        phases,
-        energy,
-        compute_busy_cycles: sched.busy.total(),
-        mem_rejects: sched.mem_rejects,
-        spad_stats: Some(spad_stats),
-        cache_stats: None,
-        tlb_stats: None,
-        dma_stats: Some(dstats),
-        local_sram_bytes: total_bytes,
-        local_mem_bandwidth: dp.local_mem_bandwidth(),
-        sched_stepped_cycles: sched.stepped_cycles,
-        sched_events: sched.events,
-    })
+    let spec = FlowSpec::new(MemKind::Dma(opt))
+        .with_harness(harness)
+        .with_prepared(prep);
+    simulate_prepared(trace, dp, soc, &spec, ws)
 }
 
 /// The cache-based flow: shared arrays on demand through TLB + cache over
 /// the shared bus; no CPU-side coherence management.
+#[deprecated(note = "use `simulate(trace, dp, soc, &FlowSpec::new(MemKind::Cache))`")]
 #[must_use]
 pub fn run_cache(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig) -> FlowResult {
-    run_cache_inner(trace, dp, soc, false)
+    expect_flow(simulate(trace, dp, soc, &FlowSpec::new(MemKind::Cache)))
 }
 
 /// [`run_cache`] on the sweep fast path (caller-prepared DDDG, reused
 /// scheduler workspace). Bit-identical results to [`run_cache`].
+#[deprecated(
+    note = "use `simulate_prepared` with `FlowSpec::new(MemKind::Cache).with_prepared(prep)`"
+)]
 #[must_use]
 pub fn run_cache_prepared(
     trace: &Trace,
@@ -599,42 +180,43 @@ pub fn run_cache_prepared(
     prep: &PreparedDddg,
     ws: &mut SchedulerWorkspace,
 ) -> FlowResult {
-    run_cache_inner_prepared(trace, dp, soc, false, prep, ws)
+    let spec = FlowSpec::new(MemKind::Cache).with_prepared(prep);
+    expect_flow(simulate_prepared(trace, dp, soc, &spec, ws))
 }
 
-/// [`run_cache`] under a [`SimHarness`]: the plan's TLB page-walk,
-/// bus-grant, NACK and DRAM-spike faults land on the fill path, and the
-/// watchdog bounds the schedule. An empty plan reproduces [`run_cache`]
-/// bit-exactly.
+/// [`run_cache`] under a [`SimHarness`]: the plan's TLB page-walk, bus
+/// and DRAM faults land on the fill path, and the watchdog bounds the
+/// schedule.
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] if the watchdog expires or the scheduler
 /// deadlocks.
+#[deprecated(note = "use `simulate` with `FlowSpec::new(MemKind::Cache).with_harness(harness)`")]
 pub fn try_run_cache(
     trace: &Trace,
     dp: &DatapathConfig,
     soc: &SocConfig,
     harness: &SimHarness,
 ) -> Result<FlowResult, SimError> {
-    try_run_cache_prepared(
+    simulate(
         trace,
         dp,
         soc,
-        &PreparedDddg::new(trace, dp),
-        &mut SchedulerWorkspace::new(),
-        harness,
+        &FlowSpec::new(MemKind::Cache).with_harness(harness),
     )
 }
 
-/// [`try_run_cache`] on the sweep fast path (caller-prepared DDDG,
-/// reused scheduler workspace). Bit-identical results to
+/// [`try_run_cache`] on the sweep fast path. Bit-identical results to
 /// [`try_run_cache`].
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] if the watchdog expires or the scheduler
 /// deadlocks.
+#[deprecated(
+    note = "use `simulate_prepared` with `FlowSpec::new(MemKind::Cache).with_harness(harness).with_prepared(prep)`"
+)]
 pub fn try_run_cache_prepared(
     trace: &Trace,
     dp: &DatapathConfig,
@@ -643,121 +225,14 @@ pub fn try_run_cache_prepared(
     ws: &mut SchedulerWorkspace,
     harness: &SimHarness,
 ) -> Result<FlowResult, SimError> {
-    try_run_cache_inner_prepared(trace, dp, soc, false, prep, ws, harness)
-}
-
-pub(crate) fn run_cache_inner(
-    trace: &Trace,
-    dp: &DatapathConfig,
-    soc: &SocConfig,
-    ideal: bool,
-) -> FlowResult {
-    run_cache_inner_prepared(
-        trace,
-        dp,
-        soc,
-        ideal,
-        &PreparedDddg::new(trace, dp),
-        &mut SchedulerWorkspace::new(),
-    )
-}
-
-fn run_cache_inner_prepared(
-    trace: &Trace,
-    dp: &DatapathConfig,
-    soc: &SocConfig,
-    ideal: bool,
-    prep: &PreparedDddg,
-    ws: &mut SchedulerWorkspace,
-) -> FlowResult {
-    try_run_cache_inner_prepared(trace, dp, soc, ideal, prep, ws, &SimHarness::default())
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-fn try_run_cache_inner_prepared(
-    trace: &Trace,
-    dp: &DatapathConfig,
-    soc: &SocConfig,
-    ideal: bool,
-    prep: &PreparedDddg,
-    ws: &mut SchedulerWorkspace,
-    harness: &SimHarness,
-) -> Result<FlowResult, SimError> {
-    let t0 = soc.invoke_cycles;
-    let mut mem = CacheDatapathMemory::new(trace, dp, soc);
-    mem.set_ideal(ideal);
-    mem.set_faults(&harness.plan);
-    let sched = match try_schedule_prepared(trace, dp, prep, ws, &mut mem, t0, &harness.watchdog) {
-        Ok(s) => s,
-        Err(mut e) => {
-            e.push_note(mem.forensic_note());
-            return Err(e);
-        }
-    };
-    let end = sched.end + soc.completion.map_or(0, |c| c.observation_lag(sched.end));
-
-    let pm = PowerModel::default_40nm();
-    let stats = trace.stats();
-    let cs = mem.cache_stats();
-    let ts = mem.tlb_stats();
-    let internal_bytes = internal_array_bytes(trace);
-    let cache_params = aladdin_accel::CacheEnergyParams {
-        size_bytes: soc.cache.size_bytes,
-        line_bytes: soc.cache.line_bytes,
-        assoc: soc.cache.assoc,
-        ports: soc.cache.ports,
-        mshrs: soc.cache.mshrs,
-    };
-    let cache_dyn = cs.accesses() as f64 * pm.cache_access_pj(cache_params)
-        + (cs.misses + cs.prefetches) as f64 * pm.cache_fill_pj(cache_params)
-        + (ts.hits + ts.misses) as f64 * pm.tlb_access_pj();
-    let spad_dyn = spad_energy_pj(
-        &pm,
-        &mem.spad_stats(),
-        internal_bytes.max(64),
-        dp.partition,
-        0,
-        0,
-    );
-    let energy = EnergyReport {
-        datapath_pj: pm.datapath_energy_pj(&stats),
-        local_mem_pj: cache_dyn + spad_dyn,
-        leakage_mw: pm.datapath_leakage_mw(dp.lanes)
-            + pm.cache_leakage_mw(cache_params)
-            + pm.spad_leakage_mw(internal_bytes, dp.ports_per_bank),
-        runtime_cycles: end,
-        clock: soc.clock,
-    };
-    let phases = PhaseBreakdown::classify(
-        &IntervalSet::new(),
-        &IntervalSet::new(),
-        &sched.busy,
-        0,
-        end,
-    );
-    Ok(FlowResult {
-        kernel: trace.name().to_owned(),
-        mem_kind: MemKind::Cache,
-        datapath: *dp,
-        start: 0,
-        end,
-        total_cycles: end,
-        phases,
-        energy,
-        compute_busy_cycles: sched.busy.total(),
-        mem_rejects: sched.mem_rejects,
-        spad_stats: Some(mem.spad_stats()),
-        cache_stats: Some(cs),
-        tlb_stats: Some(ts),
-        dma_stats: None,
-        local_sram_bytes: soc.cache.size_bytes + internal_bytes,
-        local_mem_bandwidth: soc.cache.ports,
-        sched_stepped_cycles: sched.stepped_cycles,
-        sched_events: sched.events,
-    })
+    let spec = FlowSpec::new(MemKind::Cache)
+        .with_harness(harness)
+        .with_prepared(prep);
+    simulate_prepared(trace, dp, soc, &spec, ws)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use aladdin_workloads::by_name;
@@ -775,188 +250,67 @@ mod tests {
     }
 
     #[test]
-    fn stalled_dma_is_a_typed_diagnostic() {
-        let trace = trace_of("stencil-stencil2d");
-        let mut soc = SocConfig::default();
-        soc.dma.max_outstanding = 0; // the engine can never post a burst
-        let err = try_run_dma(
-            &trace,
-            &dp(2, 2),
-            &soc,
-            DmaOptLevel::Baseline,
-            &SimHarness::default(),
-        )
-        .unwrap_err();
-        assert_eq!(err.code(), "L0230", "{err}");
-        // The diagnostic carries the DMA engine's forensic state.
-        assert!(err.to_string().contains("dma:"), "{err}");
-    }
-
-    #[test]
-    fn empty_harness_matches_plain_runs_bit_exactly() {
+    fn wrappers_reproduce_the_engine_bit_exactly() {
         let trace = trace_of("fft-transpose");
         let soc = SocConfig::default();
         let d = dp(2, 2);
         let h = SimHarness::default();
         assert_eq!(
-            try_run_isolated(&trace, &d, &soc, &h).unwrap(),
-            run_isolated(&trace, &d, &soc)
+            run_isolated(&trace, &d, &soc),
+            simulate(&trace, &d, &soc, &FlowSpec::new(MemKind::Isolated)).unwrap()
         );
         assert_eq!(
             try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h).unwrap(),
-            run_dma(&trace, &d, &soc, DmaOptLevel::Full)
+            simulate(
+                &trace,
+                &d,
+                &soc,
+                &FlowSpec::new(MemKind::Dma(DmaOptLevel::Full))
+            )
+            .unwrap()
+        );
+        assert_eq!(
+            run_cache(&trace, &d, &soc),
+            simulate(&trace, &d, &soc, &FlowSpec::new(MemKind::Cache)).unwrap()
+        );
+    }
+
+    #[test]
+    fn prepared_wrappers_reproduce_the_plain_wrappers() {
+        let trace = trace_of("aes-aes");
+        let soc = SocConfig::default();
+        let d = dp(2, 2);
+        let prep = PreparedDddg::new(&trace, &d);
+        let mut ws = SchedulerWorkspace::new();
+        assert_eq!(
+            run_isolated_prepared(&trace, &d, &soc, &prep, &mut ws),
+            run_isolated(&trace, &d, &soc)
+        );
+        assert_eq!(
+            run_cache_prepared(&trace, &d, &soc, &prep, &mut ws),
+            run_cache(&trace, &d, &soc)
+        );
+        let h = SimHarness::default();
+        assert_eq!(
+            try_run_dma_prepared(&trace, &d, &soc, DmaOptLevel::Pipelined, &prep, &mut ws, &h)
+                .unwrap(),
+            run_dma(&trace, &d, &soc, DmaOptLevel::Pipelined)
+        );
+        assert_eq!(
+            try_run_isolated_prepared(&trace, &d, &soc, &prep, &mut ws, &h).unwrap(),
+            run_isolated(&trace, &d, &soc)
+        );
+        assert_eq!(
+            try_run_cache_prepared(&trace, &d, &soc, &prep, &mut ws, &h).unwrap(),
+            run_cache(&trace, &d, &soc)
+        );
+        assert_eq!(
+            try_run_isolated(&trace, &d, &soc, &h).unwrap(),
+            run_isolated(&trace, &d, &soc)
         );
         assert_eq!(
             try_run_cache(&trace, &d, &soc, &h).unwrap(),
             run_cache(&trace, &d, &soc)
         );
-    }
-
-    #[test]
-    fn faulted_runs_are_deterministic_and_no_faster() {
-        let trace = trace_of("fft-transpose");
-        let soc = SocConfig::default();
-        let d = dp(2, 2);
-        let h = SimHarness::with_seed(7);
-        let a = try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h).unwrap();
-        let b = try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h).unwrap();
-        assert_eq!(a, b, "same seed must reproduce bit-exactly");
-        let clean = run_dma(&trace, &d, &soc, DmaOptLevel::Full);
-        assert!(
-            a.total_cycles >= clean.total_cycles,
-            "faults cannot speed the run up: {} vs {}",
-            a.total_cycles,
-            clean.total_cycles
-        );
-        let ca = try_run_cache(&trace, &d, &soc, &h).unwrap();
-        let cb = try_run_cache(&trace, &d, &soc, &h).unwrap();
-        assert_eq!(ca, cb);
-        assert!(ca.total_cycles >= run_cache(&trace, &d, &soc).total_cycles);
-    }
-
-    #[test]
-    fn isolated_is_fastest() {
-        let trace = trace_of("stencil-stencil2d");
-        let soc = SocConfig::default();
-        let iso = run_isolated(&trace, &dp(4, 4), &soc);
-        let dma = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Baseline);
-        assert!(iso.total_cycles < dma.total_cycles);
-        assert_eq!(iso.phases.flush_only, 0);
-        assert!(dma.phases.flush_only > 0);
-    }
-
-    #[test]
-    fn dma_optimizations_monotonically_help() {
-        let trace = trace_of("stencil-stencil2d");
-        let soc = SocConfig::default();
-        let base = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Baseline);
-        let pipe = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Pipelined);
-        let full = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Full);
-        assert!(
-            pipe.total_cycles < base.total_cycles,
-            "pipelined {} !< baseline {}",
-            pipe.total_cycles,
-            base.total_cycles
-        );
-        assert!(
-            full.total_cycles < pipe.total_cycles,
-            "triggered {} !< pipelined {}",
-            full.total_cycles,
-            pipe.total_cycles
-        );
-        // Pipelining hides flush-only time almost entirely.
-        assert!(pipe.phases.flush_only * 10 < base.phases.flush_only.max(1) * 12);
-        // Triggered compute overlaps compute with DMA.
-        assert!(full.phases.compute_dma > 0);
-    }
-
-    #[test]
-    fn phase_totals_match_runtime() {
-        let trace = trace_of("gemm-ncubed");
-        let soc = SocConfig::default();
-        for opt in DmaOptLevel::ALL {
-            let r = run_dma(&trace, &dp(2, 2), &soc, opt);
-            let p = r.phases;
-            assert_eq!(
-                p.flush_only + p.dma_flush + p.compute_dma + p.compute_only + p.other,
-                p.total,
-                "{opt}"
-            );
-            assert_eq!(p.total, r.total_cycles);
-        }
-    }
-
-    #[test]
-    fn cache_flow_runs_every_kernel_cheaply() {
-        // Smoke test on the two smallest kernels.
-        let soc = SocConfig::default();
-        for name in ["aes-aes", "fft-transpose"] {
-            let trace = trace_of(name);
-            let r = run_cache(&trace, &dp(2, 2), &soc);
-            assert!(r.total_cycles > 0, "{name}");
-            assert!(r.energy_j() > 0.0, "{name}");
-            assert!(r.cache_stats.unwrap().accesses() > 0, "{name}");
-        }
-    }
-
-    #[test]
-    fn spmv_prefers_cache_over_dma() {
-        // The paper's key qualitative result for irregular kernels.
-        let trace = trace_of("spmv-crs");
-        let soc = SocConfig::default();
-        let d = dp(4, 4);
-        let dma = run_dma(&trace, &d, &soc, DmaOptLevel::Full);
-        let cache = run_cache(&trace, &d, &soc);
-        assert!(
-            cache.total_cycles < dma.total_cycles,
-            "cache {} should beat DMA {} on spmv",
-            cache.total_cycles,
-            dma.total_cycles
-        );
-    }
-
-    #[test]
-    fn aes_prefers_dma_over_cache() {
-        // aes moves almost no data, so runtimes are close — but the cache
-        // design pays tag/TLB energy and leakage for nothing, losing on
-        // EDP (the paper's Figure 8 preference metric).
-        let trace = trace_of("aes-aes");
-        let soc = SocConfig::default();
-        let d = dp(4, 4);
-        let dma = run_dma(&trace, &d, &soc, DmaOptLevel::Full);
-        let cache = run_cache(&trace, &d, &soc);
-        assert!(
-            dma.edp() < cache.edp(),
-            "DMA EDP {:.3e} should beat cache {:.3e} on aes",
-            dma.edp(),
-            cache.edp()
-        );
-        assert!(
-            dma.power_mw() < cache.power_mw(),
-            "DMA power {:.2} should beat cache {:.2} on aes",
-            dma.power_mw(),
-            cache.power_mw()
-        );
-    }
-
-    #[test]
-    fn energy_and_edp_are_positive_and_consistent() {
-        let trace = trace_of("md-knn");
-        let soc = SocConfig::default();
-        let r = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Full);
-        assert!(r.energy_j() > 0.0);
-        assert!(r.power_mw() > 0.0);
-        let edp = r.edp();
-        assert!((edp - r.energy_j() * r.seconds()).abs() < 1e-18);
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let trace = trace_of("stencil-stencil3d");
-        let soc = SocConfig::default();
-        let a = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Full);
-        let b = run_dma(&trace, &dp(4, 4), &soc, DmaOptLevel::Full);
-        assert_eq!(a.total_cycles, b.total_cycles);
-        assert_eq!(a.phases, b.phases);
     }
 }

@@ -3,40 +3,51 @@
 //! This crate is the paper's primary contribution — the coupling of a
 //! pre-RTL accelerator model (`aladdin-accel`) with an SoC memory substrate
 //! (`aladdin-mem`) so that accelerators are evaluated *inside* the system
-//! they will ship in, not in isolation:
+//! they will ship in, not in isolation. One engine runs every flow: a
+//! [`FlowSpec`] names the memory system via [`MemKind`], and the single
+//! fallible entry point [`simulate`] executes it:
 //!
-//! * [`run_isolated`] — classic Aladdin: all data assumed pre-loaded into
-//!   scratchpads, compute time only. The "designed in isolation" baseline
-//!   of every co-design comparison.
-//! * [`run_dma`] — the full scratchpad/DMA flow: CPU-side cache flush and
-//!   invalidate (analytical, Zedboard-characterized constants), descriptor
-//!   DMA over the shared bus, compute, and DMA writeback. Three
-//!   optimization levels reproduce Section IV-B: baseline, pipelined DMA
-//!   (page-granular flush/DMA overlap), and DMA-triggered computation
+//! * [`MemKind::Isolated`] — classic Aladdin: all data assumed pre-loaded
+//!   into scratchpads, compute time only. The "designed in isolation"
+//!   baseline of every co-design comparison.
+//! * [`MemKind::Dma`] — the full scratchpad/DMA flow: CPU-side cache flush
+//!   and invalidate (analytical, Zedboard-characterized constants),
+//!   descriptor DMA over the shared bus, compute, and DMA writeback. The
+//!   three [`DmaOptLevel`]s reproduce Section IV-B: baseline, pipelined
+//!   DMA (page-granular flush/DMA overlap), and DMA-triggered computation
 //!   (full/empty bits).
-//! * [`run_cache`] — the cache-based flow: shared arrays are pulled on
-//!   demand through an accelerator TLB and a MOESI cache over the same
+//! * [`MemKind::Cache`] — the cache-based flow: shared arrays are pulled
+//!   on demand through an accelerator TLB and a MOESI cache over the same
 //!   bus; private arrays stay in scratchpads.
 //!
-//! Every flow returns a [`FlowResult`] with the paper's runtime phase
+//! Every run returns a [`FlowResult`] with the paper's runtime phase
 //! attribution (flush-only / DMA-flush / compute-DMA / compute-only,
 //! Section IV-C), an accelerator [`EnergyReport`], and component
-//! statistics. [`Soc`] bundles a [`SocConfig`] for ergonomic sweeps.
+//! statistics. [`Soc`] bundles a [`SocConfig`] for ergonomic sweeps, and
+//! [`simulate_multi`] co-simulates several accelerators — heterogeneous
+//! mixes of DMA and cache clients included — on one shared bus
+//! (Figure 3's `ACCEL0`/`ACCEL1`).
 //!
 //! # Example
 //!
 //! ```
-//! use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+//! use aladdin_core::{simulate, DmaOptLevel, FlowSpec, MemKind, SocConfig};
 //! use aladdin_accel::DatapathConfig;
 //! use aladdin_workloads::{by_name, Kernel};
 //!
 //! let kernel = by_name("stencil-stencil2d").expect("known kernel");
 //! let trace = kernel.run().trace;
-//! let soc = Soc::new(SocConfig::default());
+//! let soc = SocConfig::default();
 //! let dp = DatapathConfig { lanes: 4, partition: 4, ..DatapathConfig::default() };
 //!
-//! let isolated = soc.run_isolated(&trace, &dp);
-//! let dma = soc.run_dma(&trace, &dp, DmaOptLevel::Full);
+//! let isolated = simulate(&trace, &dp, &soc, &FlowSpec::new(MemKind::Isolated)).unwrap();
+//! let dma = simulate(
+//!     &trace,
+//!     &dp,
+//!     &soc,
+//!     &FlowSpec::new(MemKind::Dma(DmaOptLevel::Full)),
+//! )
+//! .unwrap();
 //! assert!(dma.total_cycles >= isolated.total_cycles);
 //! ```
 
@@ -46,6 +57,7 @@
 mod cachemem;
 mod config;
 mod decompose;
+mod engine;
 mod flows;
 mod multi;
 mod phase;
@@ -56,15 +68,22 @@ pub use aladdin_accel::EnergyReport;
 pub use aladdin_faults::{
     DeadlockSnapshot, FaultPlan, FaultSpec, NackSpec, SimError, SimHarness, Watchdog,
 };
+pub use aladdin_mem::MasterId;
 pub use cachemem::CacheDatapathMemory;
 pub use config::{CompletionSignal, DmaOptLevel, MemKind, SocConfig, TrafficConfig};
 pub use decompose::{decompose_cache_time, TimeDecomposition};
+pub use engine::{simulate, simulate_prepared, FlowResult, FlowSpec};
+#[allow(deprecated)]
 pub use flows::{
     run_cache, run_cache_prepared, run_dma, run_isolated, run_isolated_prepared, try_run_cache,
     try_run_cache_prepared, try_run_dma, try_run_dma_prepared, try_run_isolated,
-    try_run_isolated_prepared, FlowResult,
+    try_run_isolated_prepared,
 };
-pub use multi::{run_multi_dma, AcceleratorJob, AcceleratorTimeline, MultiSocResult};
+#[allow(deprecated)]
+pub use multi::run_multi_dma;
+pub use multi::{
+    simulate_multi, validate_multi_jobs, AcceleratorJob, AcceleratorTimeline, MultiSocResult,
+};
 pub use phase::PhaseBreakdown;
 pub use soc::Soc;
 pub use validation::{validate_kernel, ValidationRow};

@@ -61,6 +61,23 @@ impl PhaseBreakdown {
         b
     }
 
+    /// The phase-attribution epilogue shared by the single-accelerator DMA
+    /// flow and the multi-accelerator engine: merge the inbound and
+    /// outbound DMA busy sets, then classify `[0, end)` against the flush
+    /// and compute activity.
+    #[must_use]
+    pub fn for_dma_run(
+        flush: &IntervalSet,
+        dma_in: &IntervalSet,
+        dma_out: &IntervalSet,
+        compute: &IntervalSet,
+        end: u64,
+    ) -> Self {
+        let mut dma_busy = dma_in.clone();
+        dma_busy.extend(dma_out.as_slice().iter().copied());
+        Self::classify(flush, &dma_busy, compute, 0, end)
+    }
+
     /// Fraction of total time in each phase, in the order
     /// (flush-only, DMA/flush, compute/DMA, compute-only, other).
     #[must_use]

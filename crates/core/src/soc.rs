@@ -4,14 +4,14 @@ use aladdin_accel::DatapathConfig;
 use aladdin_faults::{SimError, SimHarness};
 use aladdin_ir::Trace;
 
-use crate::config::{DmaOptLevel, SocConfig};
-use crate::flows::{
-    run_cache, run_dma, run_isolated, try_run_cache, try_run_dma, try_run_isolated, FlowResult,
-};
+use crate::config::{DmaOptLevel, MemKind, SocConfig};
+use crate::engine::{expect_flow, simulate, FlowResult, FlowSpec};
 
 /// An SoC platform an accelerator can be dropped into.
 ///
-/// Thin, copyable wrapper over [`SocConfig`] so sweeps read naturally:
+/// Thin, copyable wrapper over [`SocConfig`] so sweeps read naturally.
+/// Every method is a convenience spelling of [`simulate`] with the
+/// matching [`FlowSpec`]:
 ///
 /// ```
 /// use aladdin_core::{DmaOptLevel, Soc, SocConfig};
@@ -44,22 +44,36 @@ impl Soc {
         &self.cfg
     }
 
+    /// Run the flow described by `spec` on this SoC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the simulation cannot complete.
+    pub fn simulate(
+        &self,
+        trace: &Trace,
+        dp: &DatapathConfig,
+        spec: &FlowSpec,
+    ) -> Result<FlowResult, SimError> {
+        simulate(trace, dp, &self.cfg, spec)
+    }
+
     /// Run the isolated-Aladdin flow (no system effects).
     #[must_use]
     pub fn run_isolated(&self, trace: &Trace, dp: &DatapathConfig) -> FlowResult {
-        run_isolated(trace, dp, &self.cfg)
+        expect_flow(self.simulate(trace, dp, &FlowSpec::new(MemKind::Isolated)))
     }
 
     /// Run the scratchpad/DMA flow.
     #[must_use]
     pub fn run_dma(&self, trace: &Trace, dp: &DatapathConfig, opt: DmaOptLevel) -> FlowResult {
-        run_dma(trace, dp, &self.cfg, opt)
+        expect_flow(self.simulate(trace, dp, &FlowSpec::new(MemKind::Dma(opt))))
     }
 
     /// Run the cache-based flow.
     #[must_use]
     pub fn run_cache(&self, trace: &Trace, dp: &DatapathConfig) -> FlowResult {
-        run_cache(trace, dp, &self.cfg)
+        expect_flow(self.simulate(trace, dp, &FlowSpec::new(MemKind::Cache)))
     }
 
     /// [`Soc::run_isolated`] under a fault-injection/watchdog harness.
@@ -73,7 +87,11 @@ impl Soc {
         dp: &DatapathConfig,
         harness: &SimHarness,
     ) -> Result<FlowResult, SimError> {
-        try_run_isolated(trace, dp, &self.cfg, harness)
+        self.simulate(
+            trace,
+            dp,
+            &FlowSpec::new(MemKind::Isolated).with_harness(harness),
+        )
     }
 
     /// [`Soc::run_dma`] under a fault-injection/watchdog harness.
@@ -88,7 +106,11 @@ impl Soc {
         opt: DmaOptLevel,
         harness: &SimHarness,
     ) -> Result<FlowResult, SimError> {
-        try_run_dma(trace, dp, &self.cfg, opt, harness)
+        self.simulate(
+            trace,
+            dp,
+            &FlowSpec::new(MemKind::Dma(opt)).with_harness(harness),
+        )
     }
 
     /// [`Soc::run_cache`] under a fault-injection/watchdog harness.
@@ -102,7 +124,11 @@ impl Soc {
         dp: &DatapathConfig,
         harness: &SimHarness,
     ) -> Result<FlowResult, SimError> {
-        try_run_cache(trace, dp, &self.cfg, harness)
+        self.simulate(
+            trace,
+            dp,
+            &FlowSpec::new(MemKind::Cache).with_harness(harness),
+        )
     }
 }
 
@@ -137,5 +163,21 @@ mod tests {
         let cache = soc.run_cache(&trace, &dp);
         assert!(iso.total_cycles <= dma.total_cycles);
         assert!(cache.total_cycles > 0);
+    }
+
+    #[test]
+    fn simulate_method_matches_convenience_wrappers() {
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let dp = DatapathConfig {
+            lanes: 2,
+            partition: 2,
+            ..DatapathConfig::default()
+        };
+        let soc = Soc::default();
+        assert_eq!(
+            soc.simulate(&trace, &dp, &FlowSpec::new(MemKind::Cache))
+                .unwrap(),
+            soc.run_cache(&trace, &dp)
+        );
     }
 }

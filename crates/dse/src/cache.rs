@@ -201,11 +201,8 @@ pub fn run_point_cached(
     let (result, hit) = match lookup(&key) {
         Some(hit) => (hit, true),
         None => {
-            let r = match kind {
-                MemKind::Isolated => aladdin_core::run_isolated(trace, dp, soc),
-                MemKind::Dma(opt) => aladdin_core::run_dma(trace, dp, soc, opt),
-                MemKind::Cache => aladdin_core::run_cache(trace, dp, soc),
-            };
+            let r = aladdin_core::simulate(trace, dp, soc, &aladdin_core::FlowSpec::new(kind))
+                .unwrap_or_else(|e| panic!("{e}"));
             insert(&key, &r);
             (r, false)
         }
@@ -482,11 +479,8 @@ mod tests {
             ..DatapathConfig::default()
         };
         let soc = SocConfig::default();
-        match kind {
-            MemKind::Isolated => aladdin_core::run_isolated(&trace, &dp, &soc),
-            MemKind::Dma(opt) => aladdin_core::run_dma(&trace, &dp, &soc, opt),
-            MemKind::Cache => aladdin_core::run_cache(&trace, &dp, &soc),
-        }
+        aladdin_core::simulate(&trace, &dp, &soc, &aladdin_core::FlowSpec::new(kind))
+            .expect("completes")
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //!
 //! * [`DesignSpace`] — the Figure 3 parameter table (datapath lanes,
 //!   scratchpad partitioning, cache geometry, bus width),
-//! * [`sweep_dma`]/[`sweep_cache`]/[`sweep_isolated`] — multithreaded
-//!   sweep runners,
+//! * [`sweep`] (with [`sweep_perf`]/[`sweep_checked`]/[`sweep_faulted`])
+//!   — one multithreaded, spec-driven sweep runner generic over
+//!   [`MemKind`](aladdin_core::MemKind),
 //! * [`pareto_frontier`] and [`edp_optimal`] — the Figure 8 analyses,
 //! * [`run_codesign`] — the four design scenarios of Figures 9/10
 //!   (isolated, co-designed DMA, co-designed cache at 32- and 64-bit bus)
@@ -17,13 +18,18 @@
 //! # Example
 //!
 //! ```
-//! use aladdin_dse::{edp_optimal, sweep_dma, DesignSpace};
-//! use aladdin_core::{DmaOptLevel, SocConfig};
+//! use aladdin_dse::{edp_optimal, sweep, DesignSpace};
+//! use aladdin_core::{DmaOptLevel, MemKind, SocConfig};
 //! use aladdin_workloads::{by_name, Kernel};
 //!
 //! let trace = by_name("aes-aes").expect("kernel").run().trace;
 //! let space = DesignSpace::quick();
-//! let results = sweep_dma(&trace, &space, &SocConfig::default(), DmaOptLevel::Full);
+//! let results = sweep(
+//!     &trace,
+//!     &space,
+//!     &SocConfig::default(),
+//!     MemKind::Dma(DmaOptLevel::Full),
+//! );
 //! let best = edp_optimal(&results).expect("non-empty sweep");
 //! assert!(best.edp() > 0.0);
 //! ```
@@ -51,7 +57,11 @@ pub use preflight::{preflight_cache, preflight_dma, Preflight, RejectedPoint};
 pub use scenario::{run_codesign, CodesignReport, ScenarioOutcome};
 pub use space::{CachePoint, DesignSpace, DmaPoint};
 pub use sweep::{
+    sweep, sweep_checked, sweep_faulted, sweep_perf, CheckedSweep, FailedPoint, SweepOutcome,
+};
+#[allow(deprecated)]
+pub use sweep::{
     sweep_cache, sweep_cache_checked, sweep_cache_faulted, sweep_cache_perf, sweep_dma,
     sweep_dma_checked, sweep_dma_faulted, sweep_dma_perf, sweep_isolated, sweep_isolated_faulted,
-    sweep_isolated_perf, CheckedSweep, FailedPoint, SweepOutcome,
+    sweep_isolated_perf,
 };

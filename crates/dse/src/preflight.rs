@@ -66,7 +66,7 @@ pub fn preflight_dma(space: &DesignSpace, soc: &SocConfig) -> Preflight<DmaPoint
 }
 
 /// Pre-flight every cache point of `space`, applying each point's cache
-/// geometry to `soc` exactly as [`sweep_cache`](crate::sweep_cache)
+/// geometry to `soc` exactly as [`sweep`](crate::sweep) with `MemKind::Cache`
 /// would before simulating it.
 ///
 /// Unlike [`DesignSpace::cache_points`], which silently drops

@@ -13,13 +13,13 @@
 //! re-evaluated *inside* the scenario's system and compared against the
 //! co-designed optimum.
 
-use aladdin_core::{DmaOptLevel, FlowResult, SocConfig};
+use aladdin_core::{simulate, DmaOptLevel, FlowResult, FlowSpec, MemKind, SocConfig};
 use aladdin_ir::Trace;
 
 use crate::kiviat::KiviatSummary;
 use crate::pareto::edp_optimal;
 use crate::space::{CachePoint, DesignSpace};
-use crate::sweep::{sweep_cache, sweep_dma, sweep_isolated};
+use crate::sweep::sweep;
 
 /// One co-designed scenario's outcome.
 #[derive(Debug, Clone)]
@@ -104,13 +104,19 @@ pub fn run_codesign(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> Code
     let soc64 = soc.with_64bit_bus();
 
     // Scenario 1: isolated optimum.
-    let iso_sweep = sweep_isolated(trace, space, soc);
+    let iso_sweep = sweep(trace, space, soc, MemKind::Isolated);
     let iso_opt = edp_optimal(&iso_sweep).expect("non-empty space").clone();
 
     // Scenario 2: co-designed DMA (all optimizations, 32-bit bus).
-    let dma_sweep = sweep_dma(trace, space, soc, DmaOptLevel::Full);
+    let dma_sweep = sweep(trace, space, soc, MemKind::Dma(DmaOptLevel::Full));
     let dma_opt = edp_optimal(&dma_sweep).expect("non-empty space").clone();
-    let iso_in_dma = aladdin_core::run_dma(trace, &iso_opt.datapath, soc, DmaOptLevel::Full);
+    let iso_in_dma = simulate(
+        trace,
+        &iso_opt.datapath,
+        soc,
+        &FlowSpec::new(MemKind::Dma(DmaOptLevel::Full)),
+    )
+    .expect("completes");
     let dma = ScenarioOutcome {
         name: "co-designed DMA (32-bit bus)",
         edp_improvement: iso_in_dma.edp() / dma_opt.edp(),
@@ -125,11 +131,16 @@ pub fn run_codesign(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> Code
         ("co-designed cache (32-bit bus)", *soc),
         ("co-designed cache (64-bit bus)", soc64),
     ] {
-        let sweep = sweep_cache(trace, space, &soc_n);
-        let opt = edp_optimal(&sweep).expect("non-empty space").clone();
+        let results = sweep(trace, space, &soc_n, MemKind::Cache);
+        let opt = edp_optimal(&results).expect("non-empty space").clone();
         let iso_point = isolated_as_cache_point(&iso_opt, space);
-        let iso_in_cache =
-            aladdin_core::run_cache(trace, &iso_point.datapath(), &iso_point.apply(&soc_n));
+        let iso_in_cache = simulate(
+            trace,
+            &iso_point.datapath(),
+            &iso_point.apply(&soc_n),
+            &FlowSpec::new(MemKind::Cache),
+        )
+        .expect("completes");
         cache_scenarios.push(ScenarioOutcome {
             name,
             edp_improvement: iso_in_cache.edp() / opt.edp(),
@@ -180,7 +191,7 @@ mod tests {
         let trace = by_name("aes-aes").expect("kernel").run().trace;
         let space = DesignSpace::quick();
         let soc = SocConfig::default();
-        let iso = aladdin_core::run_isolated(
+        let iso = simulate(
             &trace,
             &crate::space::DmaPoint {
                 lanes: 4,
@@ -188,7 +199,9 @@ mod tests {
             }
             .datapath(),
             &soc,
-        );
+            &FlowSpec::new(MemKind::Isolated),
+        )
+        .expect("completes");
         let p = isolated_as_cache_point(&iso, &space);
         assert!(space.cache_sizes.contains(&p.size_bytes));
         assert!(space.cache_ports.contains(&p.ports));

@@ -1,5 +1,13 @@
 //! Multithreaded sweep runners — the sweep-throughput fast path.
 //!
+//! One generic, spec-driven runner covers every flow: [`sweep`] (and its
+//! [`sweep_perf`] / [`sweep_checked`] / [`sweep_faulted`] variants) takes
+//! the [`MemKind`] the points should run under and derives the point list
+//! from the matching side of the [`DesignSpace`]. The historical
+//! per-flow families (`sweep_isolated`/`sweep_dma`/`sweep_cache` × plain,
+//! `_perf`, `_checked`, `_faulted`) remain as deprecated one-line
+//! wrappers with bit-exact results.
+//!
 //! Every sweep funnels through one engine that layers three optimizations,
 //! all invisible in the results (bit-exact against running each point's
 //! `aladdin-core` flow directly):
@@ -14,8 +22,8 @@
 //!    so the scheduler's heaps and vectors are allocated once per thread,
 //!    not once per design point.
 //!
-//! Each sweep returns (via the `*_perf` variants) a [`SweepPerf`] roll-up
-//! and folds it into the process-wide accumulator [`crate::global_perf`].
+//! Each sweep returns (via [`sweep_perf`]) a [`SweepPerf`] roll-up and
+//! folds it into the process-wide accumulator [`crate::global_perf`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -23,7 +31,9 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use aladdin_accel::{DatapathConfig, PreparedDddg, SchedulerWorkspace};
-use aladdin_core::{DmaOptLevel, FlowResult, MemKind, SimError, SimHarness, SocConfig};
+use aladdin_core::{
+    simulate_prepared, DmaOptLevel, FlowResult, FlowSpec, MemKind, SimError, SimHarness, SocConfig,
+};
 use aladdin_ir::{Report, Trace};
 
 use crate::cache;
@@ -76,6 +86,32 @@ struct PointSpec {
     kind: MemKind,
     dp: DatapathConfig,
     soc: SocConfig,
+}
+
+/// Derive the engine's point list for `kind`: cache sweeps walk the cache
+/// geometry space (each point adjusting the SoC), everything else walks
+/// the lanes × partitions space.
+fn specs_for(space: &DesignSpace, soc: &SocConfig, kind: MemKind) -> Vec<PointSpec> {
+    match kind {
+        MemKind::Cache => space
+            .cache_points()
+            .iter()
+            .map(|p| PointSpec {
+                kind,
+                dp: p.datapath(),
+                soc: p.apply(soc),
+            })
+            .collect(),
+        MemKind::Isolated | MemKind::Dma(_) => space
+            .dma_points()
+            .iter()
+            .map(|p| PointSpec {
+                kind,
+                dp: p.datapath(),
+                soc: *soc,
+            })
+            .collect(),
+    }
 }
 
 /// The sweep engine: cache lookup, lazy shared DDDG preparation, per-worker
@@ -133,18 +169,10 @@ fn run_specs_harness(
         let prep = Arc::clone(
             preps[lane_slot[&s.dp.lanes]].get_or_init(|| Arc::new(PreparedDddg::new(trace, &s.dp))),
         );
-        let r = match s.kind {
-            MemKind::Isolated => {
-                aladdin_core::try_run_isolated_prepared(trace, &s.dp, &s.soc, &prep, ws, harness)
-            }
-            MemKind::Dma(opt) => {
-                aladdin_core::try_run_dma_prepared(trace, &s.dp, &s.soc, opt, &prep, ws, harness)
-            }
-            MemKind::Cache => {
-                aladdin_core::try_run_cache_prepared(trace, &s.dp, &s.soc, &prep, ws, harness)
-            }
-        };
-        match r {
+        let spec = FlowSpec::new(s.kind)
+            .with_harness(harness)
+            .with_prepared(&prep);
+        match simulate_prepared(trace, &s.dp, &s.soc, &spec, ws) {
             Ok(r) => {
                 stepped.fetch_add(r.sched_stepped_cycles, Ordering::Relaxed);
                 events.fetch_add(r.sched_events, Ordering::Relaxed);
@@ -172,32 +200,52 @@ fn run_specs_harness(
     (results, perf)
 }
 
+/// Sweep the design space under the memory system named by `kind`.
+///
+/// Isolated and DMA sweeps walk the lanes × partitions space; cache
+/// sweeps walk the cache geometry space with each point's geometry
+/// applied to `soc`.
+#[must_use]
+pub fn sweep(
+    trace: &Trace,
+    space: &DesignSpace,
+    soc: &SocConfig,
+    kind: MemKind,
+) -> Vec<FlowResult> {
+    sweep_perf(trace, space, soc, kind).0
+}
+
+/// [`sweep`], also returning the sweep's [`SweepPerf`] roll-up.
+#[must_use]
+pub fn sweep_perf(
+    trace: &Trace,
+    space: &DesignSpace,
+    soc: &SocConfig,
+    kind: MemKind,
+) -> (Vec<FlowResult>, SweepPerf) {
+    run_specs(trace, &specs_for(space, soc, kind))
+}
+
 /// Sweep the isolated (system-less) design space: lanes × partitions.
+#[deprecated(note = "use `sweep(trace, space, soc, MemKind::Isolated)`")]
 #[must_use]
 pub fn sweep_isolated(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> Vec<FlowResult> {
-    sweep_isolated_perf(trace, space, soc).0
+    sweep(trace, space, soc, MemKind::Isolated)
 }
 
 /// [`sweep_isolated`], also returning the sweep's [`SweepPerf`] roll-up.
+#[deprecated(note = "use `sweep_perf(trace, space, soc, MemKind::Isolated)`")]
 #[must_use]
 pub fn sweep_isolated_perf(
     trace: &Trace,
     space: &DesignSpace,
     soc: &SocConfig,
 ) -> (Vec<FlowResult>, SweepPerf) {
-    let specs: Vec<PointSpec> = space
-        .dma_points()
-        .iter()
-        .map(|p| PointSpec {
-            kind: MemKind::Isolated,
-            dp: p.datapath(),
-            soc: *soc,
-        })
-        .collect();
-    run_specs(trace, &specs)
+    sweep_perf(trace, space, soc, MemKind::Isolated)
 }
 
 /// Sweep the scratchpad/DMA design space at the given optimization level.
+#[deprecated(note = "use `sweep(trace, space, soc, MemKind::Dma(opt))`")]
 #[must_use]
 pub fn sweep_dma(
     trace: &Trace,
@@ -205,10 +253,11 @@ pub fn sweep_dma(
     soc: &SocConfig,
     opt: DmaOptLevel,
 ) -> Vec<FlowResult> {
-    sweep_dma_perf(trace, space, soc, opt).0
+    sweep(trace, space, soc, MemKind::Dma(opt))
 }
 
 /// [`sweep_dma`], also returning the sweep's [`SweepPerf`] roll-up.
+#[deprecated(note = "use `sweep_perf(trace, space, soc, MemKind::Dma(opt))`")]
 #[must_use]
 pub fn sweep_dma_perf(
     trace: &Trace,
@@ -216,41 +265,25 @@ pub fn sweep_dma_perf(
     soc: &SocConfig,
     opt: DmaOptLevel,
 ) -> (Vec<FlowResult>, SweepPerf) {
-    let specs: Vec<PointSpec> = space
-        .dma_points()
-        .iter()
-        .map(|p| PointSpec {
-            kind: MemKind::Dma(opt),
-            dp: p.datapath(),
-            soc: *soc,
-        })
-        .collect();
-    run_specs(trace, &specs)
+    sweep_perf(trace, space, soc, MemKind::Dma(opt))
 }
 
 /// Sweep the cache design space (lanes × cache geometry).
+#[deprecated(note = "use `sweep(trace, space, soc, MemKind::Cache)`")]
 #[must_use]
 pub fn sweep_cache(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> Vec<FlowResult> {
-    sweep_cache_perf(trace, space, soc).0
+    sweep(trace, space, soc, MemKind::Cache)
 }
 
 /// [`sweep_cache`], also returning the sweep's [`SweepPerf`] roll-up.
+#[deprecated(note = "use `sweep_perf(trace, space, soc, MemKind::Cache)`")]
 #[must_use]
 pub fn sweep_cache_perf(
     trace: &Trace,
     space: &DesignSpace,
     soc: &SocConfig,
 ) -> (Vec<FlowResult>, SweepPerf) {
-    let specs: Vec<PointSpec> = space
-        .cache_points()
-        .iter()
-        .map(|p| PointSpec {
-            kind: MemKind::Cache,
-            dp: p.datapath(),
-            soc: p.apply(soc),
-        })
-        .collect();
-    run_specs(trace, &specs)
+    sweep_perf(trace, space, soc, MemKind::Cache)
 }
 
 /// A sweep whose space was statically pre-flighted: invalid points are
@@ -268,8 +301,60 @@ pub struct CheckedSweep {
     pub perf: SweepPerf,
 }
 
-/// [`sweep_dma`] with a static pre-flight pass: contradictory design
-/// points are pruned (with diagnostics) instead of simulated.
+/// [`sweep`] with a static pre-flight pass: contradictory design points
+/// are pruned (with diagnostics) instead of simulated — e.g.
+/// unconstructible cache geometries, which would panic in
+/// `CacheConfig::num_sets`. For cache sweeps the point indices refer to
+/// [`DesignSpace::cache_points_unfiltered`]; otherwise to
+/// [`DesignSpace::dma_points`].
+#[must_use]
+pub fn sweep_checked(
+    trace: &Trace,
+    space: &DesignSpace,
+    soc: &SocConfig,
+    kind: MemKind,
+) -> CheckedSweep {
+    let (specs, accepted, rejected) = match kind {
+        MemKind::Cache => {
+            let pre = preflight_cache(space, soc);
+            let specs: Vec<PointSpec> = pre
+                .accepted
+                .iter()
+                .map(|(_, p)| PointSpec {
+                    kind,
+                    dp: p.datapath(),
+                    soc: p.apply(soc),
+                })
+                .collect();
+            let accepted = pre.accepted.iter().map(|&(i, _)| i).collect();
+            (specs, accepted, pre.rejected)
+        }
+        MemKind::Isolated | MemKind::Dma(_) => {
+            let pre = preflight_dma(space, soc);
+            let specs: Vec<PointSpec> = pre
+                .accepted
+                .iter()
+                .map(|(_, p)| PointSpec {
+                    kind,
+                    dp: p.datapath(),
+                    soc: *soc,
+                })
+                .collect();
+            let accepted = pre.accepted.iter().map(|&(i, _)| i).collect();
+            (specs, accepted, pre.rejected)
+        }
+    };
+    let (results, perf) = run_specs(trace, &specs);
+    CheckedSweep {
+        results,
+        accepted,
+        rejected,
+        perf,
+    }
+}
+
+/// [`sweep_dma`] with a static pre-flight pass.
+#[deprecated(note = "use `sweep_checked(trace, space, soc, MemKind::Dma(opt))`")]
 #[must_use]
 pub fn sweep_dma_checked(
     trace: &Trace,
@@ -277,49 +362,15 @@ pub fn sweep_dma_checked(
     soc: &SocConfig,
     opt: DmaOptLevel,
 ) -> CheckedSweep {
-    let pre = preflight_dma(space, soc);
-    let specs: Vec<PointSpec> = pre
-        .accepted
-        .iter()
-        .map(|(_, p)| PointSpec {
-            kind: MemKind::Dma(opt),
-            dp: p.datapath(),
-            soc: *soc,
-        })
-        .collect();
-    let (results, perf) = run_specs(trace, &specs);
-    CheckedSweep {
-        results,
-        accepted: pre.accepted.iter().map(|&(i, _)| i).collect(),
-        rejected: pre.rejected,
-        perf,
-    }
+    sweep_checked(trace, space, soc, MemKind::Dma(opt))
 }
 
-/// [`sweep_cache`] with a static pre-flight pass: unconstructible cache
-/// geometries (which would panic in `CacheConfig::num_sets`) and other
-/// contradictions are pruned with diagnostics instead of simulated or
-/// silently skipped. Point indices refer to
+/// [`sweep_cache`] with a static pre-flight pass. Point indices refer to
 /// [`DesignSpace::cache_points_unfiltered`].
+#[deprecated(note = "use `sweep_checked(trace, space, soc, MemKind::Cache)`")]
 #[must_use]
 pub fn sweep_cache_checked(trace: &Trace, space: &DesignSpace, soc: &SocConfig) -> CheckedSweep {
-    let pre = preflight_cache(space, soc);
-    let specs: Vec<PointSpec> = pre
-        .accepted
-        .iter()
-        .map(|(_, p)| PointSpec {
-            kind: MemKind::Cache,
-            dp: p.datapath(),
-            soc: p.apply(soc),
-        })
-        .collect();
-    let (results, perf) = run_specs(trace, &specs);
-    CheckedSweep {
-        results,
-        accepted: pre.accepted.iter().map(|&(i, _)| i).collect(),
-        rejected: pre.rejected,
-        perf,
-    }
+    sweep_checked(trace, space, soc, MemKind::Cache)
 }
 
 /// One design point that failed under a [`SimHarness`].
@@ -344,16 +395,25 @@ pub struct SweepOutcome {
     pub perf: SweepPerf,
 }
 
-fn run_specs_faulted(
+/// [`sweep`] under a fault-injection/watchdog harness: failed points are
+/// reported in the [`SweepOutcome`] instead of aborting the sweep.
+///
+/// # Errors
+///
+/// Returns the harness plan's validation [`Report`] if the plan itself
+/// is invalid (`L0240`/`L0241`); no point is simulated in that case.
+pub fn sweep_faulted(
     trace: &Trace,
-    specs: &[PointSpec],
+    space: &DesignSpace,
+    soc: &SocConfig,
+    kind: MemKind,
     harness: &SimHarness,
 ) -> Result<SweepOutcome, Report> {
     let report = harness.plan.validate();
     if report.has_errors() {
         return Err(report);
     }
-    let (raw, perf) = run_specs_harness(trace, specs, harness);
+    let (raw, perf) = run_specs_harness(trace, &specs_for(space, soc, kind), harness);
     let mut results = Vec::with_capacity(raw.len());
     let mut failures = Vec::new();
     for (index, r) in raw.into_iter().enumerate() {
@@ -372,39 +432,27 @@ fn run_specs_faulted(
     })
 }
 
-/// [`sweep_isolated`] under a fault-injection/watchdog harness: failed
-/// points are reported in the [`SweepOutcome`] instead of aborting the
-/// sweep.
+/// [`sweep_isolated`] under a fault-injection/watchdog harness.
 ///
 /// # Errors
 ///
-/// Returns the harness plan's validation [`Report`] if the plan itself
-/// is invalid (`L0240`/`L0241`); no point is simulated in that case.
+/// Returns the plan's validation [`Report`] if the plan is invalid.
+#[deprecated(note = "use `sweep_faulted(trace, space, soc, MemKind::Isolated, harness)`")]
 pub fn sweep_isolated_faulted(
     trace: &Trace,
     space: &DesignSpace,
     soc: &SocConfig,
     harness: &SimHarness,
 ) -> Result<SweepOutcome, Report> {
-    let specs: Vec<PointSpec> = space
-        .dma_points()
-        .iter()
-        .map(|p| PointSpec {
-            kind: MemKind::Isolated,
-            dp: p.datapath(),
-            soc: *soc,
-        })
-        .collect();
-    run_specs_faulted(trace, &specs, harness)
+    sweep_faulted(trace, space, soc, MemKind::Isolated, harness)
 }
 
-/// [`sweep_dma`] under a fault-injection/watchdog harness: failed points
-/// are reported in the [`SweepOutcome`] instead of aborting the sweep.
+/// [`sweep_dma`] under a fault-injection/watchdog harness.
 ///
 /// # Errors
 ///
-/// Returns the harness plan's validation [`Report`] if the plan itself
-/// is invalid (`L0240`/`L0241`); no point is simulated in that case.
+/// Returns the plan's validation [`Report`] if the plan is invalid.
+#[deprecated(note = "use `sweep_faulted(trace, space, soc, MemKind::Dma(opt), harness)`")]
 pub fn sweep_dma_faulted(
     trace: &Trace,
     space: &DesignSpace,
@@ -412,42 +460,22 @@ pub fn sweep_dma_faulted(
     opt: DmaOptLevel,
     harness: &SimHarness,
 ) -> Result<SweepOutcome, Report> {
-    let specs: Vec<PointSpec> = space
-        .dma_points()
-        .iter()
-        .map(|p| PointSpec {
-            kind: MemKind::Dma(opt),
-            dp: p.datapath(),
-            soc: *soc,
-        })
-        .collect();
-    run_specs_faulted(trace, &specs, harness)
+    sweep_faulted(trace, space, soc, MemKind::Dma(opt), harness)
 }
 
-/// [`sweep_cache`] under a fault-injection/watchdog harness: failed
-/// points are reported in the [`SweepOutcome`] instead of aborting the
-/// sweep.
+/// [`sweep_cache`] under a fault-injection/watchdog harness.
 ///
 /// # Errors
 ///
-/// Returns the harness plan's validation [`Report`] if the plan itself
-/// is invalid (`L0240`/`L0241`); no point is simulated in that case.
+/// Returns the plan's validation [`Report`] if the plan is invalid.
+#[deprecated(note = "use `sweep_faulted(trace, space, soc, MemKind::Cache, harness)`")]
 pub fn sweep_cache_faulted(
     trace: &Trace,
     space: &DesignSpace,
     soc: &SocConfig,
     harness: &SimHarness,
 ) -> Result<SweepOutcome, Report> {
-    let specs: Vec<PointSpec> = space
-        .cache_points()
-        .iter()
-        .map(|p| PointSpec {
-            kind: MemKind::Cache,
-            dp: p.datapath(),
-            soc: p.apply(soc),
-        })
-        .collect();
-    run_specs_faulted(trace, &specs, harness)
+    sweep_faulted(trace, space, soc, MemKind::Cache, harness)
 }
 
 #[cfg(test)]
@@ -457,20 +485,43 @@ mod tests {
         reset_sweep_cache, set_sweep_cache_dir, set_sweep_cache_mode, SweepCacheMode,
     };
     use crate::pareto::edp_optimal;
+    use aladdin_core::simulate;
     use aladdin_workloads::by_name;
+
+    const FULL: MemKind = MemKind::Dma(DmaOptLevel::Full);
 
     #[test]
     fn sweeps_cover_their_spaces() {
         let trace = by_name("aes-aes").expect("kernel").run().trace;
         let space = DesignSpace::quick();
         let soc = SocConfig::default();
-        let iso = sweep_isolated(&trace, &space, &soc);
+        let iso = sweep(&trace, &space, &soc, MemKind::Isolated);
         assert_eq!(iso.len(), space.dma_points().len());
-        let dma = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+        let dma = sweep(&trace, &space, &soc, FULL);
         assert_eq!(dma.len(), space.dma_points().len());
-        let cache = sweep_cache(&trace, &space, &soc);
+        let cache = sweep(&trace, &space, &soc, MemKind::Cache);
         assert_eq!(cache.len(), space.cache_points().len());
         assert!(edp_optimal(&dma).is_some());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wrappers_match_the_generic_runner() {
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        assert_eq!(
+            sweep_dma(&trace, &space, &soc, DmaOptLevel::Full),
+            sweep(&trace, &space, &soc, FULL)
+        );
+        assert_eq!(
+            sweep_cache(&trace, &space, &soc),
+            sweep(&trace, &space, &soc, MemKind::Cache)
+        );
+        assert_eq!(
+            sweep_isolated(&trace, &space, &soc),
+            sweep(&trace, &space, &soc, MemKind::Isolated)
+        );
     }
 
     #[test]
@@ -478,7 +529,7 @@ mod tests {
         let trace = by_name("aes-aes").expect("kernel").run().trace;
         let space = DesignSpace::quick();
         let soc = SocConfig::default();
-        let results = sweep_dma(&trace, &space, &soc, DmaOptLevel::Baseline);
+        let results = sweep(&trace, &space, &soc, MemKind::Dma(DmaOptLevel::Baseline));
         for (p, r) in space.dma_points().iter().zip(&results) {
             assert_eq!(r.datapath.lanes, p.lanes);
             assert_eq!(r.datapath.partition, p.partition);
@@ -495,7 +546,7 @@ mod tests {
             ..DesignSpace::quick()
         };
         let soc = SocConfig::default();
-        let out = sweep_cache_checked(&trace, &space, &soc);
+        let out = sweep_checked(&trace, &space, &soc, MemKind::Cache);
         assert!(!out.rejected.is_empty());
         assert!(out.rejected.iter().all(|r| r.report.has_code("L0211")));
         assert_eq!(out.results.len(), out.accepted.len());
@@ -512,8 +563,8 @@ mod tests {
         let trace = by_name("fft-transpose").expect("kernel").run().trace;
         let space = DesignSpace::quick();
         let soc = SocConfig::default();
-        let plain = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
-        let checked = sweep_dma_checked(&trace, &space, &soc, DmaOptLevel::Full);
+        let plain = sweep(&trace, &space, &soc, FULL);
+        let checked = sweep_checked(&trace, &space, &soc, FULL);
         assert!(checked.rejected.is_empty());
         assert_eq!(plain.len(), checked.results.len());
         for (a, b) in plain.iter().zip(&checked.results) {
@@ -526,11 +577,11 @@ mod tests {
         let trace = by_name("fft-transpose").expect("kernel").run().trace;
         let space = DesignSpace::quick();
         let soc = SocConfig::default();
-        let a: Vec<u64> = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full)
+        let a: Vec<u64> = sweep(&trace, &space, &soc, FULL)
             .iter()
             .map(|r| r.total_cycles)
             .collect();
-        let b: Vec<u64> = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full)
+        let b: Vec<u64> = sweep(&trace, &space, &soc, FULL)
             .iter()
             .map(|r| r.total_cycles)
             .collect();
@@ -552,30 +603,40 @@ mod tests {
             let dma_ref: Vec<FlowResult> = space
                 .dma_points()
                 .iter()
-                .map(|p| aladdin_core::run_dma(&trace, &p.datapath(), &soc, DmaOptLevel::Full))
+                .map(|p| {
+                    simulate(&trace, &p.datapath(), &soc, &FlowSpec::new(FULL)).expect("completes")
+                })
                 .collect();
             let cache_ref: Vec<FlowResult> = space
                 .cache_points()
                 .iter()
-                .map(|p| aladdin_core::run_cache(&trace, &p.datapath(), &p.apply(&soc)))
+                .map(|p| {
+                    simulate(
+                        &trace,
+                        &p.datapath(),
+                        &p.apply(&soc),
+                        &FlowSpec::new(MemKind::Cache),
+                    )
+                    .expect("completes")
+                })
                 .collect();
 
             // Cold-ish pass (may or may not hit depending on test order —
             // either way the results must match the reference)...
-            let dma = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
-            let cache = sweep_cache(&trace, &space, &soc);
+            let dma = sweep(&trace, &space, &soc, FULL);
+            let cache = sweep(&trace, &space, &soc, MemKind::Cache);
             assert_eq!(dma, dma_ref, "{kernel}: dma sweep diverged");
             assert_eq!(cache, cache_ref, "{kernel}: cache sweep diverged");
 
             // ...and a guaranteed-warm pass, served from the result cache.
-            let (dma_warm, perf) = sweep_dma_perf(&trace, &space, &soc, DmaOptLevel::Full);
+            let (dma_warm, perf) = sweep_perf(&trace, &space, &soc, FULL);
             assert_eq!(dma_warm, dma_ref, "{kernel}: warm dma sweep diverged");
             assert_eq!(
                 perf.cache_hits,
                 space.dma_points().len() as u64,
                 "{kernel}: warm sweep should be all cache hits"
             );
-            let cache_warm = sweep_cache(&trace, &space, &soc);
+            let cache_warm = sweep(&trace, &space, &soc, MemKind::Cache);
             assert_eq!(cache_warm, cache_ref, "{kernel}: warm cache sweep diverged");
         }
     }
@@ -597,7 +658,7 @@ mod tests {
         // have pre-warmed the in-memory tier for these keys.
         let mut soc = SocConfig::default();
         soc.invoke_cycles += 17;
-        let first = sweep_cache(&trace, &space, &soc);
+        let first = sweep(&trace, &space, &soc, MemKind::Cache);
         let files = || {
             std::fs::read_dir(&dir)
                 .map(|d| d.filter_map(Result::ok).count())
@@ -611,7 +672,7 @@ mod tests {
         // New-process simulation: wipe the memory tier, sweep again. Every
         // point must come back from disk, bit-identical.
         reset_sweep_cache();
-        let (second, perf) = sweep_cache_perf(&trace, &space, &soc);
+        let (second, perf) = sweep_perf(&trace, &space, &soc, MemKind::Cache);
         assert_eq!(first, second, "disk tier round-trip diverged");
         assert_eq!(perf.cache_hits, space.cache_points().len() as u64);
 
@@ -620,7 +681,7 @@ mod tests {
         let before = files();
         let mut soc2 = soc;
         soc2.invoke_cycles += 1;
-        let shifted = sweep_cache(&trace, &space, &soc2);
+        let shifted = sweep(&trace, &space, &soc2, MemKind::Cache);
         assert!(files() > before, "changed config must re-simulate, not hit");
         assert_ne!(first, shifted);
 
@@ -645,8 +706,14 @@ mod tests {
                 no_progress_cycles: 4_000_000,
             },
         };
-        let out = sweep_dma_faulted(&trace, &space, &soc, DmaOptLevel::Baseline, &harness)
-            .expect("valid plan");
+        let out = sweep_faulted(
+            &trace,
+            &space,
+            &soc,
+            MemKind::Dma(DmaOptLevel::Baseline),
+            &harness,
+        )
+        .expect("valid plan");
         assert_eq!(out.results.len(), space.dma_points().len());
         assert!(!out.failures.is_empty(), "the tiny ceiling must trip");
         assert_eq!(out.perf.failures, out.failures.len() as u64);
@@ -662,17 +729,11 @@ mod tests {
         let trace = by_name("aes-aes").expect("kernel").run().trace;
         let space = DesignSpace::quick();
         let soc = SocConfig::default();
-        let out = sweep_dma_faulted(
-            &trace,
-            &space,
-            &soc,
-            DmaOptLevel::Full,
-            &SimHarness::default(),
-        )
-        .expect("valid plan");
+        let out =
+            sweep_faulted(&trace, &space, &soc, FULL, &SimHarness::default()).expect("valid plan");
         assert!(out.failures.is_empty());
         assert_eq!(out.perf.failures, 0);
-        let clean = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+        let clean = sweep(&trace, &space, &soc, FULL);
         let got: Vec<FlowResult> = out.results.into_iter().map(Option::unwrap).collect();
         assert_eq!(got, clean, "empty plan must be invisible");
     }
@@ -692,8 +753,7 @@ mod tests {
             plan,
             watchdog: Watchdog::default(),
         };
-        let err = sweep_dma_faulted(&trace, &space, &soc, DmaOptLevel::Full, &harness)
-            .expect_err("invalid rate");
+        let err = sweep_faulted(&trace, &space, &soc, FULL, &harness).expect_err("invalid rate");
         assert!(err.has_code("L0240"), "{}", err.to_human());
     }
 
@@ -708,24 +768,24 @@ mod tests {
         let mut soc = SocConfig::default();
         soc.invoke_cycles += 29;
         let h = SimHarness::with_seed(11);
-        let faulted =
-            sweep_dma_faulted(&trace, &space, &soc, DmaOptLevel::Full, &h).expect("valid plan");
+        let faulted = sweep_faulted(&trace, &space, &soc, FULL, &h).expect("valid plan");
         assert_eq!(
             faulted.perf.cache_hits, 0,
             "faulted sweeps must not read the cache"
         );
         // A clean sweep afterwards matches sequential plain flows — the
         // faulted pass left nothing perturbed behind.
-        let clean = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+        let clean = sweep(&trace, &space, &soc, FULL);
         let sequential: Vec<FlowResult> = space
             .dma_points()
             .iter()
-            .map(|p| aladdin_core::run_dma(&trace, &p.datapath(), &soc, DmaOptLevel::Full))
+            .map(|p| {
+                simulate(&trace, &p.datapath(), &soc, &FlowSpec::new(FULL)).expect("completes")
+            })
             .collect();
         assert_eq!(clean, sequential, "faulted results leaked into the cache");
         // Same seed, same outcome — and still no cache interaction.
-        let again =
-            sweep_dma_faulted(&trace, &space, &soc, DmaOptLevel::Full, &h).expect("valid plan");
+        let again = sweep_faulted(&trace, &space, &soc, FULL, &h).expect("valid plan");
         assert_eq!(again.perf.cache_hits, 0);
         assert_eq!(faulted.results, again.results);
     }
@@ -737,7 +797,8 @@ mod tests {
         let trace = by_name("aes-aes").expect("kernel").run().trace;
         let space = DesignSpace::quick();
         let soc = SocConfig::default();
-        let (_, first) = sweep_dma_perf(&trace, &space, &soc, DmaOptLevel::Pipelined);
+        let kind = MemKind::Dma(DmaOptLevel::Pipelined);
+        let (_, first) = sweep_perf(&trace, &space, &soc, kind);
         let n = space.dma_points().len() as u64;
         assert_eq!(first.points, n);
         assert!(first.wall_ns > 0);
@@ -748,7 +809,7 @@ mod tests {
             assert!(first.stepped_cycles > 0);
         }
         // A second, warm sweep is all hits and does no scheduler work.
-        let (_, warm) = sweep_dma_perf(&trace, &space, &soc, DmaOptLevel::Pipelined);
+        let (_, warm) = sweep_perf(&trace, &space, &soc, kind);
         assert_eq!(warm.cache_hits, n);
         assert_eq!(warm.events, 0);
         // Both sweeps landed in the process-wide accumulator.

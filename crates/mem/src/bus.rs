@@ -23,6 +23,20 @@ impl MasterId {
 
     /// Number of distinct masters the bus provisions queues for.
     pub const COUNT: usize = 4;
+
+    /// Register the `index`-th client of a multi-accelerator SoC: each
+    /// concurrent job (DMA- or cache-based alike) claims one arbitration
+    /// queue. Returns `None` once the bus is out of queues — callers
+    /// surface that as a typed configuration error instead of indexing
+    /// out of bounds.
+    #[must_use]
+    pub fn job(index: usize) -> Option<MasterId> {
+        if index < MasterId::COUNT {
+            Some(MasterId(index as u8))
+        } else {
+            None
+        }
+    }
 }
 
 /// Token identifying an outstanding bus request.

@@ -14,6 +14,12 @@
 //!                            (optionally with a seeded bug)
 //!   faultplan FILE...        validate fault-plan files (bounds, rates,
 //!                            format) before a fault-injection run
+//!   flowspec FILE...         validate multi-accelerator job-set files
+//!                            (one `job KERNEL MEM [OPT] [launch N]
+//!                            [master N]` per line) against the unified
+//!                            flow engine's preflight: cache flows with
+//!                            zero MSHRs/ports, duplicate bus masters,
+//!                            more than one cache job, empty job sets
 //!   all                      trace + config + sweep + protocol
 //! ```
 //!
@@ -42,7 +48,7 @@ enum Format {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soclint [--format human|json] <trace [KERNEL...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | all>"
+        "usage: soclint [--format human|json] <trace [KERNEL...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | flowspec FILE... | all>"
     );
     std::process::exit(2);
 }
@@ -74,6 +80,7 @@ fn main() {
         "sweep" => lint_fig3_space(),
         "protocol" => vec![lint_protocol(cmd_args)],
         "faultplan" => lint_fault_plans(cmd_args),
+        "flowspec" => lint_flowspecs(cmd_args),
         "all" => {
             let mut t = lint_traces(&[]);
             t.push(lint_default_config());
@@ -246,6 +253,106 @@ fn lint_fault_plans(paths: &[String]) -> Vec<Target> {
                 Err(e) => report.push(Diagnostic::error(
                     "L0243",
                     format!("cannot read fault plan: {e}"),
+                )),
+            }
+            Target {
+                name: path.clone(),
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Parse one `job` line of a flowspec file into an [`AcceleratorJob`].
+///
+/// Grammar: `job KERNEL isolated|dma|cache [baseline|pipelined|full]
+/// [launch N] [master N]`.
+fn parse_flowspec_job(line: &str) -> Result<aladdin_core::AcceleratorJob, String> {
+    use aladdin_core::{AcceleratorJob, DmaOptLevel, MasterId, MemKind};
+    let mut words = line.split_whitespace();
+    if words.next() != Some("job") {
+        return Err(format!("expected `job ...`, got {line:?}"));
+    }
+    let name = words.next().ok_or("missing kernel name")?;
+    let kernel = by_name(name).ok_or_else(|| format!("unknown kernel {name:?}"))?;
+    let mem = words.next().ok_or("missing memory system")?;
+    let mut words = words.peekable();
+    let kind = match mem {
+        "isolated" => MemKind::Isolated,
+        "cache" => MemKind::Cache,
+        "dma" => {
+            let opt = match words.peek().copied() {
+                Some("baseline") => Some(DmaOptLevel::Baseline),
+                Some("pipelined") => Some(DmaOptLevel::Pipelined),
+                Some("full") => Some(DmaOptLevel::Full),
+                _ => None,
+            };
+            if opt.is_some() {
+                words.next();
+            }
+            MemKind::Dma(opt.unwrap_or(DmaOptLevel::Full))
+        }
+        other => return Err(format!("unknown memory system {other:?}")),
+    };
+    let mut job = AcceleratorJob::new(kernel.run().trace, DatapathConfig::default(), kind, 0);
+    while let Some(key) = words.next() {
+        let value = words
+            .next()
+            .ok_or_else(|| format!("`{key}` needs a value"))?;
+        let n: u64 = value
+            .parse()
+            .map_err(|_| format!("`{key}` value {value:?} is not a number"))?;
+        match key {
+            "launch" => job.launch_at = n,
+            "master" => {
+                job = job.with_master(MasterId(
+                    u8::try_from(n).map_err(|_| format!("master {n} out of range"))?,
+                ));
+            }
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    Ok(job)
+}
+
+/// Validate multi-accelerator job-set files against the unified flow
+/// engine's preflight: `L0254` on malformed lines, then the same
+/// `validate_multi_jobs` the runtime applies (`L0250`–`L0253`), so a
+/// flowspec that lints clean here is accepted by `simulate_multi`.
+fn lint_flowspecs(paths: &[String]) -> Vec<Target> {
+    if paths.is_empty() {
+        usage();
+    }
+    let soc = SocConfig::default();
+    paths
+        .iter()
+        .map(|path| {
+            let mut report = Report::new();
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let mut jobs = Vec::new();
+                    for (lineno, line) in text.lines().enumerate() {
+                        let line = line.trim();
+                        if line.is_empty() || line.starts_with('#') {
+                            continue;
+                        }
+                        match parse_flowspec_job(line) {
+                            Ok(job) => jobs.push(job),
+                            Err(e) => report.push(Diagnostic::error(
+                                "L0254",
+                                format!("line {}: {e}", lineno + 1),
+                            )),
+                        }
+                    }
+                    report.push(Diagnostic::info(
+                        "L0254",
+                        format!("flowspec parsed: {} job(s)", jobs.len()),
+                    ));
+                    report.merge(aladdin_core::validate_multi_jobs(&jobs, &soc));
+                }
+                Err(e) => report.push(Diagnostic::error(
+                    "L0254",
+                    format!("cannot read flowspec: {e}"),
                 )),
             }
             Target {

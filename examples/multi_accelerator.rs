@@ -1,30 +1,40 @@
 //! Multiple accelerators sharing one SoC (Figure 3's ACCEL0/ACCEL1):
-//! how bus contention stretches each accelerator's latency, and how much
-//! staggering the launches recovers.
+//! how bus contention stretches each accelerator's latency, how much
+//! staggering the launches recovers, and a heterogeneous mix — one
+//! cache-based accelerator co-scheduled cycle-by-cycle against a DMA
+//! accelerator on the same bus.
 //!
 //! ```sh
 //! cargo run --release -p aladdin-core --example multi_accelerator
 //! ```
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{run_multi_dma, AcceleratorJob, DmaOptLevel, SocConfig};
+use aladdin_core::{simulate_multi, AcceleratorJob, DmaOptLevel, SimHarness, SocConfig};
 use aladdin_workloads::by_name;
 
-fn job(name: &str, launch_at: u64) -> AcceleratorJob {
-    AcceleratorJob {
-        trace: by_name(name).expect("kernel").run().trace,
-        datapath: DatapathConfig {
-            lanes: 4,
-            partition: 4,
-            ..DatapathConfig::default()
-        },
-        opt: DmaOptLevel::Pipelined,
-        launch_at,
+fn dp() -> DatapathConfig {
+    DatapathConfig {
+        lanes: 4,
+        partition: 4,
+        ..DatapathConfig::default()
     }
 }
 
+fn job(name: &str, launch_at: u64) -> AcceleratorJob {
+    AcceleratorJob::dma(
+        by_name(name).expect("kernel").run().trace,
+        dp(),
+        DmaOptLevel::Pipelined,
+        launch_at,
+    )
+}
+
+fn cache_job(name: &str, launch_at: u64) -> AcceleratorJob {
+    AcceleratorJob::cache(by_name(name).expect("kernel").run().trace, dp(), launch_at)
+}
+
 fn report(label: &str, jobs: &[AcceleratorJob], soc: &SocConfig) {
-    let r = run_multi_dma(jobs, soc);
+    let r = simulate_multi(jobs, soc, &SimHarness::default()).expect("simulation completes");
     println!(
         "\n{label}: bus moved {} KB, {:.0}% utilized",
         r.bus_bytes / 1024,
@@ -32,13 +42,16 @@ fn report(label: &str, jobs: &[AcceleratorJob], soc: &SocConfig) {
     );
     for a in &r.accelerators {
         println!(
-            "  {:<20} launch {:>6}  data-in {:>6}  compute {:>6}  done {:>6}  (latency {})",
+            "  {:<20} {:<10} launch {:>6}  data-in {:>6}  compute {:>6}  done {:>6}  \
+             (latency {}, bus {} KB)",
             a.kernel,
+            a.kind.to_string(),
             a.launched,
             a.data_in_done,
             a.compute_done,
             a.end,
-            a.latency()
+            a.latency(),
+            a.bus_bytes / 1024
         );
     }
 }
@@ -76,6 +89,16 @@ fn main() {
             job("spmv-crs", 0),
             job("fft-transpose", 0),
         ],
+        &soc,
+    );
+
+    // The paper's heterogeneous pairing: a cache-based accelerator
+    // (fills arbitrate on the bus as they miss) next to a DMA
+    // accelerator (bulk transfers), both against one DRAM.
+    report("cache accelerator alone", &[cache_job("spmv-crs", 0)], &soc);
+    report(
+        "heterogeneous: cache + DMA on one bus",
+        &[cache_job("spmv-crs", 0), job("stencil-stencil2d", 0)],
         &soc,
     );
 }

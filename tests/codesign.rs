@@ -1,9 +1,7 @@
 //! End-to-end co-design tests: the Figure 1/9/10 claims on real sweeps.
 
-use aladdin_core::{DmaOptLevel, SocConfig};
-use aladdin_dse::{
-    edp_optimal, pareto_frontier, run_codesign, sweep_dma, sweep_isolated, DesignSpace,
-};
+use aladdin_core::{DmaOptLevel, MemKind, SocConfig};
+use aladdin_dse::{edp_optimal, pareto_frontier, run_codesign, sweep, DesignSpace};
 use aladdin_workloads::by_name;
 
 fn space() -> DesignSpace {
@@ -26,8 +24,8 @@ fn isolated_designs_overprovision() {
     let trace = by_name("stencil-stencil3d").expect("kernel").run().trace;
     let soc = SocConfig::default();
     let space = space();
-    let iso = sweep_isolated(&trace, &space, &soc);
-    let dma = sweep_dma(&trace, &space, &soc, DmaOptLevel::Full);
+    let iso = sweep(&trace, &space, &soc, MemKind::Isolated);
+    let dma = sweep(&trace, &space, &soc, MemKind::Dma(DmaOptLevel::Full));
     let iso_opt = edp_optimal(&iso).unwrap();
     let dma_opt = edp_optimal(&dma).unwrap();
     let iso_bw = iso_opt.datapath.lanes * iso_opt.datapath.partition;
@@ -82,7 +80,7 @@ fn codesigned_kiviat_is_leaner() {
 fn pareto_frontier_properties() {
     let trace = by_name("fft-transpose").expect("kernel").run().trace;
     let soc = SocConfig::default();
-    let results = sweep_dma(&trace, &space(), &soc, DmaOptLevel::Full);
+    let results = sweep(&trace, &space(), &soc, MemKind::Dma(DmaOptLevel::Full));
     let frontier = pareto_frontier(&results);
     assert!(!frontier.is_empty());
     for &i in &frontier {

@@ -1,0 +1,158 @@
+//! Golden bit-exactness suite for the unified flow engine.
+//!
+//! The `FlowSpec` refactor's contract is that `simulate` is the *same
+//! simulation* the legacy `run_*` entry points performed — not a close
+//! approximation. Every bundled kernel, under every memory-system kind,
+//! must produce a structurally equal [`FlowResult`] (full `PartialEq`:
+//! cycles, phases, energy inputs, and every stats block) through the
+//! unified entry point, the deprecated free functions, and the `Soc`
+//! convenience wrappers. A heterogeneous multi-accelerator run rides
+//! along: cache + DMA jobs on one bus must complete under the watchdog,
+//! be deterministic, and each be no faster than its solo run.
+
+use aladdin_accel::DatapathConfig;
+use aladdin_core::{
+    simulate, simulate_multi, AcceleratorJob, DmaOptLevel, FlowSpec, MemKind, SimHarness, Soc,
+    SocConfig,
+};
+use aladdin_workloads::all_kernels;
+
+fn dp(lanes: u32) -> DatapathConfig {
+    DatapathConfig {
+        lanes,
+        partition: lanes,
+        ..DatapathConfig::default()
+    }
+}
+
+const KINDS: [MemKind; 3] = [
+    MemKind::Isolated,
+    MemKind::Dma(DmaOptLevel::Full),
+    MemKind::Cache,
+];
+
+/// Every kernel × {isolated, dma, cache}: the unified engine reproduces
+/// the deprecated free functions bit-exactly.
+#[test]
+#[allow(deprecated)]
+fn unified_engine_matches_legacy_entry_points_everywhere() {
+    let soc = SocConfig::default();
+    let d = dp(2);
+    for kernel in all_kernels() {
+        let trace = kernel.run().trace;
+        for kind in KINDS {
+            let unified = simulate(&trace, &d, &soc, &FlowSpec::new(kind))
+                .unwrap_or_else(|e| panic!("{} {kind}: {e}", kernel.name()));
+            let legacy = match kind {
+                MemKind::Isolated => aladdin_core::run_isolated(&trace, &d, &soc),
+                MemKind::Dma(opt) => aladdin_core::run_dma(&trace, &d, &soc, opt),
+                MemKind::Cache => aladdin_core::run_cache(&trace, &d, &soc),
+            };
+            assert_eq!(unified, legacy, "{} {kind}", kernel.name());
+        }
+    }
+}
+
+/// The `Soc` convenience wrappers are the same engine too, for every DMA
+/// optimization level.
+#[test]
+fn soc_wrappers_match_the_engine() {
+    let soc_cfg = SocConfig::default();
+    let soc = Soc::new(soc_cfg);
+    let d = dp(4);
+    for kernel in all_kernels().into_iter().take(4) {
+        let trace = kernel.run().trace;
+        assert_eq!(
+            soc.run_isolated(&trace, &d),
+            simulate(&trace, &d, &soc_cfg, &FlowSpec::new(MemKind::Isolated)).unwrap(),
+            "{} isolated",
+            kernel.name()
+        );
+        for opt in DmaOptLevel::ALL {
+            assert_eq!(
+                soc.run_dma(&trace, &d, opt),
+                simulate(&trace, &d, &soc_cfg, &FlowSpec::new(MemKind::Dma(opt))).unwrap(),
+                "{} dma {opt}",
+                kernel.name()
+            );
+        }
+        assert_eq!(
+            soc.run_cache(&trace, &d),
+            simulate(&trace, &d, &soc_cfg, &FlowSpec::new(MemKind::Cache)).unwrap(),
+            "{} cache",
+            kernel.name()
+        );
+    }
+}
+
+/// Heterogeneous SoC (paper Fig. 3 ACCEL0/ACCEL1): a cache-based and a
+/// DMA-based accelerator sharing one bus complete under the default
+/// watchdog, contention makes neither faster than its solo run, and the
+/// co-run reproduces bit-exactly.
+#[test]
+fn heterogeneous_multi_contends_and_reproduces() {
+    let soc = SocConfig::default();
+    let h = SimHarness::default();
+    let d = dp(4);
+    let cache_trace = aladdin_workloads::by_name("spmv-crs")
+        .expect("kernel")
+        .run()
+        .trace;
+    let dma_trace = aladdin_workloads::by_name("stencil-stencil2d")
+        .expect("kernel")
+        .run()
+        .trace;
+
+    let solo_cache = simulate_multi(
+        &[AcceleratorJob::cache(cache_trace.clone(), d, 0)],
+        &soc,
+        &h,
+    )
+    .expect("solo cache run completes");
+    let solo_dma = simulate_multi(
+        &[AcceleratorJob::dma(
+            dma_trace.clone(),
+            d,
+            DmaOptLevel::Pipelined,
+            0,
+        )],
+        &soc,
+        &h,
+    )
+    .expect("solo dma run completes");
+
+    let jobs = [
+        AcceleratorJob::cache(cache_trace, d, 0),
+        AcceleratorJob::dma(dma_trace, d, DmaOptLevel::Pipelined, 0),
+    ];
+    let co = simulate_multi(&jobs, &soc, &h).expect("heterogeneous run completes");
+    assert_eq!(co.accelerators.len(), 2);
+    assert_eq!(co.accelerators[0].kind, MemKind::Cache);
+    assert_eq!(
+        co.accelerators[1].kind,
+        MemKind::Dma(DmaOptLevel::Pipelined)
+    );
+
+    // Sharing the bus can only slow each accelerator down.
+    assert!(
+        co.accelerators[0].latency() >= solo_cache.accelerators[0].latency(),
+        "cache job sped up under contention: {} vs solo {}",
+        co.accelerators[0].latency(),
+        solo_cache.accelerators[0].latency()
+    );
+    assert!(
+        co.accelerators[1].latency() >= solo_dma.accelerators[0].latency(),
+        "dma job sped up under contention: {} vs solo {}",
+        co.accelerators[1].latency(),
+        solo_dma.accelerators[0].latency()
+    );
+    // And at least one of them actually pays for the contention.
+    assert!(
+        co.accelerators[0].latency() > solo_cache.accelerators[0].latency()
+            || co.accelerators[1].latency() > solo_dma.accelerators[0].latency(),
+        "co-running on one bus must cost somebody cycles"
+    );
+
+    let again = simulate_multi(&jobs, &soc, &h).expect("rerun completes");
+    assert_eq!(co, again, "heterogeneous co-run must be deterministic");
+}

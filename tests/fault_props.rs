@@ -12,8 +12,8 @@
 
 use aladdin_accel::DatapathConfig;
 use aladdin_core::{
-    run_cache, run_dma, run_isolated, try_run_cache, try_run_dma, try_run_isolated, DmaOptLevel,
-    FaultPlan, FaultSpec, NackSpec, SimHarness, SocConfig, Watchdog,
+    simulate, DmaOptLevel, FaultPlan, FaultSpec, FlowResult, FlowSpec, MemKind, NackSpec, SimError,
+    SimHarness, SocConfig, Watchdog,
 };
 use aladdin_ir::Trace;
 use aladdin_rng::SmallRng;
@@ -29,6 +29,20 @@ fn dp(lanes: u32, partition: u32) -> DatapathConfig {
         partition,
         ..DatapathConfig::default()
     }
+}
+
+fn run(trace: &Trace, d: &DatapathConfig, soc: &SocConfig, kind: MemKind) -> FlowResult {
+    simulate(trace, d, soc, &FlowSpec::new(kind)).expect("flow completes")
+}
+
+fn try_run(
+    trace: &Trace,
+    d: &DatapathConfig,
+    soc: &SocConfig,
+    kind: MemKind,
+    h: &SimHarness,
+) -> Result<FlowResult, SimError> {
+    simulate(trace, d, soc, &FlowSpec::new(kind).with_harness(h))
 }
 
 /// A random but *bounded* plan: every rate below 1, every magnitude and
@@ -71,20 +85,20 @@ fn empty_plan_is_bit_identical_for_every_flow() {
     for name in ["aes-aes", "fft-transpose"] {
         let trace = trace_of(name);
         assert_eq!(
-            try_run_isolated(&trace, &d, &soc, &h).unwrap(),
-            run_isolated(&trace, &d, &soc),
+            try_run(&trace, &d, &soc, MemKind::Isolated, &h).unwrap(),
+            run(&trace, &d, &soc, MemKind::Isolated),
             "{name} isolated"
         );
         for opt in [DmaOptLevel::Baseline, DmaOptLevel::Full] {
             assert_eq!(
-                try_run_dma(&trace, &d, &soc, opt, &h).unwrap(),
-                run_dma(&trace, &d, &soc, opt),
+                try_run(&trace, &d, &soc, MemKind::Dma(opt), &h).unwrap(),
+                run(&trace, &d, &soc, MemKind::Dma(opt)),
                 "{name} dma {opt}"
             );
         }
         assert_eq!(
-            try_run_cache(&trace, &d, &soc, &h).unwrap(),
-            run_cache(&trace, &d, &soc),
+            try_run(&trace, &d, &soc, MemKind::Cache, &h).unwrap(),
+            run(&trace, &d, &soc, MemKind::Cache),
             "{name} cache"
         );
     }
@@ -95,8 +109,8 @@ fn random_bounded_plans_always_terminate_and_reproduce() {
     let trace = trace_of("fft-transpose");
     let soc = SocConfig::default();
     let d = dp(2, 2);
-    let baseline_dma = run_dma(&trace, &d, &soc, DmaOptLevel::Full);
-    let baseline_cache = run_cache(&trace, &d, &soc);
+    let baseline_dma = run(&trace, &d, &soc, MemKind::Dma(DmaOptLevel::Full));
+    let baseline_cache = run(&trace, &d, &soc, MemKind::Cache);
     for seed in 0..6u64 {
         let plan = random_bounded_plan(seed);
         assert!(!plan.validate().has_errors(), "plan {seed} must be valid");
@@ -104,28 +118,31 @@ fn random_bounded_plans_always_terminate_and_reproduce() {
             plan,
             watchdog: Watchdog::default(),
         };
-        let iso = try_run_isolated(&trace, &d, &soc, &h)
+        let iso = try_run(&trace, &d, &soc, MemKind::Isolated, &h)
             .unwrap_or_else(|e| panic!("isolated seed {seed}: {e}"));
         assert!(iso.total_cycles > 0);
-        let dma = try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h)
+        let dma = try_run(&trace, &d, &soc, MemKind::Dma(DmaOptLevel::Full), &h)
             .unwrap_or_else(|e| panic!("dma seed {seed}: {e}"));
         assert!(
             dma.total_cycles >= baseline_dma.total_cycles,
             "seed {seed}: faults cannot speed DMA up"
         );
-        let cache = try_run_cache(&trace, &d, &soc, &h)
+        let cache = try_run(&trace, &d, &soc, MemKind::Cache, &h)
             .unwrap_or_else(|e| panic!("cache seed {seed}: {e}"));
         assert!(
             cache.total_cycles >= baseline_cache.total_cycles,
             "seed {seed}: faults cannot speed the cache flow up"
         );
         // Same seed, same result — per-site RNGs are rebuilt per run.
-        let dma2 = try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h).unwrap();
+        let dma2 = try_run(&trace, &d, &soc, MemKind::Dma(DmaOptLevel::Full), &h).unwrap();
         assert_eq!(dma, dma2, "seed {seed} must reproduce bit-exactly");
     }
     // All that injection left the no-fault baseline untouched.
-    assert_eq!(run_dma(&trace, &d, &soc, DmaOptLevel::Full), baseline_dma);
-    assert_eq!(run_cache(&trace, &d, &soc), baseline_cache);
+    assert_eq!(
+        run(&trace, &d, &soc, MemKind::Dma(DmaOptLevel::Full)),
+        baseline_dma
+    );
+    assert_eq!(run(&trace, &d, &soc, MemKind::Cache), baseline_cache);
 }
 
 #[test]
@@ -139,7 +156,14 @@ fn watchdog_expiry_is_typed_and_forensic() {
             no_progress_cycles: 4_000_000,
         },
     };
-    let err = try_run_dma(&trace, &dp(2, 2), &soc, DmaOptLevel::Baseline, &h).unwrap_err();
+    let err = try_run(
+        &trace,
+        &dp(2, 2),
+        &soc,
+        MemKind::Dma(DmaOptLevel::Baseline),
+        &h,
+    )
+    .unwrap_err();
     assert_eq!(err.code(), "L0233", "{err}");
     let json = err.to_report().to_json();
     assert!(json.contains("watchdog expired"), "{json}");
@@ -147,7 +171,7 @@ fn watchdog_expiry_is_typed_and_forensic() {
     assert!(json.contains("bus:"), "{json}");
     assert!(json.contains("dma:"), "{json}");
 
-    let err = try_run_isolated(&trace, &dp(2, 2), &soc, &h).unwrap_err();
+    let err = try_run(&trace, &dp(2, 2), &soc, MemKind::Isolated, &h).unwrap_err();
     assert_eq!(err.code(), "L0233", "{err}");
 }
 
@@ -160,7 +184,7 @@ fn from_seed_plans_run_every_flow() {
     let h = SimHarness::with_seed(42);
     assert!(!h.plan.is_empty());
     assert!(!h.plan.validate().has_errors());
-    try_run_isolated(&trace, &d, &soc, &h).unwrap();
-    try_run_dma(&trace, &d, &soc, DmaOptLevel::Full, &h).unwrap();
-    try_run_cache(&trace, &d, &soc, &h).unwrap();
+    try_run(&trace, &d, &soc, MemKind::Isolated, &h).unwrap();
+    try_run(&trace, &d, &soc, MemKind::Dma(DmaOptLevel::Full), &h).unwrap();
+    try_run(&trace, &d, &soc, MemKind::Cache, &h).unwrap();
 }

@@ -5,9 +5,21 @@
 //! so `proptest` is unavailable).
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{run_cache, run_dma, run_isolated, DmaOptLevel, SocConfig};
+use aladdin_core::{simulate, DmaOptLevel, FlowResult, FlowSpec, MemKind, SocConfig};
 use aladdin_ir::{ArrayKind, Opcode, TVal, Trace, Tracer};
 use aladdin_rng::SmallRng;
+
+fn run_isolated(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(MemKind::Isolated)).expect("flow completes")
+}
+
+fn run_dma(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig, opt: DmaOptLevel) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(MemKind::Dma(opt))).expect("flow completes")
+}
+
+fn run_cache(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig) -> FlowResult {
+    simulate(trace, dp, soc, &FlowSpec::new(MemKind::Cache)).expect("flow completes")
+}
 
 /// A random streaming kernel: `iters` iterations, `loads_per_iter` loads
 /// feeding a small FP expression, one store.

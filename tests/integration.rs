@@ -140,7 +140,7 @@ fn traces_serialize_round_trip() {
 
 #[test]
 fn multi_accelerator_conserves_single_job_behavior() {
-    use aladdin_core::{run_multi_dma, AcceleratorJob};
+    use aladdin_core::{simulate_multi, AcceleratorJob, SimHarness};
     let soc_cfg = SocConfig::default();
     for name in ["md-knn", "fft-transpose"] {
         let trace = aladdin_workloads::by_name(name)
@@ -148,16 +148,13 @@ fn multi_accelerator_conserves_single_job_behavior() {
             .run()
             .trace;
         let d = dp(4, 4);
-        let single = aladdin_core::run_dma(&trace, &d, &soc_cfg, DmaOptLevel::Pipelined);
-        let multi = run_multi_dma(
-            &[AcceleratorJob {
-                trace,
-                datapath: d,
-                opt: DmaOptLevel::Pipelined,
-                launch_at: 0,
-            }],
+        let single = Soc::new(soc_cfg).run_dma(&trace, &d, DmaOptLevel::Pipelined);
+        let multi = simulate_multi(
+            &[AcceleratorJob::dma(trace, d, DmaOptLevel::Pipelined, 0)],
             &soc_cfg,
-        );
+            &SimHarness::default(),
+        )
+        .expect("multi run completes");
         let m = multi.accelerators[0].end;
         let s = single.total_cycles;
         assert!(

@@ -3,11 +3,24 @@
 //! direction.
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{run_cache, run_dma, DmaOptLevel, SocConfig};
+use aladdin_core::{simulate, DmaOptLevel, FlowResult, FlowSpec, MemKind, SocConfig};
 use aladdin_workloads::by_name;
 
 fn trace_of(name: &str) -> aladdin_ir::Trace {
     by_name(name).expect("kernel").run().trace
+}
+
+fn run_dma(
+    trace: &aladdin_ir::Trace,
+    d: &DatapathConfig,
+    soc: &SocConfig,
+    opt: DmaOptLevel,
+) -> FlowResult {
+    simulate(trace, d, soc, &FlowSpec::new(MemKind::Dma(opt))).expect("flow completes")
+}
+
+fn run_cache(trace: &aladdin_ir::Trace, d: &DatapathConfig, soc: &SocConfig) -> FlowResult {
+    simulate(trace, d, soc, &FlowSpec::new(MemKind::Cache)).expect("flow completes")
 }
 
 fn dp(lanes: u32) -> DatapathConfig {
