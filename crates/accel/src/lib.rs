@@ -51,7 +51,7 @@ mod meminterface;
 mod power;
 mod scheduler;
 
-pub use config::{DatapathConfig, LaneSync};
+pub use config::{DatapathConfig, DatapathConfigBuilder, LaneSync};
 pub use dddg::Dddg;
 pub use fu::FuTiming;
 pub use meminterface::{DatapathMemory, IssueResult, SpadMemory, SpadStats};

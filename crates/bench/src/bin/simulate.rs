@@ -14,12 +14,14 @@
 
 use aladdin_accel::DatapathConfig;
 use aladdin_core::{
-    simulate, simulate_multi, AcceleratorJob, DmaOptLevel, FlowSpec, MemKind, SimHarness, SocConfig,
+    simulate, simulate_multi, AcceleratorJob, DmaOptLevel, FlowSpec, SimHarness, SocConfig,
 };
 use aladdin_dse::run_point_cached;
-use aladdin_workloads::{all_kernels, by_name};
+use aladdin_spec::{parse_job, parse_mem_kind, parse_opt_level, CommonArgs, OutputFormat};
+use aladdin_workloads::all_kernels;
 
 struct Args {
+    common: CommonArgs,
     kernel: String,
     mem: String,
     opt: DmaOptLevel,
@@ -29,8 +31,6 @@ struct Args {
     cache_kb: u64,
     cache_ports: u32,
     traffic_period: Option<u64>,
-    fault_seed: Option<u64>,
-    multi: Vec<String>,
 }
 
 fn usage() -> ! {
@@ -38,7 +38,8 @@ fn usage() -> ! {
         "usage: simulate [--kernel NAME] [--mem isolated|dma|cache] \
          [--opt baseline|pipelined|full] [--lanes N] [--partition N] \
          [--bus-bits 32|64] [--cache-kb N] [--cache-ports N] \
-         [--traffic-period CYCLES] [--faults SEED] [--list] \
+         [--traffic-period CYCLES] [--faults SEED] [--cache off|mem|full] \
+         [--json | --format human|json] [--list] \
          [--multi KERNEL:MEM[:OPT][:LAUNCH]]..."
     );
     eprintln!(
@@ -50,6 +51,7 @@ fn usage() -> ! {
 
 fn parse_args() -> Args {
     let mut args = Args {
+        common: CommonArgs::new(),
         kernel: "stencil-stencil3d".to_owned(),
         mem: "dma".to_owned(),
         opt: DmaOptLevel::Full,
@@ -59,96 +61,55 @@ fn parse_args() -> Args {
         cache_kb: 4,
         cache_ports: 2,
         traffic_period: None,
-        fault_seed: None,
-        multi: Vec::new(),
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        let value = |i: &mut usize| -> String {
-            *i += 1;
-            argv.get(*i).cloned().unwrap_or_else(|| usage())
-        };
-        match argv[i].as_str() {
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        // The shared vocabulary (`--faults`, `--cache`, `--multi`,
+        // `--json`/`--format`) parses exactly as it does for `sweep` and
+        // `soclint`.
+        match args.common.consume(&arg, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("simulate: {e}");
+                usage();
+            }
+        }
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
             "--list" => {
                 for k in all_kernels() {
                     println!("{:<20} {}", k.name(), k.description());
                 }
                 std::process::exit(0);
             }
-            "--kernel" => args.kernel = value(&mut i),
-            "--mem" => args.mem = value(&mut i),
+            "--kernel" => args.kernel = value(),
+            "--mem" => args.mem = value(),
             "--opt" => {
-                args.opt = match value(&mut i).as_str() {
-                    "baseline" => DmaOptLevel::Baseline,
-                    "pipelined" => DmaOptLevel::Pipelined,
-                    "full" => DmaOptLevel::Full,
-                    _ => usage(),
-                }
+                args.opt = parse_opt_level(&value()).unwrap_or_else(|e| {
+                    eprintln!("simulate: --opt: {e}");
+                    usage();
+                });
             }
-            "--lanes" => args.lanes = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--partition" => args.partition = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--bus-bits" => args.bus_bits = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--cache-kb" => args.cache_kb = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--lanes" => args.lanes = value().parse().unwrap_or_else(|_| usage()),
+            "--partition" => args.partition = value().parse().unwrap_or_else(|_| usage()),
+            "--bus-bits" => args.bus_bits = value().parse().unwrap_or_else(|_| usage()),
+            "--cache-kb" => args.cache_kb = value().parse().unwrap_or_else(|_| usage()),
             "--cache-ports" => {
-                args.cache_ports = value(&mut i).parse().unwrap_or_else(|_| usage());
+                args.cache_ports = value().parse().unwrap_or_else(|_| usage());
             }
             "--traffic-period" => {
-                args.traffic_period = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
+                args.traffic_period = Some(value().parse().unwrap_or_else(|_| usage()));
             }
-            "--faults" => {
-                args.fault_seed = Some(value(&mut i).parse().unwrap_or_else(|_| usage()));
-            }
-            "--multi" => args.multi.push(value(&mut i)),
             _ => usage(),
         }
-        i += 1;
     }
     args
 }
 
-/// Parse one `--multi` spec: `KERNEL:MEM[:OPT][:LAUNCH]`, where MEM is
-/// `isolated`, `dma`, or `cache`, OPT (DMA only) is
-/// `baseline|pipelined|full`, and LAUNCH is a cycle count.
-fn parse_job(spec: &str, dp: DatapathConfig) -> Result<AcceleratorJob, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    let (name, mem) = match parts.as_slice() {
-        [name, mem, ..] => (*name, *mem),
-        _ => return Err(format!("{spec:?}: expected KERNEL:MEM[:OPT][:LAUNCH]")),
-    };
-    let kernel = by_name(name).ok_or_else(|| format!("unknown kernel {name:?}; use --list"))?;
-    let mut rest = parts[2..].iter();
-    let kind = match mem {
-        "isolated" => MemKind::Isolated,
-        "cache" => MemKind::Cache,
-        "dma" => {
-            let opt = match rest.clone().next().copied() {
-                Some("baseline") => Some(DmaOptLevel::Baseline),
-                Some("pipelined") => Some(DmaOptLevel::Pipelined),
-                Some("full") => Some(DmaOptLevel::Full),
-                _ => None,
-            };
-            if opt.is_some() {
-                rest.next();
-            }
-            MemKind::Dma(opt.unwrap_or(DmaOptLevel::Full))
-        }
-        other => return Err(format!("{spec:?}: unknown memory system {other:?}")),
-    };
-    let launch_at = match rest.next() {
-        Some(s) => s
-            .parse()
-            .map_err(|_| format!("{spec:?}: bad launch cycle {s:?}"))?,
-        None => 0,
-    };
-    if rest.next().is_some() {
-        return Err(format!("{spec:?}: trailing fields"));
-    }
-    Ok(AcceleratorJob::new(kernel.run().trace, dp, kind, launch_at))
-}
-
 fn run_multi(args: &Args, soc_cfg: &SocConfig, dp: DatapathConfig) -> ! {
     let jobs: Vec<AcceleratorJob> = args
+        .common
         .multi
         .iter()
         .map(|spec| {
@@ -158,10 +119,12 @@ fn run_multi(args: &Args, soc_cfg: &SocConfig, dp: DatapathConfig) -> ! {
             })
         })
         .collect();
-    let harness = match args.fault_seed {
-        Some(seed) => {
-            println!("faults:   seed {seed}");
-            SimHarness::with_seed(seed)
+    let harness = match args.common.harness() {
+        Some(h) => {
+            if args.common.format == OutputFormat::Human {
+                println!("faults:   seed {}", args.common.faults_seed.expect("set"));
+            }
+            h
         }
         None => SimHarness::default(),
     };
@@ -174,26 +137,54 @@ fn run_multi(args: &Args, soc_cfg: &SocConfig, dp: DatapathConfig) -> ! {
     }
     match simulate_multi(&jobs, soc_cfg, &harness) {
         Ok(r) => {
-            println!(
-                "soc:      {} accelerators, bus moved {} KB, {:.0}% utilized, done at {}",
-                r.accelerators.len(),
-                r.bus_bytes / 1024,
-                r.bus_utilization * 100.0,
-                r.end
-            );
-            for a in &r.accelerators {
-                println!(
-                    "  {:<20} {:<10} launch {:>8}  data-in {:>8}  compute {:>8}  \
-                     done {:>8}  latency {:>8}  bus {} KB",
-                    a.kernel,
-                    a.kind.to_string(),
-                    a.launched,
-                    a.data_in_done,
-                    a.compute_done,
-                    a.end,
-                    a.latency(),
-                    a.bus_bytes / 1024
-                );
+            match args.common.format {
+                OutputFormat::Human => {
+                    println!(
+                        "soc:      {} accelerators, bus moved {} KB, {:.0}% utilized, done at {}",
+                        r.accelerators.len(),
+                        r.bus_bytes / 1024,
+                        r.bus_utilization * 100.0,
+                        r.end
+                    );
+                    for a in &r.accelerators {
+                        println!(
+                            "  {:<20} {:<10} launch {:>8}  data-in {:>8}  compute {:>8}  \
+                             done {:>8}  latency {:>8}  bus {} KB",
+                            a.kernel,
+                            a.kind.to_string(),
+                            a.launched,
+                            a.data_in_done,
+                            a.compute_done,
+                            a.end,
+                            a.latency(),
+                            a.bus_bytes / 1024
+                        );
+                    }
+                }
+                OutputFormat::Json => {
+                    let accels: Vec<String> = r
+                        .accelerators
+                        .iter()
+                        .map(|a| {
+                            format!(
+                                "{{\"kernel\":\"{}\",\"mem\":\"{}\",\"launched\":{},\"end\":{},\"latency\":{},\"bus_bytes\":{}}}",
+                                a.kernel,
+                                a.kind,
+                                a.launched,
+                                a.end,
+                                a.latency(),
+                                a.bus_bytes
+                            )
+                        })
+                        .collect();
+                    println!(
+                        "{{\"accelerators\":[{}],\"bus_bytes\":{},\"bus_utilization\":{},\"end\":{}}}",
+                        accels.join(","),
+                        r.bus_bytes,
+                        r.bus_utilization,
+                        r.end
+                    );
+                }
             }
             std::process::exit(0);
         }
@@ -206,7 +197,8 @@ fn run_multi(args: &Args, soc_cfg: &SocConfig, dp: DatapathConfig) -> ! {
 
 fn main() {
     let args = parse_args();
-    let Some(kernel) = by_name(&args.kernel) else {
+    args.common.apply_cache_mode();
+    let Some(kernel) = aladdin_workloads::by_name(&args.kernel) else {
         eprintln!("unknown kernel {:?}; use --list", args.kernel);
         std::process::exit(1);
     };
@@ -224,25 +216,24 @@ fn main() {
         ..DatapathConfig::default()
     };
 
-    if !args.multi.is_empty() {
+    if !args.common.multi.is_empty() {
         run_multi(&args, &soc_cfg, dp);
     }
 
-    let kind = match args.mem.as_str() {
-        "isolated" => MemKind::Isolated,
-        "dma" => MemKind::Dma(args.opt),
-        "cache" => MemKind::Cache,
-        _ => usage(),
-    };
+    let kind = parse_mem_kind(&args.mem, args.opt).unwrap_or_else(|e| {
+        eprintln!("simulate: {e}");
+        usage();
+    });
     // Fault-injected runs go through the fallible flows and bypass the
     // result cache: perturbed results must never be cached, and a failed
     // simulation reports its forensic diagnostic instead of panicking.
-    let r = if let Some(seed) = args.fault_seed {
-        let harness = SimHarness::with_seed(seed);
-        println!("faults:   seed {seed}");
-        // Skip the format header and the seed line — both shown above.
-        for line in harness.plan.to_text().lines().skip(2) {
-            println!("          {line}");
+    let r = if let Some(harness) = args.common.harness() {
+        if args.common.format == OutputFormat::Human {
+            println!("faults:   seed {}", args.common.faults_seed.expect("set"));
+            // Skip the format header and the seed line — both shown above.
+            for line in harness.plan.to_text().lines().skip(2) {
+                println!("          {line}");
+            }
         }
         let result = simulate(
             &run.trace,
@@ -260,6 +251,22 @@ fn main() {
     } else {
         run_point_cached(&run.trace, &dp, &soc_cfg, kind)
     };
+
+    if args.common.format == OutputFormat::Json {
+        println!(
+            "{{\"kernel\":\"{}\",\"mem\":\"{}\",\"lanes\":{},\"partition\":{},\"cycles\":{},\"time_s\":{},\"power_mw\":{},\"energy_j\":{},\"edp\":{}}}",
+            kernel.name(),
+            r.mem_kind,
+            r.datapath.lanes,
+            r.datapath.partition,
+            r.total_cycles,
+            r.seconds(),
+            r.power_mw(),
+            r.energy_j(),
+            r.edp()
+        );
+        return;
+    }
 
     println!("kernel:   {} ({})", kernel.name(), kernel.description());
     println!("trace:    {}", run.trace.stats());

@@ -1,5 +1,6 @@
 //! SoC-level configuration.
 
+use aladdin_ir::{Diagnostic, Locus, Report};
 use aladdin_mem::{BusConfig, CacheConfig, Clock, DmaConfig, DramConfig, FlushConfig, TlbConfig};
 
 /// Cumulative DMA optimization levels (Section IV-B).
@@ -165,11 +166,298 @@ impl Default for SocConfig {
 }
 
 impl SocConfig {
+    /// A fallible, validating builder over the paper's default platform.
+    ///
+    /// [`SocConfigBuilder::build`] runs [`SocConfig::check`] and returns
+    /// the typed [`Report`] on any defect, so an invalid SoC can never
+    /// escape construction. This is the supported construction path;
+    /// struct-literal update syntax remains available for tests and sweep
+    /// internals that start from an already-valid configuration.
+    #[must_use]
+    pub fn builder() -> SocConfigBuilder {
+        SocConfigBuilder {
+            cfg: SocConfig::default(),
+        }
+    }
+
     /// The paper's second contended scenario: a 64-bit system bus.
     #[must_use]
     pub fn with_64bit_bus(mut self) -> Self {
         self.bus.width_bits = 64;
         self
+    }
+
+    /// Checks SoC-internal consistency, reporting every defect as a typed
+    /// diagnostic (`L021x` codes). Cross-layer contradictions against a
+    /// [`DatapathConfig`](aladdin_accel::DatapathConfig) live in
+    /// `aladdin-lint` under `L022x`; `aladdin_lint::lint_soc` delegates to
+    /// this method, so the two surfaces can never drift apart.
+    #[must_use]
+    pub fn check(&self) -> Report {
+        let mut report = Report::new();
+
+        // L0210: zero-valued structural fields the simulators divide by.
+        let zeros: [(&'static str, bool); 7] = [
+            ("soc.bus.width_bits", self.bus.width_bits == 0),
+            ("soc.cache.line_bytes", self.cache.line_bytes == 0),
+            ("soc.cache.assoc", self.cache.assoc == 0),
+            ("soc.cache.size_bytes", self.cache.size_bytes == 0),
+            ("soc.cache.ports", self.cache.ports == 0),
+            ("soc.dma.burst_bytes", self.dma.burst_bytes == 0),
+            ("soc.dma.chunk_bytes", self.dma.chunk_bytes == 0),
+        ];
+        for (field, is_zero) in zeros {
+            if is_zero {
+                report.push(
+                    Diagnostic::error("L0210", format!("{field} must be positive"))
+                        .at(Locus::Field(field)),
+                );
+            }
+        }
+        if self.flush.line_bytes == 0 {
+            report.push(
+                Diagnostic::error("L0210", "soc.flush.line_bytes must be positive")
+                    .at(Locus::Field("soc.flush.line_bytes")),
+            );
+        }
+        if report.has_errors() {
+            return report;
+        }
+
+        // L0211: cache geometry must be constructible — mirrors the
+        // assertions in `CacheConfig::num_sets`, as a diagnostic instead
+        // of a mid-sweep panic.
+        let lines = self.cache.size_bytes / u64::from(self.cache.line_bytes);
+        if !self
+            .cache
+            .size_bytes
+            .is_multiple_of(u64::from(self.cache.line_bytes))
+        {
+            report.push(
+                Diagnostic::error(
+                    "L0211",
+                    format!(
+                        "cache capacity {} B is not a whole number of {} B lines",
+                        self.cache.size_bytes, self.cache.line_bytes
+                    ),
+                )
+                .at(Locus::Field("soc.cache.size_bytes")),
+            );
+        } else if !lines.is_multiple_of(u64::from(self.cache.assoc)) {
+            report.push(
+                Diagnostic::error(
+                    "L0211",
+                    format!(
+                        "{lines} cache lines do not divide into {}-way sets",
+                        self.cache.assoc
+                    ),
+                )
+                .at(Locus::Field("soc.cache.assoc")),
+            );
+        } else if !(lines / u64::from(self.cache.assoc)).is_power_of_two() {
+            report.push(
+                Diagnostic::error(
+                    "L0211",
+                    format!(
+                        "cache set count {} is not a power of two",
+                        lines / u64::from(self.cache.assoc)
+                    ),
+                )
+                .at(Locus::Field("soc.cache.size_bytes")),
+            );
+        }
+        if self.cache.mshrs == 0 {
+            report.push(
+                Diagnostic::error("L0211", "a cache needs at least one MSHR to miss")
+                    .at(Locus::Field("soc.cache.mshrs")),
+            );
+        }
+
+        // L0212: TLB/page-size coherence.
+        if !self.tlb.page_bytes.is_power_of_two() {
+            report.push(
+                Diagnostic::error(
+                    "L0212",
+                    format!(
+                        "TLB page size {} B is not a power of two",
+                        self.tlb.page_bytes
+                    ),
+                )
+                .at(Locus::Field("soc.tlb.page_bytes")),
+            );
+        }
+        if self.tlb.entries == 0 {
+            report.push(
+                Diagnostic::error("L0212", "TLB must have at least one entry")
+                    .at(Locus::Field("soc.tlb.entries")),
+            );
+        }
+
+        // L0213: bus width must be byte-granular.
+        if !self.bus.width_bits.is_multiple_of(8) {
+            report.push(
+                Diagnostic::error(
+                    "L0213",
+                    format!(
+                        "bus width {} bits is not a whole number of bytes",
+                        self.bus.width_bits
+                    ),
+                )
+                .at(Locus::Field("soc.bus.width_bits")),
+            );
+        }
+
+        // L0216: DRAM geometry — mirrors `Dram::try_new`, statically.
+        if self.dram.banks == 0 {
+            report.push(
+                Diagnostic::error("L0216", "DRAM needs at least one bank")
+                    .at(Locus::Field("soc.dram.banks")),
+            );
+        }
+        if !self.dram.row_bytes.is_power_of_two() {
+            report.push(
+                Diagnostic::error(
+                    "L0216",
+                    format!(
+                        "DRAM row size {} B is not a power of two",
+                        self.dram.row_bytes
+                    ),
+                )
+                .at(Locus::Field("soc.dram.row_bytes")),
+            );
+        }
+
+        // L0214: ready-bit granularity gates loads under triggered DMA.
+        if self.ready_bits_granule == 0 {
+            report.push(
+                Diagnostic::error("L0214", "ready_bits_granule must be positive")
+                    .at(Locus::Field("soc.ready_bits_granule")),
+            );
+        } else if !self.ready_bits_granule.is_power_of_two() {
+            report.push(
+                Diagnostic::warning(
+                    "L0214",
+                    format!(
+                        "ready_bits_granule {} is not a power of two; full/empty bits will straddle lines",
+                        self.ready_bits_granule
+                    ),
+                )
+                .at(Locus::Field("soc.ready_bits_granule")),
+            );
+        }
+        report
+    }
+}
+
+/// Fallible builder for [`SocConfig`].
+///
+/// Created by [`SocConfig::builder`]; starts from the paper's validated
+/// default platform. Setters are infallible and chainable; all validation
+/// happens once in [`build`](Self::build), which returns the same `L021x`
+/// diagnostics as [`SocConfig::check`].
+#[derive(Debug, Clone)]
+pub struct SocConfigBuilder {
+    cfg: SocConfig,
+}
+
+impl SocConfigBuilder {
+    /// Accelerator clock.
+    #[must_use]
+    pub fn clock(mut self, clock: Clock) -> Self {
+        self.cfg.clock = clock;
+        self
+    }
+
+    /// Shared system bus.
+    #[must_use]
+    pub fn bus(mut self, bus: BusConfig) -> Self {
+        self.cfg.bus = bus;
+        self
+    }
+
+    /// Shared system bus width in bits (keeps other bus fields).
+    #[must_use]
+    pub fn bus_width_bits(mut self, bits: u32) -> Self {
+        self.cfg.bus.width_bits = bits;
+        self
+    }
+
+    /// DRAM behind the bus.
+    #[must_use]
+    pub fn dram(mut self, dram: DramConfig) -> Self {
+        self.cfg.dram = dram;
+        self
+    }
+
+    /// CPU-side flush/invalidate cost model.
+    #[must_use]
+    pub fn flush(mut self, flush: FlushConfig) -> Self {
+        self.cfg.flush = flush;
+        self
+    }
+
+    /// DMA engine parameters.
+    #[must_use]
+    pub fn dma(mut self, dma: DmaConfig) -> Self {
+        self.cfg.dma = dma;
+        self
+    }
+
+    /// Accelerator TLB (cache-based flows).
+    #[must_use]
+    pub fn tlb(mut self, tlb: TlbConfig) -> Self {
+        self.cfg.tlb = tlb;
+        self
+    }
+
+    /// Accelerator cache geometry (cache-based flows).
+    #[must_use]
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cfg.cache = cache;
+        self
+    }
+
+    /// Full/empty-bit tracking granularity in bytes.
+    #[must_use]
+    pub fn ready_bits_granule(mut self, bytes: u64) -> Self {
+        self.cfg.ready_bits_granule = bytes;
+        self
+    }
+
+    /// Cycles for the CPU to invoke the accelerator.
+    #[must_use]
+    pub fn invoke_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.invoke_cycles = cycles;
+        self
+    }
+
+    /// Background bus-traffic injection.
+    #[must_use]
+    pub fn traffic(mut self, traffic: Option<TrafficConfig>) -> Self {
+        self.cfg.traffic = traffic;
+        self
+    }
+
+    /// CPU-side completion-observation model.
+    #[must_use]
+    pub fn completion(mut self, completion: Option<CompletionSignal>) -> Self {
+        self.cfg.completion = completion;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full typed [`Report`] (`L021x` codes) if any SoC field
+    /// is internally inconsistent.
+    pub fn build(self) -> Result<SocConfig, Report> {
+        let report = self.cfg.check();
+        if report.has_errors() {
+            Err(report)
+        } else {
+            Ok(self.cfg)
+        }
     }
 }
 
@@ -214,6 +502,47 @@ mod tests {
             CompletionSignal::SpinWait { poll_cycles: 0 }.observation_lag(7),
             0
         );
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let built = SocConfig::builder()
+            .bus_width_bits(64)
+            .invoke_cycles(42)
+            .ready_bits_granule(4096)
+            .build()
+            .expect("valid soc");
+        assert_eq!(
+            built,
+            SocConfig {
+                bus: BusConfig {
+                    width_bits: 64,
+                    ..BusConfig::default()
+                },
+                invoke_cycles: 42,
+                ready_bits_granule: 4096,
+                ..SocConfig::default()
+            }
+        );
+
+        // 3 KB / 32 B lines / 4 ways = 24 sets: not a power of two.
+        let err = SocConfig::builder()
+            .cache(CacheConfig {
+                size_bytes: 3072,
+                ..CacheConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.has_code("L0211"));
+        assert!(err.has_errors());
+    }
+
+    #[test]
+    fn check_matches_default_platform() {
+        assert!(SocConfig::default().check().is_clean());
+        let mut soc = SocConfig::default();
+        soc.bus.width_bits = 12;
+        assert!(soc.check().has_code("L0213"));
     }
 
     #[test]

@@ -70,7 +70,9 @@ pub use aladdin_faults::{
 };
 pub use aladdin_mem::MasterId;
 pub use cachemem::CacheDatapathMemory;
-pub use config::{CompletionSignal, DmaOptLevel, MemKind, SocConfig, TrafficConfig};
+pub use config::{
+    CompletionSignal, DmaOptLevel, MemKind, SocConfig, SocConfigBuilder, TrafficConfig,
+};
 pub use decompose::{decompose_cache_time, TimeDecomposition};
 pub use engine::{simulate, simulate_prepared, FlowResult, FlowSpec};
 #[allow(deprecated)]

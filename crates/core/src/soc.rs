@@ -9,20 +9,21 @@ use crate::engine::{expect_flow, simulate, FlowResult, FlowSpec};
 
 /// An SoC platform an accelerator can be dropped into.
 ///
-/// Thin, copyable wrapper over [`SocConfig`] so sweeps read naturally.
-/// Every method is a convenience spelling of [`simulate`] with the
-/// matching [`FlowSpec`]:
+/// Thin, copyable wrapper over [`SocConfig`] so sweeps read naturally:
+/// [`Soc::simulate`] runs any [`FlowSpec`] against the wrapped
+/// configuration.
 ///
 /// ```
-/// use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+/// use aladdin_core::{DmaOptLevel, FlowSpec, MemKind, Soc, SocConfig};
 /// use aladdin_accel::DatapathConfig;
 /// use aladdin_workloads::by_name;
 ///
 /// let trace = by_name("aes-aes").expect("kernel").run().trace;
 /// let soc = Soc::new(SocConfig::default());
+/// let spec = FlowSpec::new(MemKind::Dma(DmaOptLevel::Full));
 /// for lanes in [1, 2, 4] {
 ///     let dp = DatapathConfig { lanes, ..DatapathConfig::default() };
-///     let r = soc.run_dma(&trace, &dp, DmaOptLevel::Full);
+///     let r = soc.simulate(&trace, &dp, &spec).unwrap();
 ///     assert!(r.total_cycles > 0);
 /// }
 /// ```
@@ -60,27 +61,44 @@ impl Soc {
 
     /// Run the isolated-Aladdin flow (no system effects).
     #[must_use]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Soc::simulate with FlowSpec::new(MemKind::Isolated)"
+    )]
     pub fn run_isolated(&self, trace: &Trace, dp: &DatapathConfig) -> FlowResult {
         expect_flow(self.simulate(trace, dp, &FlowSpec::new(MemKind::Isolated)))
     }
 
     /// Run the scratchpad/DMA flow.
     #[must_use]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Soc::simulate with FlowSpec::new(MemKind::Dma(opt))"
+    )]
     pub fn run_dma(&self, trace: &Trace, dp: &DatapathConfig, opt: DmaOptLevel) -> FlowResult {
         expect_flow(self.simulate(trace, dp, &FlowSpec::new(MemKind::Dma(opt))))
     }
 
     /// Run the cache-based flow.
     #[must_use]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Soc::simulate with FlowSpec::new(MemKind::Cache)"
+    )]
     pub fn run_cache(&self, trace: &Trace, dp: &DatapathConfig) -> FlowResult {
         expect_flow(self.simulate(trace, dp, &FlowSpec::new(MemKind::Cache)))
     }
 
-    /// [`Soc::run_isolated`] under a fault-injection/watchdog harness.
+    /// [`Soc::simulate`] on the isolated flow under a fault-injection and
+    /// watchdog harness.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] if the simulation cannot complete.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Soc::simulate with FlowSpec::new(MemKind::Isolated).with_harness(harness)"
+    )]
     pub fn try_run_isolated(
         &self,
         trace: &Trace,
@@ -94,11 +112,16 @@ impl Soc {
         )
     }
 
-    /// [`Soc::run_dma`] under a fault-injection/watchdog harness.
+    /// [`Soc::simulate`] on the DMA flow under a fault-injection and
+    /// watchdog harness.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] if the simulation cannot complete.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Soc::simulate with FlowSpec::new(MemKind::Dma(opt)).with_harness(harness)"
+    )]
     pub fn try_run_dma(
         &self,
         trace: &Trace,
@@ -113,11 +136,16 @@ impl Soc {
         )
     }
 
-    /// [`Soc::run_cache`] under a fault-injection/watchdog harness.
+    /// [`Soc::simulate`] on the cache flow under a fault-injection and
+    /// watchdog harness.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] if the simulation cannot complete.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Soc::simulate with FlowSpec::new(MemKind::Cache).with_harness(harness)"
+    )]
     pub fn try_run_cache(
         &self,
         trace: &Trace,
@@ -158,14 +186,25 @@ mod tests {
             ..DatapathConfig::default()
         };
         let soc = Soc::default();
-        let iso = soc.run_isolated(&trace, &dp);
-        let dma = soc.run_dma(&trace, &dp, DmaOptLevel::Baseline);
-        let cache = soc.run_cache(&trace, &dp);
+        let iso = soc
+            .simulate(&trace, &dp, &FlowSpec::new(MemKind::Isolated))
+            .unwrap();
+        let dma = soc
+            .simulate(
+                &trace,
+                &dp,
+                &FlowSpec::new(MemKind::Dma(DmaOptLevel::Baseline)),
+            )
+            .unwrap();
+        let cache = soc
+            .simulate(&trace, &dp, &FlowSpec::new(MemKind::Cache))
+            .unwrap();
         assert!(iso.total_cycles <= dma.total_cycles);
         assert!(cache.total_cycles > 0);
     }
 
     #[test]
+    #[allow(deprecated)]
     fn simulate_method_matches_convenience_wrappers() {
         let trace = by_name("aes-aes").expect("kernel").run().trace;
         let dp = DatapathConfig {

@@ -30,6 +30,7 @@ const GOLDEN_NON_DEPRECATED: &[&str] = &[
     "SimHarness",
     "Soc",
     "SocConfig",
+    "SocConfigBuilder",
     "TimeDecomposition",
     "TrafficConfig",
     "ValidationRow",

@@ -177,6 +177,15 @@ pub(crate) fn insert(key: &str, result: &FlowResult) {
     }
 }
 
+/// Whether a design point's result is already cached (in any active
+/// tier), without simulating it. A disk hit is promoted into the memory
+/// tier, so probing points a campaign is about to run is free work, not
+/// wasted work. `sweep plan` uses this for its cache-hit forecast.
+#[must_use]
+pub fn point_cached(trace: &Trace, dp: &DatapathConfig, soc: &SocConfig, kind: MemKind) -> bool {
+    lookup(&point_key(trace.fingerprint(), kind, dp, soc)).is_some()
+}
+
 /// Run one design point through the result cache: a hit returns the
 /// stored result (bit-identical to re-simulating), a miss simulates via
 /// the corresponding `aladdin-core` flow and stores the outcome.

@@ -33,6 +33,7 @@ use std::time::Instant;
 use aladdin_accel::{DatapathConfig, PreparedDddg, SchedulerWorkspace};
 use aladdin_core::{
     simulate_prepared, DmaOptLevel, FlowResult, FlowSpec, MemKind, SimError, SimHarness, SocConfig,
+    Watchdog,
 };
 use aladdin_ir::{Report, Trace};
 
@@ -82,10 +83,19 @@ where
 
 /// One design point as the sweep engine sees it: which flow, which
 /// datapath, which (point-adjusted) SoC.
-struct PointSpec {
-    kind: MemKind,
-    dp: DatapathConfig,
-    soc: SocConfig,
+///
+/// This is the unit the campaign layer (`aladdin-spec`) expands TOML specs
+/// into; [`sweep_points`] and [`sweep_points_streaming`] run arbitrary
+/// lists of them on the same fast path as the [`DesignSpace`]-driven
+/// sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointSpec {
+    /// Which memory-system flow the point runs under.
+    pub kind: MemKind,
+    /// The accelerator datapath.
+    pub dp: DatapathConfig,
+    /// The (point-adjusted) SoC configuration.
+    pub soc: SocConfig,
 }
 
 /// Derive the engine's point list for `kind`: cache sweeps walk the cache
@@ -128,19 +138,53 @@ fn run_specs(trace: &Trace, specs: &[PointSpec]) -> (Vec<FlowResult>, SweepPerf)
 
 /// The sweep engine under a [`SimHarness`]: per-point failures come back
 /// as `Err` slots instead of aborting the sweep.
-///
-/// Fault-injected runs (non-empty plan) bypass the result cache entirely,
-/// in both directions: the cache key does not include the plan, and a
-/// perturbed result must never be served to — or recorded for — a clean
-/// sweep.
 fn run_specs_harness(
     trace: &Trace,
     specs: &[PointSpec],
     harness: &SimHarness,
 ) -> (Vec<Result<FlowResult, SimError>>, SweepPerf) {
+    sweep_points_streaming(trace, specs, harness, &|_, _| {})
+}
+
+/// Run an arbitrary list of design points on the sweep fast path (result
+/// cache, shared DDDG preparation, per-worker workspace reuse), returning
+/// one `Result` slot per point in point order.
+///
+/// This is the engine behind every [`DesignSpace`]-driven sweep, exposed
+/// for callers — the campaign runner foremost — whose point lists do not
+/// come from a `DesignSpace`.
+#[must_use]
+pub fn sweep_points(
+    trace: &Trace,
+    specs: &[PointSpec],
+    harness: &SimHarness,
+) -> (Vec<Result<FlowResult, SimError>>, SweepPerf) {
+    run_specs_harness(trace, specs, harness)
+}
+
+/// [`sweep_points`], invoking `sink` once per completed point *as it
+/// completes* (from worker threads, in completion order — not point
+/// order). Campaign runners use this to stream per-point results to a
+/// journal while the sweep is still going, so an interrupted run loses at
+/// most the points in flight.
+///
+/// Caching policy: points run through the result cache only when the
+/// harness is inert — an empty [`FaultPlan`](aladdin_core::FaultPlan)
+/// *and* the default [`Watchdog`]. Fault-injected runs bypass it in both
+/// directions (the key does not include the plan, and a perturbed result
+/// must never be served to — or recorded for — a clean sweep); runs under
+/// a non-default watchdog bypass it too, because a cached success could
+/// mask a timeout the tighter watchdog would have produced.
+#[must_use]
+pub fn sweep_points_streaming(
+    trace: &Trace,
+    specs: &[PointSpec],
+    harness: &SimHarness,
+    sink: &(dyn Fn(usize, &Result<FlowResult, SimError>) + Sync),
+) -> (Vec<Result<FlowResult, SimError>>, SweepPerf) {
     let t0 = Instant::now();
     let fp = trace.fingerprint();
-    let use_cache = harness.plan.is_empty();
+    let use_cache = harness.plan.is_empty() && harness.watchdog == Watchdog::default();
 
     // One lazily-built PreparedDddg per distinct lane count, shared across
     // workers. Lazy so a fully cache-warm sweep builds no graphs at all.
@@ -160,32 +204,35 @@ fn run_specs_harness(
     let results = parallel_map(specs.len(), SchedulerWorkspace::new, |i, ws| {
         let s = &specs[i];
         let key = use_cache.then(|| cache::point_key(fp, s.kind, &s.dp, &s.soc));
-        if let Some(key) = &key {
-            if let Some(hit) = cache::lookup(key) {
-                hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(hit);
-            }
-        }
-        let prep = Arc::clone(
-            preps[lane_slot[&s.dp.lanes]].get_or_init(|| Arc::new(PreparedDddg::new(trace, &s.dp))),
-        );
-        let spec = FlowSpec::new(s.kind)
-            .with_harness(harness)
-            .with_prepared(&prep);
-        match simulate_prepared(trace, &s.dp, &s.soc, &spec, ws) {
-            Ok(r) => {
-                stepped.fetch_add(r.sched_stepped_cycles, Ordering::Relaxed);
-                events.fetch_add(r.sched_events, Ordering::Relaxed);
-                if let Some(key) = &key {
-                    cache::insert(key, &r);
+        let cached = key.as_ref().and_then(|key| cache::lookup(key));
+        let result = if let Some(hit) = cached {
+            hits.fetch_add(1, Ordering::Relaxed);
+            Ok(hit)
+        } else {
+            let prep = Arc::clone(
+                preps[lane_slot[&s.dp.lanes]]
+                    .get_or_init(|| Arc::new(PreparedDddg::new(trace, &s.dp))),
+            );
+            let spec = FlowSpec::new(s.kind)
+                .with_harness(harness)
+                .with_prepared(&prep);
+            match simulate_prepared(trace, &s.dp, &s.soc, &spec, ws) {
+                Ok(r) => {
+                    stepped.fetch_add(r.sched_stepped_cycles, Ordering::Relaxed);
+                    events.fetch_add(r.sched_events, Ordering::Relaxed);
+                    if let Some(key) = &key {
+                        cache::insert(key, &r);
+                    }
+                    Ok(r)
                 }
-                Ok(r)
+                Err(e) => {
+                    failures.fetch_add(1, Ordering::Relaxed);
+                    Err(e)
+                }
             }
-            Err(e) => {
-                failures.fetch_add(1, Ordering::Relaxed);
-                Err(e)
-            }
-        }
+        };
+        sink(i, &result);
+        result
     });
 
     let perf = SweepPerf {
@@ -788,6 +835,91 @@ mod tests {
         let again = sweep_faulted(&trace, &space, &soc, FULL, &h).expect("valid plan");
         assert_eq!(again.perf.cache_hits, 0);
         assert_eq!(faulted.results, again.results);
+    }
+
+    /// The cache gate is watchdog-aware in both directions: an inert
+    /// harness (empty plan, default watchdog) rides the warm cache, while
+    /// a tighter watchdog bypasses it even when every key is warm — a
+    /// cached success must never mask a timeout the ceiling would have
+    /// produced.
+    #[test]
+    fn restrictive_watchdog_bypasses_a_warm_cache() {
+        use aladdin_core::{FaultPlan, SimHarness, Watchdog};
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        // A SoC no other test sweeps, so the cache keys are ours alone.
+        let mut soc = SocConfig::default();
+        soc.invoke_cycles += 41;
+        let n = space.dma_points().len() as u64;
+
+        // Warm every key, then prove an inert harness serves from cache.
+        let _ = sweep(&trace, &space, &soc, FULL);
+        let inert =
+            sweep_faulted(&trace, &space, &soc, FULL, &SimHarness::default()).expect("valid plan");
+        assert_eq!(
+            inert.perf.cache_hits, n,
+            "inert harness must ride the cache"
+        );
+        assert!(inert.failures.is_empty());
+
+        // Same warm keys, tight ceiling: no hits, and the ceiling trips.
+        let tight = SimHarness {
+            plan: FaultPlan::none(),
+            watchdog: Watchdog {
+                max_cycles: Some(8),
+                no_progress_cycles: 4_000_000,
+            },
+        };
+        let out = sweep_faulted(&trace, &space, &soc, FULL, &tight).expect("valid plan");
+        assert_eq!(
+            out.perf.cache_hits, 0,
+            "a non-default watchdog must not read the cache"
+        );
+        assert!(
+            !out.failures.is_empty(),
+            "warm cache must not mask watchdog timeouts"
+        );
+        // And the tight pass recorded nothing: the clean sweep still
+        // completes every point from cache.
+        let (clean, perf) = sweep_perf(&trace, &space, &soc, FULL);
+        assert_eq!(perf.cache_hits, n);
+        assert_eq!(clean.len(), space.dma_points().len());
+    }
+
+    /// The streaming engine feeds the sink exactly once per point and
+    /// returns the same results as the non-streaming entry.
+    #[test]
+    fn streaming_sweep_sinks_every_point_once() {
+        use std::sync::Mutex;
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        let specs = specs_for(&space, &soc, FULL);
+        let seen: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+        let (results, _) =
+            sweep_points_streaming(&trace, &specs, &SimHarness::default(), &|i, r| {
+                let cycles = r.as_ref().map(|r| r.total_cycles).unwrap_or(0);
+                seen.lock().unwrap().push((i, cycles));
+            });
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), specs.len(), "one sink call per point");
+        for (slot, (i, cycles)) in seen.iter().enumerate() {
+            assert_eq!(slot, *i, "every index sunk exactly once");
+            assert_eq!(results[*i].as_ref().unwrap().total_cycles, *cycles);
+        }
+        // And the public non-streaming entry is the same engine.
+        let (again, _) = sweep_points(&trace, &specs, &SimHarness::default());
+        assert_eq!(
+            results
+                .iter()
+                .map(|r| r.as_ref().unwrap())
+                .collect::<Vec<_>>(),
+            again
+                .iter()
+                .map(|r| r.as_ref().unwrap())
+                .collect::<Vec<_>>()
+        );
     }
 
     /// Quick-mode throughput smoke test: bounded sanity on the SweepPerf

@@ -29,160 +29,13 @@ pub fn lint_design(dp: &DatapathConfig, soc: &SocConfig) -> Report {
 }
 
 /// SoC-internal consistency (`L021x`).
+///
+/// Delegates to [`SocConfig::check`], which owns the single copy of these
+/// rules (they also back `SocConfig::builder()`); this wrapper survives as
+/// the lint-pass entry point.
 #[must_use]
 pub fn lint_soc(soc: &SocConfig) -> Report {
-    let mut report = Report::new();
-
-    // L0210: zero-valued structural fields the simulators divide by.
-    let zeros: [(&'static str, bool); 7] = [
-        ("soc.bus.width_bits", soc.bus.width_bits == 0),
-        ("soc.cache.line_bytes", soc.cache.line_bytes == 0),
-        ("soc.cache.assoc", soc.cache.assoc == 0),
-        ("soc.cache.size_bytes", soc.cache.size_bytes == 0),
-        ("soc.cache.ports", soc.cache.ports == 0),
-        ("soc.dma.burst_bytes", soc.dma.burst_bytes == 0),
-        ("soc.dma.chunk_bytes", soc.dma.chunk_bytes == 0),
-    ];
-    for (field, is_zero) in zeros {
-        if is_zero {
-            report.push(
-                Diagnostic::error("L0210", format!("{field} must be positive"))
-                    .at(Locus::Field(field)),
-            );
-        }
-    }
-    if soc.flush.line_bytes == 0 {
-        report.push(
-            Diagnostic::error("L0210", "soc.flush.line_bytes must be positive")
-                .at(Locus::Field("soc.flush.line_bytes")),
-        );
-    }
-    if report.has_errors() {
-        return report;
-    }
-
-    // L0211: cache geometry must be constructible — mirrors the
-    // assertions in `CacheConfig::num_sets`, as a diagnostic instead of a
-    // mid-sweep panic.
-    let lines = soc.cache.size_bytes / u64::from(soc.cache.line_bytes);
-    if !soc
-        .cache
-        .size_bytes
-        .is_multiple_of(u64::from(soc.cache.line_bytes))
-    {
-        report.push(
-            Diagnostic::error(
-                "L0211",
-                format!(
-                    "cache capacity {} B is not a whole number of {} B lines",
-                    soc.cache.size_bytes, soc.cache.line_bytes
-                ),
-            )
-            .at(Locus::Field("soc.cache.size_bytes")),
-        );
-    } else if !lines.is_multiple_of(u64::from(soc.cache.assoc)) {
-        report.push(
-            Diagnostic::error(
-                "L0211",
-                format!(
-                    "{lines} cache lines do not divide into {}-way sets",
-                    soc.cache.assoc
-                ),
-            )
-            .at(Locus::Field("soc.cache.assoc")),
-        );
-    } else if !(lines / u64::from(soc.cache.assoc)).is_power_of_two() {
-        report.push(
-            Diagnostic::error(
-                "L0211",
-                format!(
-                    "cache set count {} is not a power of two",
-                    lines / u64::from(soc.cache.assoc)
-                ),
-            )
-            .at(Locus::Field("soc.cache.size_bytes")),
-        );
-    }
-    if soc.cache.mshrs == 0 {
-        report.push(
-            Diagnostic::error("L0211", "a cache needs at least one MSHR to miss")
-                .at(Locus::Field("soc.cache.mshrs")),
-        );
-    }
-
-    // L0212: TLB/page-size coherence.
-    if !soc.tlb.page_bytes.is_power_of_two() {
-        report.push(
-            Diagnostic::error(
-                "L0212",
-                format!(
-                    "TLB page size {} B is not a power of two",
-                    soc.tlb.page_bytes
-                ),
-            )
-            .at(Locus::Field("soc.tlb.page_bytes")),
-        );
-    }
-    if soc.tlb.entries == 0 {
-        report.push(
-            Diagnostic::error("L0212", "TLB must have at least one entry")
-                .at(Locus::Field("soc.tlb.entries")),
-        );
-    }
-
-    // L0213: bus width must be byte-granular.
-    if !soc.bus.width_bits.is_multiple_of(8) {
-        report.push(
-            Diagnostic::error(
-                "L0213",
-                format!(
-                    "bus width {} bits is not a whole number of bytes",
-                    soc.bus.width_bits
-                ),
-            )
-            .at(Locus::Field("soc.bus.width_bits")),
-        );
-    }
-
-    // L0216: DRAM geometry — mirrors `Dram::try_new`, statically.
-    if soc.dram.banks == 0 {
-        report.push(
-            Diagnostic::error("L0216", "DRAM needs at least one bank")
-                .at(Locus::Field("soc.dram.banks")),
-        );
-    }
-    if !soc.dram.row_bytes.is_power_of_two() {
-        report.push(
-            Diagnostic::error(
-                "L0216",
-                format!(
-                    "DRAM row size {} B is not a power of two",
-                    soc.dram.row_bytes
-                ),
-            )
-            .at(Locus::Field("soc.dram.row_bytes")),
-        );
-    }
-
-    // L0214: ready-bit granularity gates loads under triggered DMA.
-    if soc.ready_bits_granule == 0 {
-        report.push(
-            Diagnostic::error("L0214", "ready_bits_granule must be positive")
-                .at(Locus::Field("soc.ready_bits_granule")),
-        );
-    } else if !soc.ready_bits_granule.is_power_of_two() {
-        report.push(
-            Diagnostic::warning(
-                "L0214",
-                format!(
-                    "ready_bits_granule {} is not a power of two; full/empty bits will straddle lines",
-                    soc.ready_bits_granule
-                ),
-            )
-            .at(Locus::Field("soc.ready_bits_granule")),
-        );
-    }
-    report
+    soc.check()
 }
 
 /// Cross-layer contradictions (`L022x`). Assumes the per-layer fields are

@@ -2,7 +2,7 @@
 //! gem5-aladdin-rs stack, from the command line.
 //!
 //! ```text
-//! soclint [--format human|json] <command> [args]
+//! soclint [--json | --format human|json] <command> [args]
 //!
 //! commands:
 //!   trace [KERNEL...]        lint the traces and DDDGs of bundled
@@ -20,6 +20,11 @@
 //!                            flow engine's preflight: cache flows with
 //!                            zero MSHRs/ports, duplicate bus masters,
 //!                            more than one cache job, empty job sets
+//!   campaign FILE...         parse, validate and expand TOML campaign
+//!                            files (`L0260`–`L0264`) without running
+//!                            anything — the same pre-flight `sweep plan`
+//!                            applies, so a campaign that lints clean
+//!                            here expands at run time
 //!   all                      trace + config + sweep + protocol
 //! ```
 //!
@@ -32,6 +37,7 @@ use aladdin_core::SocConfig;
 use aladdin_dse::{preflight_cache, preflight_dma, DesignSpace};
 use aladdin_ir::{Diagnostic, Report};
 use aladdin_lint::{lint_dddg, lint_design, lint_trace, ProtocolChecker, SeededBug};
+use aladdin_spec::{CampaignSpec, CommonArgs, OutputFormat};
 use aladdin_workloads::{all_kernels, by_name};
 
 /// One named analysis target and its report.
@@ -40,35 +46,30 @@ struct Target {
     report: Report,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Format {
-    Human,
-    Json,
-}
-
 fn usage() -> ! {
     eprintln!(
-        "usage: soclint [--format human|json] <trace [KERNEL...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | flowspec FILE... | all>"
+        "usage: soclint [--json | --format human|json] <trace [KERNEL...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | flowspec FILE... | campaign FILE... | all>"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut format = Format::Human;
+    // The shared CLI vocabulary (`--json`, `--format`) parses exactly as
+    // it does for `simulate` and `sweep`.
+    let mut common = CommonArgs::new();
     let mut rest: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
+    let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        if a == "--format" {
-            match it.next().as_deref() {
-                Some("human") => format = Format::Human,
-                Some("json") => format = Format::Json,
-                _ => usage(),
+        match common.consume(&a, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => rest.push(a),
+            Err(e) => {
+                eprintln!("soclint: {e}");
+                usage();
             }
-        } else {
-            rest.push(a);
         }
     }
+    let format = common.format;
     let (command, cmd_args) = match rest.split_first() {
         Some((c, rest)) => (c.as_str(), rest),
         None => usage(),
@@ -81,6 +82,7 @@ fn main() {
         "protocol" => vec![lint_protocol(cmd_args)],
         "faultplan" => lint_fault_plans(cmd_args),
         "flowspec" => lint_flowspecs(cmd_args),
+        "campaign" => lint_campaigns(cmd_args),
         "all" => {
             let mut t = lint_traces(&[]);
             t.push(lint_default_config());
@@ -103,17 +105,17 @@ fn main() {
     std::process::exit(i32::from(any_error));
 }
 
-fn emit(targets: &[Target], format: Format) -> std::io::Result<()> {
+fn emit(targets: &[Target], format: OutputFormat) -> std::io::Result<()> {
     use std::io::Write;
     let mut stdout = std::io::stdout().lock();
     match format {
-        Format::Human => {
+        OutputFormat::Human => {
             for t in targets {
                 writeln!(stdout, "== {} ==", t.name)?;
                 writeln!(stdout, "{}", t.report.to_human())?;
             }
         }
-        Format::Json => {
+        OutputFormat::Json => {
             let mut out = String::from("{\"targets\":[");
             for (i, t) in targets.iter().enumerate() {
                 if i > 0 {
@@ -355,6 +357,43 @@ fn lint_flowspecs(paths: &[String]) -> Vec<Target> {
                     format!("cannot read flowspec: {e}"),
                 )),
             }
+            Target {
+                name: path.clone(),
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Statically validate TOML campaign files: parse (`L0260`/`L0261`),
+/// resolve names (`L0262`), and expand to the full point list with the
+/// same per-point design pre-flight `sweep plan` applies (`L0263` when
+/// nothing survives, `L0264` expansion summary) — all without simulating
+/// anything.
+fn lint_campaigns(paths: &[String]) -> Vec<Target> {
+    if paths.is_empty() {
+        usage();
+    }
+    paths
+        .iter()
+        .map(|path| {
+            let report = match std::fs::read_to_string(path) {
+                Ok(text) => match CampaignSpec::from_toml(&text) {
+                    Ok(spec) => match spec.expand() {
+                        Ok(plan) => plan.report,
+                        Err(report) => report,
+                    },
+                    Err(report) => report,
+                },
+                Err(e) => {
+                    let mut r = Report::new();
+                    r.push(Diagnostic::error(
+                        "L0260",
+                        format!("cannot read campaign: {e}"),
+                    ));
+                    r
+                }
+            };
             Target {
                 name: path.clone(),
                 report,

@@ -1,0 +1,269 @@
+//! The shared command-line vocabulary of the `simulate`, `soclint`, and
+//! `sweep` binaries.
+//!
+//! Every flag the three front ends have in common is parsed here, once:
+//! `--faults SEED`, `--cache off|mem|full`, `--multi
+//! KERNEL:MEM[:OPT][:LAUNCH]`, and the output-format pair
+//! `--json`/`--format human|json`. A binary keeps its own argument loop
+//! but routes each flag through [`CommonArgs::consume`] first, so a
+//! spelling accepted by one tool is accepted — with identical semantics —
+//! by all of them.
+
+use aladdin_accel::DatapathConfig;
+use aladdin_core::{AcceleratorJob, DmaOptLevel, MemKind, SimHarness};
+use aladdin_dse::SweepCacheMode;
+use aladdin_workloads::by_name;
+
+/// Output format shared by every front end (`--json` is shorthand for
+/// `--format json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable text (the default).
+    #[default]
+    Human,
+    /// Machine-readable JSON.
+    Json,
+}
+
+/// The flags every binary spells the same way.
+#[derive(Debug, Clone, Default)]
+pub struct CommonArgs {
+    /// `--faults SEED`: arm the canonical fault plan derived from SEED.
+    pub faults_seed: Option<u64>,
+    /// `--cache off|mem|full`: sweep result-cache mode.
+    pub cache_mode: Option<SweepCacheMode>,
+    /// `--json` / `--format human|json`.
+    pub format: OutputFormat,
+    /// Each `--multi KERNEL:MEM[:OPT][:LAUNCH]` occurrence, unparsed.
+    pub multi: Vec<String>,
+}
+
+impl CommonArgs {
+    /// Fresh defaults: no faults, untouched cache mode, human output.
+    #[must_use]
+    pub fn new() -> Self {
+        CommonArgs::default()
+    }
+
+    /// Try to consume `arg` (pulling values from `it`). Returns
+    /// `Ok(true)` when the flag was one of the shared vocabulary,
+    /// `Ok(false)` when the caller should handle it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a shared flag's value is missing or
+    /// malformed.
+    pub fn consume(
+        &mut self,
+        arg: &str,
+        it: &mut dyn Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg {
+            "--faults" => {
+                let v = value("--faults")?;
+                self.faults_seed =
+                    Some(v.parse().map_err(|_| format!("--faults: bad seed {v:?}"))?);
+            }
+            "--cache" => {
+                self.cache_mode = Some(parse_cache_mode(&value("--cache")?)?);
+            }
+            "--json" => self.format = OutputFormat::Json,
+            "--format" => {
+                self.format = match value("--format")?.as_str() {
+                    "human" => OutputFormat::Human,
+                    "json" => OutputFormat::Json,
+                    other => return Err(format!("--format: expected human|json, got {other:?}")),
+                };
+            }
+            "--multi" => self.multi.push(value("--multi")?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The harness these flags arm: the canonical seeded fault plan under
+    /// `--faults`, `None` when no harness flag was given (callers run the
+    /// clean, cacheable path).
+    #[must_use]
+    pub fn harness(&self) -> Option<SimHarness> {
+        self.faults_seed.map(SimHarness::with_seed)
+    }
+
+    /// Install `--cache MODE` into the process-global sweep cache, if the
+    /// flag was given.
+    pub fn apply_cache_mode(&self) {
+        if let Some(mode) = self.cache_mode {
+            aladdin_dse::set_sweep_cache_mode(mode);
+        }
+    }
+}
+
+/// Parse a `--cache` mode: `off`, `mem`, or `full`.
+///
+/// # Errors
+///
+/// Returns a message naming the accepted spellings otherwise.
+pub fn parse_cache_mode(s: &str) -> Result<SweepCacheMode, String> {
+    match s {
+        "off" => Ok(SweepCacheMode::Off),
+        "mem" => Ok(SweepCacheMode::Mem),
+        "full" => Ok(SweepCacheMode::Full),
+        other => Err(format!("--cache: expected off|mem|full, got {other:?}")),
+    }
+}
+
+/// Parse a DMA optimization level: `baseline`, `pipelined`, or `full`.
+///
+/// # Errors
+///
+/// Returns a message naming the accepted spellings otherwise.
+pub fn parse_opt_level(s: &str) -> Result<DmaOptLevel, String> {
+    match s {
+        "baseline" => Ok(DmaOptLevel::Baseline),
+        "pipelined" => Ok(DmaOptLevel::Pipelined),
+        "full" => Ok(DmaOptLevel::Full),
+        other => Err(format!("expected baseline|pipelined|full, got {other:?}")),
+    }
+}
+
+/// Parse a memory-system spec: `isolated`, `cache`, `dma`, or
+/// `dma:OPT` — the vocabulary campaign `mems` lists and `--multi` specs
+/// share.
+///
+/// # Errors
+///
+/// Returns a message naming the accepted spellings otherwise.
+pub fn parse_mem_spec(s: &str) -> Result<MemKind, String> {
+    match s {
+        "isolated" => Ok(MemKind::Isolated),
+        "cache" => Ok(MemKind::Cache),
+        "dma" => Ok(MemKind::Dma(DmaOptLevel::Full)),
+        _ => match s.split_once(':') {
+            Some(("dma", opt)) => Ok(MemKind::Dma(parse_opt_level(opt)?)),
+            _ => Err(format!("expected isolated|dma[:OPT]|cache, got {s:?}")),
+        },
+    }
+}
+
+/// Combine separate `--mem`/`--opt` flags into a [`MemKind`] (the
+/// `simulate` spelling).
+///
+/// # Errors
+///
+/// Returns a message when `mem` is not `isolated`, `dma`, or `cache`.
+pub fn parse_mem_kind(mem: &str, opt: DmaOptLevel) -> Result<MemKind, String> {
+    match mem {
+        "isolated" => Ok(MemKind::Isolated),
+        "dma" => Ok(MemKind::Dma(opt)),
+        "cache" => Ok(MemKind::Cache),
+        other => Err(format!("--mem: expected isolated|dma|cache, got {other:?}")),
+    }
+}
+
+/// Parse one `--multi` spec: `KERNEL:MEM[:OPT][:LAUNCH]`, where MEM is
+/// `isolated`, `dma`, or `cache`, OPT (DMA only) is
+/// `baseline|pipelined|full`, and LAUNCH is a cycle count. Every
+/// accelerator uses the datapath `dp`.
+///
+/// # Errors
+///
+/// Returns a message on unknown kernels, unknown memory systems, bad
+/// launch cycles, or trailing fields.
+pub fn parse_job(spec: &str, dp: DatapathConfig) -> Result<AcceleratorJob, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let (name, mem) = match parts.as_slice() {
+        [name, mem, ..] => (*name, *mem),
+        _ => return Err(format!("{spec:?}: expected KERNEL:MEM[:OPT][:LAUNCH]")),
+    };
+    let kernel = by_name(name).ok_or_else(|| format!("unknown kernel {name:?}; use --list"))?;
+    let mut rest = parts[2..].iter();
+    let kind = match mem {
+        "isolated" => MemKind::Isolated,
+        "cache" => MemKind::Cache,
+        "dma" => {
+            let opt = rest.clone().next().and_then(|s| parse_opt_level(s).ok());
+            if opt.is_some() {
+                rest.next();
+            }
+            MemKind::Dma(opt.unwrap_or(DmaOptLevel::Full))
+        }
+        other => return Err(format!("{spec:?}: unknown memory system {other:?}")),
+    };
+    let launch_at = match rest.next() {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("{spec:?}: bad launch cycle {s:?}"))?,
+        None => 0,
+    };
+    if rest.next().is_some() {
+        return Err(format!("{spec:?}: trailing fields"));
+    }
+    Ok(AcceleratorJob::new(kernel.run().trace, dp, kind, launch_at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_flags_parse_identically() {
+        let mut c = CommonArgs::new();
+        let mut rest = ["7"].iter().map(|s| (*s).to_owned());
+        assert_eq!(c.consume("--faults", &mut rest), Ok(true));
+        assert_eq!(c.faults_seed, Some(7));
+
+        let mut rest = ["full"].iter().map(|s| (*s).to_owned());
+        assert_eq!(c.consume("--cache", &mut rest), Ok(true));
+        assert_eq!(c.cache_mode, Some(SweepCacheMode::Full));
+
+        let mut none = std::iter::empty();
+        assert_eq!(c.consume("--json", &mut none), Ok(true));
+        assert_eq!(c.format, OutputFormat::Json);
+
+        let mut rest = ["human"].iter().map(|s| (*s).to_owned());
+        assert_eq!(c.consume("--format", &mut rest), Ok(true));
+        assert_eq!(c.format, OutputFormat::Human);
+
+        let mut rest = ["aes-aes:cache"].iter().map(|s| (*s).to_owned());
+        assert_eq!(c.consume("--multi", &mut rest), Ok(true));
+        assert_eq!(c.multi, ["aes-aes:cache"]);
+
+        let mut none = std::iter::empty();
+        assert_eq!(c.consume("--lanes", &mut none), Ok(false));
+        assert!(c.consume("--faults", &mut std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn mem_specs_cover_the_vocabulary() {
+        assert_eq!(parse_mem_spec("isolated"), Ok(MemKind::Isolated));
+        assert_eq!(parse_mem_spec("cache"), Ok(MemKind::Cache));
+        assert_eq!(parse_mem_spec("dma"), Ok(MemKind::Dma(DmaOptLevel::Full)));
+        assert_eq!(
+            parse_mem_spec("dma:pipelined"),
+            Ok(MemKind::Dma(DmaOptLevel::Pipelined))
+        );
+        assert!(parse_mem_spec("dma:warp").is_err());
+        assert!(parse_mem_spec("scratchpad").is_err());
+    }
+
+    #[test]
+    fn job_specs_match_the_simulate_grammar() {
+        let dp = DatapathConfig::default();
+        let j = parse_job("aes-aes:dma:pipelined:5000", dp).expect("parses");
+        assert_eq!(j.kind, MemKind::Dma(DmaOptLevel::Pipelined));
+        assert_eq!(j.launch_at, 5000);
+
+        let j = parse_job("spmv-crs:cache", dp).expect("parses");
+        assert_eq!(j.kind, MemKind::Cache);
+        assert_eq!(j.launch_at, 0);
+
+        let j = parse_job("nw-nw:dma:1000", dp).expect("dma opt defaults to full");
+        assert_eq!(j.kind, MemKind::Dma(DmaOptLevel::Full));
+        assert_eq!(j.launch_at, 1000);
+
+        assert!(parse_job("nosuch:cache", dp).is_err());
+        assert!(parse_job("aes-aes", dp).is_err());
+        assert!(parse_job("aes-aes:cache:0:9", dp).is_err());
+    }
+}

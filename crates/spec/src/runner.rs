@@ -1,0 +1,522 @@
+//! Journaled campaign execution: stream every finished point to a JSONL
+//! journal, and resume an interrupted campaign without recomputing a
+//! single finished point.
+//!
+//! The journal is append-only. Line 1 is a header recording the campaign
+//! name, its spec digest, and the point count; every subsequent line is
+//! one finished point, written (and flushed) the moment its simulation
+//! completes. A killed run therefore leaves a journal whose complete
+//! lines are exactly the finished points — [`run_campaign`] with
+//! [`RunOptions::resume`] reads them back, skips those indices, and runs
+//! only the remainder. A half-written final line (the kill landed
+//! mid-write) fails the completeness check and its point is re-run.
+//!
+//! Journal integrity findings use `L0266`: digest mismatches (the
+//! campaign file was edited between run and resume), missing journals,
+//! and unreadable headers.
+
+use std::collections::HashSet;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use aladdin_core::{simulate_multi, FlowResult, MemKind, SimError, Watchdog};
+use aladdin_dse::{sweep_points_streaming, PointSpec};
+use aladdin_ir::{Diagnostic, Report};
+use aladdin_workloads::by_name;
+
+use crate::campaign::{mem_str, CampaignPlan, PlannedPoint};
+
+/// Journal format version, bumped on breaking record changes.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// How [`run_campaign`] treats the journal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// `false`: start fresh (refuse an existing journal). `true`: require
+    /// an existing journal with a matching digest and skip every point
+    /// recorded in it.
+    pub resume: bool,
+    /// Run at most this many not-yet-finished points, then stop — the
+    /// campaign stays resumable. `None` runs to completion.
+    pub limit: Option<usize>,
+}
+
+/// What one [`run_campaign`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Total points in the plan.
+    pub total: usize,
+    /// Points skipped because the journal already records them.
+    pub skipped: usize,
+    /// Points simulated by this call.
+    pub ran: usize,
+    /// Of those, how many ended in a simulation error (recorded in the
+    /// journal as outcomes, not retried on resume).
+    pub failed: usize,
+    /// The journal these results were appended to.
+    pub journal: PathBuf,
+}
+
+impl RunSummary {
+    /// Whether every point of the campaign is now journaled.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.skipped + self.ran == self.total
+    }
+}
+
+fn journal_err(msg: impl Into<String>) -> Report {
+    let mut r = Report::new();
+    r.push(Diagnostic::error("L0266", msg));
+    r
+}
+
+/// Execute `plan`, appending one JSONL record per finished point to
+/// `journal`.
+///
+/// Single points of one kernel run through the multithreaded
+/// [`sweep_points_streaming`] fast path (shared prepared DDDGs, result
+/// cache when the harness is inert); records are written in completion
+/// order. Multi-accelerator points run sequentially. Results are
+/// bit-identical to calling the underlying engines directly — the journal
+/// is a log, not a different code path.
+///
+/// # Errors
+///
+/// Returns `L0266` diagnostics when the journal already exists (fresh
+/// run), is missing or digest-mismatched (resume), or cannot be written.
+pub fn run_campaign(
+    plan: &CampaignPlan,
+    journal: &Path,
+    opts: &RunOptions,
+) -> Result<RunSummary, Report> {
+    let finished: HashSet<usize> = if opts.resume {
+        read_finished(journal, plan.digest)?
+    } else {
+        if journal.exists() {
+            return Err(journal_err(format!(
+                "journal {} already exists; resume it or remove it first",
+                journal.display()
+            )));
+        }
+        HashSet::new()
+    };
+
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(journal)
+        .map_err(|e| journal_err(format!("cannot open journal {}: {e}", journal.display())))?;
+    if finished.is_empty() && !opts.resume {
+        writeln!(
+            file,
+            "{{\"campaign\":{},\"digest\":\"{:016x}\",\"points\":{},\"version\":{}}}",
+            json_string(&plan.spec.name),
+            plan.digest,
+            plan.points.len(),
+            JOURNAL_VERSION
+        )
+        .map_err(|e| journal_err(format!("cannot write journal header: {e}")))?;
+    }
+
+    let mut todo: Vec<usize> = (0..plan.points.len())
+        .filter(|i| !finished.contains(i))
+        .collect();
+    if let Some(limit) = opts.limit {
+        todo.truncate(limit);
+    }
+
+    let writer = Mutex::new(file);
+    let write_line = |line: String| {
+        let mut file = writer.lock().expect("journal writer poisoned");
+        // One write + flush per record: a kill can truncate at most the
+        // final line, which resume detects and re-runs.
+        let _ = writeln!(file, "{line}");
+        let _ = file.flush();
+    };
+
+    let mut failed = 0usize;
+    let mut ran = 0usize;
+
+    // Group contiguous runs of single points by kernel so each kernel's
+    // trace is generated once and its points share the sweep fast path.
+    let mut i = 0;
+    while i < todo.len() {
+        let index = todo[i];
+        match &plan.points[index] {
+            PlannedPoint::Single { kernel, .. } => {
+                let kernel_name = kernel.clone();
+                let mut group: Vec<usize> = Vec::new();
+                while i < todo.len() {
+                    match &plan.points[todo[i]] {
+                        PlannedPoint::Single { kernel, .. } if *kernel == kernel_name => {
+                            group.push(todo[i]);
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let specs: Vec<PointSpec> = group
+                    .iter()
+                    .map(|&g| match &plan.points[g] {
+                        PlannedPoint::Single { point, .. } => *point,
+                        PlannedPoint::Multi { .. } => unreachable!("grouped singles"),
+                    })
+                    .collect();
+                let trace = by_name(&kernel_name)
+                    .expect("plan validated kernel names")
+                    .run()
+                    .trace;
+                let (results, _perf) =
+                    sweep_points_streaming(&trace, &specs, &plan.harness, &|local, result| {
+                        write_line(single_record(
+                            group[local],
+                            &kernel_name,
+                            &specs[local],
+                            result,
+                        ));
+                    });
+                failed += results.iter().filter(|r| r.is_err()).count();
+                ran += results.len();
+            }
+            PlannedPoint::Multi { stagger } => {
+                let jobs = plan.jobs_at(*stagger);
+                let result = simulate_multi(&jobs, &plan.soc, &plan.harness);
+                let line = match &result {
+                    Ok(r) => {
+                        let latencies: Vec<String> = r
+                            .accelerators
+                            .iter()
+                            .map(|a| a.latency().to_string())
+                            .collect();
+                        format!(
+                            "{{\"point\":{index},\"stagger\":{stagger},\"end\":{},\"latencies\":[{}],\"status\":\"ok\"}}",
+                            r.end,
+                            latencies.join(",")
+                        )
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        format!(
+                            "{{\"point\":{index},\"stagger\":{stagger},\"status\":\"error\",\"error\":{}}}",
+                            json_string(&e.to_string())
+                        )
+                    }
+                };
+                write_line(line);
+                ran += 1;
+                i += 1;
+            }
+        }
+    }
+
+    Ok(RunSummary {
+        total: plan.points.len(),
+        skipped: finished.len(),
+        ran,
+        failed,
+        journal: journal.to_path_buf(),
+    })
+}
+
+fn single_record(
+    index: usize,
+    kernel: &str,
+    spec: &PointSpec,
+    result: &Result<FlowResult, SimError>,
+) -> String {
+    let mut line = format!(
+        "{{\"point\":{index},\"kernel\":{},\"mem\":{},\"lanes\":{},\"partition\":{}",
+        json_string(kernel),
+        json_string(&mem_str(spec.kind)),
+        spec.dp.lanes,
+        spec.dp.partition,
+    );
+    if spec.kind == MemKind::Cache {
+        line.push_str(&format!(
+            ",\"cache_bytes\":{},\"cache_ports\":{}",
+            spec.soc.cache.size_bytes, spec.soc.cache.ports
+        ));
+    }
+    match result {
+        Ok(r) => {
+            line.push_str(&format!(
+                ",\"cycles\":{},\"energy_j\":{:e},\"edp\":{:e},\"status\":\"ok\"}}",
+                r.total_cycles,
+                r.energy_j(),
+                r.edp()
+            ));
+        }
+        Err(e) => {
+            line.push_str(&format!(
+                ",\"status\":\"error\",\"error\":{}}}",
+                json_string(&e.to_string())
+            ));
+        }
+    }
+    line
+}
+
+/// Read the set of finished point indices from a journal, verifying its
+/// header against `digest`.
+///
+/// Complete records (ok or error) count as finished; a truncated final
+/// line is ignored so its point re-runs.
+///
+/// # Errors
+///
+/// Returns `L0266` diagnostics when the journal is missing, has no
+/// parseable header, or records a different campaign digest.
+pub fn read_finished(journal: &Path, digest: u64) -> Result<HashSet<usize>, Report> {
+    let text = std::fs::read_to_string(journal)
+        .map_err(|e| journal_err(format!("cannot read journal {}: {e}", journal.display())))?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| journal_err(format!("journal {} is empty", journal.display())))?;
+    let recorded = json_field_str(header, "digest").ok_or_else(|| {
+        journal_err(format!(
+            "journal {} has no header digest",
+            journal.display()
+        ))
+    })?;
+    if recorded != format!("{digest:016x}") {
+        return Err(journal_err(format!(
+            "journal {} records digest {recorded} but the campaign's is {digest:016x}; \
+             the campaign file changed since the run started",
+            journal.display()
+        )));
+    }
+    let mut finished = HashSet::new();
+    for line in lines {
+        // Only complete records count: a kill mid-write leaves a line
+        // without the closing brace.
+        if !line.trim_end().ends_with('}') {
+            continue;
+        }
+        if json_field_str(line, "status").is_none() {
+            continue;
+        }
+        if let Some(point) = json_field_u64(line, "point") {
+            finished.insert(usize::try_from(point).expect("journal index fits"));
+        }
+    }
+    Ok(finished)
+}
+
+/// How many of the plan's single points the process-wide result cache
+/// already holds (the `sweep plan` forecast). Probing promotes disk-tier
+/// hits into memory, pre-warming the subsequent run.
+///
+/// Always 0 when the campaign's harness is not inert (a fault seed or a
+/// non-default watchdog): those runs bypass the cache, so nothing the
+/// cache holds will be served to them.
+#[must_use]
+pub fn forecast_cached(plan: &CampaignPlan) -> usize {
+    if !plan.harness.plan.is_empty() || plan.harness.watchdog != Watchdog::default() {
+        return 0;
+    }
+    let mut cached = 0;
+    let mut trace_for: Option<(String, aladdin_ir::Trace)> = None;
+    for point in &plan.points {
+        if let PlannedPoint::Single { kernel, point } = point {
+            let stale = !matches!(&trace_for, Some((name, _)) if name == kernel);
+            if stale {
+                let trace = by_name(kernel).expect("validated").run().trace;
+                trace_for = Some((kernel.clone(), trace));
+            }
+            let (_, trace) = trace_for.as_ref().expect("just ensured");
+            if aladdin_dse::point_cached(trace, &point.dp, &point.soc, point.kind) {
+                cached += 1;
+            }
+        }
+    }
+    cached
+}
+
+/// Minimal JSON string encoding for journal fields.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Extract `"key":"value"` from a flat JSON object line.
+fn json_field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    // Journal strings we read back (digests, statuses) never contain
+    // escapes, so a plain quote scan suffices.
+    rest.find('"').map(|end| &rest[..end])
+}
+
+/// Extract `"key":123` from a flat JSON object line.
+fn json_field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignSpec;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "aladdin-runner-{}-{name}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn tiny_plan() -> CampaignPlan {
+        CampaignSpec::from_toml(
+            r#"
+name = "runner-test"
+kernels = ["aes-aes"]
+mems = ["isolated"]
+
+[space]
+lanes = [1, 2]
+partitions = [1]
+"#,
+        )
+        .expect("parses")
+        .expand()
+        .expect("expands")
+    }
+
+    #[test]
+    fn journal_records_every_point_once() {
+        let plan = tiny_plan();
+        let journal = temp_path("full");
+        let summary = run_campaign(&plan, &journal, &RunOptions::default()).expect("runs");
+        assert_eq!(summary.ran, plan.points.len());
+        assert_eq!(summary.failed, 0);
+        assert!(summary.complete());
+
+        let finished = read_finished(&journal, plan.digest).expect("readable");
+        assert_eq!(finished.len(), plan.points.len());
+        // Exactly one record per index, plus the header.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(text.lines().count(), plan.points.len() + 1);
+
+        // A second run refuses to clobber; resume finds nothing to do.
+        assert!(run_campaign(&plan, &journal, &RunOptions::default()).is_err());
+        let resumed = run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                resume: true,
+                limit: None,
+            },
+        )
+        .expect("resumes");
+        assert_eq!(resumed.ran, 0);
+        assert!(resumed.complete());
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn limit_then_resume_completes_without_recompute() {
+        let plan = tiny_plan();
+        let journal = temp_path("limit");
+        let first = run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                resume: false,
+                limit: Some(1),
+            },
+        )
+        .expect("runs");
+        assert_eq!(first.ran, 1);
+        assert!(!first.complete());
+
+        let second = run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                resume: true,
+                limit: None,
+            },
+        )
+        .expect("resumes");
+        assert_eq!(
+            second.ran,
+            plan.points.len() - 1,
+            "only unfinished points run"
+        );
+        assert!(second.complete());
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn resume_refuses_a_foreign_journal() {
+        let plan = tiny_plan();
+        let journal = temp_path("foreign");
+        std::fs::write(
+            &journal,
+            "{\"campaign\":\"other\",\"digest\":\"00000000deadbeef\",\"points\":1,\"version\":1}\n",
+        )
+        .unwrap();
+        let err = run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                resume: true,
+                limit: None,
+            },
+        )
+        .unwrap_err();
+        assert!(err.has_code("L0266"), "{}", err.to_human());
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn truncated_final_line_reruns_that_point() {
+        let plan = tiny_plan();
+        let journal = temp_path("truncated");
+        run_campaign(&plan, &journal, &RunOptions::default()).expect("runs");
+        // Chop the final record mid-line, as a kill would.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let truncated = &text[..text.len() - 10];
+        std::fs::write(&journal, truncated).unwrap();
+
+        let finished = read_finished(&journal, plan.digest).expect("readable");
+        assert_eq!(finished.len(), plan.points.len() - 1);
+        let resumed = run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                resume: true,
+                limit: None,
+            },
+        )
+        .expect("resumes");
+        assert_eq!(resumed.ran, 1, "only the truncated point re-runs");
+        assert!(resumed.complete());
+        let _ = std::fs::remove_file(&journal);
+    }
+}

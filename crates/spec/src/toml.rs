@@ -1,0 +1,747 @@
+//! A self-contained TOML subset: enough of the language to express
+//! campaign specs, with ordered tables so a parsed document serializes
+//! back in a stable, diff-friendly form.
+//!
+//! Supported syntax:
+//!
+//! * key/value pairs with bare or quoted keys, dotted keys (`a.b = 1`),
+//! * `[table]` and `[a.b]` headers, `[[array.of.tables]]`,
+//! * basic strings with `\\ \" \n \t \r` escapes,
+//! * integers (with `_` separators), floats, booleans,
+//! * arrays, including multi-line arrays with trailing commas,
+//! * `#` comments.
+//!
+//! Deliberately out of scope (rejected with an `L0260` diagnostic, never
+//! misparsed): literal/multi-line strings, inline tables, dates.
+
+use aladdin_ir::{Diagnostic, Report};
+use std::fmt::Write as _;
+
+/// One TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// A table with insertion-ordered entries.
+    Table(Table),
+}
+
+/// An insertion-ordered table: serializing a parsed document preserves
+/// the author's key order.
+pub type Table = Vec<(String, Value)>;
+
+impl Value {
+    /// The value at `key` if this is a table containing it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Table(t) => t.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an integer.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// This value as a float (integers coerce).
+    #[must_use]
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            #[allow(clippy::cast_precision_loss)]
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// This value as a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// This value as a table.
+    #[must_use]
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// A short name for this value's type, for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+}
+
+fn err(line: usize, why: impl Into<String>) -> Diagnostic {
+    Diagnostic::error("L0260", format!("line {line}: {}", why.into()))
+}
+
+/// Parse a TOML document into its root [`Table`].
+///
+/// # Errors
+///
+/// Returns a [`Report`] of `L0260` diagnostics — one per malformed line,
+/// with line numbers — when the text is not valid (subset) TOML.
+pub fn parse(text: &str) -> Result<Table, Report> {
+    let mut root: Table = Vec::new();
+    // Path of the table the cursor writes into; empty = root.
+    let mut current: Vec<String> = Vec::new();
+    let mut report = Report::new();
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let Some(path) = rest.strip_suffix("]]") else {
+                report.push(err(lineno, "unterminated [[table]] header"));
+                continue;
+            };
+            match parse_key_path(path.trim()) {
+                Ok(path) => {
+                    if let Err(d) = push_array_table(&mut root, &path, lineno) {
+                        report.push(d);
+                    } else {
+                        current = path;
+                    }
+                }
+                Err(why) => report.push(err(lineno, why)),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(path) = rest.strip_suffix(']') else {
+                report.push(err(lineno, "unterminated [table] header"));
+                continue;
+            };
+            match parse_key_path(path.trim()) {
+                Ok(path) => {
+                    if let Err(d) = open_table(&mut root, &path, lineno) {
+                        report.push(d);
+                    } else {
+                        current = path;
+                    }
+                }
+                Err(why) => report.push(err(lineno, why)),
+            }
+            continue;
+        }
+        let Some(eq) = find_unquoted(line, '=') else {
+            report.push(err(lineno, format!("expected `key = value`, got {line:?}")));
+            continue;
+        };
+        let (key_src, mut value_src) = (line[..eq].trim(), line[eq + 1..].trim().to_owned());
+        let key_path = match parse_key_path(key_src) {
+            Ok(p) => p,
+            Err(why) => {
+                report.push(err(lineno, why));
+                continue;
+            }
+        };
+        // Multi-line arrays: keep consuming lines until brackets balance.
+        while !brackets_balanced(&value_src) {
+            match lines.next() {
+                Some((_, more)) => {
+                    value_src.push(' ');
+                    value_src.push_str(strip_comment(more).trim());
+                }
+                None => break,
+            }
+        }
+        match parse_value(&value_src, lineno) {
+            Ok(value) => {
+                let mut full = current.clone();
+                full.extend(key_path);
+                if let Err(d) = insert(&mut root, &full, value, lineno) {
+                    report.push(d);
+                }
+            }
+            Err(d) => report.push(d),
+        }
+    }
+
+    if report.has_errors() {
+        Err(report)
+    } else {
+        Ok(root)
+    }
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Byte index of the first `needle` outside a basic string.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            c if c == needle && !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether every `[` in the text (outside strings) has a matching `]`.
+fn brackets_balanced(text: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+/// Parse a dotted key into its segments: `a.b."c.d"` → `[a, b, c.d]`.
+fn parse_key_path(src: &str) -> Result<Vec<String>, String> {
+    let mut segments = Vec::new();
+    let mut rest = src.trim();
+    if rest.is_empty() {
+        return Err("empty key".to_owned());
+    }
+    loop {
+        rest = rest.trim_start();
+        let (segment, tail) = if let Some(after) = rest.strip_prefix('"') {
+            let end = after.find('"').ok_or("unterminated quoted key")?;
+            (after[..end].to_owned(), after[end + 1..].trim_start())
+        } else {
+            let end = rest.find('.').unwrap_or(rest.len());
+            let seg = rest[..end].trim();
+            if seg.is_empty() {
+                return Err("empty key segment".to_owned());
+            }
+            if !seg
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(format!("invalid bare key {seg:?}"));
+            }
+            (seg.to_owned(), &rest[end..])
+        };
+        segments.push(segment);
+        let tail = tail.trim_start();
+        if tail.is_empty() {
+            return Ok(segments);
+        }
+        let Some(after_dot) = tail.strip_prefix('.') else {
+            return Err(format!("expected `.` between key segments, got {tail:?}"));
+        };
+        rest = after_dot;
+    }
+}
+
+fn parse_value(src: &str, lineno: usize) -> Result<Value, Diagnostic> {
+    let src = src.trim();
+    if src.is_empty() {
+        return Err(err(lineno, "missing value after `=`"));
+    }
+    if let Some(rest) = src.strip_prefix('"') {
+        return parse_basic_string(rest, lineno).map(|(s, tail)| {
+            debug_assert!(tail.trim().is_empty() || !tail.is_empty());
+            Value::Str(s)
+        });
+    }
+    if src.starts_with('[') {
+        let (items, tail) = parse_array(src, lineno)?;
+        if !tail.trim().is_empty() {
+            return Err(err(lineno, format!("trailing text after array: {tail:?}")));
+        }
+        return Ok(items);
+    }
+    if src == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if src == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if src.starts_with('{') {
+        return Err(err(
+            lineno,
+            "inline tables are not supported; use a [section]",
+        ));
+    }
+    if src.starts_with('\'') {
+        return Err(err(
+            lineno,
+            "literal strings are not supported; use \"...\"",
+        ));
+    }
+    let cleaned = src.replace('_', "");
+    if let Ok(n) = cleaned.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    if (cleaned.contains('.') || cleaned.contains('e') || cleaned.contains('E'))
+        && !cleaned.contains(':')
+    {
+        if let Ok(f) = cleaned.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+    }
+    Err(err(lineno, format!("cannot parse value {src:?}")))
+}
+
+/// Parse a basic string body (after the opening `"`); returns the string
+/// and the text after the closing quote.
+fn parse_basic_string(src: &str, lineno: usize) -> Result<(String, &str), Diagnostic> {
+    let mut out = String::new();
+    let mut chars = src.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &src[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, other)) => {
+                    return Err(err(lineno, format!("unsupported escape `\\{other}`")))
+                }
+                None => return Err(err(lineno, "dangling escape at end of string")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(err(lineno, "unterminated string"))
+}
+
+/// Parse an array starting at `[`; returns the array and trailing text.
+fn parse_array(src: &str, lineno: usize) -> Result<(Value, &str), Diagnostic> {
+    let mut rest = src
+        .strip_prefix('[')
+        .ok_or_else(|| err(lineno, "expected `[`"))?
+        .trim_start();
+    let mut items = Vec::new();
+    loop {
+        if let Some(tail) = rest.strip_prefix(']') {
+            return Ok((Value::Array(items), tail));
+        }
+        if rest.is_empty() {
+            return Err(err(lineno, "unterminated array"));
+        }
+        let (value, tail) = if let Some(body) = rest.strip_prefix('"') {
+            let (s, tail) = parse_basic_string(body, lineno)?;
+            (Value::Str(s), tail)
+        } else if rest.starts_with('[') {
+            parse_array(rest, lineno)?
+        } else {
+            let end = rest
+                .find([',', ']'])
+                .ok_or_else(|| err(lineno, "unterminated array"))?;
+            (parse_value(&rest[..end], lineno)?, &rest[end..])
+        };
+        items.push(value);
+        rest = tail.trim_start();
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail.trim_start();
+        } else if !rest.starts_with(']') {
+            return Err(err(lineno, "expected `,` or `]` in array"));
+        }
+    }
+}
+
+/// Ensure the table at `path` exists (creating empty tables on the way)
+/// and is a plain table the cursor can write into.
+fn open_table(root: &mut Table, path: &[String], lineno: usize) -> Result<(), Diagnostic> {
+    let mut table = root;
+    for (depth, seg) in path.iter().enumerate() {
+        if !table.iter().any(|(k, _)| k == seg) {
+            table.push((seg.clone(), Value::Table(Vec::new())));
+        }
+        let (_, slot) = table
+            .iter_mut()
+            .find(|(k, _)| k == seg)
+            .expect("just ensured");
+        table = match slot {
+            Value::Table(t) => t,
+            // `[a.b]` after `[[a]]` descends into the last element.
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => {
+                    return Err(err(
+                        lineno,
+                        format!("`{}` is not a table", path[..=depth].join(".")),
+                    ))
+                }
+            },
+            other => {
+                return Err(err(
+                    lineno,
+                    format!(
+                        "`{}` is a {}, not a table",
+                        path[..=depth].join("."),
+                        other.type_name()
+                    ),
+                ))
+            }
+        };
+    }
+    Ok(())
+}
+
+/// Append a fresh table to the array-of-tables at `path`.
+fn push_array_table(root: &mut Table, path: &[String], lineno: usize) -> Result<(), Diagnostic> {
+    let (last, parents) = path.split_last().expect("non-empty path");
+    open_table(root, parents, lineno)?;
+    let mut table = root;
+    for seg in parents {
+        let (_, slot) = table.iter_mut().find(|(k, _)| k == seg).expect("opened");
+        table = match slot {
+            Value::Table(t) => t,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => unreachable!("open_table verified"),
+            },
+            _ => unreachable!("open_table verified"),
+        };
+    }
+    if !table.iter().any(|(k, _)| k == last) {
+        table.push((last.clone(), Value::Array(Vec::new())));
+    }
+    let (_, slot) = table.iter_mut().find(|(k, _)| k == last).expect("ensured");
+    match slot {
+        Value::Array(items) => {
+            items.push(Value::Table(Vec::new()));
+            Ok(())
+        }
+        other => Err(err(
+            lineno,
+            format!(
+                "`{}` is a {}, not an array of tables",
+                path.join("."),
+                other.type_name()
+            ),
+        )),
+    }
+}
+
+/// Insert `value` at the dotted `path` under the current table, creating
+/// intermediate tables; duplicate keys are an error.
+fn insert(
+    root: &mut Table,
+    path: &[String],
+    value: Value,
+    lineno: usize,
+) -> Result<(), Diagnostic> {
+    let (last, parents) = path.split_last().expect("non-empty path");
+    open_table(root, parents, lineno)?;
+    let mut table = root;
+    for seg in parents {
+        let (_, slot) = table.iter_mut().find(|(k, _)| k == seg).expect("opened");
+        table = match slot {
+            Value::Table(t) => t,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => unreachable!("open_table verified"),
+            },
+            _ => unreachable!("open_table verified"),
+        };
+    }
+    if table.iter().any(|(k, _)| k == last) {
+        return Err(err(lineno, format!("duplicate key `{}`", path.join("."))));
+    }
+    table.push((last.clone(), value));
+    Ok(())
+}
+
+/// Serialize a root table back to canonical TOML: scalar keys first, then
+/// `[section]`s and `[[array]]`s, preserving insertion order within each
+/// group. Canonical form is a fixed point —
+/// `serialize(parse(serialize(t))) == serialize(t)` — and for tables
+/// already in canonical order (scalars before subtables, as every
+/// spec-built table is), `parse(serialize(t)) == t` exactly.
+#[must_use]
+pub fn serialize(root: &Table) -> String {
+    let mut out = String::new();
+    write_table(&mut out, root, &mut Vec::new());
+    out
+}
+
+fn write_table(out: &mut String, table: &Table, path: &mut Vec<String>) {
+    // Scalars and plain arrays belong to this section's header.
+    for (key, value) in table {
+        match value {
+            Value::Table(_) => {}
+            Value::Array(items)
+                if items.iter().all(|v| matches!(v, Value::Table(_))) && !items.is_empty() => {}
+            other => {
+                let _ = writeln!(out, "{} = {}", write_key(key), write_value(other));
+            }
+        }
+    }
+    for (key, value) in table {
+        match value {
+            Value::Table(sub) => {
+                path.push(key.clone());
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                let _ = writeln!(out, "[{}]", write_path(path));
+                write_table(out, sub, path);
+                path.pop();
+            }
+            Value::Array(items)
+                if items.iter().all(|v| matches!(v, Value::Table(_))) && !items.is_empty() =>
+            {
+                path.push(key.clone());
+                for item in items {
+                    if let Value::Table(sub) = item {
+                        if !out.is_empty() {
+                            out.push('\n');
+                        }
+                        let _ = writeln!(out, "[[{}]]", write_path(path));
+                        write_table(out, sub, path);
+                    }
+                }
+                path.pop();
+            }
+            _ => {}
+        }
+    }
+}
+
+fn write_path(path: &[String]) -> String {
+    path.iter()
+        .map(|s| write_key(s))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn write_key(key: &str) -> String {
+    if !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        key.to_owned()
+    } else {
+        format!("\"{}\"", escape(key))
+    }
+}
+
+fn write_value(value: &Value) -> String {
+    match value {
+        Value::Str(s) => format!("\"{}\"", escape(s)),
+        Value::Int(n) => n.to_string(),
+        Value::Float(f) => {
+            let s = format!("{f}");
+            // Keep floats recognizable as floats on re-parse.
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        Value::Array(items) => {
+            let body = items.iter().map(write_value).collect::<Vec<_>>().join(", ");
+            format!("[{body}]")
+        }
+        Value::Table(_) => unreachable!("tables are emitted as sections"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(t: &'a Table, path: &str) -> &'a Value {
+        let mut v: Option<&Value> = None;
+        let mut table = t;
+        for seg in path.split('.') {
+            let (_, slot) = table
+                .iter()
+                .find(|(k, _)| k == seg)
+                .unwrap_or_else(|| panic!("missing {seg} of {path}"));
+            v = Some(slot);
+            if let Value::Table(sub) = slot {
+                table = sub;
+            }
+        }
+        v.unwrap()
+    }
+
+    #[test]
+    fn parses_scalars_sections_and_arrays() {
+        let doc = r#"
+# a campaign
+name = "demo"
+count = 1_000
+rate = 2.5
+on = true
+lanes = [1, 2,
+         4, 8,]  # multi-line, trailing comma
+
+[soc.bus]
+width_bits = 64
+
+[[jobs]]
+kernel = "aes-aes"
+
+[[jobs]]
+kernel = "nw-nw"
+launch = 100
+"#;
+        let t = parse(doc).expect("parses");
+        assert_eq!(get(&t, "name").as_str(), Some("demo"));
+        assert_eq!(get(&t, "count").as_int(), Some(1000));
+        assert_eq!(get(&t, "rate").as_float(), Some(2.5));
+        assert_eq!(get(&t, "on").as_bool(), Some(true));
+        let lanes: Vec<i64> = get(&t, "lanes")
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(lanes, [1, 2, 4, 8]);
+        assert_eq!(get(&t, "soc.bus.width_bits").as_int(), Some(64));
+        let jobs = get(&t, "jobs").as_array().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[1].get("launch").unwrap().as_int(), Some(100));
+    }
+
+    #[test]
+    fn round_trips_through_serialize() {
+        let doc = r#"
+name = "round trip \"quoted\""
+lanes = [1, 16]
+nested = [[1, 2], [3]]
+
+[faults]
+seed = 7
+rate = 0.25
+
+[[jobs]]
+kernel = "aes-aes"
+mem = "dma"
+
+[[jobs]]
+kernel = "spmv-crs"
+mem = "cache"
+"#;
+        let t = parse(doc).expect("parses");
+        let text = serialize(&t);
+        let t2 = parse(&text).expect("serialized form parses");
+        assert_eq!(t, t2, "{text}");
+        // And serialization is a fixed point.
+        assert_eq!(serialize(&t2), text);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let doc = "name = \"ok\"\noops\nx = {a = 1}\n";
+        let report = parse(doc).unwrap_err();
+        assert!(report.has_code("L0260"));
+        let human = report.to_human();
+        assert!(human.contains("line 2"), "{human}");
+        assert!(human.contains("line 3"), "{human}");
+    }
+
+    #[test]
+    fn rejects_duplicates_and_type_clashes() {
+        assert!(parse("a = 1\na = 2\n").is_err());
+        assert!(parse("a = 1\n[a]\nb = 2\n").is_err());
+        assert!(parse("s = 'literal'\n").is_err());
+    }
+
+    #[test]
+    fn dotted_keys_and_quoted_keys() {
+        let t = parse("a.b = 1\n\"odd key\" = 2\n").expect("parses");
+        assert_eq!(get(&t, "a.b").as_int(), Some(1));
+        assert_eq!(
+            t.iter().find(|(k, _)| k == "odd key").unwrap().1.as_int(),
+            Some(2)
+        );
+        // Scalars are hoisted above sections in canonical form, which is
+        // a serialization fixed point.
+        let text = serialize(&t);
+        assert_eq!(serialize(&parse(&text).unwrap()), text);
+    }
+}

@@ -1,0 +1,101 @@
+//! Spec-expansion equivalence: a TOML campaign expanded to
+//! [`PlannedPoint`]s and run through [`aladdin_dse::sweep_points`] must
+//! produce results bit-identical to the same sweep hand-built from a
+//! [`DesignSpace`] — the campaign layer is a front end, not a second
+//! simulator.
+
+use aladdin_core::{MemKind, SocConfig};
+use aladdin_dse::{DesignSpace, PointSpec};
+use aladdin_spec::{CampaignSpec, PlannedPoint};
+
+const KERNELS: [&str; 3] = ["aes-aes", "fft-transpose", "stencil-stencil2d"];
+
+/// The campaign's single-kernel point list, in expansion order.
+fn campaign_points(campaign: &str, kernel: &str) -> Vec<PointSpec> {
+    let plan = CampaignSpec::from_toml(campaign)
+        .expect("campaign parses")
+        .expand()
+        .expect("campaign expands");
+    plan.points
+        .iter()
+        .filter_map(|p| match p {
+            PlannedPoint::Single { kernel: k, point } if k == kernel => Some(*point),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn dma_campaign_matches_hand_built_design_space() {
+    let campaign = format!(
+        "name = \"equiv-dma\"\nkernels = {:?}\nmems = [\"dma:full\"]\n\n[space]\npreset = \"quick\"\n",
+        KERNELS
+    );
+    let space = DesignSpace::quick();
+    let soc = SocConfig::default();
+    for kernel in KERNELS {
+        let specs = campaign_points(&campaign, kernel);
+        assert_eq!(specs.len(), space.dma_points().len(), "{kernel}");
+
+        let trace = aladdin_workloads::by_name(kernel).unwrap().run().trace;
+        let (from_campaign, _) = aladdin_dse::sweep_points(&trace, &specs, &Default::default());
+        let hand_built = aladdin_dse::sweep(
+            &trace,
+            &space,
+            &soc,
+            MemKind::Dma(aladdin_core::DmaOptLevel::Full),
+        );
+
+        assert_eq!(hand_built.len(), from_campaign.len(), "{kernel}");
+        for (i, (a, b)) in from_campaign.iter().zip(&hand_built).enumerate() {
+            let a = a.as_ref().expect("campaign point simulates");
+            assert_eq!(a, b, "{kernel} dma point {i} diverges");
+        }
+    }
+}
+
+#[test]
+fn cache_campaign_matches_hand_built_design_space() {
+    let campaign = format!(
+        "name = \"equiv-cache\"\nkernels = {:?}\nmems = [\"cache\"]\n\n[space]\npreset = \"quick\"\n",
+        KERNELS
+    );
+    let space = DesignSpace::quick();
+    let soc = SocConfig::default();
+    for kernel in KERNELS {
+        let specs = campaign_points(&campaign, kernel);
+        assert_eq!(specs.len(), space.cache_points().len(), "{kernel}");
+
+        let trace = aladdin_workloads::by_name(kernel).unwrap().run().trace;
+        let (from_campaign, _) = aladdin_dse::sweep_points(&trace, &specs, &Default::default());
+        let hand_built = aladdin_dse::sweep(&trace, &space, &soc, MemKind::Cache);
+
+        assert_eq!(hand_built.len(), from_campaign.len(), "{kernel}");
+        for (i, (a, b)) in from_campaign.iter().zip(&hand_built).enumerate() {
+            let a = a.as_ref().expect("campaign point simulates");
+            assert_eq!(a, b, "{kernel} cache point {i} diverges");
+        }
+    }
+}
+
+#[test]
+fn axis_overrides_reshape_the_space() {
+    // Overriding axes in [space] must match a DesignSpace carrying the
+    // same axes — not the preset it started from.
+    let campaign = "name = \"equiv-axes\"\nkernels = [\"aes-aes\"]\nmems = [\"isolated\"]\n\n\
+                    [space]\nlanes = [1, 2, 4]\npartitions = [2]\n";
+    let mut space = DesignSpace::quick();
+    space.lanes = vec![1, 2, 4];
+    space.partitions = vec![2];
+
+    let specs = campaign_points(campaign, "aes-aes");
+    let trace = aladdin_workloads::by_name("aes-aes").unwrap().run().trace;
+    let (from_campaign, _) = aladdin_dse::sweep_points(&trace, &specs, &Default::default());
+    let hand_built = aladdin_dse::sweep(&trace, &space, &SocConfig::default(), MemKind::Isolated);
+
+    assert_eq!(from_campaign.len(), 3);
+    assert_eq!(hand_built.len(), 3);
+    for (a, b) in from_campaign.iter().zip(&hand_built) {
+        assert_eq!(a.as_ref().expect("simulates"), b);
+    }
+}

@@ -1,0 +1,230 @@
+//! `sweep` — plan, run, and resume declarative TOML sweep campaigns.
+//!
+//! ```text
+//! sweep [--json] [--cache off|mem|full] [--faults SEED] <command> CAMPAIGN.toml [options]
+//!
+//! commands:
+//!   plan FILE      expand and validate the campaign; print the point
+//!                  count, pre-flight rejections, and how many points the
+//!                  result cache already holds
+//!   run FILE       execute the campaign, streaming one JSONL record per
+//!                  finished point to the journal
+//!   resume FILE    continue an interrupted campaign from its journal,
+//!                  skipping every recorded point
+//!
+//! options:
+//!   --journal PATH  journal location (default target/campaigns/<name>.jsonl)
+//!   --limit N       run at most N points, then stop (still resumable)
+//! ```
+//!
+//! Exit status: 0 on success, 1 when validation or any point failed,
+//! 2 on usage errors. `--faults SEED` arms the canonical seeded fault
+//! plan, overriding the campaign's `[faults]` seed — the same flag, with
+//! the same meaning, as `simulate --faults`.
+
+use std::path::PathBuf;
+
+use aladdin_core::SimHarness;
+use aladdin_spec::{
+    forecast_cached, run_campaign, CampaignPlan, CampaignSpec, CommonArgs, OutputFormat, RunOptions,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--json] [--cache off|mem|full] [--faults SEED] \
+         <plan|run|resume> CAMPAIGN.toml [--journal PATH] [--limit N]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    common: CommonArgs,
+    command: String,
+    campaign: PathBuf,
+    journal: Option<PathBuf>,
+    limit: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut common = CommonArgs::new();
+    let mut positional: Vec<String> = Vec::new();
+    let mut journal = None;
+    let mut limit = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match common.consume(&arg, &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("sweep: {e}");
+                usage();
+            }
+        }
+        match arg.as_str() {
+            "--journal" => match it.next() {
+                Some(p) => journal = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--limit" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => limit = Some(n),
+                None => usage(),
+            },
+            _ if arg.starts_with("--") => usage(),
+            _ => positional.push(arg),
+        }
+    }
+    let (command, campaign) = match positional.as_slice() {
+        [c, f] => (c.clone(), PathBuf::from(f)),
+        _ => usage(),
+    };
+    if !matches!(command.as_str(), "plan" | "run" | "resume") {
+        usage();
+    }
+    Args {
+        common,
+        command,
+        campaign,
+        journal,
+        limit,
+    }
+}
+
+fn load_plan(args: &Args) -> Result<CampaignPlan, aladdin_ir::Report> {
+    let text = std::fs::read_to_string(&args.campaign).map_err(|e| {
+        let mut r = aladdin_ir::Report::new();
+        r.push(aladdin_ir::Diagnostic::error(
+            "L0260",
+            format!("cannot read {}: {e}", args.campaign.display()),
+        ));
+        r
+    })?;
+    let spec = CampaignSpec::from_toml(&text)?;
+    let mut plan = spec.expand()?;
+    // The shared --faults flag overrides the campaign's [faults] seed.
+    if let Some(seed) = args.common.faults_seed {
+        let watchdog = plan.harness.watchdog;
+        plan.harness = SimHarness {
+            plan: SimHarness::with_seed(seed).plan,
+            watchdog,
+        };
+    }
+    Ok(plan)
+}
+
+fn default_journal(plan: &CampaignPlan) -> PathBuf {
+    let mut p = PathBuf::from("target/campaigns");
+    let _ = std::fs::create_dir_all(&p);
+    p.push(format!("{}.jsonl", plan.spec.name.replace('/', "_")));
+    p
+}
+
+fn emit_plan(plan: &CampaignPlan, cached: usize, format: OutputFormat) {
+    match format {
+        OutputFormat::Human => {
+            println!("campaign: {}", plan.spec.name);
+            println!("digest:   {:016x}", plan.digest);
+            println!(
+                "points:   {} runnable, {} rejected by pre-flight",
+                plan.points.len(),
+                plan.rejected
+            );
+            println!(
+                "cache:    {cached} of {} points already cached",
+                plan.points.len()
+            );
+            let report = plan.report.to_human();
+            if !report.trim().is_empty() {
+                println!("{report}");
+            }
+        }
+        OutputFormat::Json => {
+            println!(
+                "{{\"campaign\":\"{}\",\"digest\":\"{:016x}\",\"points\":{},\"rejected\":{},\"cached\":{},\"report\":{}}}",
+                plan.spec.name,
+                plan.digest,
+                plan.points.len(),
+                plan.rejected,
+                cached,
+                plan.report.to_json()
+            );
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    args.common.apply_cache_mode();
+
+    let plan = match load_plan(&args) {
+        Ok(plan) => plan,
+        Err(report) => {
+            match args.common.format {
+                OutputFormat::Human => eprintln!("{}", report.to_human()),
+                OutputFormat::Json => println!("{}", report.to_json()),
+            }
+            std::process::exit(1);
+        }
+    };
+
+    if args.command == "plan" {
+        // Forecast how much of the campaign the result cache already
+        // holds. A non-inert harness disarms the cache, so it's 0 there.
+        let cached = forecast_cached(&plan);
+        emit_plan(&plan, cached, args.common.format);
+        std::process::exit(i32::from(plan.report.has_errors()));
+    }
+
+    let journal = args
+        .journal
+        .clone()
+        .unwrap_or_else(|| default_journal(&plan));
+    let opts = RunOptions {
+        resume: args.command == "resume",
+        limit: args.limit,
+    };
+    match run_campaign(&plan, &journal, &opts) {
+        Ok(summary) => {
+            match args.common.format {
+                OutputFormat::Human => {
+                    println!("campaign: {} ({} points)", plan.spec.name, summary.total);
+                    println!(
+                        "journal:  {} ({} skipped as already recorded)",
+                        summary.journal.display(),
+                        summary.skipped
+                    );
+                    println!(
+                        "ran:      {} point(s), {} failed{}",
+                        summary.ran,
+                        summary.failed,
+                        if summary.complete() {
+                            "; campaign complete"
+                        } else {
+                            "; campaign incomplete (resume to continue)"
+                        }
+                    );
+                    println!("{}", aladdin_dse::global_perf());
+                }
+                OutputFormat::Json => {
+                    println!(
+                        "{{\"campaign\":\"{}\",\"journal\":\"{}\",\"total\":{},\"skipped\":{},\"ran\":{},\"failed\":{},\"complete\":{}}}",
+                        plan.spec.name,
+                        summary.journal.display(),
+                        summary.total,
+                        summary.skipped,
+                        summary.ran,
+                        summary.failed,
+                        summary.complete()
+                    );
+                }
+            }
+            std::process::exit(i32::from(summary.failed > 0));
+        }
+        Err(report) => {
+            match args.common.format {
+                OutputFormat::Human => eprintln!("{}", report.to_human()),
+                OutputFormat::Json => println!("{}", report.to_json()),
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -7,16 +7,16 @@
 //! ```
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+use aladdin_core::{DmaOptLevel, FlowSpec, MemKind, Soc, SocConfig};
 use aladdin_workloads::evaluation_kernels;
 
 fn main() {
     let soc = Soc::new(SocConfig::default());
-    let dp = DatapathConfig {
-        lanes: 4,
-        partition: 4,
-        ..DatapathConfig::default()
-    };
+    let dp = DatapathConfig::builder()
+        .lanes(4)
+        .partition(4)
+        .build()
+        .expect("valid datapath");
 
     println!(
         "{:<20} {:>12} {:>12} {:>10} {:>10} {:>10}",
@@ -24,8 +24,12 @@ fn main() {
     );
     for kernel in evaluation_kernels() {
         let trace = kernel.run().trace;
-        let dma = soc.run_dma(&trace, &dp, DmaOptLevel::Full);
-        let cache = soc.run_cache(&trace, &dp);
+        let dma = soc
+            .simulate(&trace, &dp, &FlowSpec::new(MemKind::Dma(DmaOptLevel::Full)))
+            .unwrap();
+        let cache = soc
+            .simulate(&trace, &dp, &FlowSpec::new(MemKind::Cache))
+            .unwrap();
         let winner = match (
             dma.edp() < cache.edp(),
             (dma.edp() - cache.edp()).abs() / dma.edp() < 0.15,

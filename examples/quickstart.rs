@@ -5,7 +5,7 @@
 //! ```
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+use aladdin_core::{DmaOptLevel, FlowSpec, MemKind, Soc, SocConfig};
 use aladdin_workloads::by_name;
 
 fn main() {
@@ -19,17 +19,18 @@ fn main() {
         run.trace.output_bytes()
     );
 
-    let soc = Soc::new(SocConfig::default());
-    let dp = DatapathConfig {
-        lanes: 4,
-        partition: 4,
-        ..DatapathConfig::default()
-    };
+    let soc = Soc::new(SocConfig::builder().build().expect("valid platform"));
+    let dp = DatapathConfig::builder()
+        .lanes(4)
+        .partition(4)
+        .build()
+        .expect("valid datapath");
 
-    let isolated = soc.run_isolated(&run.trace, &dp);
-    let baseline = soc.run_dma(&run.trace, &dp, DmaOptLevel::Baseline);
-    let full = soc.run_dma(&run.trace, &dp, DmaOptLevel::Full);
-    let cache = soc.run_cache(&run.trace, &dp);
+    let flow = |kind| soc.simulate(&run.trace, &dp, &FlowSpec::new(kind)).unwrap();
+    let isolated = flow(MemKind::Isolated);
+    let baseline = flow(MemKind::Dma(DmaOptLevel::Baseline));
+    let full = flow(MemKind::Dma(DmaOptLevel::Full));
+    let cache = flow(MemKind::Cache);
 
     println!(
         "{:<22} {:>10} {:>10} {:>10} {:>12}",

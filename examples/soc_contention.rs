@@ -7,25 +7,30 @@
 //! ```
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{DmaOptLevel, Soc, SocConfig, TrafficConfig};
+use aladdin_core::{DmaOptLevel, FlowSpec, MemKind, Soc, SocConfig, TrafficConfig};
 use aladdin_workloads::by_name;
 
 fn main() {
     let kernel = by_name("stencil-stencil2d").expect("kernel exists");
     let trace = kernel.run().trace;
-    let dp = DatapathConfig {
-        lanes: 4,
-        partition: 4,
-        ..DatapathConfig::default()
-    };
+    let dp = DatapathConfig::builder()
+        .lanes(4)
+        .partition(4)
+        .build()
+        .expect("valid datapath");
+    let dma_spec = FlowSpec::new(MemKind::Dma(DmaOptLevel::Full));
+    let cache_spec = FlowSpec::new(MemKind::Cache);
 
     println!(
         "{:<28} {:>12} {:>12} {:>9} {:>9}",
         "traffic (bus load)", "dma cycles", "cache cycles", "dma x", "cache x"
     );
     let quiet = Soc::new(SocConfig::default());
-    let dma0 = quiet.run_dma(&trace, &dp, DmaOptLevel::Full).total_cycles;
-    let cache0 = quiet.run_cache(&trace, &dp).total_cycles;
+    let dma0 = quiet.simulate(&trace, &dp, &dma_spec).unwrap().total_cycles;
+    let cache0 = quiet
+        .simulate(&trace, &dp, &cache_spec)
+        .unwrap()
+        .total_cycles;
     println!(
         "{:<28} {:>12} {:>12} {:>9.2} {:>9.2}",
         "none", dma0, cache0, 1.0, 1.0
@@ -36,12 +41,14 @@ fn main() {
         ("medium (~25%)", 64),
         ("heavy (~50%)", 32),
     ] {
-        let soc = Soc::new(SocConfig {
-            traffic: Some(TrafficConfig { period, bytes: 64 }),
-            ..SocConfig::default()
-        });
-        let dma = soc.run_dma(&trace, &dp, DmaOptLevel::Full).total_cycles;
-        let cache = soc.run_cache(&trace, &dp).total_cycles;
+        let soc = Soc::new(
+            SocConfig::builder()
+                .traffic(Some(TrafficConfig { period, bytes: 64 }))
+                .build()
+                .expect("valid platform"),
+        );
+        let dma = soc.simulate(&trace, &dp, &dma_spec).unwrap().total_cycles;
+        let cache = soc.simulate(&trace, &dp, &cache_spec).unwrap().total_cycles;
         println!(
             "{:<28} {:>12} {:>12} {:>9.2} {:>9.2}",
             label,

@@ -7,7 +7,7 @@
 //! ```
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+use aladdin_core::{DmaOptLevel, FlowSpec, MemKind, Soc, SocConfig};
 use aladdin_ir::{rebalance_reductions, Trace};
 use aladdin_workloads::by_name;
 
@@ -38,18 +38,19 @@ fn main() {
 
     // 4. Re-schedule both variants under the same SoC.
     let soc = Soc::new(SocConfig::default());
+    let spec = FlowSpec::new(MemKind::Dma(DmaOptLevel::Full));
     println!(
         "\n{:<28} {:>10} {:>10} {:>9}",
         "configuration", "serial", "balanced", "speedup"
     );
     for lanes in [2u32, 4, 8, 16] {
-        let dp = DatapathConfig {
-            lanes,
-            partition: lanes,
-            ..DatapathConfig::default()
-        };
-        let serial = soc.run_dma(&reloaded, &dp, DmaOptLevel::Full).total_cycles;
-        let tree = soc.run_dma(&balanced, &dp, DmaOptLevel::Full).total_cycles;
+        let dp = DatapathConfig::builder()
+            .lanes(lanes)
+            .partition(lanes)
+            .build()
+            .expect("valid datapath");
+        let serial = soc.simulate(&reloaded, &dp, &spec).unwrap().total_cycles;
+        let tree = soc.simulate(&balanced, &dp, &spec).unwrap().total_cycles;
         println!(
             "{:<28} {:>10} {:>10} {:>8.2}x",
             format!("dma(+triggered), {lanes} lanes"),

@@ -53,9 +53,10 @@ fn unified_engine_matches_legacy_entry_points_everywhere() {
     }
 }
 
-/// The `Soc` convenience wrappers are the same engine too, for every DMA
-/// optimization level.
+/// The (deprecated) `Soc` convenience wrappers are the same engine too,
+/// for every DMA optimization level.
 #[test]
+#[allow(deprecated)]
 fn soc_wrappers_match_the_engine() {
     let soc_cfg = SocConfig::default();
     let soc = Soc::new(soc_cfg);

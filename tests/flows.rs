@@ -1,7 +1,10 @@
 //! Flow-level behavioral tests: the paper's qualitative claims, asserted.
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{decompose_cache_time, validate_kernel, DmaOptLevel, Soc, SocConfig};
+use aladdin_core::{
+    decompose_cache_time, validate_kernel, DmaOptLevel, FlowResult, FlowSpec, MemKind, Soc,
+    SocConfig,
+};
 use aladdin_workloads::{by_name, evaluation_kernels};
 
 fn trace_of(name: &str) -> aladdin_ir::Trace {
@@ -16,6 +19,16 @@ fn dp(lanes: u32, partition: u32) -> DatapathConfig {
     }
 }
 
+fn dma(soc: &Soc, trace: &aladdin_ir::Trace, d: &DatapathConfig, opt: DmaOptLevel) -> FlowResult {
+    soc.simulate(trace, d, &FlowSpec::new(MemKind::Dma(opt)))
+        .unwrap()
+}
+
+fn cache(soc: &Soc, trace: &aladdin_ir::Trace, d: &DatapathConfig) -> FlowResult {
+    soc.simulate(trace, d, &FlowSpec::new(MemKind::Cache))
+        .unwrap()
+}
+
 /// Section II-B / Figure 2: with a 16-way parallel design under baseline
 /// DMA, data movement is a large fraction of runtime for most kernels, and
 /// flush alone averages ~20%.
@@ -28,7 +41,7 @@ fn data_movement_dominates_16way_baseline() {
     let kernels = evaluation_kernels();
     for kernel in &kernels {
         let trace = kernel.run().trace;
-        let r = soc.run_dma(&trace, &d, DmaOptLevel::Baseline);
+        let r = dma(&soc, &trace, &d, DmaOptLevel::Baseline);
         let f = r.phases.fractions();
         flush_fracs.push(f[0]);
         if r.phases.is_data_movement_bound() {
@@ -53,8 +66,8 @@ fn data_movement_dominates_16way_baseline() {
 fn parallelism_does_not_reduce_dma_time() {
     let soc = Soc::new(SocConfig::default());
     let trace = trace_of("stencil-stencil2d");
-    let narrow = soc.run_dma(&trace, &dp(1, 1), DmaOptLevel::Full);
-    let wide = soc.run_dma(&trace, &dp(16, 16), DmaOptLevel::Full);
+    let narrow = dma(&soc, &trace, &dp(1, 1), DmaOptLevel::Full);
+    let wide = dma(&soc, &trace, &dp(16, 16), DmaOptLevel::Full);
     // Every DMA-busy cycle is classified as either dma_flush or
     // compute_dma, so their sum is the engine's busy time — which depends
     // only on bytes and bus bandwidth, not on datapath width.
@@ -79,8 +92,8 @@ fn dma_vs_cache_preferences_match_the_paper() {
     // aes and nw prefer DMA.
     for name in ["aes-aes", "nw-nw"] {
         let trace = trace_of(name);
-        let dma = soc.run_dma(&trace, &d, DmaOptLevel::Full);
-        let cache = soc.run_cache(&trace, &d);
+        let dma = dma(&soc, &trace, &d, DmaOptLevel::Full);
+        let cache = cache(&soc, &trace, &d);
         assert!(
             dma.edp() < cache.edp(),
             "{name}: DMA EDP {:.3e} should beat cache {:.3e}",
@@ -92,8 +105,8 @@ fn dma_vs_cache_preferences_match_the_paper() {
     // spmv and fft prefer caches.
     for name in ["spmv-crs", "fft-transpose"] {
         let trace = trace_of(name);
-        let dma = soc.run_dma(&trace, &d, DmaOptLevel::Full);
-        let cache = soc.run_cache(&trace, &d);
+        let dma = dma(&soc, &trace, &d, DmaOptLevel::Full);
+        let cache = cache(&soc, &trace, &d);
         assert!(
             cache.total_cycles < dma.total_cycles,
             "{name}: cache {} should outperform DMA {}",

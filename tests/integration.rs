@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: every kernel through every flow.
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{DmaOptLevel, Soc, SocConfig};
+use aladdin_core::{DmaOptLevel, FlowResult, FlowSpec, MemKind, Soc, SocConfig};
 use aladdin_workloads::{all_kernels, evaluation_kernels};
 
 fn dp(lanes: u32, partition: u32) -> DatapathConfig {
@@ -10,6 +10,10 @@ fn dp(lanes: u32, partition: u32) -> DatapathConfig {
         partition,
         ..DatapathConfig::default()
     }
+}
+
+fn run(soc: &Soc, trace: &aladdin_ir::Trace, d: &DatapathConfig, kind: MemKind) -> FlowResult {
+    soc.simulate(trace, d, &FlowSpec::new(kind)).unwrap()
 }
 
 #[test]
@@ -39,9 +43,9 @@ fn every_kernel_runs_every_flow() {
     let d = dp(2, 2);
     for kernel in all_kernels() {
         let trace = kernel.run().trace;
-        let iso = soc.run_isolated(&trace, &d);
-        let dma = soc.run_dma(&trace, &d, DmaOptLevel::Baseline);
-        let cache = soc.run_cache(&trace, &d);
+        let iso = run(&soc, &trace, &d, MemKind::Isolated);
+        let dma = run(&soc, &trace, &d, MemKind::Dma(DmaOptLevel::Baseline));
+        let cache = run(&soc, &trace, &d, MemKind::Cache);
         assert!(iso.total_cycles > 0, "{}", kernel.name());
         assert!(
             dma.total_cycles > iso.total_cycles,
@@ -61,9 +65,9 @@ fn dma_opt_levels_never_hurt() {
     let d = dp(4, 4);
     for kernel in evaluation_kernels() {
         let trace = kernel.run().trace;
-        let base = soc.run_dma(&trace, &d, DmaOptLevel::Baseline).total_cycles;
-        let pipe = soc.run_dma(&trace, &d, DmaOptLevel::Pipelined).total_cycles;
-        let full = soc.run_dma(&trace, &d, DmaOptLevel::Full).total_cycles;
+        let base = run(&soc, &trace, &d, MemKind::Dma(DmaOptLevel::Baseline)).total_cycles;
+        let pipe = run(&soc, &trace, &d, MemKind::Dma(DmaOptLevel::Pipelined)).total_cycles;
+        let full = run(&soc, &trace, &d, MemKind::Dma(DmaOptLevel::Full)).total_cycles;
         // Pipelining pays per-chunk setup; allow a tiny regression margin
         // on kernels with almost no data (aes), none elsewhere.
         assert!(
@@ -86,7 +90,7 @@ fn phase_attribution_is_conserved() {
     for kernel in evaluation_kernels() {
         let trace = kernel.run().trace;
         for opt in DmaOptLevel::ALL {
-            let r = soc.run_dma(&trace, &d, opt);
+            let r = run(&soc, &trace, &d, MemKind::Dma(opt));
             let p = r.phases;
             assert_eq!(
                 p.flush_only + p.dma_flush + p.compute_dma + p.compute_only + p.other,
@@ -107,11 +111,11 @@ fn determinism_across_identical_runs() {
         let t1 = kernel.run().trace;
         let t2 = kernel.run().trace;
         assert_eq!(t1.nodes().len(), t2.nodes().len());
-        let r1 = soc.run_dma(&t1, &d, DmaOptLevel::Full);
-        let r2 = soc.run_dma(&t2, &d, DmaOptLevel::Full);
+        let r1 = run(&soc, &t1, &d, MemKind::Dma(DmaOptLevel::Full));
+        let r2 = run(&soc, &t2, &d, MemKind::Dma(DmaOptLevel::Full));
         assert_eq!(r1.total_cycles, r2.total_cycles, "{}", kernel.name());
-        let c1 = soc.run_cache(&t1, &d);
-        let c2 = soc.run_cache(&t2, &d);
+        let c1 = run(&soc, &t1, &d, MemKind::Cache);
+        let c2 = run(&soc, &t2, &d, MemKind::Cache);
         assert_eq!(c1.total_cycles, c2.total_cycles, "{}", kernel.name());
     }
 }
@@ -131,8 +135,8 @@ fn traces_serialize_round_trip() {
         let dp = dp(2, 2);
         let soc = Soc::new(SocConfig::default());
         assert_eq!(
-            soc.run_isolated(&parsed, &dp).total_cycles,
-            soc.run_isolated(&trace, &dp).total_cycles,
+            run(&soc, &parsed, &dp, MemKind::Isolated).total_cycles,
+            run(&soc, &trace, &dp, MemKind::Isolated).total_cycles,
             "{name}"
         );
     }
@@ -148,7 +152,12 @@ fn multi_accelerator_conserves_single_job_behavior() {
             .run()
             .trace;
         let d = dp(4, 4);
-        let single = Soc::new(soc_cfg).run_dma(&trace, &d, DmaOptLevel::Pipelined);
+        let single = run(
+            &Soc::new(soc_cfg),
+            &trace,
+            &d,
+            MemKind::Dma(DmaOptLevel::Pipelined),
+        );
         let multi = simulate_multi(
             &[AcceleratorJob::dma(trace, d, DmaOptLevel::Pipelined, 0)],
             &soc_cfg,
