@@ -57,6 +57,6 @@ pub use fu::FuTiming;
 pub use meminterface::{DatapathMemory, IssueResult, SpadMemory, SpadStats};
 pub use power::{CacheEnergyParams, EnergyReport, PowerModel};
 pub use scheduler::{
-    schedule, schedule_prepared, try_schedule, try_schedule_prepared, PreparedDddg, ScheduleResult,
-    SchedulerWorkspace,
+    mem_issue_budget, schedule, schedule_prepared, try_schedule, try_schedule_prepared,
+    PreparedDddg, ScheduleResult, SchedulerWorkspace,
 };

@@ -81,6 +81,16 @@ impl ScheduleResult {
 
 const CLASSES: usize = 6;
 
+/// How many memory issue attempts the scheduler examines per cycle for a
+/// datapath — the engine's internal issue-bandwidth budget, exposed
+/// read-only so static analyses (`aladdin-lint`'s cycle-bound model) can
+/// reason about per-cycle memory throughput without re-deriving the
+/// scheduler's internals.
+#[must_use]
+pub fn mem_issue_budget(cfg: &DatapathConfig) -> usize {
+    8 + 4 * cfg.lanes as usize + 2 * cfg.partition as usize
+}
+
 /// A DDDG prepared for scheduling: the graph plus the per-round node
 /// counts the barrier model needs.
 ///
@@ -482,7 +492,7 @@ pub fn try_schedule_prepared(
     }
 
     let mut cycle = start;
-    let mem_budget = 8 + 4 * lanes + 2 * cfg.partition as usize;
+    let mem_budget = mem_issue_budget(cfg);
     let mut idle_cycles = 0u64;
     let mut stepped = 0u64;
     // Whether the memory system is passive (no autonomous between-cycle

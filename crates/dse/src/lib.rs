@@ -47,8 +47,8 @@ mod space;
 mod sweep;
 
 pub use cache::{
-    point_cached, reset_sweep_cache, run_point_cached, set_sweep_cache_dir, set_sweep_cache_mode,
-    SweepCacheMode, FORMAT_VERSION,
+    point_cached, reset_sweep_cache, run_point_cached, run_point_cached_bounded,
+    set_sweep_cache_dir, set_sweep_cache_mode, BoundsPrune, SweepCacheMode, FORMAT_VERSION,
 };
 pub use kiviat::KiviatSummary;
 pub use pareto::{edp_optimal, optimal_by, pareto_frontier, Metric};
@@ -58,7 +58,8 @@ pub use scenario::{run_codesign, CodesignReport, ScenarioOutcome};
 pub use space::{CachePoint, DesignSpace, DmaPoint};
 pub use sweep::{
     sweep, sweep_checked, sweep_faulted, sweep_perf, sweep_points, sweep_points_streaming,
-    CheckedSweep, FailedPoint, PointSpec, SweepOutcome,
+    sweep_points_streaming_pruned, CheckedSweep, FailedPoint, PointOutcome, PointSpec, PrunedPoint,
+    SweepOutcome,
 };
 #[allow(deprecated)]
 pub use sweep::{

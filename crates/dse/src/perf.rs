@@ -25,6 +25,9 @@ pub struct SweepPerf {
     /// Points whose simulation failed (watchdog expiry, deadlock, or a
     /// stalled flow) and were skipped instead of aborting the sweep.
     pub failures: u64,
+    /// Points skipped because their static cycle lower bound was already
+    /// dominated by a simulated result (`sweep run --prune`).
+    pub pruned: u64,
     /// Wall-clock nanoseconds spent inside sweep calls.
     pub wall_ns: u64,
 }
@@ -54,6 +57,7 @@ impl SweepPerf {
         self.stepped_cycles += other.stepped_cycles;
         self.events += other.events;
         self.failures += other.failures;
+        self.pruned += other.pruned;
         self.wall_ns += other.wall_ns;
     }
 }
@@ -62,10 +66,11 @@ impl fmt::Display for SweepPerf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sweep-perf: {} points ({} cache hits, {} failed), {} events, {} stepped cycles, {:.1} ms wall, {:.1} points/s",
+            "sweep-perf: {} points ({} cache hits, {} failed, {} pruned), {} events, {} stepped cycles, {:.1} ms wall, {:.1} points/s",
             self.points,
             self.cache_hits,
             self.failures,
+            self.pruned,
             self.events,
             self.stepped_cycles,
             self.wall_ns as f64 / 1e6,
@@ -79,6 +84,7 @@ static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static STEPPED: AtomicU64 = AtomicU64::new(0);
 static EVENTS: AtomicU64 = AtomicU64::new(0);
 static FAILURES: AtomicU64 = AtomicU64::new(0);
+static PRUNED: AtomicU64 = AtomicU64::new(0);
 static WALL_NS: AtomicU64 = AtomicU64::new(0);
 
 /// Fold one sweep's counters into the process-wide accumulator.
@@ -88,6 +94,7 @@ pub(crate) fn record_global(perf: &SweepPerf) {
     STEPPED.fetch_add(perf.stepped_cycles, Ordering::Relaxed);
     EVENTS.fetch_add(perf.events, Ordering::Relaxed);
     FAILURES.fetch_add(perf.failures, Ordering::Relaxed);
+    PRUNED.fetch_add(perf.pruned, Ordering::Relaxed);
     WALL_NS.fetch_add(perf.wall_ns, Ordering::Relaxed);
 }
 
@@ -101,6 +108,7 @@ pub fn global_perf() -> SweepPerf {
         stepped_cycles: STEPPED.load(Ordering::Relaxed),
         events: EVENTS.load(Ordering::Relaxed),
         failures: FAILURES.load(Ordering::Relaxed),
+        pruned: PRUNED.load(Ordering::Relaxed),
         wall_ns: WALL_NS.load(Ordering::Relaxed),
     }
 }
@@ -117,6 +125,7 @@ mod tests {
             stepped_cycles: 1000,
             events: 500,
             failures: 2,
+            pruned: 1,
             wall_ns: 2_000_000_000,
         };
         assert!((p.points_per_sec() - 5.0).abs() < 1e-9);
@@ -124,6 +133,7 @@ mod tests {
         assert!(s.contains("10 points"), "{s}");
         assert!(s.contains("4 cache hits"), "{s}");
         assert!(s.contains("2 failed"), "{s}");
+        assert!(s.contains("1 pruned"), "{s}");
         assert!(s.contains("points/s"), "{s}");
         // Zero wall time must not divide by zero.
         assert_eq!(SweepPerf::default().points_per_sec(), 0.0);
@@ -137,11 +147,13 @@ mod tests {
             stepped_cycles: 10,
             events: 5,
             failures: 3,
+            pruned: 2,
             wall_ns: 100,
         };
         a.absorb(&a.clone());
         assert_eq!(a.points, 2);
         assert_eq!(a.failures, 6);
+        assert_eq!(a.pruned, 4);
         assert_eq!(a.wall_ns, 200);
     }
 }

@@ -27,7 +27,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use aladdin_accel::{DatapathConfig, PreparedDddg, SchedulerWorkspace};
@@ -241,6 +241,175 @@ pub fn sweep_points_streaming(
         stepped_cycles: stepped.into_inner(),
         events: events.into_inner(),
         failures: failures.into_inner(),
+        pruned: 0,
+        wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    };
+    record_global(&perf);
+    (results, perf)
+}
+
+/// One design point skipped by a pruned sweep: its static cycle lower
+/// bound and power floor were strictly dominated by an already-finished
+/// result, so it provably cannot reach the Pareto frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrunedPoint {
+    /// Index into the sweep's point list.
+    pub index: usize,
+    /// The point's certified static cycle lower bound (`aladdin-lint`).
+    pub lo: u64,
+    /// The point's static average-power floor in mW.
+    pub power_floor_mw: f64,
+    /// Cycles of the finished result that dominated it.
+    pub by_cycles: u64,
+    /// Average power (mW) of the finished result that dominated it.
+    pub by_power_mw: f64,
+}
+
+/// Outcome of one point in a pruned sweep ([`sweep_points_streaming_pruned`]).
+#[derive(Debug, Clone)]
+pub enum PointOutcome {
+    /// Simulated (or served bit-exactly from the result cache).
+    Done(Box<FlowResult>),
+    /// Simulation failed under the harness.
+    Failed(SimError),
+    /// Statically skipped: bounds dominated by a finished result.
+    Pruned(PrunedPoint),
+}
+
+impl PointOutcome {
+    /// The flow result, when the point completed.
+    #[must_use]
+    pub fn result(&self) -> Option<&FlowResult> {
+        match self {
+            PointOutcome::Done(r) => Some(r),
+            PointOutcome::Failed(_) | PointOutcome::Pruned(_) => None,
+        }
+    }
+}
+
+/// [`sweep_points_streaming`] with sound bound-based pruning: before
+/// simulating a point, its static `[lo, ∞)` cycle interval and power
+/// floor (from `aladdin-lint`'s [`bounds_for_prepared`](aladdin_lint::bounds_for_prepared))
+/// are compared against every already-finished result; if some result is
+/// *strictly* better on both objectives, the point is skipped and
+/// recorded as a [`PrunedPoint`] — never silently dropped.
+///
+/// Pruning preserves the Pareto frontier exactly: a pruned point `c` has
+/// a witness `s` with `cycles(s) < lo ≤ cycles(c)` and
+/// `power(s) < floor ≤ power(c)`, so `c` could never have been kept by
+/// [`crate::pareto_frontier`] (which keeps a point only when strictly
+/// better on power than everything with fewer-or-equal cycles), and
+/// non-kept points never influence which other points are kept.
+///
+/// Pruning engages only when the harness is inert (same gate as the
+/// result cache): under fault injection results are perturbed and the
+/// campaign's purpose is observing perturbations, not skipping them.
+/// Pruning is opportunistic — it depends on completion order, so the
+/// *set* of pruned points may vary run to run; the surviving frontier
+/// does not.
+#[must_use]
+pub fn sweep_points_streaming_pruned(
+    trace: &Trace,
+    specs: &[PointSpec],
+    harness: &SimHarness,
+    sink: &(dyn Fn(usize, &PointOutcome) + Sync),
+) -> (Vec<PointOutcome>, SweepPerf) {
+    let t0 = Instant::now();
+    let fp = trace.fingerprint();
+    let use_cache = harness.plan.is_empty() && harness.watchdog == Watchdog::default();
+
+    let mut lane_slot: HashMap<u32, usize> = HashMap::new();
+    for s in specs {
+        let next = lane_slot.len();
+        lane_slot.entry(s.dp.lanes).or_insert(next);
+    }
+    let preps: Vec<OnceLock<Arc<PreparedDddg>>> =
+        (0..lane_slot.len()).map(|_| OnceLock::new()).collect();
+
+    let hits = AtomicU64::new(0);
+    let stepped = AtomicU64::new(0);
+    let events = AtomicU64::new(0);
+    let failures = AtomicU64::new(0);
+    let pruned_count = AtomicU64::new(0);
+    // Finished (cycles, avg power) pairs — the pruning witnesses.
+    let witnesses: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::new());
+    let witness = |r: &FlowResult| {
+        witnesses
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((r.total_cycles, r.energy.avg_power_mw()));
+    };
+
+    let results = parallel_map(specs.len(), SchedulerWorkspace::new, |i, ws| {
+        let s = &specs[i];
+        let key = use_cache.then(|| cache::point_key(fp, s.kind, &s.dp, &s.soc));
+        let cached = key.as_ref().and_then(|key| cache::lookup(key));
+        let outcome = if let Some(hit) = cached {
+            hits.fetch_add(1, Ordering::Relaxed);
+            witness(&hit);
+            PointOutcome::Done(Box::new(hit))
+        } else {
+            let prep = Arc::clone(
+                preps[lane_slot[&s.dp.lanes]]
+                    .get_or_init(|| Arc::new(PreparedDddg::new(trace, &s.dp))),
+            );
+            let pruned = use_cache
+                .then(|| {
+                    let b = aladdin_lint::bounds_for_prepared(
+                        trace, &prep, &s.dp, &s.soc, s.kind, harness,
+                    );
+                    let floor =
+                        aladdin_lint::static_power_floor_mw(trace, &s.dp, &s.soc, s.kind, &b);
+                    witnesses
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .iter()
+                        .find(|&&(c, p)| c < b.lo && p < floor)
+                        .copied()
+                        .map(|(by_cycles, by_power_mw)| PrunedPoint {
+                            index: i,
+                            lo: b.lo,
+                            power_floor_mw: floor,
+                            by_cycles,
+                            by_power_mw,
+                        })
+                })
+                .flatten();
+            if let Some(p) = pruned {
+                pruned_count.fetch_add(1, Ordering::Relaxed);
+                PointOutcome::Pruned(p)
+            } else {
+                let spec = FlowSpec::new(s.kind)
+                    .with_harness(harness)
+                    .with_prepared(&prep);
+                match simulate_prepared(trace, &s.dp, &s.soc, &spec, ws) {
+                    Ok(r) => {
+                        stepped.fetch_add(r.sched_stepped_cycles, Ordering::Relaxed);
+                        events.fetch_add(r.sched_events, Ordering::Relaxed);
+                        if let Some(key) = &key {
+                            cache::insert(key, &r);
+                        }
+                        witness(&r);
+                        PointOutcome::Done(Box::new(r))
+                    }
+                    Err(e) => {
+                        failures.fetch_add(1, Ordering::Relaxed);
+                        PointOutcome::Failed(e)
+                    }
+                }
+            }
+        };
+        sink(i, &outcome);
+        outcome
+    });
+
+    let perf = SweepPerf {
+        points: specs.len() as u64,
+        cache_hits: hits.into_inner(),
+        stepped_cycles: stepped.into_inner(),
+        events: events.into_inner(),
+        failures: failures.into_inner(),
+        pruned: pruned_count.into_inner(),
         wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
     };
     record_global(&perf);
@@ -437,6 +606,9 @@ pub struct SweepOutcome {
     pub results: Vec<Option<FlowResult>>,
     /// The failed points with their errors, in point order.
     pub failures: Vec<FailedPoint>,
+    /// Points skipped by bound-based pruning, in point order (always
+    /// empty for faulted sweeps, which never prune).
+    pub pruned: Vec<PrunedPoint>,
     /// Throughput roll-up (its `failures` counter matches
     /// `failures.len()`).
     pub perf: SweepPerf,
@@ -475,6 +647,7 @@ pub fn sweep_faulted(
     Ok(SweepOutcome {
         results,
         failures,
+        pruned: Vec::new(),
         perf,
     })
 }
@@ -531,7 +704,7 @@ mod tests {
     use crate::cache::{
         reset_sweep_cache, set_sweep_cache_dir, set_sweep_cache_mode, SweepCacheMode,
     };
-    use crate::pareto::edp_optimal;
+    use crate::pareto::{edp_optimal, pareto_frontier};
     use aladdin_core::simulate;
     use aladdin_workloads::by_name;
 
@@ -947,5 +1120,156 @@ mod tests {
         // Both sweeps landed in the process-wide accumulator.
         let g = crate::global_perf();
         assert!(g.points >= first.points + warm.points);
+    }
+
+    /// Soundness acceptance bar: a pruned sweep yields the identical
+    /// Pareto frontier to the unpruned sweep on several kernels. Pruning
+    /// discards only points strictly dominated on both objectives by a
+    /// finished result — points `pareto_frontier` would discard anyway —
+    /// and every skipped point is accounted for in the outcome list and
+    /// the perf roll-up.
+    #[test]
+    fn pruned_sweep_preserves_the_pareto_frontier() {
+        let harness = SimHarness::default();
+        for kernel in ["aes-aes", "fft-transpose", "stencil-stencil2d"] {
+            let trace = by_name(kernel).expect("kernel").run().trace;
+            let space = DesignSpace::quick();
+            // A SoC no other test sweeps, so the shared result cache is
+            // cold for these keys and pruning has a chance to engage.
+            let mut soc = SocConfig::default();
+            soc.invoke_cycles += 23;
+            let specs = specs_for(&space, &soc, FULL);
+            let (outcomes, perf) =
+                sweep_points_streaming_pruned(&trace, &specs, &harness, &|_, _| {});
+            let survivors: Vec<FlowResult> = outcomes
+                .iter()
+                .filter_map(|o| o.result().cloned())
+                .collect();
+            let pruned_n = outcomes
+                .iter()
+                .filter(|o| matches!(o, PointOutcome::Pruned(_)))
+                .count() as u64;
+            let failed_n = outcomes
+                .iter()
+                .filter(|o| matches!(o, PointOutcome::Failed(_)))
+                .count() as u64;
+            assert_eq!(perf.points, specs.len() as u64, "{kernel}");
+            assert_eq!(perf.pruned, pruned_n, "{kernel}");
+            assert_eq!(perf.failures, failed_n, "{kernel}");
+            assert_eq!(
+                survivors.len() as u64 + failed_n + pruned_n,
+                perf.points,
+                "{kernel}: every point must be accounted for"
+            );
+            assert!(perf.cache_hits <= survivors.len() as u64, "{kernel}");
+            // The unpruned reference. (The cache is now warm for the
+            // survivors; any pruned point is simulated here for the
+            // first time.)
+            let (full, _) = sweep_points_streaming(&trace, &specs, &harness, &|_, _| {});
+            let full: Vec<FlowResult> = full
+                .into_iter()
+                .map(|r| r.expect("clean sweep point"))
+                .collect();
+            let frontier = |rs: &[FlowResult]| -> Vec<FlowResult> {
+                pareto_frontier(rs)
+                    .into_iter()
+                    .map(|i| rs[i].clone())
+                    .collect()
+            };
+            assert_eq!(
+                frontier(&full),
+                frontier(&survivors),
+                "{kernel}: pruning changed the Pareto frontier"
+            );
+        }
+    }
+
+    /// With a dominating witness already cached, the pruned engine
+    /// actually skips a hopeless point: one spec is fast and frugal
+    /// (cached up front, so it becomes a witness immediately), the other
+    /// pairs a single lane with a huge single-ported cache, so its
+    /// certified cycle lower bound and leakage power floor are both
+    /// strictly worse than the witness's *finished* result.
+    #[test]
+    fn pruning_skips_a_statically_dominated_point() {
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let harness = SimHarness::default();
+        let mut fast = PointSpec {
+            kind: MemKind::Cache,
+            dp: DatapathConfig {
+                lanes: 8,
+                ..DatapathConfig::default()
+            },
+            soc: SocConfig::default(),
+        };
+        fast.soc.invoke_cycles += 29; // keys distinct from every other test
+        fast.soc.cache.size_bytes = 1024;
+        let mut slow = fast;
+        slow.dp.lanes = 1;
+        slow.soc.cache.size_bytes = 1 << 20;
+        slow.soc.cache.ports = 1;
+        slow.soc.cache.hit_latency = 4;
+
+        // Warm the cache with the witness so the pruned sweep's first
+        // point is a hit and its (cycles, power) are available before the
+        // slow point's bounds check finishes building its DDDG.
+        let (warm, _) = sweep_points(&trace, std::slice::from_ref(&fast), &harness);
+        let witness = warm[0].as_ref().expect("witness simulates");
+
+        let mut fired = None;
+        for attempt in 0..10u32 {
+            // Pruning is opportunistic (completion-order dependent); give
+            // each retry a fresh cache key for the slow point so a lost
+            // race doesn't turn later attempts into cache hits.
+            let mut slow = slow;
+            slow.soc.invoke_cycles += u64::from(attempt);
+            let specs = [fast, slow];
+            let (outcomes, perf) =
+                sweep_points_streaming_pruned(&trace, &specs, &harness, &|_, _| {});
+            assert!(
+                matches!(&outcomes[0], PointOutcome::Done(r) if **r == *witness),
+                "witness must be served from cache, bit-exact"
+            );
+            if let PointOutcome::Pruned(p) = &outcomes[1] {
+                assert_eq!(perf.pruned, 1);
+                fired = Some(*p);
+                break;
+            }
+        }
+        let p = fired.expect("dominated point should be pruned with a cached witness");
+        assert_eq!(p.index, 1);
+        assert_eq!(p.by_cycles, witness.total_cycles);
+        assert!(p.by_cycles < p.lo, "witness strictly faster than the bound");
+        assert!(
+            p.by_power_mw < p.power_floor_mw,
+            "witness strictly under the power floor"
+        );
+    }
+
+    /// Faulted sweeps never prune (perturbed results are the point), and
+    /// their outcome categories still sum to the expanded point count.
+    #[test]
+    fn faulted_sweeps_do_not_prune_and_still_sum() {
+        use aladdin_core::{FaultPlan, Watchdog};
+        let trace = by_name("fft-transpose").expect("kernel").run().trace;
+        let space = DesignSpace::quick();
+        let soc = SocConfig::default();
+        let harness = SimHarness {
+            plan: FaultPlan::none(),
+            watchdog: Watchdog {
+                max_cycles: Some(50),
+                ..Watchdog::default()
+            },
+        };
+        let out = sweep_faulted(&trace, &space, &soc, FULL, &harness).expect("valid plan");
+        assert!(out.pruned.is_empty());
+        assert_eq!(out.perf.pruned, 0);
+        let ok = out.results.iter().flatten().count() as u64;
+        assert_eq!(out.perf.cache_hits, 0, "harnessed sweeps bypass the cache");
+        assert_eq!(
+            ok + out.perf.failures + out.perf.pruned,
+            out.perf.points,
+            "outcome categories must sum to the expanded point count"
+        );
     }
 }

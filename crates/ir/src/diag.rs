@@ -231,6 +231,33 @@ impl Report {
         }
     }
 
+    /// Collapse repeated identical findings (same code, severity, locus
+    /// and message) into one occurrence with a `(×N)` count appended,
+    /// preserving first-occurrence order. Multi-file `soclint` runs and
+    /// campaigns expanding many points over one bad configuration emit
+    /// the same diagnostic many times; deduplication keeps the output
+    /// readable without hiding anything (the count is exact).
+    #[must_use]
+    pub fn deduped(&self) -> Report {
+        let mut out: Vec<Diagnostic> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        for d in &self.diags {
+            match out.iter().position(|o| o == d) {
+                Some(i) => counts[i] += 1,
+                None => {
+                    out.push(d.clone());
+                    counts.push(1);
+                }
+            }
+        }
+        for (d, n) in out.iter_mut().zip(&counts) {
+            if *n > 1 {
+                d.message.push_str(&format!(" (×{n})"));
+            }
+        }
+        Report { diags: out }
+    }
+
     /// Render one finding per line for terminals.
     #[must_use]
     pub fn to_human(&self) -> String {
@@ -395,6 +422,25 @@ mod tests {
              \"message\":\"a \\\"quoted\\\"\\nthing\"}],\
              \"errors\":1,\"warnings\":0,\"infos\":0}"
         );
+    }
+
+    #[test]
+    fn deduped_collapses_identical_findings() {
+        let mut r = Report::new();
+        r.push(Diagnostic::error("L0210", "zero field").at(Locus::Field("soc.bus.width_bits")));
+        r.push(Diagnostic::warning("L0220", "slow").at(Locus::None));
+        r.push(Diagnostic::error("L0210", "zero field").at(Locus::Field("soc.bus.width_bits")));
+        r.push(Diagnostic::error("L0210", "zero field").at(Locus::Field("soc.bus.width_bits")));
+        let d = r.deduped();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.diagnostics()[0].message, "zero field (×3)");
+        assert_eq!(d.diagnostics()[1].message, "slow");
+        assert_eq!(d.count(Severity::Error), 1);
+        // Distinct loci are not merged.
+        let mut r = Report::new();
+        r.push(Diagnostic::info("L0271", "x").at(Locus::Point(0)));
+        r.push(Diagnostic::info("L0271", "x").at(Locus::Point(1)));
+        assert_eq!(r.deduped().len(), 2);
     }
 
     #[test]

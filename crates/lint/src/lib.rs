@@ -14,7 +14,13 @@
 //!    width, MSHRs vs outstanding DMA, TLB/page coherence, pipelined-DMA
 //!    flag dependencies) so design-space sweeps can statically prune
 //!    invalid points instead of panicking mid-simulation.
-//! 3. **Coherence-protocol model checking** ([`ProtocolChecker`],
+//! 3. **Static cycle-bound analysis** ([`bounds_for_point`], `L027x`) —
+//!    certified `[lo, hi]` cycle intervals per design point from a
+//!    weighted ASAP critical path, compute/memory rooflines and a
+//!    serialized-execution ceiling, computed without running the
+//!    scheduler; the sweep stack uses them to prune dominated points
+//!    without changing the Pareto frontier.
+//! 4. **Coherence-protocol model checking** ([`ProtocolChecker`],
 //!    `L03xx`) — exhaustive reachability over the MOESI-lite line state
 //!    machine under read/write/evict/flush/DMA interleavings, proving
 //!    no lost dirty line, no duplicate ownership, no readable stale
@@ -27,11 +33,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bounds;
 mod config_lint;
 mod protocol;
 mod trace_lint;
 
 pub use aladdin_ir::{Diagnostic, Locus, Report, Severity};
+pub use bounds::{
+    bounds_for_point, bounds_for_prepared, point_diagnostic, static_power_floor_mw,
+    summarize_bounds, uncertified_diagnostic, BoundsSummary, CycleBounds, CODE_BOUNDS_SUMMARY,
+    CODE_BOUNDS_UNAVAILABLE, CODE_DOMINATED, CODE_PLAN_BOUNDS, CODE_POINT_BOUNDS, CODE_PRUNED,
+    CODE_UNCERTIFIED,
+};
 pub use config_lint::{lint_cross, lint_design, lint_soc};
 pub use protocol::{ProtocolCheck, ProtocolChecker, SeededBug};
 pub use trace_lint::{

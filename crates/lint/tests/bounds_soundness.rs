@@ -1,0 +1,182 @@
+//! The soundness contract of the static cycle-bound analysis, property-
+//! tested against the engine: for every in-tree kernel, across randomized
+//! configurations and all three flow kinds, `lo ≤ simulated ≤ hi`
+//! (the upper bound checked whenever it is certified).
+//!
+//! Configurations are drawn by a seeded RNG per kernel: lanes,
+//! partitioning, bank ports, functional-unit latencies, lane
+//! synchronization, bus width and bandwidth, DMA descriptor parameters,
+//! cache geometry (constructible power-of-two sets only), completion
+//! observation (none / spin-wait / interrupt), and occasional background
+//! bus traffic — which voids the certificate, so only the lower bound is
+//! asserted there.
+
+use aladdin_accel::{DatapathConfig, FuTiming, LaneSync};
+use aladdin_core::{
+    simulate, CompletionSignal, DmaOptLevel, FlowSpec, MemKind, SimHarness, SocConfig,
+    TrafficConfig,
+};
+use aladdin_ir::FuClass;
+use aladdin_lint::bounds_for_point;
+use aladdin_rng::SmallRng;
+use aladdin_workloads::all_kernels;
+
+/// Configs per kernel per flow test; with three flow tests every kernel
+/// sees `3 × 17 = 51 ≥ 50` randomized configurations.
+const CONFIGS_PER_KERNEL: usize = 17;
+
+fn pick<T: Copy>(rng: &mut SmallRng, choices: &[T]) -> T {
+    choices[rng.gen_range(0..choices.len())]
+}
+
+fn random_dp(rng: &mut SmallRng) -> DatapathConfig {
+    let mut lat = [1u64; 6];
+    lat[FuClass::IntAlu.index()] = rng.gen_range(1..=2u64);
+    lat[FuClass::IntMul.index()] = rng.gen_range(1..=4u64);
+    lat[FuClass::FpAdd.index()] = rng.gen_range(2..=4u64);
+    lat[FuClass::FpMul.index()] = rng.gen_range(2..=5u64);
+    lat[FuClass::FpDiv.index()] = rng.gen_range(8..=16u64);
+    DatapathConfig {
+        lanes: pick(rng, &[1, 2, 3, 4, 8, 16]),
+        partition: pick(rng, &[1, 2, 4, 8]),
+        ports_per_bank: pick(rng, &[1, 2]),
+        timing: FuTiming::from_latencies(lat),
+        sync: if rng.gen_bool(0.25) {
+            LaneSync::Free
+        } else {
+            LaneSync::Barrier
+        },
+    }
+}
+
+#[allow(clippy::field_reassign_with_default)] // built up field-by-field, many draws conditional
+fn random_soc(rng: &mut SmallRng, cache_flow: bool) -> SocConfig {
+    let mut soc = SocConfig::default();
+    soc.invoke_cycles = rng.gen_range(0..60u64);
+    soc.bus.width_bits = pick(rng, &[8, 16, 32, 64]);
+    soc.bus.infinite_bandwidth = rng.gen_bool(0.15);
+    soc.completion = match rng.gen_range(0..3u32) {
+        0 => None,
+        1 => Some(CompletionSignal::SpinWait {
+            poll_cycles: rng.gen_range(1..=50u64),
+        }),
+        _ => Some(CompletionSignal::Interrupt {
+            latency_cycles: rng.gen_range(0..=100u64),
+        }),
+    };
+    soc.dma.setup_cycles = rng.gen_range(0..=60u64);
+    soc.dma.chunk_bytes = pick(rng, &[256, 1024, 4096]);
+    soc.dma.burst_bytes = pick(rng, &[16, 32, 64]);
+    soc.dma.max_outstanding = rng.gen_range(2..=4usize);
+    if cache_flow {
+        // Constructible geometries only: powers of two throughout keep
+        // the set count a power of two.
+        soc.cache.size_bytes = pick(rng, &[1024, 2048, 4096, 8192, 16384, 65536]);
+        soc.cache.line_bytes = pick(rng, &[16, 32, 64]);
+        soc.cache.assoc = pick(rng, &[1, 2, 4]);
+        soc.cache.ports = pick(rng, &[1, 2, 4]);
+        soc.cache.mshrs = pick(rng, &[1, 2, 8, 16]);
+        soc.cache.hit_latency = pick(rng, &[0, 1, 2, 4]);
+        soc.cache.prefetch.enabled = rng.gen_bool(0.7);
+    }
+    // Background bus traffic voids the upper-bound certificate; inject it
+    // occasionally so the uncertified path is exercised too. Keep the
+    // period civil so traffic can't starve the accelerator into a
+    // watchdog trip.
+    if rng.gen_bool(0.1) {
+        soc.traffic = Some(TrafficConfig {
+            period: rng.gen_range(4..=16u64),
+            bytes: pick(rng, &[8, 16, 32, 64]),
+        });
+    }
+    soc
+}
+
+/// Core property: bounds computed without running the scheduler bracket
+/// what the scheduler actually reports.
+fn assert_bounds_bracket(kind_of: fn(&mut SmallRng) -> MemKind, seed: u64, cache_flow: bool) {
+    let harness = SimHarness::default();
+    for kernel in all_kernels() {
+        let trace = kernel.run().trace;
+        let mut rng = SmallRng::seed_from_u64(
+            seed.wrapping_mul(0x9e37_79b9)
+                .wrapping_add(kernel.name().bytes().map(u64::from).sum::<u64>()),
+        );
+        for i in 0..CONFIGS_PER_KERNEL {
+            let dp = random_dp(&mut rng);
+            let soc = random_soc(&mut rng, cache_flow);
+            let kind = kind_of(&mut rng);
+            let b = bounds_for_point(&trace, &dp, &soc, kind, &harness).unwrap_or_else(|r| {
+                panic!(
+                    "{} config {i} ({kind:?}): bounds unavailable:\n{}",
+                    kernel.name(),
+                    r.to_human()
+                )
+            });
+            let r = simulate(
+                &trace,
+                &dp,
+                &soc,
+                &FlowSpec::new(kind).with_harness(&harness),
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{} config {i} ({kind:?}): simulation failed: {e}",
+                    kernel.name()
+                )
+            });
+            assert!(
+                b.lo <= r.total_cycles,
+                "{} config {i} ({kind:?}): lower bound violated: {} > simulated {} — {}\n dp: {dp:?}\n soc: {soc:?}",
+                kernel.name(),
+                b.lo,
+                r.total_cycles,
+                b.describe()
+            );
+            if b.certified {
+                assert!(
+                    r.total_cycles <= b.hi,
+                    "{} config {i} ({kind:?}): upper bound violated: simulated {} > {} — {}\n dp: {dp:?}\n soc: {soc:?}",
+                    kernel.name(),
+                    r.total_cycles,
+                    b.hi,
+                    b.describe()
+                );
+            } else {
+                assert!(
+                    soc.traffic.is_some(),
+                    "{} config {i} ({kind:?}): an inert-harness, traffic-free point must certify",
+                    kernel.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn isolated_bounds_bracket_simulation() {
+    assert_bounds_bracket(|_| MemKind::Isolated, 0x150, false);
+}
+
+#[test]
+fn dma_bounds_bracket_simulation() {
+    assert_bounds_bracket(
+        |rng| {
+            MemKind::Dma(pick(
+                rng,
+                &[
+                    DmaOptLevel::Baseline,
+                    DmaOptLevel::Pipelined,
+                    DmaOptLevel::Full,
+                ],
+            ))
+        },
+        0xd3a,
+        false,
+    );
+}
+
+#[test]
+fn cache_bounds_bracket_simulation() {
+    assert_bounds_bracket(|_| MemKind::Cache, 0xcac4e, true);
+}

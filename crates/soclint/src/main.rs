@@ -24,20 +24,30 @@
 //!                            files (`L0260`–`L0264`) without running
 //!                            anything — the same pre-flight `sweep plan`
 //!                            applies, so a campaign that lints clean
-//!                            here expands at run time
+//!                            here expands at run time; includes the
+//!                            static cycle-bound summary (`L0275`)
+//!   bounds FILE...           static cycle-bound analysis of TOML
+//!                            campaign files: a certified `[lo, hi]`
+//!                            interval per design point without running
+//!                            the scheduler (`L0270`–`L0274`)
 //!   all                      trace + config + sweep + protocol
 //! ```
 //!
 //! Exit status: 0 when no error-severity diagnostic fired, 1 when at
-//! least one did, 2 on usage errors. Diagnostic codes are documented in
-//! `crates/lint/README.md`.
+//! least one did, 2 on usage errors — uniformly across every subcommand.
+//! Diagnostic codes are documented in `crates/lint/README.md`.
 
 use aladdin_accel::DatapathConfig;
 use aladdin_core::SocConfig;
 use aladdin_dse::{preflight_cache, preflight_dma, DesignSpace};
 use aladdin_ir::{Diagnostic, Report};
-use aladdin_lint::{lint_dddg, lint_design, lint_trace, ProtocolChecker, SeededBug};
-use aladdin_spec::{CampaignSpec, CommonArgs, OutputFormat};
+use aladdin_lint::{
+    bounds_for_point, lint_dddg, lint_design, lint_trace, point_diagnostic, summarize_bounds,
+    uncertified_diagnostic, ProtocolChecker, SeededBug,
+};
+use aladdin_spec::{
+    plan_bounds, CampaignPlan, CampaignSpec, CommonArgs, OutputFormat, PlannedPoint,
+};
 use aladdin_workloads::{all_kernels, by_name};
 
 /// One named analysis target and its report.
@@ -48,7 +58,7 @@ struct Target {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soclint [--json | --format human|json] <trace [KERNEL...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | flowspec FILE... | campaign FILE... | all>"
+        "usage: soclint [--json | --format human|json] <trace [KERNEL...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | flowspec FILE... | campaign FILE... | bounds FILE... | all>"
     );
     std::process::exit(2);
 }
@@ -83,6 +93,7 @@ fn main() {
         "faultplan" => lint_fault_plans(cmd_args),
         "flowspec" => lint_flowspecs(cmd_args),
         "campaign" => lint_campaigns(cmd_args),
+        "bounds" => lint_bounds(cmd_args),
         "all" => {
             let mut t = lint_traces(&[]);
             t.push(lint_default_config());
@@ -365,11 +376,27 @@ fn lint_flowspecs(paths: &[String]) -> Vec<Target> {
         .collect()
 }
 
+/// Read and expand one TOML campaign file, or report why it can't be
+/// (`L0260`/`L0261` parse errors, `L0262`–`L0264` expansion findings).
+fn expand_campaign(path: &str) -> Result<CampaignPlan, Report> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        let mut r = Report::new();
+        r.push(Diagnostic::error(
+            "L0260",
+            format!("cannot read campaign: {e}"),
+        ));
+        r
+    })?;
+    CampaignSpec::from_toml(&text)?.expand()
+}
+
 /// Statically validate TOML campaign files: parse (`L0260`/`L0261`),
 /// resolve names (`L0262`), and expand to the full point list with the
 /// same per-point design pre-flight `sweep plan` applies (`L0263` when
 /// nothing survives, `L0264` expansion summary) — all without simulating
-/// anything.
+/// anything. The `L0275` static cycle-bound summary rides along, and
+/// identical findings repeated across points are emitted once with an
+/// occurrence count.
 fn lint_campaigns(paths: &[String]) -> Vec<Target> {
     if paths.is_empty() {
         usage();
@@ -377,29 +404,99 @@ fn lint_campaigns(paths: &[String]) -> Vec<Target> {
     paths
         .iter()
         .map(|path| {
-            let report = match std::fs::read_to_string(path) {
-                Ok(text) => match CampaignSpec::from_toml(&text) {
-                    Ok(spec) => match spec.expand() {
-                        Ok(plan) => plan.report,
-                        Err(report) => report,
-                    },
-                    Err(report) => report,
-                },
-                Err(e) => {
-                    let mut r = Report::new();
-                    r.push(Diagnostic::error(
-                        "L0260",
-                        format!("cannot read campaign: {e}"),
-                    ));
-                    r
+            let report = match expand_campaign(path) {
+                Ok(plan) => {
+                    let mut report = plan.report.clone();
+                    let (bounds, _) = plan_bounds(&plan);
+                    if bounds.points > 0 {
+                        report.push(bounds.plan_diagnostic());
+                    }
+                    report
                 }
+                Err(report) => report,
             };
             Target {
                 name: path.clone(),
-                report,
+                report: report.deduped(),
             }
         })
         .collect()
+}
+
+/// Static cycle-bound analysis of TOML campaign files: every design
+/// point gets a certified `[lo, hi]` interval (`L0271`) computed without
+/// running the scheduler, a `L0272` warning when the upper bound is not
+/// certified (faulted harness or external bus traffic), `L0273` errors
+/// where the configuration admits no bounds, and the `L0270`/`L0274`
+/// aggregate summary and dominance count.
+fn lint_bounds(paths: &[String]) -> Vec<Target> {
+    if paths.is_empty() {
+        usage();
+    }
+    paths
+        .iter()
+        .map(|path| {
+            let report = match expand_campaign(path) {
+                Ok(plan) => bounds_report(&plan),
+                Err(report) => report,
+            };
+            Target {
+                name: path.clone(),
+                report: report.deduped(),
+            }
+        })
+        .collect()
+}
+
+/// The per-point bounds report of one expanded campaign.
+///
+/// Dominance (`L0274`) is judged within each kernel's point group — a
+/// point of one kernel can only ever be pruned against results of the
+/// same kernel, so cross-kernel comparisons would be meaningless.
+fn bounds_report(plan: &CampaignPlan) -> Report {
+    let mut report = Report::new();
+    let mut all = Vec::new();
+    let mut groups: Vec<(String, Vec<aladdin_lint::CycleBounds>)> = Vec::new();
+    let mut trace_for: Option<(String, aladdin_ir::Trace)> = None;
+    for (index, point) in plan.points.iter().enumerate() {
+        let PlannedPoint::Single { kernel, point } = point else {
+            continue; // job-set points carry no static bounds
+        };
+        let stale = !matches!(&trace_for, Some((name, _)) if name == kernel);
+        if stale {
+            let trace = by_name(kernel).expect("plan validated").run().trace;
+            trace_for = Some((kernel.clone(), trace));
+        }
+        let (_, trace) = trace_for.as_ref().expect("just ensured");
+        match bounds_for_point(trace, &point.dp, &point.soc, point.kind, &plan.harness) {
+            Ok(b) => {
+                report.push(point_diagnostic(index, &b));
+                if let Some(w) = uncertified_diagnostic(index, &b) {
+                    report.push(w);
+                }
+                if !matches!(groups.last(), Some((name, _)) if name == kernel) {
+                    groups.push((kernel.clone(), Vec::new()));
+                }
+                groups.last_mut().expect("just pushed").1.push(b);
+                all.push(b);
+            }
+            Err(r) => report.merge(r),
+        }
+    }
+    let mut summary = summarize_bounds(&all);
+    summary.dominated = 0;
+    for (kernel, bs) in &groups {
+        let s = summarize_bounds(bs);
+        summary.dominated += s.dominated;
+        if let Some(d) = s.dominance_diagnostic() {
+            report.push(Diagnostic::info(
+                aladdin_lint::CODE_DOMINATED,
+                format!("{kernel}: {}", d.message),
+            ));
+        }
+    }
+    report.push(summary.summary_diagnostic());
+    report
 }
 
 /// Model-check the MOESI-lite protocol, optionally with a seeded bug.

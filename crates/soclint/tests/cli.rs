@@ -1,0 +1,175 @@
+//! The CLI exit-code contract, exercised across every subcommand:
+//!
+//! * `0` — the lint ran and found no E-severity diagnostic (warnings and
+//!   infos alone never fail the process),
+//! * `1` — at least one E-severity diagnostic,
+//! * `2` — usage errors (unknown subcommand, missing file arguments,
+//!   unknown kernel or seeded-bug names).
+//!
+//! Also pins the `campaign`/`bounds` dedupe behaviour: a diagnostic
+//! repeated verbatim within one target is emitted once with an `(×N)`
+//! occurrence count.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn soclint(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_soclint"))
+        .args(args)
+        .output()
+        .expect("run soclint");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        out.status.code().expect("exit code"),
+    )
+}
+
+/// Write a fixture under the target tmpdir and return its path.
+fn fixture(name: &str, contents: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(format!("cli-{}-{name}", std::process::id()));
+    std::fs::write(&p, contents).expect("write fixture");
+    p.to_str().expect("utf-8 path").to_owned()
+}
+
+fn example_campaign(name: &str) -> String {
+    format!(
+        "{}/../../examples/campaigns/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn clean_targets_exit_zero() {
+    for args in [
+        &["trace", "aes-aes"][..],
+        &["config"],
+        &["sweep"],
+        &["protocol"],
+    ] {
+        let (stdout, stderr, code) = soclint(args);
+        assert_eq!(code, 0, "{args:?}: {stdout}{stderr}");
+    }
+}
+
+#[test]
+fn error_findings_exit_one_everywhere() {
+    // protocol: a seeded bug manifests as an E-severity finding.
+    let (_, _, code) = soclint(&["protocol", "--seeded-bug", "no-writeback-on-evict"]);
+    assert_eq!(code, 1);
+
+    // faultplan: a malformed plan is an L0243 error.
+    let bad_plan = fixture("bad.fault", "frobnicate rate 0.5 max-extra 3\n");
+    let (_, _, code) = soclint(&["faultplan", &bad_plan]);
+    assert_eq!(code, 1);
+
+    // flowspec: an unknown kernel is an L0254 error.
+    let bad_flow = fixture("bad.flow", "job no-such-kernel cache\n");
+    let (_, _, code) = soclint(&["flowspec", &bad_flow]);
+    assert_eq!(code, 1);
+
+    // campaign and bounds: unknown kernels (L0262) and unreadable files
+    // (L0260) are errors.
+    let bad_campaign = fixture(
+        "bad.toml",
+        "name = \"bad\"\nkernels = [\"no-such-kernel\"]\nmems = [\"cache\"]\n",
+    );
+    for cmd in ["campaign", "bounds"] {
+        let (stdout, _, code) = soclint(&[cmd, &bad_campaign]);
+        assert_eq!(code, 1, "{cmd}: {stdout}");
+        assert!(stdout.contains("L0262"), "{cmd}: {stdout}");
+        let (stdout, _, code) = soclint(&[cmd, "/no/such/file.toml"]);
+        assert_eq!(code, 1, "{cmd}: {stdout}");
+        assert!(stdout.contains("L0260"), "{cmd}: {stdout}");
+    }
+}
+
+#[test]
+fn warnings_alone_do_not_fail() {
+    // A faulted campaign voids every upper-bound certificate: `bounds`
+    // emits one L0272 warning per point, yet the process still exits 0
+    // because warnings are not errors.
+    let faulted = fixture(
+        "faulted.toml",
+        concat!(
+            "name = \"warned\"\n",
+            "kernels = [\"aes-aes\"]\n",
+            "mems = [\"dma:full\"]\n",
+            "[faults]\n",
+            "seed = 7\n",
+        ),
+    );
+    let (stdout, stderr, code) = soclint(&["bounds", &faulted]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stdout.contains("L0272"), "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn valid_files_exit_zero() {
+    let plan = fixture("good.fault", "seed 42\ndram rate 0.01 max-extra 8\n");
+    let (stdout, _, code) = soclint(&["faultplan", &plan]);
+    assert_eq!(code, 0, "{stdout}");
+
+    let flow = fixture(
+        "good.flow",
+        "job aes-aes dma full\njob fft-transpose cache\n",
+    );
+    let (stdout, _, code) = soclint(&["flowspec", &flow]);
+    assert_eq!(code, 0, "{stdout}");
+
+    for file in ["quick.toml", "heterogeneous.toml"] {
+        let path = example_campaign(file);
+        for cmd in ["campaign", "bounds"] {
+            let (stdout, stderr, code) = soclint(&[cmd, &path]);
+            assert_eq!(code, 0, "{cmd} {file}: {stdout}{stderr}");
+        }
+    }
+}
+
+#[test]
+fn bounds_reports_certified_intervals() {
+    let (stdout, _, code) = soclint(&["bounds", &example_campaign("quick.toml")]);
+    assert_eq!(code, 0, "{stdout}");
+    // Per-point intervals and the aggregate summary.
+    assert!(stdout.contains("L0271"), "{stdout}");
+    assert!(stdout.contains("L0270"), "{stdout}");
+    assert!(stdout.contains("static cycle bounds"), "{stdout}");
+    // The plan surface carries the same summary as L0275.
+    let (stdout, _, code) = soclint(&["campaign", &example_campaign("quick.toml")]);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("L0275"), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &[][..],
+        &["frobnicate"],
+        &["trace", "no-such-kernel"],
+        &["protocol", "--seeded-bug", "nope"],
+        &["faultplan"],
+        &["flowspec"],
+        &["campaign"],
+        &["bounds"],
+    ] {
+        let (stdout, stderr, code) = soclint(args);
+        assert_eq!(code, 2, "{args:?}: {stdout}{stderr}");
+    }
+}
+
+#[test]
+fn campaign_dedupes_repeated_diagnostics() {
+    // The same unknown kernel listed twice yields two verbatim-identical
+    // L0262 errors; the campaign surface folds them into one finding
+    // with an occurrence count.
+    let dup = fixture(
+        "dup.toml",
+        "name = \"dup\"\nkernels = [\"nope\", \"nope\"]\nmems = [\"cache\"]\n",
+    );
+    let (stdout, _, code) = soclint(&["campaign", &dup]);
+    assert_eq!(code, 1, "{stdout}");
+    assert_eq!(stdout.matches("unknown kernel").count(), 1, "{stdout}");
+    assert!(stdout.contains("(×2)"), "{stdout}");
+}

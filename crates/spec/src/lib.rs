@@ -43,4 +43,6 @@ pub use cli::{
     parse_cache_mode, parse_job, parse_mem_kind, parse_mem_spec, parse_opt_level, CommonArgs,
     OutputFormat,
 };
-pub use runner::{forecast_cached, read_finished, run_campaign, RunOptions, RunSummary};
+pub use runner::{
+    forecast_cached, plan_bounds, read_finished, run_campaign, RunOptions, RunSummary,
+};

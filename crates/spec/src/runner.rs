@@ -21,8 +21,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use aladdin_core::{simulate_multi, FlowResult, MemKind, SimError, Watchdog};
-use aladdin_dse::{sweep_points_streaming, PointSpec};
+use aladdin_dse::{
+    sweep_points_streaming, sweep_points_streaming_pruned, PointOutcome, PointSpec, PrunedPoint,
+};
 use aladdin_ir::{Diagnostic, Report};
+use aladdin_lint::BoundsSummary;
 use aladdin_workloads::by_name;
 
 use crate::campaign::{mem_str, CampaignPlan, PlannedPoint};
@@ -40,6 +43,13 @@ pub struct RunOptions {
     /// Run at most this many not-yet-finished points, then stop — the
     /// campaign stays resumable. `None` runs to completion.
     pub limit: Option<usize>,
+    /// Skip points whose static cycle lower bound and power floor
+    /// (`aladdin-lint` bounds analysis) are strictly dominated by an
+    /// already-finished result. Skipped points are journaled as
+    /// `"status":"pruned"` records (`L0276`), never silently dropped,
+    /// and the surviving Pareto frontier is provably identical to the
+    /// unpruned campaign's.
+    pub prune: bool,
 }
 
 /// What one [`run_campaign`] call did.
@@ -54,15 +64,19 @@ pub struct RunSummary {
     /// Of those, how many ended in a simulation error (recorded in the
     /// journal as outcomes, not retried on resume).
     pub failed: usize,
+    /// Points statically pruned by this call ([`RunOptions::prune`]),
+    /// journaled as `"status":"pruned"` records.
+    pub pruned: usize,
     /// The journal these results were appended to.
     pub journal: PathBuf,
 }
 
 impl RunSummary {
-    /// Whether every point of the campaign is now journaled.
+    /// Whether every point of the campaign is now journaled (simulated,
+    /// failed, or pruned).
     #[must_use]
     pub fn complete(&self) -> bool {
-        self.skipped + self.ran == self.total
+        self.skipped + self.ran + self.pruned == self.total
     }
 }
 
@@ -138,6 +152,7 @@ pub fn run_campaign(
 
     let mut failed = 0usize;
     let mut ran = 0usize;
+    let mut pruned = 0usize;
 
     // Group contiguous runs of single points by kernel so each kernel's
     // trace is generated once and its points share the sweep fast path.
@@ -168,17 +183,43 @@ pub fn run_campaign(
                     .expect("plan validated kernel names")
                     .run()
                     .trace;
-                let (results, _perf) =
-                    sweep_points_streaming(&trace, &specs, &plan.harness, &|local, result| {
-                        write_line(single_record(
-                            group[local],
-                            &kernel_name,
-                            &specs[local],
-                            result,
-                        ));
-                    });
-                failed += results.iter().filter(|r| r.is_err()).count();
-                ran += results.len();
+                if opts.prune {
+                    let (outcomes, _perf) = sweep_points_streaming_pruned(
+                        &trace,
+                        &specs,
+                        &plan.harness,
+                        &|local, outcome| {
+                            write_line(outcome_record(
+                                group[local],
+                                &kernel_name,
+                                &specs[local],
+                                outcome,
+                            ));
+                        },
+                    );
+                    for o in &outcomes {
+                        match o {
+                            PointOutcome::Done(_) => ran += 1,
+                            PointOutcome::Failed(_) => {
+                                ran += 1;
+                                failed += 1;
+                            }
+                            PointOutcome::Pruned(_) => pruned += 1,
+                        }
+                    }
+                } else {
+                    let (results, _perf) =
+                        sweep_points_streaming(&trace, &specs, &plan.harness, &|local, result| {
+                            write_line(single_record(
+                                group[local],
+                                &kernel_name,
+                                &specs[local],
+                                result,
+                            ));
+                        });
+                    failed += results.iter().filter(|r| r.is_err()).count();
+                    ran += results.len();
+                }
             }
             PlannedPoint::Multi { stagger } => {
                 let jobs = plan.jobs_at(*stagger);
@@ -216,16 +257,14 @@ pub fn run_campaign(
         skipped: finished.len(),
         ran,
         failed,
+        pruned,
         journal: journal.to_path_buf(),
     })
 }
 
-fn single_record(
-    index: usize,
-    kernel: &str,
-    spec: &PointSpec,
-    result: &Result<FlowResult, SimError>,
-) -> String {
+/// The shared `{"point":…,"kernel":…,…` prefix of every single-point
+/// journal record.
+fn point_prefix(index: usize, kernel: &str, spec: &PointSpec) -> String {
     let mut line = format!(
         "{{\"point\":{index},\"kernel\":{},\"mem\":{},\"lanes\":{},\"partition\":{}",
         json_string(kernel),
@@ -239,6 +278,35 @@ fn single_record(
             spec.soc.cache.size_bytes, spec.soc.cache.ports
         ));
     }
+    line
+}
+
+/// Journal record for a statically pruned point (`L0276`): the bound and
+/// floor that condemned it, and the finished result that dominated it.
+fn pruned_record(index: usize, kernel: &str, spec: &PointSpec, p: &PrunedPoint) -> String {
+    let mut line = point_prefix(index, kernel, spec);
+    line.push_str(&format!(
+        ",\"lo\":{},\"power_floor_mw\":{:e},\"by_cycles\":{},\"by_power_mw\":{:e},\"status\":\"pruned\"}}",
+        p.lo, p.power_floor_mw, p.by_cycles, p.by_power_mw
+    ));
+    line
+}
+
+fn outcome_record(index: usize, kernel: &str, spec: &PointSpec, outcome: &PointOutcome) -> String {
+    match outcome {
+        PointOutcome::Done(r) => single_record(index, kernel, spec, &Ok((**r).clone())),
+        PointOutcome::Failed(e) => single_record(index, kernel, spec, &Err(e.clone())),
+        PointOutcome::Pruned(p) => pruned_record(index, kernel, spec, p),
+    }
+}
+
+fn single_record(
+    index: usize,
+    kernel: &str,
+    spec: &PointSpec,
+    result: &Result<FlowResult, SimError>,
+) -> String {
+    let mut line = point_prefix(index, kernel, spec);
     match result {
         Ok(r) => {
             line.push_str(&format!(
@@ -335,6 +403,56 @@ pub fn forecast_cached(plan: &CampaignPlan) -> usize {
     cached
 }
 
+/// Static cycle-bound forecast for a plan's single points: the `L0275`
+/// campaign summary shown by `sweep plan` and `soclint campaign` next to
+/// the cache forecast, computed without running the scheduler.
+///
+/// Returns the aggregate [`BoundsSummary`] over every single point whose
+/// configuration admits bounds, plus the count of points where bounds
+/// were unavailable (the configuration itself fails validation, `L0273`).
+/// Job-set (multi-accelerator) points carry no static bounds and are not
+/// counted. The summary's dominance count is judged within each kernel's
+/// point group — pruning only ever compares results of the same kernel.
+#[must_use]
+pub fn plan_bounds(plan: &CampaignPlan) -> (BoundsSummary, usize) {
+    let mut all = Vec::new();
+    let mut groups: Vec<(String, Vec<aladdin_lint::CycleBounds>)> = Vec::new();
+    let mut unavailable = 0usize;
+    let mut trace_for: Option<(String, aladdin_ir::Trace)> = None;
+    for point in &plan.points {
+        if let PlannedPoint::Single { kernel, point } = point {
+            let stale = !matches!(&trace_for, Some((name, _)) if name == kernel);
+            if stale {
+                let trace = by_name(kernel).expect("validated").run().trace;
+                trace_for = Some((kernel.clone(), trace));
+            }
+            let (_, trace) = trace_for.as_ref().expect("just ensured");
+            match aladdin_lint::bounds_for_point(
+                trace,
+                &point.dp,
+                &point.soc,
+                point.kind,
+                &plan.harness,
+            ) {
+                Ok(b) => {
+                    if !matches!(groups.last(), Some((name, _)) if name == kernel) {
+                        groups.push((kernel.clone(), Vec::new()));
+                    }
+                    groups.last_mut().expect("just pushed").1.push(b);
+                    all.push(b);
+                }
+                Err(_) => unavailable += 1,
+            }
+        }
+    }
+    let mut summary = aladdin_lint::summarize_bounds(&all);
+    summary.dominated = groups
+        .iter()
+        .map(|(_, bs)| aladdin_lint::summarize_bounds(bs).dominated)
+        .sum();
+    (summary, unavailable)
+}
+
 /// Minimal JSON string encoding for journal fields.
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -429,7 +547,7 @@ partitions = [1]
             &journal,
             &RunOptions {
                 resume: true,
-                limit: None,
+                ..RunOptions::default()
             },
         )
         .expect("resumes");
@@ -446,8 +564,8 @@ partitions = [1]
             &plan,
             &journal,
             &RunOptions {
-                resume: false,
                 limit: Some(1),
+                ..RunOptions::default()
             },
         )
         .expect("runs");
@@ -459,7 +577,7 @@ partitions = [1]
             &journal,
             &RunOptions {
                 resume: true,
-                limit: None,
+                ..RunOptions::default()
             },
         )
         .expect("resumes");
@@ -470,6 +588,89 @@ partitions = [1]
         );
         assert!(second.complete());
         let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn pruned_run_accounts_for_every_point() {
+        let plan = tiny_plan();
+        let journal = temp_path("pruned");
+        let summary = run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                prune: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("runs");
+        assert_eq!(summary.ran + summary.pruned, plan.points.len());
+        assert!(summary.complete());
+        // Every point — simulated or pruned — has exactly one record.
+        let finished = read_finished(&journal, plan.digest).expect("readable");
+        assert_eq!(finished.len(), plan.points.len());
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn pruned_records_count_as_finished_on_resume() {
+        let plan = tiny_plan();
+        let journal = temp_path("pruned-resume");
+        run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                limit: Some(1),
+                ..RunOptions::default()
+            },
+        )
+        .expect("runs");
+        // Append an L0276 pruned record for the remaining point, as a
+        // pruned run would have.
+        let (kernel, spec) = match &plan.points[1] {
+            PlannedPoint::Single { kernel, point } => (kernel.clone(), *point),
+            PlannedPoint::Multi { .. } => unreachable!("sweep campaign"),
+        };
+        let record = pruned_record(
+            1,
+            &kernel,
+            &spec,
+            &PrunedPoint {
+                index: 1,
+                lo: 1000,
+                power_floor_mw: 1.5,
+                by_cycles: 400,
+                by_power_mw: 0.9,
+            },
+        );
+        let mut text = std::fs::read_to_string(&journal).unwrap();
+        text.push_str(&record);
+        text.push('\n');
+        std::fs::write(&journal, text).unwrap();
+
+        let finished = read_finished(&journal, plan.digest).expect("readable");
+        assert_eq!(finished.len(), plan.points.len(), "pruned counts");
+        let resumed = run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                resume: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("resumes");
+        assert_eq!(resumed.ran, 0, "pruned points are not re-run on resume");
+        assert!(resumed.complete());
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn plan_bounds_cover_every_single_point() {
+        let plan = tiny_plan();
+        let (summary, unavailable) = plan_bounds(&plan);
+        assert_eq!(summary.points + unavailable, plan.points.len());
+        assert_eq!(unavailable, 0, "a clean plan has bounds everywhere");
+        assert!(summary.min_lo > 0);
+        assert!(summary.certified == summary.points);
     }
 
     #[test]
@@ -486,7 +687,7 @@ partitions = [1]
             &journal,
             &RunOptions {
                 resume: true,
-                limit: None,
+                ..RunOptions::default()
             },
         )
         .unwrap_err();
@@ -511,7 +712,7 @@ partitions = [1]
             &journal,
             &RunOptions {
                 resume: true,
-                limit: None,
+                ..RunOptions::default()
             },
         )
         .expect("resumes");

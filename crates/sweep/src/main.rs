@@ -5,8 +5,9 @@
 //!
 //! commands:
 //!   plan FILE      expand and validate the campaign; print the point
-//!                  count, pre-flight rejections, and how many points the
-//!                  result cache already holds
+//!                  count, pre-flight rejections, how many points the
+//!                  result cache already holds, and the static cycle-bound
+//!                  summary (`L0275`)
 //!   run FILE       execute the campaign, streaming one JSONL record per
 //!                  finished point to the journal
 //!   resume FILE    continue an interrupted campaign from its journal,
@@ -15,6 +16,10 @@
 //! options:
 //!   --journal PATH  journal location (default target/campaigns/<name>.jsonl)
 //!   --limit N       run at most N points, then stop (still resumable)
+//!   --prune         skip points whose static cycle lower bound and power
+//!                   floor are strictly dominated by a finished result;
+//!                   skips are journaled as "status":"pruned" records
+//!                   (L0276) and the Pareto frontier is unchanged
 //! ```
 //!
 //! Exit status: 0 on success, 1 when validation or any point failed,
@@ -26,13 +31,14 @@ use std::path::PathBuf;
 
 use aladdin_core::SimHarness;
 use aladdin_spec::{
-    forecast_cached, run_campaign, CampaignPlan, CampaignSpec, CommonArgs, OutputFormat, RunOptions,
+    forecast_cached, plan_bounds, run_campaign, CampaignPlan, CampaignSpec, CommonArgs,
+    OutputFormat, RunOptions,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--json] [--cache off|mem|full] [--faults SEED] \
-         <plan|run|resume> CAMPAIGN.toml [--journal PATH] [--limit N]"
+         <plan|run|resume> CAMPAIGN.toml [--journal PATH] [--limit N] [--prune]"
     );
     std::process::exit(2);
 }
@@ -43,6 +49,7 @@ struct Args {
     campaign: PathBuf,
     journal: Option<PathBuf>,
     limit: Option<usize>,
+    prune: bool,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +57,7 @@ fn parse_args() -> Args {
     let mut positional: Vec<String> = Vec::new();
     let mut journal = None;
     let mut limit = None;
+    let mut prune = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match common.consume(&arg, &mut it) {
@@ -69,6 +77,7 @@ fn parse_args() -> Args {
                 Some(n) => limit = Some(n),
                 None => usage(),
             },
+            "--prune" => prune = true,
             _ if arg.starts_with("--") => usage(),
             _ => positional.push(arg),
         }
@@ -86,6 +95,7 @@ fn parse_args() -> Args {
         campaign,
         journal,
         limit,
+        prune,
     }
 }
 
@@ -119,6 +129,9 @@ fn default_journal(plan: &CampaignPlan) -> PathBuf {
 }
 
 fn emit_plan(plan: &CampaignPlan, cached: usize, format: OutputFormat) {
+    // The L0275 static forecast: certified cycle intervals for every
+    // single point, computed without running the scheduler.
+    let (bounds, unbounded) = plan_bounds(plan);
     match format {
         OutputFormat::Human => {
             println!("campaign: {}", plan.spec.name);
@@ -132,19 +145,38 @@ fn emit_plan(plan: &CampaignPlan, cached: usize, format: OutputFormat) {
                 "cache:    {cached} of {} points already cached",
                 plan.points.len()
             );
+            if bounds.points > 0 {
+                print!("bounds:   {bounds}");
+                if unbounded > 0 {
+                    print!("; {unbounded} point(s) without bounds (invalid config)");
+                }
+                println!();
+            }
             let report = plan.report.to_human();
             if !report.trim().is_empty() {
                 println!("{report}");
             }
         }
         OutputFormat::Json => {
+            let min_hi = if bounds.certified > 0 {
+                bounds.min_certified_hi.to_string()
+            } else {
+                "null".to_owned()
+            };
             println!(
-                "{{\"campaign\":\"{}\",\"digest\":\"{:016x}\",\"points\":{},\"rejected\":{},\"cached\":{},\"report\":{}}}",
+                "{{\"campaign\":\"{}\",\"digest\":\"{:016x}\",\"points\":{},\"rejected\":{},\"cached\":{},\
+                 \"bounds\":{{\"points\":{},\"certified\":{},\"min_lo\":{},\"max_lo\":{},\"min_certified_hi\":{min_hi},\"dominated\":{},\"unavailable\":{unbounded}}},\
+                 \"report\":{}}}",
                 plan.spec.name,
                 plan.digest,
                 plan.points.len(),
                 plan.rejected,
                 cached,
+                bounds.points,
+                bounds.certified,
+                bounds.min_lo,
+                bounds.max_lo,
+                bounds.dominated,
                 plan.report.to_json()
             );
         }
@@ -181,6 +213,7 @@ fn main() {
     let opts = RunOptions {
         resume: args.command == "resume",
         limit: args.limit,
+        prune: args.prune,
     };
     match run_campaign(&plan, &journal, &opts) {
         Ok(summary) => {
@@ -193,9 +226,10 @@ fn main() {
                         summary.skipped
                     );
                     println!(
-                        "ran:      {} point(s), {} failed{}",
+                        "ran:      {} point(s), {} failed, {} pruned{}",
                         summary.ran,
                         summary.failed,
+                        summary.pruned,
                         if summary.complete() {
                             "; campaign complete"
                         } else {
@@ -206,13 +240,14 @@ fn main() {
                 }
                 OutputFormat::Json => {
                     println!(
-                        "{{\"campaign\":\"{}\",\"journal\":\"{}\",\"total\":{},\"skipped\":{},\"ran\":{},\"failed\":{},\"complete\":{}}}",
+                        "{{\"campaign\":\"{}\",\"journal\":\"{}\",\"total\":{},\"skipped\":{},\"ran\":{},\"failed\":{},\"pruned\":{},\"complete\":{}}}",
                         plan.spec.name,
                         summary.journal.display(),
                         summary.total,
                         summary.skipped,
                         summary.ran,
                         summary.failed,
+                        summary.pruned,
                         summary.complete()
                     );
                 }
