@@ -50,6 +50,7 @@ mod fu;
 mod meminterface;
 mod power;
 mod scheduler;
+mod window;
 
 pub use config::{DatapathConfig, DatapathConfigBuilder, LaneSync};
 pub use dddg::Dddg;
@@ -60,3 +61,4 @@ pub use scheduler::{
     mem_issue_budget, schedule, schedule_prepared, try_schedule, try_schedule_prepared,
     PreparedDddg, ScheduleResult, SchedulerWorkspace,
 };
+pub use window::{trace_node_stream, try_schedule_windowed, WindowedOutcome, DEFAULT_WINDOW_NODES};

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use aladdin_ir::Trace;
+use aladdin_ir::{ArrayInfo, Trace};
 
 use crate::config::DatapathConfig;
 
@@ -130,8 +130,15 @@ impl SpadMemory {
     /// assumed pre-loaded — the isolated-Aladdin assumption).
     #[must_use]
     pub fn new(trace: &Trace, cfg: &DatapathConfig) -> Self {
-        let ranges = trace
-            .arrays()
+        Self::from_arrays(trace.arrays(), cfg)
+    }
+
+    /// A scratchpad built from array metadata alone — what a streamed
+    /// `.atrc` trace provides without materializing any nodes. Identical
+    /// to [`new`](SpadMemory::new) on the same arrays.
+    #[must_use]
+    pub fn from_arrays(arrays: &[ArrayInfo], cfg: &DatapathConfig) -> Self {
+        let ranges = arrays
             .iter()
             .map(|a| ArrayRange {
                 base: a.base_addr,

@@ -79,7 +79,7 @@ impl ScheduleResult {
     }
 }
 
-const CLASSES: usize = 6;
+pub(crate) const CLASSES: usize = 6;
 
 /// How many memory issue attempts the scheduler examines per cycle for a
 /// datapath — the engine's internal issue-bandwidth budget, exposed
@@ -360,7 +360,7 @@ pub fn schedule_prepared(
 
 /// Summarize a completion wheel as `(due_cycle, count)` pairs, soonest
 /// first, truncated to the eight soonest distinct cycles.
-fn wheel_snapshot(wheel: &BinaryHeap<Reverse<(u64, u32)>>) -> Vec<(u64, u32)> {
+pub(crate) fn wheel_snapshot(wheel: &BinaryHeap<Reverse<(u64, u32)>>) -> Vec<(u64, u32)> {
     let mut times: Vec<u64> = wheel.iter().map(|&Reverse((at, _))| at).collect();
     times.sort_unstable();
     let mut out: Vec<(u64, u32)> = Vec::new();

@@ -14,15 +14,19 @@
 
 use aladdin_accel::DatapathConfig;
 use aladdin_core::{
-    simulate, simulate_multi, AcceleratorJob, DmaOptLevel, FlowSpec, SimHarness, SocConfig,
+    simulate_multi, simulate_source, AcceleratorJob, DmaOptLevel, FlowSpec, SimHarness, SocConfig,
+    TraceSource,
 };
 use aladdin_dse::run_point_cached;
+use aladdin_ir::AtrcTrace;
 use aladdin_spec::{parse_job, parse_mem_kind, parse_opt_level, CommonArgs, OutputFormat};
 use aladdin_workloads::all_kernels;
 
 struct Args {
     common: CommonArgs,
     kernel: String,
+    trace: Option<String>,
+    window: Option<usize>,
     mem: String,
     opt: DmaOptLevel,
     lanes: u32,
@@ -35,7 +39,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simulate [--kernel NAME] [--mem isolated|dma|cache] \
+        "usage: simulate [--kernel NAME | --trace FILE.atrc] [--window NODES] \
+         [--mem isolated|dma|cache] \
          [--opt baseline|pipelined|full] [--lanes N] [--partition N] \
          [--bus-bits 32|64] [--cache-kb N] [--cache-ports N] \
          [--traffic-period CYCLES] [--faults SEED] [--cache off|mem|full] \
@@ -46,6 +51,11 @@ fn usage() -> ! {
         "  --multi may be repeated; each spec adds one accelerator to a \
          shared-bus SoC, e.g. --multi spmv-crs:cache --multi aes-aes:dma:full:5000"
     );
+    eprintln!(
+        "  --trace streams an encoded .atrc binary trace through the windowed \
+         scheduler in bounded memory; --window overrides the resident-node \
+         window (and forces the windowed path for --kernel runs too)"
+    );
     std::process::exit(2);
 }
 
@@ -53,6 +63,8 @@ fn parse_args() -> Args {
     let mut args = Args {
         common: CommonArgs::new(),
         kernel: "stencil-stencil3d".to_owned(),
+        trace: None,
+        window: None,
         mem: "dma".to_owned(),
         opt: DmaOptLevel::Full,
         lanes: 4,
@@ -84,6 +96,8 @@ fn parse_args() -> Args {
                 std::process::exit(0);
             }
             "--kernel" => args.kernel = value(),
+            "--trace" => args.trace = Some(value()),
+            "--window" => args.window = Some(value().parse().unwrap_or_else(|_| usage())),
             "--mem" => args.mem = value(),
             "--opt" => {
                 args.opt = parse_opt_level(&value()).unwrap_or_else(|e| {
@@ -105,6 +119,22 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+fn build_configs(args: &Args) -> (SocConfig, DatapathConfig) {
+    let mut soc_cfg = SocConfig::default();
+    soc_cfg.bus.width_bits = args.bus_bits;
+    soc_cfg.cache.size_bytes = args.cache_kb * 1024;
+    soc_cfg.cache.ports = args.cache_ports;
+    if let Some(period) = args.traffic_period {
+        soc_cfg.traffic = Some(aladdin_core::TrafficConfig { period, bytes: 64 });
+    }
+    let dp = DatapathConfig {
+        lanes: args.lanes,
+        partition: args.partition,
+        ..DatapathConfig::default()
+    };
+    (soc_cfg, dp)
 }
 
 fn run_multi(args: &Args, soc_cfg: &SocConfig, dp: DatapathConfig) -> ! {
@@ -195,26 +225,100 @@ fn run_multi(args: &Args, soc_cfg: &SocConfig, dp: DatapathConfig) -> ! {
     }
 }
 
+/// Stream an encoded `.atrc` trace through the windowed scheduler. Bypasses
+/// the result cache: windowed runs are sound for any window but bit-exact
+/// with the materialized path only when the window covers the largest
+/// barrier round, so their results must never be cached.
+fn run_trace(args: &Args, path: &str) -> ! {
+    if !args.common.multi.is_empty() {
+        eprintln!("simulate: --trace cannot be combined with --multi");
+        usage();
+    }
+    let atrc = AtrcTrace::open(path).unwrap_or_else(|d| {
+        eprintln!("simulate: {d}");
+        std::process::exit(1);
+    });
+    let (soc_cfg, dp) = build_configs(args);
+    let kind = parse_mem_kind(&args.mem, args.opt).unwrap_or_else(|e| {
+        eprintln!("simulate: {e}");
+        usage();
+    });
+    let mut spec = FlowSpec::new(kind);
+    if let Some(w) = args.window {
+        spec = spec.with_window(w);
+    }
+    let harness = args.common.harness();
+    if let Some(h) = &harness {
+        if args.common.format == OutputFormat::Human {
+            println!("faults:   seed {}", args.common.faults_seed.expect("set"));
+            for line in h.plan.to_text().lines().skip(2) {
+                println!("          {line}");
+            }
+        }
+        spec = spec.with_harness(h);
+    }
+    let source = TraceSource::Atrc(&atrc);
+    let run = simulate_source(&source, &dp, &soc_cfg, &spec).unwrap_or_else(|e| {
+        eprintln!("{}", e.to_report().to_human());
+        std::process::exit(1);
+    });
+    let r = &run.result;
+    let peak = run.peak_resident_nodes.unwrap_or(0);
+    match args.common.format {
+        OutputFormat::Json => {
+            println!(
+                "{{\"kernel\":\"{}\",\"source\":\"{}\",\"mem\":\"{}\",\"lanes\":{},\"partition\":{},\"cycles\":{},\"time_s\":{},\"power_mw\":{},\"energy_j\":{},\"edp\":{},\"peak_resident_nodes\":{}}}",
+                source.name(),
+                source.kind(),
+                r.mem_kind,
+                r.datapath.lanes,
+                r.datapath.partition,
+                r.total_cycles,
+                r.seconds(),
+                r.power_mw(),
+                r.energy_j(),
+                r.edp(),
+                peak
+            );
+        }
+        OutputFormat::Human => {
+            println!("kernel:   {} (streamed from {path})", source.name());
+            println!(
+                "trace:    {} node(s), {} array(s), fingerprint {:032x}",
+                source.node_count(),
+                source.arrays().len(),
+                source.fingerprint()
+            );
+            println!("memsys:   {}", r.mem_kind);
+            println!(
+                "datapath: {} lanes, {} banks, {} B local SRAM",
+                r.datapath.lanes, r.datapath.partition, r.local_sram_bytes
+            );
+            println!();
+            println!("cycles:   {}", r.total_cycles);
+            println!("time:     {:.2} us", r.seconds() * 1e6);
+            println!("power:    {:.2} mW", r.power_mw());
+            println!("energy:   {:.3} uJ", r.energy_j() * 1e6);
+            println!("EDP:      {:.3e} J*s", r.edp());
+            println!("phases:   {}", r.phases);
+            println!("resident: peak {peak} node(s) in the scheduling window");
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
     args.common.apply_cache_mode();
+    if let Some(path) = &args.trace {
+        run_trace(&args, path);
+    }
     let Some(kernel) = aladdin_workloads::by_name(&args.kernel) else {
         eprintln!("unknown kernel {:?}; use --list", args.kernel);
         std::process::exit(1);
     };
     let run = kernel.run();
-    let mut soc_cfg = SocConfig::default();
-    soc_cfg.bus.width_bits = args.bus_bits;
-    soc_cfg.cache.size_bytes = args.cache_kb * 1024;
-    soc_cfg.cache.ports = args.cache_ports;
-    if let Some(period) = args.traffic_period {
-        soc_cfg.traffic = Some(aladdin_core::TrafficConfig { period, bytes: 64 });
-    }
-    let dp = DatapathConfig {
-        lanes: args.lanes,
-        partition: args.partition,
-        ..DatapathConfig::default()
-    };
+    let (soc_cfg, dp) = build_configs(&args);
 
     if !args.common.multi.is_empty() {
         run_multi(&args, &soc_cfg, dp);
@@ -224,9 +328,11 @@ fn main() {
         eprintln!("simulate: {e}");
         usage();
     });
-    // Fault-injected runs go through the fallible flows and bypass the
-    // result cache: perturbed results must never be cached, and a failed
-    // simulation reports its forensic diagnostic instead of panicking.
+    // Fault-injected and windowed runs go through the fallible flows and
+    // bypass the result cache: perturbed or window-bounded results must
+    // never be cached, and a failed simulation reports its forensic
+    // diagnostic instead of panicking.
+    let mut peak_resident: Option<u64> = None;
     let r = if let Some(harness) = args.common.harness() {
         if args.common.format == OutputFormat::Human {
             println!("faults:   seed {}", args.common.faults_seed.expect("set"));
@@ -235,14 +341,28 @@ fn main() {
                 println!("          {line}");
             }
         }
-        let result = simulate(
-            &run.trace,
-            &dp,
-            &soc_cfg,
-            &FlowSpec::new(kind).with_harness(&harness),
-        );
+        let mut spec = FlowSpec::new(kind).with_harness(&harness);
+        if let Some(w) = args.window {
+            spec = spec.with_window(w);
+        }
+        let result = simulate_source(&TraceSource::Memory(&run.trace), &dp, &soc_cfg, &spec);
         match result {
-            Ok(r) => r,
+            Ok(s) => {
+                peak_resident = s.peak_resident_nodes;
+                s.result
+            }
+            Err(e) => {
+                eprintln!("{}", e.to_report().to_human());
+                std::process::exit(1);
+            }
+        }
+    } else if let Some(w) = args.window {
+        let spec = FlowSpec::new(kind).with_window(w);
+        match simulate_source(&TraceSource::Memory(&run.trace), &dp, &soc_cfg, &spec) {
+            Ok(s) => {
+                peak_resident = s.peak_resident_nodes;
+                s.result
+            }
             Err(e) => {
                 eprintln!("{}", e.to_report().to_human());
                 std::process::exit(1);
@@ -253,8 +373,11 @@ fn main() {
     };
 
     if args.common.format == OutputFormat::Json {
+        let peak = peak_resident
+            .map(|p| format!(",\"peak_resident_nodes\":{p}"))
+            .unwrap_or_default();
         println!(
-            "{{\"kernel\":\"{}\",\"mem\":\"{}\",\"lanes\":{},\"partition\":{},\"cycles\":{},\"time_s\":{},\"power_mw\":{},\"energy_j\":{},\"edp\":{}}}",
+            "{{\"kernel\":\"{}\",\"mem\":\"{}\",\"lanes\":{},\"partition\":{},\"cycles\":{},\"time_s\":{},\"power_mw\":{},\"energy_j\":{},\"edp\":{}{}}}",
             kernel.name(),
             r.mem_kind,
             r.datapath.lanes,
@@ -263,7 +386,8 @@ fn main() {
             r.seconds(),
             r.power_mw(),
             r.energy_j(),
-            r.edp()
+            r.edp(),
+            peak
         );
         return;
     }
@@ -306,6 +430,9 @@ fn main() {
             "spad:     {} reads, {} writes, {} bank conflicts, {} ready-stalls",
             s.reads, s.writes, s.bank_conflicts, s.ready_stalls
         );
+    }
+    if let Some(p) = peak_resident {
+        println!("resident: peak {p} node(s) in the scheduling window");
     }
     println!();
     println!("{}", aladdin_dse::global_perf());

@@ -1,0 +1,71 @@
+//! Encode bundled kernels as `.atrc` binary traces and inspect trace files.
+//!
+//! ```sh
+//! cargo run --release -p aladdin-bench --bin trace_tool -- \
+//!     encode fft-transpose /tmp/fft.atrc
+//! cargo run --release -p aladdin-bench --bin trace_tool -- info /tmp/fft.atrc
+//! ```
+
+use aladdin_ir::{encode_trace, AtrcTrace};
+use aladdin_workloads::{all_kernels, by_name};
+
+fn usage() -> ! {
+    eprintln!("usage: trace_tool encode KERNEL FILE.atrc");
+    eprintln!("       trace_tool info FILE.atrc");
+    eprintln!("       trace_tool list");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("list") => {
+            for k in all_kernels() {
+                println!("{:<20} {}", k.name(), k.description());
+            }
+        }
+        Some("encode") => {
+            let (Some(name), Some(path)) = (argv.get(1), argv.get(2)) else {
+                usage();
+            };
+            let Some(kernel) = by_name(name) else {
+                eprintln!("trace_tool: unknown kernel {name:?}; use `trace_tool list`");
+                std::process::exit(1);
+            };
+            let trace = kernel.run().trace;
+            let bytes = encode_trace(&trace);
+            if let Err(e) = std::fs::write(path, &bytes) {
+                eprintln!("trace_tool: write {path:?}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "{path}: {} node(s), {} array(s) -> {} bytes, fingerprint {:032x}",
+                trace.nodes().len(),
+                trace.arrays().len(),
+                bytes.len(),
+                trace.fingerprint()
+            );
+        }
+        Some("info") => {
+            let Some(path) = argv.get(1) else {
+                usage();
+            };
+            let atrc = AtrcTrace::open(path).unwrap_or_else(|d| {
+                eprintln!("trace_tool: {d}");
+                std::process::exit(1);
+            });
+            // `stats()` streams one decode pass over the file; it also
+            // revalidates every record and the footer checksum.
+            let stats = atrc.stats().unwrap_or_else(|d| {
+                eprintln!("trace_tool: {d}");
+                std::process::exit(1);
+            });
+            println!("kernel:      {}", atrc.name());
+            println!("nodes:       {}", atrc.node_count());
+            println!("arrays:      {}", atrc.arrays().len());
+            println!("fingerprint: {:032x}", atrc.fingerprint());
+            println!("stats:       {stats}");
+        }
+        _ => usage(),
+    }
+}

@@ -14,7 +14,7 @@
 
 use aladdin_accel::{DatapathConfig, DatapathMemory, IssueResult, SpadMemory, SpadStats};
 use aladdin_faults::FaultPlan;
-use aladdin_ir::{ArrayKind, Trace};
+use aladdin_ir::{ArrayInfo, ArrayKind, Trace};
 use aladdin_mem::{
     AccessKind, BusFaults, BusStats, Cache, CacheOutcome, CacheStats, DramStats, FillTracker,
     MasterId, SystemBus, Tlb, TlbStats, TrafficGenerator,
@@ -54,14 +54,25 @@ impl CacheClient {
         soc: &SocConfig,
         master: MasterId,
     ) -> Self {
-        let shared_ranges = trace
-            .arrays()
+        Self::from_arrays(trace.arrays(), cfg, soc, master)
+    }
+
+    /// Build from array metadata alone — what a streamed `.atrc` trace
+    /// provides. Identical to [`new`](CacheClient::new) on the same
+    /// arrays.
+    pub(crate) fn from_arrays(
+        arrays: &[ArrayInfo],
+        cfg: &DatapathConfig,
+        soc: &SocConfig,
+        master: MasterId,
+    ) -> Self {
+        let shared_ranges = arrays
             .iter()
             .filter(|a| a.kind != ArrayKind::Internal)
             .map(|a| (a.base_addr, a.base_addr + a.size_bytes()))
             .collect();
         CacheClient {
-            spad: SpadMemory::new(trace, cfg),
+            spad: SpadMemory::from_arrays(arrays, cfg),
             shared_ranges,
             tlb: Tlb::new(soc.tlb),
             cache: Cache::new(soc.cache),
@@ -225,11 +236,19 @@ impl CacheDatapathMemory {
     /// Build for `trace` under `cfg`/`soc`.
     #[must_use]
     pub fn new(trace: &Trace, cfg: &DatapathConfig, soc: &SocConfig) -> Self {
+        Self::from_arrays(trace.arrays(), cfg, soc)
+    }
+
+    /// Build from array metadata alone — what a streamed `.atrc` trace
+    /// provides. Identical to [`new`](CacheDatapathMemory::new) on the
+    /// same arrays.
+    #[must_use]
+    pub fn from_arrays(arrays: &[ArrayInfo], cfg: &DatapathConfig, soc: &SocConfig) -> Self {
         let traffic = soc
             .traffic
             .map(|t| TrafficGenerator::new(t.period, t.bytes, 0x4000_0000, 16 << 20));
         CacheDatapathMemory {
-            client: CacheClient::new(trace, cfg, soc, MasterId::ACCEL_CACHE),
+            client: CacheClient::from_arrays(arrays, cfg, soc, MasterId::ACCEL_CACHE),
             bus: SystemBus::new(soc.bus, soc.dram),
             traffic,
         }

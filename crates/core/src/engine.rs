@@ -23,11 +23,12 @@
 //! produce bit-identical results.
 
 use aladdin_accel::{
-    try_schedule_prepared, DatapathConfig, DatapathMemory, EnergyReport, IssueResult, PowerModel,
-    PreparedDddg, SchedulerWorkspace, SpadMemory, SpadStats,
+    trace_node_stream, try_schedule_prepared, try_schedule_windowed, DatapathConfig,
+    DatapathMemory, EnergyReport, IssueResult, PowerModel, PreparedDddg, ScheduleResult,
+    SchedulerWorkspace, SpadMemory, SpadStats, DEFAULT_WINDOW_NODES,
 };
-use aladdin_faults::{SimError, SimHarness};
-use aladdin_ir::{ArrayKind, Diagnostic, Locus, Report, Trace};
+use aladdin_faults::{SimError, SimHarness, Watchdog};
+use aladdin_ir::{ArrayInfo, ArrayKind, Diagnostic, Locus, Report, Trace, TraceStats};
 use aladdin_mem::{
     BusFaults, CacheStats, DmaConfig, DmaDirection, DmaEngine, DmaStats, DmaTransfer,
     FlushSchedule, IntervalSet, MasterId, SystemBus, TlbStats, TrafficGenerator,
@@ -36,6 +37,7 @@ use aladdin_mem::{
 use crate::cachemem::CacheDatapathMemory;
 use crate::config::{DmaOptLevel, MemKind, SocConfig};
 use crate::phase::PhaseBreakdown;
+use crate::source::TraceSource;
 
 /// Everything measured from one simulated accelerator invocation.
 ///
@@ -127,8 +129,17 @@ pub struct FlowSpec<'a> {
     pub kind: MemKind,
     /// Optional fault-injection/watchdog harness.
     pub harness: Option<&'a SimHarness>,
-    /// Optional caller-prepared DDDG (the sweep fast path).
+    /// Optional caller-prepared DDDG (the sweep fast path). Only
+    /// meaningful for in-memory traces on the materialized scheduler;
+    /// ignored by the windowed streaming path.
     pub prepared: Option<&'a PreparedDddg>,
+    /// Sliding-window size for the streaming scheduler. `None` lets the
+    /// source decide: in-memory traces use the materialized path, `.atrc`
+    /// sources stream with [`DEFAULT_WINDOW_NODES`]. `Some(w)` forces the
+    /// windowed path for any source — bit-exact with the materialized
+    /// path under the barrier sync model whenever `w` holds the largest
+    /// barrier round (see `aladdin_accel::try_schedule_windowed`).
+    pub window_nodes: Option<usize>,
 }
 
 impl<'a> FlowSpec<'a> {
@@ -140,7 +151,16 @@ impl<'a> FlowSpec<'a> {
             kind,
             harness: None,
             prepared: None,
+            window_nodes: None,
         }
+    }
+
+    /// Schedule through the windowed streaming engine with a window of
+    /// `nodes` resident nodes (clamped to at least 1).
+    #[must_use]
+    pub fn with_window(mut self, nodes: usize) -> Self {
+        self.window_nodes = Some(nodes);
+        self
     }
 
     /// Run under `harness` (fault plan + watchdog).
@@ -226,6 +246,53 @@ pub fn simulate_prepared(
     spec: &FlowSpec,
     ws: &mut SchedulerWorkspace,
 ) -> Result<FlowResult, SimError> {
+    simulate_source_prepared(&TraceSource::Memory(trace), dp, soc, spec, ws).map(|r| r.result)
+}
+
+/// A [`FlowResult`] plus the streaming-side observations the windowed
+/// scheduler reports — what [`simulate_source`] returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFlowRun {
+    /// The flow result, bit-comparable across trace sources and
+    /// scheduling paths.
+    pub result: FlowResult,
+    /// Peak simultaneously-resident nodes when the windowed streaming
+    /// scheduler ran; `None` on the materialized path (which always
+    /// holds the whole trace).
+    pub peak_resident_nodes: Option<u64>,
+}
+
+/// [`simulate`] for any [`TraceSource`]: an in-memory trace runs the
+/// materialized path (unless `spec.window_nodes` forces streaming), an
+/// `.atrc` source streams its nodes through the windowed scheduler in
+/// O(window) memory.
+///
+/// # Errors
+///
+/// As for [`simulate`], plus `SimError::Diag` (`L0280`) if an `.atrc`
+/// source turns out to be truncated or corrupt mid-stream.
+pub fn simulate_source(
+    source: &TraceSource,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    spec: &FlowSpec,
+) -> Result<SourceFlowRun, SimError> {
+    simulate_source_prepared(source, dp, soc, spec, &mut SchedulerWorkspace::new())
+}
+
+/// [`simulate_source`] with caller-supplied scheduler buffers — the sweep
+/// fast path. Bit-identical results to [`simulate_source`].
+///
+/// # Errors
+///
+/// As for [`simulate_source`].
+pub fn simulate_source_prepared(
+    source: &TraceSource,
+    dp: &DatapathConfig,
+    soc: &SocConfig,
+    spec: &FlowSpec,
+    ws: &mut SchedulerWorkspace,
+) -> Result<SourceFlowRun, SimError> {
     let pre = spec.preflight(soc);
     if pre.has_errors() {
         return Err(report_error(pre));
@@ -238,18 +305,87 @@ pub fn simulate_prepared(
             &default_harness
         }
     };
-    let built;
-    let prep = match spec.prepared {
-        Some(p) => p,
-        None => {
-            built = PreparedDddg::new(trace, dp);
-            &built
-        }
+    let sched = SchedSpec {
+        prep: spec.prepared,
+        window: spec.window_nodes,
     };
     match spec.kind {
-        MemKind::Isolated => sim_isolated(trace, dp, soc, prep, ws, harness),
-        MemKind::Dma(opt) => sim_dma(trace, dp, soc, opt, prep, ws, harness),
-        MemKind::Cache => sim_cache(trace, dp, soc, false, prep, ws, harness),
+        MemKind::Isolated => sim_isolated(source, dp, soc, &sched, ws, harness),
+        MemKind::Dma(opt) => sim_dma(source, dp, soc, opt, &sched, ws, harness),
+        MemKind::Cache => sim_cache(source, dp, soc, false, &sched, ws, harness),
+    }
+}
+
+/// How a flow should drive the scheduler: an optional shared prepared
+/// graph (materialized path) and an optional forced window (streaming
+/// path).
+struct SchedSpec<'a> {
+    prep: Option<&'a PreparedDddg>,
+    window: Option<usize>,
+}
+
+/// One scheduling run's outputs, source-independent: the schedule, the
+/// trace statistics (materialized traces compute them in memory, streamed
+/// traces accumulate them at admission), and the streaming path's
+/// resident-node peak.
+struct SchedRun {
+    sched: ScheduleResult,
+    stats: TraceStats,
+    peak_resident_nodes: Option<u64>,
+}
+
+/// Run the scheduler appropriate for `source`: materialized
+/// (`try_schedule_prepared`) for in-memory traces without a forced
+/// window, windowed streaming (`try_schedule_windowed`) otherwise.
+fn run_schedule(
+    source: &TraceSource,
+    dp: &DatapathConfig,
+    spec: &SchedSpec,
+    ws: &mut SchedulerWorkspace,
+    mem: &mut dyn DatapathMemory,
+    start: u64,
+    watchdog: &Watchdog,
+) -> Result<SchedRun, SimError> {
+    match (source, spec.window) {
+        (TraceSource::Memory(trace), None) => {
+            let built;
+            let prep = match spec.prep {
+                Some(p) => p,
+                None => {
+                    built = PreparedDddg::new(trace, dp);
+                    &built
+                }
+            };
+            let sched = try_schedule_prepared(trace, dp, prep, ws, mem, start, watchdog)?;
+            Ok(SchedRun {
+                sched,
+                stats: trace.stats(),
+                peak_resident_nodes: None,
+            })
+        }
+        (TraceSource::Memory(trace), Some(w)) => {
+            let out = try_schedule_windowed(trace_node_stream(trace), dp, mem, start, watchdog, w)?;
+            Ok(SchedRun {
+                sched: out.result,
+                stats: out.stats,
+                peak_resident_nodes: Some(out.peak_resident_nodes),
+            })
+        }
+        (TraceSource::Atrc(atrc), w) => {
+            let out = try_schedule_windowed(
+                atrc.nodes(),
+                dp,
+                mem,
+                start,
+                watchdog,
+                w.unwrap_or(DEFAULT_WINDOW_NODES),
+            )?;
+            Ok(SchedRun {
+                sched: out.result,
+                stats: out.stats,
+                peak_resident_nodes: Some(out.peak_resident_nodes),
+            })
+        }
     }
 }
 
@@ -270,13 +406,12 @@ pub(crate) fn expect_flow(r: Result<FlowResult, SimError>) -> FlowResult {
     r.unwrap_or_else(|e| panic!("{e}"))
 }
 
-fn total_array_bytes(trace: &Trace) -> u64 {
-    trace.arrays().iter().map(|a| a.size_bytes()).sum()
+fn total_array_bytes(arrays: &[ArrayInfo]) -> u64 {
+    arrays.iter().map(|a| a.size_bytes()).sum()
 }
 
-fn internal_array_bytes(trace: &Trace) -> u64 {
-    trace
-        .arrays()
+fn internal_array_bytes(arrays: &[ArrayInfo]) -> u64 {
+    arrays
         .iter()
         .filter(|a| a.kind == ArrayKind::Internal)
         .map(|a| a.size_bytes())
@@ -301,20 +436,20 @@ fn spad_energy_pj(
 
 /// The isolated flow: scratchpads pre-loaded, compute only.
 fn sim_isolated(
-    trace: &Trace,
+    source: &TraceSource,
     dp: &DatapathConfig,
     soc: &SocConfig,
-    prep: &PreparedDddg,
+    sspec: &SchedSpec,
     ws: &mut SchedulerWorkspace,
     harness: &SimHarness,
-) -> Result<FlowResult, SimError> {
-    let mut spad = SpadMemory::new(trace, dp);
-    let sched = try_schedule_prepared(trace, dp, prep, ws, &mut spad, 0, &harness.watchdog)?;
+) -> Result<SourceFlowRun, SimError> {
+    let mut spad = SpadMemory::from_arrays(source.arrays(), dp);
+    let run = run_schedule(source, dp, sspec, ws, &mut spad, 0, &harness.watchdog)?;
+    let sched = run.sched;
     let pm = PowerModel::default_40nm();
-    let stats = trace.stats();
-    let total_bytes = total_array_bytes(trace);
+    let total_bytes = total_array_bytes(source.arrays());
     let energy = EnergyReport {
-        datapath_pj: pm.datapath_energy_pj(&stats),
+        datapath_pj: pm.datapath_energy_pj(&run.stats),
         local_mem_pj: spad_energy_pj(&pm, &spad.stats(), total_bytes, dp.partition, 0, 0),
         leakage_mw: pm.datapath_leakage_mw(dp.lanes)
             + pm.spad_leakage_mw(total_bytes, dp.ports_per_bank),
@@ -328,25 +463,28 @@ fn sim_isolated(
         0,
         sched.end,
     );
-    Ok(FlowResult {
-        kernel: trace.name().to_owned(),
-        mem_kind: MemKind::Isolated,
-        datapath: *dp,
-        start: 0,
-        end: sched.end,
-        total_cycles: sched.cycles,
-        phases,
-        energy,
-        compute_busy_cycles: sched.busy.total(),
-        mem_rejects: sched.mem_rejects,
-        spad_stats: Some(spad.stats()),
-        cache_stats: None,
-        tlb_stats: None,
-        dma_stats: None,
-        local_sram_bytes: total_bytes,
-        local_mem_bandwidth: dp.local_mem_bandwidth(),
-        sched_stepped_cycles: sched.stepped_cycles,
-        sched_events: sched.events,
+    Ok(SourceFlowRun {
+        result: FlowResult {
+            kernel: source.name().to_owned(),
+            mem_kind: MemKind::Isolated,
+            datapath: *dp,
+            start: 0,
+            end: sched.end,
+            total_cycles: sched.cycles,
+            phases,
+            energy,
+            compute_busy_cycles: sched.busy.total(),
+            mem_rejects: sched.mem_rejects,
+            spad_stats: Some(spad.stats()),
+            cache_stats: None,
+            tlb_stats: None,
+            dma_stats: None,
+            local_sram_bytes: total_bytes,
+            local_mem_bandwidth: dp.local_mem_bandwidth(),
+            sched_stepped_cycles: sched.stepped_cycles,
+            sched_events: sched.events,
+        },
+        peak_resident_nodes: run.peak_resident_nodes,
     })
 }
 
@@ -452,14 +590,14 @@ pub(crate) fn drive_dma_to_completion(
 /// optimizations allow).
 #[allow(clippy::too_many_lines)]
 fn sim_dma(
-    trace: &Trace,
+    source: &TraceSource,
     dp: &DatapathConfig,
     soc: &SocConfig,
     opt: DmaOptLevel,
-    prep: &PreparedDddg,
+    sspec: &SchedSpec,
     ws: &mut SchedulerWorkspace,
     harness: &SimHarness,
-) -> Result<FlowResult, SimError> {
+) -> Result<SourceFlowRun, SimError> {
     let t0 = soc.invoke_cycles;
     let dma_cfg = DmaConfig {
         pipelined: opt.pipelined(),
@@ -471,7 +609,7 @@ fn sim_dma(
     // full/empty bits are: a kernel that gathers through an array
     // delivered last (spmv's `vec`) stalls, one whose small operands
     // arrive first (stencil filters) streams.
-    let in_transfers: Vec<DmaTransfer> = trace
+    let in_transfers: Vec<DmaTransfer> = source
         .input_arrays()
         .map(|a| DmaTransfer {
             base: a.base_addr,
@@ -485,7 +623,7 @@ fn sim_dma(
         soc.clock,
         t0,
         &chunks,
-        trace.output_bytes(),
+        source.output_bytes(),
         harness.plan.flush_injector(),
     );
     let eligibility: Vec<u64> = if opt.pipelined() {
@@ -501,8 +639,8 @@ fn sim_dma(
         .map(|t| TrafficGenerator::new(t.period, t.bytes, 0x4000_0000, 16 << 20));
     let dma_in = DmaEngine::new(dma_cfg, &in_transfers, &eligibility);
 
-    let (sched, spad_stats, dma_in, mut bus, mut traffic, compute_end) = if opt.triggered() {
-        let mut spad = SpadMemory::new(trace, dp);
+    let (run, spad_stats, dma_in, mut bus, mut traffic, compute_end) = if opt.triggered() {
+        let mut spad = SpadMemory::from_arrays(source.arrays(), dp);
         spad.enable_ready_bits();
         spad.set_ready_granularity(soc.ready_bits_granule);
         let mut mem = TriggeredSpadMemory {
@@ -511,19 +649,18 @@ fn sim_dma(
             bus,
             traffic,
         };
-        let sched =
-            match try_schedule_prepared(trace, dp, prep, ws, &mut mem, t0, &harness.watchdog) {
-                Ok(s) => s,
-                Err(mut e) => {
-                    e.push_note(format!(
-                        "bus: {} queued request(s), {} in flight",
-                        mem.bus.queue_depths().iter().sum::<usize>(),
-                        mem.bus.in_flight_count()
-                    ));
-                    e.push_note(mem.dma.describe_state());
-                    return Err(e);
-                }
-            };
+        let run = match run_schedule(source, dp, sspec, ws, &mut mem, t0, &harness.watchdog) {
+            Ok(r) => r,
+            Err(mut e) => {
+                e.push_note(format!(
+                    "bus: {} queued request(s), {} in flight",
+                    mem.bus.queue_depths().iter().sum::<usize>(),
+                    mem.bus.in_flight_count()
+                ));
+                e.push_note(mem.dma.describe_state());
+                return Err(e);
+            }
+        };
         // The transfer may outlive the computation (e.g. not every input
         // byte is read): drain it before writeback DMA starts.
         let dma_done = if mem.dma.is_done() {
@@ -534,11 +671,11 @@ fn sim_dma(
                 )
             })?
         } else {
-            drive_dma_to_completion(&mut mem.dma, &mut mem.bus, &mut mem.traffic, sched.end)?
+            drive_dma_to_completion(&mut mem.dma, &mut mem.bus, &mut mem.traffic, run.sched.end)?
         };
-        let compute_end = sched.end.max(dma_done);
+        let compute_end = run.sched.end.max(dma_done);
         let stats = mem.spad.stats();
-        (sched, stats, mem.dma, mem.bus, mem.traffic, compute_end)
+        (run, stats, mem.dma, mem.bus, mem.traffic, compute_end)
     } else {
         // Baseline / pipelined: compute begins only when all data is in.
         let mut dma_in = dma_in;
@@ -548,17 +685,17 @@ fn sim_dma(
         } else {
             drive_dma_to_completion(&mut dma_in, &mut bus, &mut traffic, t0)?
         };
-        let mut spad = SpadMemory::new(trace, dp);
-        let sched = match try_schedule_prepared(
-            trace,
+        let mut spad = SpadMemory::from_arrays(source.arrays(), dp);
+        let run = match run_schedule(
+            source,
             dp,
-            prep,
+            sspec,
             ws,
             &mut spad,
             dma_done,
             &harness.watchdog,
         ) {
-            Ok(s) => s,
+            Ok(r) => r,
             Err(mut e) => {
                 e.push_note(format!(
                     "bus: {} queued request(s), {} in flight",
@@ -569,11 +706,12 @@ fn sim_dma(
                 return Err(e);
             }
         };
-        let end = sched.end;
-        (sched, spad.stats(), dma_in, bus, traffic, end)
+        let end = run.sched.end;
+        (run, spad.stats(), dma_in, bus, traffic, end)
     };
+    let sched = run.sched;
     // Writeback DMA of the output arrays.
-    let out_transfers: Vec<DmaTransfer> = trace
+    let out_transfers: Vec<DmaTransfer> = source
         .output_arrays()
         .map(|a| DmaTransfer {
             base: a.base_addr,
@@ -607,17 +745,16 @@ fn sim_dma(
 
     // Energy.
     let pm = PowerModel::default_40nm();
-    let stats = trace.stats();
-    let total_bytes = total_array_bytes(trace);
+    let total_bytes = total_array_bytes(source.arrays());
     let energy = EnergyReport {
-        datapath_pj: pm.datapath_energy_pj(&stats),
+        datapath_pj: pm.datapath_energy_pj(&run.stats),
         local_mem_pj: spad_energy_pj(
             &pm,
             &spad_stats,
             total_bytes,
             dp.partition,
-            trace.input_bytes(),
-            trace.output_bytes(),
+            source.input_bytes(),
+            source.output_bytes(),
         ),
         leakage_mw: pm.datapath_leakage_mw(dp.lanes)
             + pm.spad_leakage_mw(total_bytes, dp.ports_per_bank),
@@ -631,57 +768,60 @@ fn sim_dma(
     dstats.bursts += o.bursts;
     dstats.bytes += o.bytes;
 
-    Ok(FlowResult {
-        kernel: trace.name().to_owned(),
-        mem_kind: MemKind::Dma(opt),
-        datapath: *dp,
-        start: 0,
-        end,
-        total_cycles: end,
-        phases,
-        energy,
-        compute_busy_cycles: sched.busy.total(),
-        mem_rejects: sched.mem_rejects,
-        spad_stats: Some(spad_stats),
-        cache_stats: None,
-        tlb_stats: None,
-        dma_stats: Some(dstats),
-        local_sram_bytes: total_bytes,
-        local_mem_bandwidth: dp.local_mem_bandwidth(),
-        sched_stepped_cycles: sched.stepped_cycles,
-        sched_events: sched.events,
+    Ok(SourceFlowRun {
+        result: FlowResult {
+            kernel: source.name().to_owned(),
+            mem_kind: MemKind::Dma(opt),
+            datapath: *dp,
+            start: 0,
+            end,
+            total_cycles: end,
+            phases,
+            energy,
+            compute_busy_cycles: sched.busy.total(),
+            mem_rejects: sched.mem_rejects,
+            spad_stats: Some(spad_stats),
+            cache_stats: None,
+            tlb_stats: None,
+            dma_stats: Some(dstats),
+            local_sram_bytes: total_bytes,
+            local_mem_bandwidth: dp.local_mem_bandwidth(),
+            sched_stepped_cycles: sched.stepped_cycles,
+            sched_events: sched.events,
+        },
+        peak_resident_nodes: run.peak_resident_nodes,
     })
 }
 
 /// The cache-based flow, optionally with ideal (single-cycle) memory —
 /// the `ideal` variant exists for the Figure 7 time decomposition.
-pub(crate) fn sim_cache(
-    trace: &Trace,
+fn sim_cache(
+    source: &TraceSource,
     dp: &DatapathConfig,
     soc: &SocConfig,
     ideal: bool,
-    prep: &PreparedDddg,
+    sspec: &SchedSpec,
     ws: &mut SchedulerWorkspace,
     harness: &SimHarness,
-) -> Result<FlowResult, SimError> {
+) -> Result<SourceFlowRun, SimError> {
     let t0 = soc.invoke_cycles;
-    let mut mem = CacheDatapathMemory::new(trace, dp, soc);
+    let mut mem = CacheDatapathMemory::from_arrays(source.arrays(), dp, soc);
     mem.set_ideal(ideal);
     mem.set_faults(&harness.plan);
-    let sched = match try_schedule_prepared(trace, dp, prep, ws, &mut mem, t0, &harness.watchdog) {
-        Ok(s) => s,
+    let run = match run_schedule(source, dp, sspec, ws, &mut mem, t0, &harness.watchdog) {
+        Ok(r) => r,
         Err(mut e) => {
             e.push_note(mem.forensic_note());
             return Err(e);
         }
     };
+    let sched = run.sched;
     let end = sched.end + soc.completion.map_or(0, |c| c.observation_lag(sched.end));
 
     let pm = PowerModel::default_40nm();
-    let stats = trace.stats();
     let cs = mem.cache_stats();
     let ts = mem.tlb_stats();
-    let internal_bytes = internal_array_bytes(trace);
+    let internal_bytes = internal_array_bytes(source.arrays());
     let cache_params = aladdin_accel::CacheEnergyParams {
         size_bytes: soc.cache.size_bytes,
         line_bytes: soc.cache.line_bytes,
@@ -701,7 +841,7 @@ pub(crate) fn sim_cache(
         0,
     );
     let energy = EnergyReport {
-        datapath_pj: pm.datapath_energy_pj(&stats),
+        datapath_pj: pm.datapath_energy_pj(&run.stats),
         local_mem_pj: cache_dyn + spad_dyn,
         leakage_mw: pm.datapath_leakage_mw(dp.lanes)
             + pm.cache_leakage_mw(cache_params)
@@ -716,25 +856,28 @@ pub(crate) fn sim_cache(
         0,
         end,
     );
-    Ok(FlowResult {
-        kernel: trace.name().to_owned(),
-        mem_kind: MemKind::Cache,
-        datapath: *dp,
-        start: 0,
-        end,
-        total_cycles: end,
-        phases,
-        energy,
-        compute_busy_cycles: sched.busy.total(),
-        mem_rejects: sched.mem_rejects,
-        spad_stats: Some(mem.spad_stats()),
-        cache_stats: Some(cs),
-        tlb_stats: Some(ts),
-        dma_stats: None,
-        local_sram_bytes: soc.cache.size_bytes + internal_bytes,
-        local_mem_bandwidth: soc.cache.ports,
-        sched_stepped_cycles: sched.stepped_cycles,
-        sched_events: sched.events,
+    Ok(SourceFlowRun {
+        result: FlowResult {
+            kernel: source.name().to_owned(),
+            mem_kind: MemKind::Cache,
+            datapath: *dp,
+            start: 0,
+            end,
+            total_cycles: end,
+            phases,
+            energy,
+            compute_busy_cycles: sched.busy.total(),
+            mem_rejects: sched.mem_rejects,
+            spad_stats: Some(mem.spad_stats()),
+            cache_stats: Some(cs),
+            tlb_stats: Some(ts),
+            dma_stats: None,
+            local_sram_bytes: soc.cache.size_bytes + internal_bytes,
+            local_mem_bandwidth: soc.cache.ports,
+            sched_stepped_cycles: sched.stepped_cycles,
+            sched_events: sched.events,
+        },
+        peak_resident_nodes: run.peak_resident_nodes,
     })
 }
 
@@ -746,15 +889,23 @@ pub(crate) fn simulate_cache_ideal(
     soc: &SocConfig,
     ideal: bool,
 ) -> FlowResult {
-    expect_flow(sim_cache(
-        trace,
-        dp,
-        soc,
-        ideal,
-        &PreparedDddg::new(trace, dp),
-        &mut SchedulerWorkspace::new(),
-        &SimHarness::default(),
-    ))
+    let prep = PreparedDddg::new(trace, dp);
+    let sspec = SchedSpec {
+        prep: Some(&prep),
+        window: None,
+    };
+    expect_flow(
+        sim_cache(
+            &TraceSource::Memory(trace),
+            dp,
+            soc,
+            ideal,
+            &sspec,
+            &mut SchedulerWorkspace::new(),
+            &SimHarness::default(),
+        )
+        .map(|r| r.result),
+    )
 }
 
 #[cfg(test)]

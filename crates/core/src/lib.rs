@@ -62,6 +62,7 @@ mod flows;
 mod multi;
 mod phase;
 mod soc;
+mod source;
 mod validation;
 
 pub use aladdin_accel::EnergyReport;
@@ -74,7 +75,10 @@ pub use config::{
     CompletionSignal, DmaOptLevel, MemKind, SocConfig, SocConfigBuilder, TrafficConfig,
 };
 pub use decompose::{decompose_cache_time, TimeDecomposition};
-pub use engine::{simulate, simulate_prepared, FlowResult, FlowSpec};
+pub use engine::{
+    simulate, simulate_prepared, simulate_source, simulate_source_prepared, FlowResult, FlowSpec,
+    SourceFlowRun,
+};
 #[allow(deprecated)]
 pub use flows::{
     run_cache, run_cache_prepared, run_dma, run_isolated, run_isolated_prepared, try_run_cache,
@@ -88,4 +92,5 @@ pub use multi::{
 };
 pub use phase::PhaseBreakdown;
 pub use soc::Soc;
+pub use source::{TraceSource, TraceSourceKind};
 pub use validation::{validate_kernel, ValidationRow};

@@ -1,0 +1,157 @@
+//! Where a simulation reads its trace from.
+//!
+//! Every flow needs two things from a trace: its array metadata (to build
+//! the local memory system and size DMA transfers) and its nodes (to
+//! schedule). A materialized [`Trace`] provides both in memory; an
+//! [`AtrcTrace`] provides the metadata from its footer and streams the
+//! nodes block-by-block through the windowed scheduler, so node storage
+//! stays O(window) no matter how large the trace is.
+
+use aladdin_ir::{ArrayInfo, AtrcTrace, Trace};
+
+/// Which kind of source produced a scheduling run — recorded in sweep
+/// roll-ups so campaign journals say which path produced each point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSourceKind {
+    /// A fully materialized in-memory [`Trace`] (the classic path).
+    Memory,
+    /// An encoded `.atrc` binary trace, streamed through the windowed
+    /// scheduler without materializing the node vector.
+    Atrc,
+}
+
+impl std::fmt::Display for TraceSourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TraceSourceKind::Memory => "memory",
+            TraceSourceKind::Atrc => "atrc",
+        })
+    }
+}
+
+/// A trace as a simulation input: either materialized in memory or a
+/// validated `.atrc` binary whose nodes are decoded on demand.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceSource<'a> {
+    /// In-memory trace.
+    Memory(&'a Trace),
+    /// Encoded binary trace (file-backed or in-memory bytes).
+    Atrc(&'a AtrcTrace),
+}
+
+impl<'a> TraceSource<'a> {
+    /// Which kind of source this is.
+    #[must_use]
+    pub fn kind(&self) -> TraceSourceKind {
+        match self {
+            TraceSource::Memory(_) => TraceSourceKind::Memory,
+            TraceSource::Atrc(_) => TraceSourceKind::Atrc,
+        }
+    }
+
+    /// Kernel name.
+    #[must_use]
+    pub fn name(&self) -> &'a str {
+        match self {
+            TraceSource::Memory(t) => t.name(),
+            TraceSource::Atrc(t) => t.name(),
+        }
+    }
+
+    /// Arrays the kernel registered, in registration order.
+    #[must_use]
+    pub fn arrays(&self) -> &'a [ArrayInfo] {
+        match self {
+            TraceSource::Memory(t) => t.arrays(),
+            TraceSource::Atrc(t) => t.arrays(),
+        }
+    }
+
+    /// Arrays that must be transferred host → accelerator.
+    pub fn input_arrays(&self) -> impl Iterator<Item = &'a ArrayInfo> {
+        self.arrays().iter().filter(|a| a.kind.is_input())
+    }
+
+    /// Arrays that must be transferred accelerator → host.
+    pub fn output_arrays(&self) -> impl Iterator<Item = &'a ArrayInfo> {
+        self.arrays().iter().filter(|a| a.kind.is_output())
+    }
+
+    /// Total bytes of input (host → accelerator) data.
+    #[must_use]
+    pub fn input_bytes(&self) -> u64 {
+        self.input_arrays().map(ArrayInfo::size_bytes).sum()
+    }
+
+    /// Total bytes of output (accelerator → host) data.
+    #[must_use]
+    pub fn output_bytes(&self) -> u64 {
+        self.output_arrays().map(ArrayInfo::size_bytes).sum()
+    }
+
+    /// Content fingerprint — identical between a trace and its `.atrc`
+    /// encoding, so design-space-exploration cache keys are
+    /// source-independent.
+    #[must_use]
+    pub fn fingerprint(&self) -> u128 {
+        match self {
+            TraceSource::Memory(t) => t.fingerprint(),
+            TraceSource::Atrc(t) => t.fingerprint(),
+        }
+    }
+
+    /// Number of nodes in the trace.
+    #[must_use]
+    pub fn node_count(&self) -> u64 {
+        match self {
+            TraceSource::Memory(t) => t.nodes().len() as u64,
+            TraceSource::Atrc(t) => t.node_count(),
+        }
+    }
+}
+
+impl<'a> From<&'a Trace> for TraceSource<'a> {
+    fn from(t: &'a Trace) -> Self {
+        TraceSource::Memory(t)
+    }
+}
+
+impl<'a> From<&'a AtrcTrace> for TraceSource<'a> {
+    fn from(t: &'a AtrcTrace) -> Self {
+        TraceSource::Atrc(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aladdin_ir::{encode_trace, ArrayKind, Opcode, Tracer};
+
+    #[test]
+    fn memory_and_atrc_views_agree() {
+        let mut t = Tracer::new("src");
+        let a = t.array_f64("a", &[1.0, 2.0], ArrayKind::Input);
+        let mut o = t.array_f64("o", &[0.0; 2], ArrayKind::Output);
+        for i in 0..2 {
+            t.begin_iteration(i as u32);
+            let x = t.load(&a, i);
+            let y = t.binop(Opcode::FMul, x, x);
+            t.store(&mut o, i, y);
+        }
+        let trace = t.finish();
+        let atrc = AtrcTrace::from_bytes(encode_trace(&trace)).expect("valid encoding");
+
+        let mem = TraceSource::from(&trace);
+        let bin = TraceSource::from(&atrc);
+        assert_eq!(mem.kind(), TraceSourceKind::Memory);
+        assert_eq!(bin.kind(), TraceSourceKind::Atrc);
+        assert_eq!(mem.name(), bin.name());
+        assert_eq!(mem.arrays(), bin.arrays());
+        assert_eq!(mem.input_bytes(), bin.input_bytes());
+        assert_eq!(mem.output_bytes(), bin.output_bytes());
+        assert_eq!(mem.fingerprint(), bin.fingerprint());
+        assert_eq!(mem.node_count(), bin.node_count());
+        assert_eq!(format!("{}", mem.kind()), "memory");
+        assert_eq!(format!("{}", bin.kind()), "atrc");
+    }
+}

@@ -31,7 +31,10 @@ const GOLDEN_NON_DEPRECATED: &[&str] = &[
     "Soc",
     "SocConfig",
     "SocConfigBuilder",
+    "SourceFlowRun",
     "TimeDecomposition",
+    "TraceSource",
+    "TraceSourceKind",
     "TrafficConfig",
     "ValidationRow",
     "Watchdog",
@@ -39,6 +42,8 @@ const GOLDEN_NON_DEPRECATED: &[&str] = &[
     "simulate",
     "simulate_multi",
     "simulate_prepared",
+    "simulate_source",
+    "simulate_source_prepared",
     "validate_kernel",
     "validate_multi_jobs",
 ];
@@ -159,9 +164,15 @@ fn exactly_one_simulation_entry_point_family() {
         .collect();
     assert_eq!(
         entry_points,
-        ["simulate", "simulate_multi", "simulate_prepared"]
-            .iter()
-            .collect::<Vec<_>>(),
+        [
+            "simulate",
+            "simulate_multi",
+            "simulate_prepared",
+            "simulate_source",
+            "simulate_source_prepared",
+        ]
+        .iter()
+        .collect::<Vec<_>>(),
         "a non-deprecated entry point outside the simulate family appeared"
     );
 }

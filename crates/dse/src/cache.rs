@@ -223,6 +223,8 @@ pub fn run_point_cached(
         events: if hit { 0 } else { result.sched_events },
         failures: 0,
         pruned: 0,
+        streamed_points: 0,
+        peak_resident_nodes: 0,
         wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
     });
     result

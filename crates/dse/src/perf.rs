@@ -28,6 +28,13 @@ pub struct SweepPerf {
     /// Points skipped because their static cycle lower bound was already
     /// dominated by a simulated result (`sweep run --prune`).
     pub pruned: u64,
+    /// Points scheduled through the windowed streaming path (`.atrc`
+    /// sources or a forced window) rather than the materialized DDDG.
+    pub streamed_points: u64,
+    /// Largest simultaneously-resident node count any streamed point
+    /// reported — the sweep's actual node-memory ceiling (0 when every
+    /// point ran materialized).
+    pub peak_resident_nodes: u64,
     /// Wall-clock nanoseconds spent inside sweep calls.
     pub wall_ns: u64,
 }
@@ -50,7 +57,8 @@ impl SweepPerf {
         }
     }
 
-    /// Merge another roll-up into this one.
+    /// Merge another roll-up into this one. Counters add; the resident
+    /// peak (a high-water mark, not a volume) takes the max.
     pub fn absorb(&mut self, other: &SweepPerf) {
         self.points += other.points;
         self.cache_hits += other.cache_hits;
@@ -58,6 +66,8 @@ impl SweepPerf {
         self.events += other.events;
         self.failures += other.failures;
         self.pruned += other.pruned;
+        self.streamed_points += other.streamed_points;
+        self.peak_resident_nodes = self.peak_resident_nodes.max(other.peak_resident_nodes);
         self.wall_ns += other.wall_ns;
     }
 }
@@ -66,13 +76,15 @@ impl fmt::Display for SweepPerf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sweep-perf: {} points ({} cache hits, {} failed, {} pruned), {} events, {} stepped cycles, {:.1} ms wall, {:.1} points/s",
+            "sweep-perf: {} points ({} cache hits, {} failed, {} pruned, {} streamed), {} events, {} stepped cycles, peak {} resident nodes, {:.1} ms wall, {:.1} points/s",
             self.points,
             self.cache_hits,
             self.failures,
             self.pruned,
+            self.streamed_points,
             self.events,
             self.stepped_cycles,
+            self.peak_resident_nodes,
             self.wall_ns as f64 / 1e6,
             self.points_per_sec()
         )
@@ -85,6 +97,8 @@ static STEPPED: AtomicU64 = AtomicU64::new(0);
 static EVENTS: AtomicU64 = AtomicU64::new(0);
 static FAILURES: AtomicU64 = AtomicU64::new(0);
 static PRUNED: AtomicU64 = AtomicU64::new(0);
+static STREAMED: AtomicU64 = AtomicU64::new(0);
+static PEAK_RESIDENT: AtomicU64 = AtomicU64::new(0);
 static WALL_NS: AtomicU64 = AtomicU64::new(0);
 
 /// Fold one sweep's counters into the process-wide accumulator.
@@ -95,6 +109,8 @@ pub(crate) fn record_global(perf: &SweepPerf) {
     EVENTS.fetch_add(perf.events, Ordering::Relaxed);
     FAILURES.fetch_add(perf.failures, Ordering::Relaxed);
     PRUNED.fetch_add(perf.pruned, Ordering::Relaxed);
+    STREAMED.fetch_add(perf.streamed_points, Ordering::Relaxed);
+    PEAK_RESIDENT.fetch_max(perf.peak_resident_nodes, Ordering::Relaxed);
     WALL_NS.fetch_add(perf.wall_ns, Ordering::Relaxed);
 }
 
@@ -109,6 +125,8 @@ pub fn global_perf() -> SweepPerf {
         events: EVENTS.load(Ordering::Relaxed),
         failures: FAILURES.load(Ordering::Relaxed),
         pruned: PRUNED.load(Ordering::Relaxed),
+        streamed_points: STREAMED.load(Ordering::Relaxed),
+        peak_resident_nodes: PEAK_RESIDENT.load(Ordering::Relaxed),
         wall_ns: WALL_NS.load(Ordering::Relaxed),
     }
 }
@@ -126,6 +144,8 @@ mod tests {
             events: 500,
             failures: 2,
             pruned: 1,
+            streamed_points: 3,
+            peak_resident_nodes: 4096,
             wall_ns: 2_000_000_000,
         };
         assert!((p.points_per_sec() - 5.0).abs() < 1e-9);
@@ -134,6 +154,8 @@ mod tests {
         assert!(s.contains("4 cache hits"), "{s}");
         assert!(s.contains("2 failed"), "{s}");
         assert!(s.contains("1 pruned"), "{s}");
+        assert!(s.contains("3 streamed"), "{s}");
+        assert!(s.contains("peak 4096 resident nodes"), "{s}");
         assert!(s.contains("points/s"), "{s}");
         // Zero wall time must not divide by zero.
         assert_eq!(SweepPerf::default().points_per_sec(), 0.0);
@@ -148,12 +170,16 @@ mod tests {
             events: 5,
             failures: 3,
             pruned: 2,
+            streamed_points: 4,
+            peak_resident_nodes: 512,
             wall_ns: 100,
         };
         a.absorb(&a.clone());
         assert_eq!(a.points, 2);
         assert_eq!(a.failures, 6);
         assert_eq!(a.pruned, 4);
+        assert_eq!(a.streamed_points, 8);
+        assert_eq!(a.peak_resident_nodes, 512, "peak is a max, not a sum");
         assert_eq!(a.wall_ns, 200);
     }
 }

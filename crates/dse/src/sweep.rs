@@ -32,8 +32,8 @@ use std::time::Instant;
 
 use aladdin_accel::{DatapathConfig, PreparedDddg, SchedulerWorkspace};
 use aladdin_core::{
-    simulate_prepared, DmaOptLevel, FlowResult, FlowSpec, MemKind, SimError, SimHarness, SocConfig,
-    Watchdog,
+    simulate_prepared, simulate_source_prepared, DmaOptLevel, FlowResult, FlowSpec, MemKind,
+    SimError, SimHarness, SocConfig, TraceSource, Watchdog,
 };
 use aladdin_ir::{Report, Trace};
 
@@ -182,12 +182,50 @@ pub fn sweep_points_streaming(
     harness: &SimHarness,
     sink: &(dyn Fn(usize, &Result<FlowResult, SimError>) + Sync),
 ) -> (Vec<Result<FlowResult, SimError>>, SweepPerf) {
+    sweep_points_source_streaming(&TraceSource::Memory(trace), specs, harness, sink)
+}
+
+/// Run an arbitrary list of design points against any [`TraceSource`] —
+/// same fast path as [`sweep_points`]. An in-memory source shares one
+/// lazily-built [`PreparedDddg`] per lane count across workers; an
+/// `.atrc` source shares the *encoded bytes* instead (every worker
+/// streams its own decode through the windowed scheduler, so sweep node
+/// memory stays O(workers × window) regardless of trace length).
+///
+/// Caching policy: `.atrc` points bypass the result cache in both
+/// directions. The windowed scheduler is bit-exact with the materialized
+/// path only when its window covers the largest barrier round — which a
+/// streamed source cannot verify ahead of time — so streamed results must
+/// neither be recorded under nor served from the keys materialized runs
+/// use.
+#[must_use]
+pub fn sweep_points_source(
+    source: &TraceSource,
+    specs: &[PointSpec],
+    harness: &SimHarness,
+) -> (Vec<Result<FlowResult, SimError>>, SweepPerf) {
+    sweep_points_source_streaming(source, specs, harness, &|_, _| {})
+}
+
+/// [`sweep_points_source`] with a streaming per-point `sink` — see
+/// [`sweep_points_streaming`] for the sink and caching contracts.
+#[must_use]
+pub fn sweep_points_source_streaming(
+    source: &TraceSource,
+    specs: &[PointSpec],
+    harness: &SimHarness,
+    sink: &(dyn Fn(usize, &Result<FlowResult, SimError>) + Sync),
+) -> (Vec<Result<FlowResult, SimError>>, SweepPerf) {
     let t0 = Instant::now();
-    let fp = trace.fingerprint();
-    let use_cache = harness.plan.is_empty() && harness.watchdog == Watchdog::default();
+    let fp = source.fingerprint();
+    let use_cache = harness.plan.is_empty()
+        && harness.watchdog == Watchdog::default()
+        && matches!(source, TraceSource::Memory(_));
 
     // One lazily-built PreparedDddg per distinct lane count, shared across
     // workers. Lazy so a fully cache-warm sweep builds no graphs at all.
+    // Only the materialized path uses them; `.atrc` sources never build a
+    // full graph.
     let mut lane_slot: HashMap<u32, usize> = HashMap::new();
     for s in specs {
         let next = lane_slot.len();
@@ -200,6 +238,8 @@ pub fn sweep_points_streaming(
     let stepped = AtomicU64::new(0);
     let events = AtomicU64::new(0);
     let failures = AtomicU64::new(0);
+    let streamed = AtomicU64::new(0);
+    let peak_resident = AtomicU64::new(0);
 
     let results = parallel_map(specs.len(), SchedulerWorkspace::new, |i, ws| {
         let s = &specs[i];
@@ -209,17 +249,31 @@ pub fn sweep_points_streaming(
             hits.fetch_add(1, Ordering::Relaxed);
             Ok(hit)
         } else {
-            let prep = Arc::clone(
-                preps[lane_slot[&s.dp.lanes]]
-                    .get_or_init(|| Arc::new(PreparedDddg::new(trace, &s.dp))),
-            );
-            let spec = FlowSpec::new(s.kind)
-                .with_harness(harness)
-                .with_prepared(&prep);
-            match simulate_prepared(trace, &s.dp, &s.soc, &spec, ws) {
-                Ok(r) => {
+            let run = match source {
+                TraceSource::Memory(trace) => {
+                    let prep = Arc::clone(
+                        preps[lane_slot[&s.dp.lanes]]
+                            .get_or_init(|| Arc::new(PreparedDddg::new(trace, &s.dp))),
+                    );
+                    let spec = FlowSpec::new(s.kind)
+                        .with_harness(harness)
+                        .with_prepared(&prep);
+                    simulate_source_prepared(source, &s.dp, &s.soc, &spec, ws)
+                }
+                TraceSource::Atrc(_) => {
+                    let spec = FlowSpec::new(s.kind).with_harness(harness);
+                    simulate_source_prepared(source, &s.dp, &s.soc, &spec, ws)
+                }
+            };
+            match run {
+                Ok(run) => {
+                    let r = run.result;
                     stepped.fetch_add(r.sched_stepped_cycles, Ordering::Relaxed);
                     events.fetch_add(r.sched_events, Ordering::Relaxed);
+                    if let Some(p) = run.peak_resident_nodes {
+                        streamed.fetch_add(1, Ordering::Relaxed);
+                        peak_resident.fetch_max(p, Ordering::Relaxed);
+                    }
                     if let Some(key) = &key {
                         cache::insert(key, &r);
                     }
@@ -242,6 +296,8 @@ pub fn sweep_points_streaming(
         events: events.into_inner(),
         failures: failures.into_inner(),
         pruned: 0,
+        streamed_points: streamed.into_inner(),
+        peak_resident_nodes: peak_resident.into_inner(),
         wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
     };
     record_global(&perf);
@@ -410,6 +466,8 @@ pub fn sweep_points_streaming_pruned(
         events: events.into_inner(),
         failures: failures.into_inner(),
         pruned: pruned_count.into_inner(),
+        streamed_points: 0,
+        peak_resident_nodes: 0,
         wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
     };
     record_global(&perf);

@@ -1,0 +1,1053 @@
+//! `.atrc` — the compact binary trace encoding.
+//!
+//! gem5-Aladdin's methodology is trace driven, and the trace is the scale
+//! bottleneck: a materialized [`Trace`] holds every [`TraceNode`] plus a
+//! dependence vector per node, so paper-scale++ inputs (millions of dynamic
+//! operations) exhaust memory before the scheduler is ever the limit. The
+//! `.atrc` format stores the same information as a delta/varint-encoded
+//! byte stream that a [`TraceWriter`] can produce *while the kernel is
+//! being traced* and an [`AtrcTrace`] can replay node-by-node without ever
+//! materializing the vector.
+//!
+//! # Layout
+//!
+//! ```text
+//! magic  "ATRC" | version u8 | name: varint len + bytes
+//! block* tag 0x01 | node count varint | mode u8 (0 raw, 1 RLE)
+//!        | payload len varint | payload
+//! footer tag 0x02 | arrays (count varint, then per array:
+//!            name varint-len+bytes, kind u8, base varint,
+//!            elem_bytes varint, len varint)
+//!        | total node count varint | fingerprint 16 B LE
+//!        | FNV-1a64 checksum over all preceding bytes, 8 B LE
+//!        | closing magic "CRTA"
+//! ```
+//!
+//! Each node record inside a block payload is, in order: opcode byte,
+//! dependence count varint followed by `id − dep` deltas (varints),
+//! a memory tag byte (0 none, 1 read, 2 write) followed for memory ops by
+//! array index varint, zigzag delta of the address against the previous
+//! memory access, and the access size varint, and finally the zigzag delta
+//! of the iteration label against the previous node. Block payloads may be
+//! RLE-compressed (literal/repeat byte runs, kept in-tree like
+//! `aladdin-rng`) when that is smaller than the raw bytes.
+//!
+//! The footer fingerprint is computed by the writer *while streaming* and
+//! equals [`Trace::fingerprint`] of the decoded trace bit-for-bit, so the
+//! DSE result cache can key file-backed traces without a decode. The
+//! trailing checksum and closing magic turn truncation or bit corruption
+//! into the typed diagnostic `L0280` instead of garbage simulation input.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::array::{ArrayId, ArrayInfo, ArrayKind};
+use crate::diag::Diagnostic;
+use crate::opcode::Opcode;
+use crate::stats::TraceStats;
+use crate::trace::{Fingerprinter, MemAccessKind, MemRef, NodeId, Trace, TraceNode};
+
+/// Leading file magic.
+pub const ATRC_MAGIC: [u8; 4] = *b"ATRC";
+/// Trailing file magic (leading magic reversed).
+pub const ATRC_END_MAGIC: [u8; 4] = *b"CRTA";
+/// Current format version.
+pub const ATRC_VERSION: u8 = 1;
+
+const TAG_BLOCK: u8 = 0x01;
+const TAG_FOOTER: u8 = 0x02;
+const MODE_RAW: u8 = 0;
+const MODE_RLE: u8 = 1;
+/// Nodes per encoded block; bounds the reader's transient decode buffer.
+const BLOCK_NODES: usize = 4096;
+
+/// Stable opcode ↔ byte table. Table order is load-bearing: bytes are
+/// persisted in `.atrc` files, so entries are only ever appended.
+const OPCODE_TABLE: [Opcode; 21] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::Rem,
+    Opcode::Shift,
+    Opcode::BitOp,
+    Opcode::Icmp,
+    Opcode::Select,
+    Opcode::FAdd,
+    Opcode::FSub,
+    Opcode::FMul,
+    Opcode::FDiv,
+    Opcode::FSqrt,
+    Opcode::FCmp,
+    Opcode::Cast,
+    Opcode::Gep,
+    Opcode::Load,
+    Opcode::Store,
+    Opcode::DmaLoad,
+    Opcode::DmaStore,
+];
+
+fn opcode_byte(op: Opcode) -> u8 {
+    // The enum is #[non_exhaustive]; an opcode missing from the table is a
+    // bug in this module, not a recoverable input condition.
+    u8::try_from(
+        OPCODE_TABLE
+            .iter()
+            .position(|&o| o == op)
+            .expect("opcode missing from .atrc table"),
+    )
+    .expect("opcode table fits a byte")
+}
+
+fn corrupt(message: impl Into<String>) -> Diagnostic {
+    Diagnostic::error("L0280", message)
+}
+
+// ---------------------------------------------------------------------------
+// Varint / zigzag primitives.
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn u8(&mut self) -> Result<u8, Diagnostic> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| corrupt("unexpected end of data (truncated .atrc)"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Diagnostic> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| corrupt("unexpected end of data (truncated .atrc)"))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn varint(&mut self) -> Result<u64, Diagnostic> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(corrupt("varint longer than 64 bits"))
+    }
+
+    fn str(&mut self) -> Result<String, Diagnostic> {
+        let len = usize::try_from(self.varint()?)
+            .map_err(|_| corrupt("string length overflows usize"))?;
+        if len > self.remaining() {
+            return Err(corrupt("string length exceeds remaining data"));
+        }
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| corrupt("string is not valid UTF-8"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-tree RLE: literal runs (control < 0x80 → control+1 literal bytes) and
+// repeat runs (control ≥ 0x80 → next byte repeated control−0x80+2 times).
+
+fn rle_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 8);
+    let mut i = 0;
+    let mut lit_start = 0;
+    let flush_literals = |out: &mut Vec<u8>, lit: &[u8]| {
+        for chunk in lit.chunks(128) {
+            out.push((chunk.len() - 1) as u8);
+            out.extend_from_slice(chunk);
+        }
+    };
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1;
+        while run < 129 && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        if run >= 3 {
+            flush_literals(&mut out, &data[lit_start..i]);
+            out.push(0x80 + (run - 2) as u8);
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(&mut out, &data[lit_start..]);
+    out
+}
+
+fn rle_decompress(data: &[u8], expect_max: usize) -> Result<Vec<u8>, Diagnostic> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut r = ByteReader::new(data);
+    while r.remaining() > 0 {
+        let c = r.u8()?;
+        if c < 0x80 {
+            out.extend_from_slice(r.take(usize::from(c) + 1)?);
+        } else {
+            let b = r.u8()?;
+            out.resize(out.len() + usize::from(c - 0x80) + 2, b);
+        }
+        if out.len() > expect_max {
+            return Err(corrupt("RLE block inflates past its node budget"));
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+/// Summary returned when a [`TraceWriter`] finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtrcSummary {
+    /// Nodes written.
+    pub nodes: u64,
+    /// Encoded bytes emitted (the final file size).
+    pub bytes: u64,
+    /// Content fingerprint, equal to [`Trace::fingerprint`] of the decoded
+    /// trace.
+    pub fingerprint: u128,
+}
+
+/// Streaming `.atrc` encoder.
+///
+/// Nodes are appended one at a time ([`TraceWriter::push_node`]) and flushed
+/// in fixed-size blocks, so encoding a trace never requires holding it in
+/// memory; the [`Tracer`](crate::Tracer) can target a writer directly via
+/// [`Tracer::stream_to`](crate::Tracer::stream_to). The writer maintains
+/// the running content fingerprint and a whole-file checksum, both sealed
+/// into the footer by [`TraceWriter::finish`].
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    /// FNV-1a64 over every byte written so far (the integrity checksum).
+    check: u64,
+    written: u64,
+    fp: Fingerprinter,
+    block: Vec<u8>,
+    block_nodes: usize,
+    nodes: u64,
+    prev_addr: u64,
+    prev_iter: u32,
+}
+
+impl<W: Write> fmt::Debug for TraceWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("nodes", &self.nodes)
+            .field("written", &self.written)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Start an `.atrc` stream for a kernel named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut sink: W, name: &str) -> io::Result<Self> {
+        let mut header = Vec::with_capacity(name.len() + 16);
+        header.extend_from_slice(&ATRC_MAGIC);
+        header.push(ATRC_VERSION);
+        put_varint(&mut header, name.len() as u64);
+        header.extend_from_slice(name.as_bytes());
+        sink.write_all(&header)?;
+        let mut check = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &header {
+            check = (check ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut fp = Fingerprinter::new();
+        fp.str(name);
+        Ok(TraceWriter {
+            sink,
+            check,
+            written: header.len() as u64,
+            fp,
+            block: Vec::with_capacity(BLOCK_NODES * 8),
+            block_nodes: 0,
+            nodes: 0,
+            prev_addr: 0,
+            prev_iter: 0,
+        })
+    }
+
+    fn emit(&mut self, bytes: &[u8]) -> io::Result<()> {
+        for &b in bytes {
+            self.check = (self.check ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.written += bytes.len() as u64;
+        self.sink.write_all(bytes)
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        if self.block_nodes == 0 {
+            return Ok(());
+        }
+        let rle = rle_compress(&self.block);
+        // `emit` needs &mut self, so move the chosen payload out first.
+        let (mode, payload) = if rle.len() < self.block.len() {
+            (MODE_RLE, rle)
+        } else {
+            (MODE_RAW, std::mem::take(&mut self.block))
+        };
+        let mut head = Vec::with_capacity(16);
+        head.push(TAG_BLOCK);
+        put_varint(&mut head, self.block_nodes as u64);
+        head.push(mode);
+        put_varint(&mut head, payload.len() as u64);
+        self.emit(&head)?;
+        self.emit(&payload)?;
+        self.block.clear();
+        self.block_nodes = 0;
+        Ok(())
+    }
+
+    /// Append one node. Nodes must arrive in program order with
+    /// backward-pointing dependences (the [`Trace`] invariants).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.id` is out of order or a dependence does not point
+    /// backwards — those traces are invalid under [`Trace::check`] and
+    /// must not be persisted.
+    pub fn push_node(&mut self, node: &TraceNode) -> io::Result<()> {
+        assert_eq!(
+            node.id.index() as u64,
+            self.nodes,
+            "nodes must be pushed in dense program order"
+        );
+        self.fp.node(node);
+        let id = node.id.index() as u64;
+        let b = &mut self.block;
+        b.push(opcode_byte(node.opcode));
+        put_varint(b, node.deps.len() as u64);
+        for d in &node.deps {
+            let delta = id
+                .checked_sub(d.index() as u64)
+                .filter(|&d| d > 0)
+                .expect("dependences must point strictly backwards");
+            put_varint(b, delta);
+        }
+        match &node.mem {
+            None => b.push(0),
+            Some(m) => {
+                b.push(match m.kind {
+                    MemAccessKind::Read => 1,
+                    MemAccessKind::Write => 2,
+                });
+                put_varint(b, m.array.index() as u64);
+                put_varint(b, zigzag(m.addr as i64 - self.prev_addr as i64));
+                put_varint(b, u64::from(m.bytes));
+                self.prev_addr = m.addr;
+            }
+        }
+        put_varint(
+            b,
+            zigzag(i64::from(node.iteration) - i64::from(self.prev_iter)),
+        );
+        self.prev_iter = node.iteration;
+        self.nodes += 1;
+        self.block_nodes += 1;
+        if self.block_nodes >= BLOCK_NODES {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Seal the stream: flush the last block, write the footer (arrays,
+    /// node count, fingerprint, checksum, closing magic) and return the
+    /// summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn finish(mut self, arrays: &[ArrayInfo]) -> io::Result<AtrcSummary> {
+        self.flush_block()?;
+        let mut fp = self.fp.clone();
+        fp.word(self.nodes);
+        for a in arrays {
+            fp.array(a);
+        }
+        fp.word(arrays.len() as u64);
+        let fingerprint = fp.finish();
+
+        let mut foot = Vec::with_capacity(64);
+        foot.push(TAG_FOOTER);
+        put_varint(&mut foot, arrays.len() as u64);
+        for a in arrays {
+            put_varint(&mut foot, a.name.len() as u64);
+            foot.extend_from_slice(a.name.as_bytes());
+            foot.push(match a.kind {
+                ArrayKind::Input => 0,
+                ArrayKind::Output => 1,
+                ArrayKind::InOut => 2,
+                ArrayKind::Internal => 3,
+            });
+            put_varint(&mut foot, a.base_addr);
+            put_varint(&mut foot, u64::from(a.elem_bytes));
+            put_varint(&mut foot, a.len);
+        }
+        put_varint(&mut foot, self.nodes);
+        foot.extend_from_slice(&fingerprint.to_le_bytes());
+        self.emit(&foot)?;
+        let check = self.check;
+        self.emit(&check.to_le_bytes())?;
+        self.emit(&ATRC_END_MAGIC)?;
+        self.sink.flush()?;
+        Ok(AtrcSummary {
+            nodes: self.nodes,
+            bytes: self.written,
+            fingerprint,
+        })
+    }
+}
+
+/// Encode a materialized [`Trace`] into `.atrc` bytes.
+#[must_use]
+pub fn encode_trace(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut w = TraceWriter::new(&mut out, trace.name()).expect("Vec sink cannot fail");
+    for node in trace.nodes() {
+        w.push_node(node).expect("Vec sink cannot fail");
+    }
+    let summary = w.finish(trace.arrays()).expect("Vec sink cannot fail");
+    debug_assert_eq!(summary.fingerprint, trace.fingerprint());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+
+/// A file-backed (or byte-backed) `.atrc` trace.
+///
+/// Construction validates the envelope — magic, version, block framing,
+/// footer, whole-file checksum — and eagerly parses only the cheap parts
+/// (name, arrays, node count, fingerprint). Nodes are decoded lazily by
+/// [`AtrcTrace::nodes`], one block at a time, so iterating never
+/// materializes the node vector. The underlying bytes are reference
+/// counted: cloning an `AtrcTrace` (e.g. to hand each sweep worker its own
+/// cursor) shares one buffer the way `PreparedDddg` is shared today.
+#[derive(Debug, Clone)]
+pub struct AtrcTrace {
+    bytes: Arc<Vec<u8>>,
+    /// Offset of the first block (or the footer, for empty traces).
+    body: usize,
+    /// Offset of the footer tag.
+    footer: usize,
+    name: String,
+    arrays: Vec<ArrayInfo>,
+    node_count: u64,
+    fingerprint: u128,
+}
+
+impl AtrcTrace {
+    /// Validate and index `.atrc` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `L0280` diagnostic for any truncation, framing or
+    /// checksum violation.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, Diagnostic> {
+        let n = bytes.len();
+        if n < ATRC_MAGIC.len() + 1 + 1 + 8 + ATRC_END_MAGIC.len() {
+            return Err(corrupt(format!(
+                "file too short ({n} bytes) to be an .atrc trace"
+            )));
+        }
+        if bytes[..4] != ATRC_MAGIC {
+            return Err(corrupt("bad magic: not an .atrc trace"));
+        }
+        if bytes[n - 4..] != ATRC_END_MAGIC {
+            return Err(corrupt("missing closing magic: truncated .atrc trace"));
+        }
+        let check_pos = n - 4 - 8;
+        let mut check = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &bytes[..check_pos] {
+            check = (check ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let stored = u64::from_le_bytes(
+            bytes[check_pos..check_pos + 8]
+                .try_into()
+                .expect("8-byte slice"),
+        );
+        if check != stored {
+            return Err(corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {check:#018x} \
+                 (corrupt .atrc trace)"
+            )));
+        }
+        let mut r = ByteReader::new(&bytes[..check_pos]);
+        r.pos = 4;
+        let version = r.u8()?;
+        if version != ATRC_VERSION {
+            return Err(corrupt(format!(
+                "unsupported .atrc version {version} (expected {ATRC_VERSION})"
+            )));
+        }
+        let name = r.str()?;
+        let body = r.pos;
+        // Skip blocks (framing lets us reach the footer without decoding).
+        let footer = loop {
+            let at = r.pos;
+            match r.u8()? {
+                TAG_BLOCK => {
+                    let _nodes = r.varint()?;
+                    let mode = r.u8()?;
+                    if mode != MODE_RAW && mode != MODE_RLE {
+                        return Err(corrupt(format!("unknown block mode {mode}")));
+                    }
+                    let len = usize::try_from(r.varint()?)
+                        .map_err(|_| corrupt("block length overflows usize"))?;
+                    r.take(len)?;
+                }
+                TAG_FOOTER => break at,
+                other => return Err(corrupt(format!("unknown section tag {other:#04x}"))),
+            }
+        };
+        r.pos = footer + 1;
+        let array_count =
+            usize::try_from(r.varint()?).map_err(|_| corrupt("array count overflows usize"))?;
+        if array_count > r.remaining() {
+            return Err(corrupt("array count exceeds remaining data"));
+        }
+        let mut arrays = Vec::with_capacity(array_count);
+        for i in 0..array_count {
+            let name = r.str()?;
+            let kind = match r.u8()? {
+                0 => ArrayKind::Input,
+                1 => ArrayKind::Output,
+                2 => ArrayKind::InOut,
+                3 => ArrayKind::Internal,
+                other => return Err(corrupt(format!("unknown array kind {other}"))),
+            };
+            arrays.push(ArrayInfo {
+                id: ArrayId::from_index(i),
+                name,
+                kind,
+                base_addr: r.varint()?,
+                elem_bytes: u32::try_from(r.varint()?)
+                    .map_err(|_| corrupt("array elem_bytes overflows u32"))?,
+                len: r.varint()?,
+            });
+        }
+        let node_count = r.varint()?;
+        let fingerprint = u128::from_le_bytes(r.take(16)?.try_into().expect("16-byte slice"));
+        if r.remaining() != 0 {
+            return Err(corrupt("trailing bytes after footer"));
+        }
+        Ok(AtrcTrace {
+            bytes: Arc::new(bytes),
+            body,
+            footer,
+            name,
+            arrays,
+            node_count,
+            fingerprint,
+        })
+    }
+
+    /// Read and validate an `.atrc` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `L0280` diagnostic for I/O failures as well as any
+    /// truncation, framing or checksum violation.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, Diagnostic> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| corrupt(format!("cannot read {}: {e}", path.display())))?;
+        Self::from_bytes(bytes).map_err(|d| corrupt(format!("{}: {}", path.display(), d.message)))
+    }
+
+    /// Kernel name recorded in the header.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Traced arrays (from the footer).
+    #[must_use]
+    pub fn arrays(&self) -> &[ArrayInfo] {
+        &self.arrays
+    }
+
+    /// Arrays that must be transferred host → accelerator.
+    pub fn input_arrays(&self) -> impl Iterator<Item = &ArrayInfo> {
+        self.arrays.iter().filter(|a| a.kind.is_input())
+    }
+
+    /// Arrays that must be transferred accelerator → host.
+    pub fn output_arrays(&self) -> impl Iterator<Item = &ArrayInfo> {
+        self.arrays.iter().filter(|a| a.kind.is_output())
+    }
+
+    /// Total bytes of input (host → accelerator) data.
+    #[must_use]
+    pub fn input_bytes(&self) -> u64 {
+        self.input_arrays().map(ArrayInfo::size_bytes).sum()
+    }
+
+    /// Total bytes of output (accelerator → host) data.
+    #[must_use]
+    pub fn output_bytes(&self) -> u64 {
+        self.output_arrays().map(ArrayInfo::size_bytes).sum()
+    }
+
+    /// Total node count (from the footer — no decode needed).
+    #[must_use]
+    pub fn node_count(&self) -> u64 {
+        self.node_count
+    }
+
+    /// Encoded size in bytes.
+    #[must_use]
+    pub fn encoded_bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Content fingerprint from the footer, equal to
+    /// [`Trace::fingerprint`] of the decoded trace. This is what makes
+    /// file-backed traces first-class citizens of the DSE result cache:
+    /// the key is available without a decode.
+    #[must_use]
+    pub fn fingerprint(&self) -> u128 {
+        self.fingerprint
+    }
+
+    /// Iterate the nodes without materializing them. Each item is a
+    /// decoded [`TraceNode`] or an `L0280` diagnostic on corruption the
+    /// envelope checks could not see (they do see all of it in practice,
+    /// because the checksum covers every block byte).
+    #[must_use]
+    pub fn nodes(&self) -> AtrcNodeIter {
+        AtrcNodeIter {
+            bytes: Arc::clone(&self.bytes),
+            pos: self.body,
+            footer: self.footer,
+            block: Vec::new(),
+            block_pos: 0,
+            next_id: 0,
+            prev_addr: 0,
+            prev_iter: 0,
+            array_count: self.arrays.len() as u64,
+            failed: false,
+        }
+    }
+
+    /// Fully decode into a materialized [`Trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an `L0280` diagnostic if any node fails to decode or the
+    /// decoded trace violates the [`Trace::check`] invariants.
+    pub fn decode(&self) -> Result<Trace, Diagnostic> {
+        let mut nodes = Vec::with_capacity(usize::try_from(self.node_count).unwrap_or(0));
+        for node in self.nodes() {
+            nodes.push(node?);
+        }
+        let trace = Trace::new(self.name.clone(), nodes, self.arrays.clone());
+        let report = trace.check();
+        if report.has_errors() {
+            return Err(corrupt(format!(
+                "decoded trace violates structural invariants: {}",
+                report
+                    .first_error()
+                    .map(|d| d.message.clone())
+                    .unwrap_or_default()
+            )));
+        }
+        Ok(trace)
+    }
+
+    /// Aggregate statistics, via one streaming pass over the nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an `L0280` diagnostic if any node fails to decode.
+    pub fn stats(&self) -> Result<TraceStats, Diagnostic> {
+        let mut acc = StatsAccumulator::new();
+        for node in self.nodes() {
+            acc.push(&node?);
+        }
+        Ok(acc.finish())
+    }
+}
+
+impl fmt::Display for AtrcTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes, {} arrays, {} encoded bytes",
+            self.name,
+            self.node_count,
+            self.arrays.len(),
+            self.bytes.len()
+        )
+    }
+}
+
+/// Streaming iterator over the nodes of an [`AtrcTrace`].
+///
+/// Holds one decoded block at a time; peak transient memory is O(block),
+/// not O(trace).
+#[derive(Debug)]
+pub struct AtrcNodeIter {
+    bytes: Arc<Vec<u8>>,
+    pos: usize,
+    footer: usize,
+    block: Vec<u8>,
+    block_pos: usize,
+    next_id: u64,
+    prev_addr: u64,
+    prev_iter: u32,
+    array_count: u64,
+    failed: bool,
+}
+
+impl AtrcNodeIter {
+    fn load_block(&mut self) -> Result<bool, Diagnostic> {
+        if self.pos >= self.footer {
+            return Ok(false);
+        }
+        let mut r = ByteReader::new(&self.bytes[..self.footer]);
+        r.pos = self.pos;
+        let tag = r.u8()?;
+        if tag != TAG_BLOCK {
+            return Err(corrupt(format!("expected block tag, found {tag:#04x}")));
+        }
+        let nodes = usize::try_from(r.varint()?)
+            .map_err(|_| corrupt("block node count overflows usize"))?;
+        let mode = r.u8()?;
+        let len =
+            usize::try_from(r.varint()?).map_err(|_| corrupt("block length overflows usize"))?;
+        let payload = r.take(len)?;
+        self.block = match mode {
+            MODE_RAW => payload.to_vec(),
+            MODE_RLE => rle_decompress(payload, nodes.saturating_mul(64).max(1 << 20))?,
+            other => return Err(corrupt(format!("unknown block mode {other}"))),
+        };
+        self.block_pos = 0;
+        self.pos = r.pos;
+        Ok(true)
+    }
+
+    fn decode_node(&mut self) -> Result<TraceNode, Diagnostic> {
+        let id = self.next_id;
+        let mut r = ByteReader::new(&self.block);
+        r.pos = self.block_pos;
+        let op = r.u8()?;
+        let opcode = *OPCODE_TABLE
+            .get(usize::from(op))
+            .ok_or_else(|| corrupt(format!("unknown opcode byte {op} in node {id}")))?;
+        let dep_count = usize::try_from(r.varint()?)
+            .map_err(|_| corrupt("dependence count overflows usize"))?;
+        if dep_count as u64 > id {
+            return Err(corrupt(format!(
+                "node {id} claims {dep_count} dependences but only {id} predecessors exist"
+            )));
+        }
+        let mut deps = Vec::with_capacity(dep_count);
+        for _ in 0..dep_count {
+            let delta = r.varint()?;
+            let dep = id
+                .checked_sub(delta)
+                .filter(|_| delta > 0)
+                .ok_or_else(|| corrupt(format!("node {id} has a non-backward dependence")))?;
+            deps.push(NodeId::from_index(
+                usize::try_from(dep).expect("dep < id fits usize"),
+            ));
+        }
+        let mem = match r.u8()? {
+            0 => None,
+            tag @ (1 | 2) => {
+                let array = r.varint()?;
+                if array >= self.array_count {
+                    return Err(corrupt(format!(
+                        "node {id} references unknown array {array}"
+                    )));
+                }
+                let addr = (self.prev_addr as i64)
+                    .checked_add(unzigzag(r.varint()?))
+                    .filter(|&a| a >= 0)
+                    .ok_or_else(|| corrupt(format!("node {id} address underflows")))?
+                    as u64;
+                let bytes =
+                    u32::try_from(r.varint()?).map_err(|_| corrupt("access size overflows u32"))?;
+                self.prev_addr = addr;
+                Some(MemRef {
+                    array: ArrayId::from_index(
+                        usize::try_from(array).expect("array index fits usize"),
+                    ),
+                    addr,
+                    bytes,
+                    kind: if tag == 1 {
+                        MemAccessKind::Read
+                    } else {
+                        MemAccessKind::Write
+                    },
+                })
+            }
+            other => return Err(corrupt(format!("unknown memory tag {other} in node {id}"))),
+        };
+        let iteration = i64::from(self.prev_iter)
+            .checked_add(unzigzag(r.varint()?))
+            .and_then(|i| u32::try_from(i).ok())
+            .ok_or_else(|| corrupt(format!("node {id} iteration label out of range")))?;
+        self.prev_iter = iteration;
+        self.block_pos = r.pos;
+        self.next_id += 1;
+        Ok(TraceNode {
+            id: NodeId::from_index(usize::try_from(id).expect("node count fits usize")),
+            opcode,
+            deps,
+            mem,
+            iteration,
+        })
+    }
+}
+
+impl Iterator for AtrcNodeIter {
+    type Item = Result<TraceNode, Diagnostic>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if self.block_pos >= self.block.len() {
+            match self.load_block() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(d) => {
+                    self.failed = true;
+                    return Some(Err(d));
+                }
+            }
+        }
+        match self.decode_node() {
+            Ok(n) => Some(Ok(n)),
+            Err(d) => {
+                self.failed = true;
+                Some(Err(d))
+            }
+        }
+    }
+}
+
+/// Incremental [`TraceStats`] accumulator for streaming consumers: feeding
+/// every node of a trace in order yields exactly
+/// [`Trace::stats`](Trace::stats) of the materialized equivalent.
+#[derive(Debug, Clone, Default)]
+pub struct StatsAccumulator {
+    stats: TraceStats,
+    max_iter: Option<u32>,
+}
+
+impl StatsAccumulator {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one node in.
+    pub fn push(&mut self, node: &TraceNode) {
+        self.stats.nodes += 1;
+        self.stats.per_class[node.opcode.fu_class().index()] += 1;
+        self.stats.edges += node.deps.len();
+        if let Some(m) = &node.mem {
+            match m.kind {
+                MemAccessKind::Read => {
+                    self.stats.loads += 1;
+                    self.stats.load_bytes += u64::from(m.bytes);
+                }
+                MemAccessKind::Write => {
+                    self.stats.stores += 1;
+                    self.stats.store_bytes += u64::from(m.bytes);
+                }
+            }
+        }
+        self.max_iter = Some(
+            self.max_iter
+                .map_or(node.iteration, |m| m.max(node.iteration)),
+        );
+    }
+
+    /// The accumulated statistics.
+    #[must_use]
+    pub fn finish(&self) -> TraceStats {
+        let mut s = self.stats;
+        s.iterations = self.max_iter.map_or(0, |m| m as usize + 1);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayKind, Tracer};
+
+    fn sample_trace() -> Trace {
+        let mut t = Tracer::new("atrc-sample");
+        let a = t.array_f64("a", &[1.0, 2.0, 3.0, 4.0], ArrayKind::Input);
+        let mut o = t.array_f64("o", &[0.0; 4], ArrayKind::Output);
+        for i in 0..4 {
+            t.begin_iteration(i as u32);
+            let x = t.load(&a, i);
+            let y = t.binop(Opcode::FMul, x, x);
+            t.store(&mut o, i, y);
+        }
+        t.finish()
+    }
+
+    fn assert_traces_equal(a: &Trace, b: &Trace) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.arrays(), b.arrays());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let trace = sample_trace();
+        let bytes = encode_trace(&trace);
+        let atrc = AtrcTrace::from_bytes(bytes.clone()).expect("valid");
+        assert_eq!(atrc.name(), trace.name());
+        assert_eq!(atrc.node_count(), trace.nodes().len() as u64);
+        assert_eq!(atrc.fingerprint(), trace.fingerprint());
+        assert_eq!(atrc.arrays(), trace.arrays());
+        let decoded = atrc.decode().expect("decodes");
+        assert_traces_equal(&trace, &decoded);
+        // encode(decode(bytes)) is byte-identical too.
+        assert_eq!(encode_trace(&decoded), bytes);
+    }
+
+    #[test]
+    fn streaming_stats_match_materialized() {
+        let trace = sample_trace();
+        let atrc = AtrcTrace::from_bytes(encode_trace(&trace)).expect("valid");
+        assert_eq!(atrc.stats().expect("decodes"), trace.stats());
+        assert_eq!(atrc.input_bytes(), trace.input_bytes());
+        assert_eq!(atrc.output_bytes(), trace.output_bytes());
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_l0280() {
+        let bytes = encode_trace(&sample_trace());
+        // Truncation: drop the tail.
+        let err = AtrcTrace::from_bytes(bytes[..bytes.len() - 5].to_vec())
+            .expect_err("truncated file must fail");
+        assert_eq!(err.code, "L0280");
+        // Corruption: flip one payload byte (checksum catches it).
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        let err = AtrcTrace::from_bytes(bad).expect_err("corrupt file must fail");
+        assert_eq!(err.code, "L0280");
+        // Not a trace at all.
+        let err = AtrcTrace::from_bytes(b"definitely not a trace at all....".to_vec())
+            .expect_err("garbage must fail");
+        assert_eq!(err.code, "L0280");
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Tracer::new("empty").finish();
+        let atrc = AtrcTrace::from_bytes(encode_trace(&trace)).expect("valid");
+        assert_eq!(atrc.node_count(), 0);
+        assert_eq!(atrc.nodes().count(), 0);
+        let decoded = atrc.decode().expect("decodes");
+        assert_traces_equal(&trace, &decoded);
+    }
+
+    #[test]
+    fn rle_round_trips() {
+        let cases: [&[u8]; 5] = [
+            b"",
+            b"abc",
+            b"aaaaaaaaaaaaaaaa",
+            b"abbbbbbbcdddddddddddddddddddddefg",
+            &[0u8; 1000],
+        ];
+        for case in cases {
+            let packed = rle_compress(case);
+            let unpacked = rle_decompress(&packed, case.len().max(1)).expect("valid");
+            assert_eq!(unpacked, case);
+        }
+        // Long uniform runs actually compress.
+        assert!(rle_compress(&[7u8; 4096]).len() < 100);
+    }
+
+    #[test]
+    fn varint_and_zigzag_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX];
+        for &v in &values {
+            buf.clear();
+            put_varint(&mut buf, v);
+            assert_eq!(ByteReader::new(&buf).varint().expect("valid"), v);
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn file_round_trip_via_open() {
+        let trace = sample_trace();
+        let dir = std::path::PathBuf::from("target/test-atrc");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("sample.atrc");
+        std::fs::write(&path, encode_trace(&trace)).expect("write");
+        let atrc = AtrcTrace::open(&path).expect("opens");
+        assert_traces_equal(&trace, &atrc.decode().expect("decodes"));
+        let missing = AtrcTrace::open(dir.join("missing.atrc")).expect_err("missing file");
+        assert_eq!(missing.code, "L0280");
+    }
+}

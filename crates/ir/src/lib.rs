@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod array;
+mod atrc;
 pub mod diag;
 mod opcode;
 mod serialize;
@@ -48,6 +49,9 @@ mod tracer;
 mod transform;
 
 pub use array::{ArrayId, ArrayInfo, ArrayKind};
+pub use atrc::{
+    encode_trace, AtrcNodeIter, AtrcSummary, AtrcTrace, StatsAccumulator, TraceWriter, ATRC_VERSION,
+};
 pub use diag::{Diagnostic, Locus, Report, Severity};
 pub use opcode::{FuClass, Opcode};
 pub use serialize::ParseTraceError;

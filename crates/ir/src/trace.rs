@@ -1,11 +1,85 @@
 //! Dynamic traces: flattened dynamic data dependence graphs.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::array::{ArrayId, ArrayInfo};
 use crate::diag::{Diagnostic, Locus, Report};
 use crate::opcode::Opcode;
 use crate::stats::TraceStats;
+
+/// The dual-FNV-1a content hasher behind [`Trace::fingerprint`].
+///
+/// Shared with the `.atrc` writer ([`crate::TraceWriter`]) so a fingerprint
+/// computed while *streaming* nodes to disk is bit-identical to the one
+/// computed over an in-memory [`Trace`]. The stream order is single-pass
+/// friendly: kernel name first, then every node, then the node count, then
+/// every array, then the array count — lengths follow their contents
+/// because a streaming writer does not know them up front.
+#[derive(Debug, Clone)]
+pub(crate) struct Fingerprinter {
+    lo: u64,
+    hi: u64,
+}
+
+impl Fingerprinter {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        // FNV-1a offset basis and a second, distinct stream.
+        Fingerprinter {
+            lo: 0xcbf2_9ce4_8422_2325,
+            hi: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.lo = (self.lo ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        self.hi = (self.hi ^ u64::from(b ^ 0x5a)).wrapping_mul(Self::PRIME);
+    }
+
+    pub(crate) fn word(&mut self, word: u64) {
+        for b in word.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        for &b in s.as_bytes() {
+            self.byte(b);
+        }
+    }
+
+    pub(crate) fn node(&mut self, node: &TraceNode) {
+        self.word(node.opcode as u64);
+        self.word(node.deps.len() as u64);
+        for d in &node.deps {
+            self.word(d.index() as u64);
+        }
+        match &node.mem {
+            Some(m) => {
+                self.word(1 + m.array.index() as u64);
+                self.word(m.addr);
+                self.word(u64::from(m.bytes));
+                self.word(u64::from(m.kind == MemAccessKind::Write));
+            }
+            None => self.word(0),
+        }
+        self.word(u64::from(node.iteration));
+    }
+
+    pub(crate) fn array(&mut self, a: &ArrayInfo) {
+        self.str(&a.name);
+        self.word(a.kind as u64);
+        self.word(a.base_addr);
+        self.word(u64::from(a.elem_bytes));
+        self.word(a.len);
+    }
+
+    pub(crate) fn finish(self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+}
 
 /// Identifier of a dynamic trace node (one executed operation).
 ///
@@ -84,6 +158,7 @@ pub struct Trace {
     name: String,
     nodes: Vec<TraceNode>,
     arrays: Vec<ArrayInfo>,
+    fp: OnceLock<u128>,
 }
 
 impl Trace {
@@ -92,6 +167,7 @@ impl Trace {
             name,
             nodes,
             arrays,
+            fp: OnceLock::new(),
         }
     }
 
@@ -153,61 +229,35 @@ impl Trace {
         TraceStats::compute(self)
     }
 
-    /// A 128-bit content fingerprint of the trace: name, arrays, and every
-    /// node (opcode, dependences, memory reference, iteration label).
+    /// A 128-bit content fingerprint of the trace: name, every node
+    /// (opcode, dependences, memory reference, iteration label), and every
+    /// array.
     ///
     /// Two traces with equal fingerprints schedule identically, so the DSE
     /// layer uses this as the trace component of its result-cache key. The
     /// value is stable across processes and runs (no pointer or hash-seed
     /// dependence): two independent FNV-1a hashes with distinct offset
-    /// bases over the same byte stream.
+    /// bases over the same byte stream. The same stream is produced by
+    /// [`TraceWriter`](crate::TraceWriter) while encoding an `.atrc` file,
+    /// so a file-backed trace carries this fingerprint in its footer and
+    /// result-cache keys never require a decode.
+    ///
+    /// The value is memoized: recomputation is free after the first call.
     #[must_use]
     pub fn fingerprint(&self) -> u128 {
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        fn eat_byte(st: &mut (u64, u64), b: u8) {
-            st.0 = (st.0 ^ u64::from(b)).wrapping_mul(PRIME);
-            st.1 = (st.1 ^ u64::from(b ^ 0x5a)).wrapping_mul(PRIME);
-        }
-        fn eat(st: &mut (u64, u64), word: u64) {
-            for b in word.to_le_bytes() {
-                eat_byte(st, b);
+        *self.fp.get_or_init(|| {
+            let mut fp = Fingerprinter::new();
+            fp.str(&self.name);
+            for node in &self.nodes {
+                fp.node(node);
             }
-        }
-        fn eat_str(st: &mut (u64, u64), s: &str) {
-            for &b in s.as_bytes() {
-                eat_byte(st, b);
+            fp.word(self.nodes.len() as u64);
+            for a in &self.arrays {
+                fp.array(a);
             }
-        }
-        // FNV-1a offset basis and a second, distinct stream.
-        let mut st = (0xcbf2_9ce4_8422_2325u64, 0x6c62_272e_07bb_0142u64);
-        eat_str(&mut st, &self.name);
-        eat(&mut st, self.arrays.len() as u64);
-        for a in &self.arrays {
-            eat_str(&mut st, &a.name);
-            eat(&mut st, a.kind as u64);
-            eat(&mut st, a.base_addr);
-            eat(&mut st, u64::from(a.elem_bytes));
-            eat(&mut st, a.len);
-        }
-        eat(&mut st, self.nodes.len() as u64);
-        for node in &self.nodes {
-            eat(&mut st, node.opcode as u64);
-            eat(&mut st, node.deps.len() as u64);
-            for d in &node.deps {
-                eat(&mut st, d.index() as u64);
-            }
-            match &node.mem {
-                Some(m) => {
-                    eat(&mut st, 1 + m.array.index() as u64);
-                    eat(&mut st, m.addr);
-                    eat(&mut st, u64::from(m.bytes));
-                    eat(&mut st, u64::from(m.kind == MemAccessKind::Write));
-                }
-                None => eat(&mut st, 0),
-            }
-            eat(&mut st, u64::from(node.iteration));
-        }
-        (u128::from(st.1) << 64) | u128::from(st.0)
+            fp.word(self.arrays.len() as u64);
+            fp.finish()
+        })
     }
 
     /// A copy of this trace with every node's dependence list replaced
@@ -232,11 +282,7 @@ impl Trace {
             .zip(new_deps)
             .map(|(n, deps)| TraceNode { deps, ..n.clone() })
             .collect();
-        let out = Trace {
-            name: self.name.clone(),
-            nodes,
-            arrays: self.arrays.clone(),
-        };
+        let out = Trace::new(self.name.clone(), nodes, self.arrays.clone());
         debug_assert!(out.check().is_clean(), "{}", out.check().to_human());
         out
     }
@@ -310,11 +356,7 @@ impl Trace {
                 }
             })
             .collect();
-        let out = Trace {
-            name: self.name.clone(),
-            nodes,
-            arrays: self.arrays.clone(),
-        };
+        let out = Trace::new(self.name.clone(), nodes, self.arrays.clone());
         debug_assert!(out.check().is_clean(), "{}", out.check().to_human());
         out
     }

@@ -1,6 +1,9 @@
 //! The tracing DSL workloads are written against.
 
+use std::io::{self, Write};
+
 use crate::array::{ArrayId, ArrayInfo, ArrayKind};
+use crate::atrc::{AtrcSummary, TraceWriter};
 use crate::opcode::Opcode;
 use crate::trace::{MemAccessKind, MemRef, NodeId, Trace, TraceNode};
 
@@ -93,6 +96,9 @@ pub struct Tracer {
     arrays: Vec<ArrayInfo>,
     next_addr: u64,
     iteration: u32,
+    emitted: u32,
+    sink: Option<TraceWriter<Box<dyn Write>>>,
+    sink_error: Option<io::Error>,
 }
 
 impl Tracer {
@@ -105,19 +111,46 @@ impl Tracer {
             arrays: Vec::new(),
             next_addr: ARRAY_BASE_ADDR,
             iteration: 0,
+            emitted: 0,
+            sink: None,
+            sink_error: None,
         }
+    }
+
+    /// Switch this tracer to *streaming* mode: every emitted node is
+    /// written straight to an `.atrc` [`TraceWriter`] over `sink` instead
+    /// of being materialized, so tracing a multi-million-node kernel needs
+    /// O(arrays) memory, not O(nodes). Finish with
+    /// [`finish_streaming`](Tracer::finish_streaming) instead of
+    /// [`finish`](Tracer::finish).
+    ///
+    /// I/O errors during tracing are deferred: tracing continues
+    /// functionally (results stay correct) and the first error is
+    /// reported by `finish_streaming`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the `.atrc` header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node has already been recorded.
+    pub fn stream_to(&mut self, sink: Box<dyn Write>) -> io::Result<()> {
+        assert_eq!(self.emitted, 0, "stream_to must be called before tracing");
+        self.sink = Some(TraceWriter::new(sink, &self.name)?);
+        Ok(())
     }
 
     /// Number of nodes recorded so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.emitted as usize
     }
 
     /// Whether no node has been recorded yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.emitted == 0
     }
 
     /// Mark the start of dynamic iteration `i` of the kernel's parallel
@@ -178,14 +211,25 @@ impl Tracer {
     }
 
     fn emit(&mut self, opcode: Opcode, deps: Vec<NodeId>, mem: Option<MemRef>) -> NodeId {
-        let id = NodeId(u32::try_from(self.nodes.len()).expect("trace too large"));
-        self.nodes.push(TraceNode {
+        let id = NodeId(self.emitted);
+        self.emitted = self.emitted.checked_add(1).expect("trace too large");
+        let node = TraceNode {
             id,
             opcode,
             deps,
             mem,
             iteration: self.iteration,
-        });
+        };
+        match self.sink.as_mut() {
+            Some(w) => {
+                if self.sink_error.is_none() {
+                    if let Err(e) = w.push_node(&node) {
+                        self.sink_error = Some(e);
+                    }
+                }
+            }
+            None => self.nodes.push(node),
+        }
         id
     }
 
@@ -395,11 +439,45 @@ impl Tracer {
     }
 
     /// Finish tracing and produce the immutable [`Trace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracer was put in streaming mode with
+    /// [`stream_to`](Tracer::stream_to) — use
+    /// [`finish_streaming`](Tracer::finish_streaming) there.
     #[must_use]
     pub fn finish(self) -> Trace {
+        assert!(
+            self.sink.is_none(),
+            "streaming tracers finish with finish_streaming"
+        );
         let trace = Trace::new(self.name, self.nodes, self.arrays);
         debug_assert!(trace.check().is_clean(), "{}", trace.check().to_human());
         trace
+    }
+
+    /// Finish a *streaming* tracer: seal the `.atrc` stream (footer with
+    /// arrays, node count, fingerprint, checksum) and return the encoding
+    /// summary. The fingerprint equals what [`Trace::fingerprint`] would
+    /// return for the materialized equivalent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error deferred during tracing, or any error
+    /// sealing the footer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`stream_to`](Tracer::stream_to) was never called.
+    pub fn finish_streaming(mut self) -> io::Result<AtrcSummary> {
+        let sink = self
+            .sink
+            .take()
+            .expect("finish_streaming requires stream_to");
+        if let Some(e) = self.sink_error.take() {
+            return Err(e);
+        }
+        sink.finish(&self.arrays)
     }
 }
 

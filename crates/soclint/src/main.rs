@@ -5,8 +5,12 @@
 //! soclint [--json | --format human|json] <command> [args]
 //!
 //! commands:
-//!   trace [KERNEL...]        lint the traces and DDDGs of bundled
-//!                            workloads (default: all 16)
+//!   trace [KERNEL|FILE.atrc ...]
+//!                            lint the traces and DDDGs of bundled
+//!                            workloads (default: all 16); arguments
+//!                            ending in `.atrc` are validated as encoded
+//!                            binary trace files (`L0280` on truncation
+//!                            or corruption) and then linted identically
 //!   config                   lint the default design point
 //!   sweep                    pre-flight the full Fig. 3 design space
 //!   protocol [--seeded-bug NAME]
@@ -58,7 +62,7 @@ struct Target {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soclint [--json | --format human|json] <trace [KERNEL...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | flowspec FILE... | campaign FILE... | bounds FILE... | all>"
+        "usage: soclint [--json | --format human|json] <trace [KERNEL|FILE.atrc ...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | flowspec FILE... | campaign FILE... | bounds FILE... | all>"
     );
     std::process::exit(2);
 }
@@ -152,8 +156,28 @@ fn emit(targets: &[Target], format: OutputFormat) -> std::io::Result<()> {
 }
 
 /// Lint the traces (and DDDGs, at a representative 4-lane point) of the
-/// named kernels, or of all bundled kernels.
+/// named kernels, or of all bundled kernels. Names ending in `.atrc` are
+/// treated as encoded binary trace files: the file is validated
+/// structurally (header, checksum, footer — `L0280` on truncation or
+/// corruption), decoded, and then linted exactly like an in-memory trace.
 fn lint_traces(names: &[String]) -> Vec<Target> {
+    let dddg_cfg = DatapathConfig {
+        lanes: 4,
+        partition: 4,
+        ..DatapathConfig::default()
+    };
+    if names.iter().any(|n| n.ends_with(".atrc")) {
+        return names
+            .iter()
+            .map(|n| {
+                if n.ends_with(".atrc") {
+                    lint_atrc_file(n, &dddg_cfg)
+                } else {
+                    lint_kernel_trace(n, &dddg_cfg)
+                }
+            })
+            .collect();
+    }
     let kernels: Vec<_> = if names.is_empty() {
         all_kernels()
     } else {
@@ -168,11 +192,6 @@ fn lint_traces(names: &[String]) -> Vec<Target> {
             })
             .collect()
     };
-    let dddg_cfg = DatapathConfig {
-        lanes: 4,
-        partition: 4,
-        ..DatapathConfig::default()
-    };
     kernels
         .into_iter()
         .map(|kernel| {
@@ -185,6 +204,49 @@ fn lint_traces(names: &[String]) -> Vec<Target> {
             }
         })
         .collect()
+}
+
+/// Lint one bundled kernel by name (the non-`.atrc` arm of a mixed
+/// `soclint trace` argument list).
+fn lint_kernel_trace(name: &str, dddg_cfg: &DatapathConfig) -> Target {
+    let Some(kernel) = by_name(name) else {
+        eprintln!("soclint: unknown kernel {name:?}");
+        std::process::exit(2);
+    };
+    let trace = kernel.run().trace;
+    let mut report = lint_trace(&trace);
+    report.merge(lint_dddg(&trace, dddg_cfg));
+    Target {
+        name: kernel.name().to_owned(),
+        report,
+    }
+}
+
+/// Lint one `.atrc` file: structural validation (`L0280` on a truncated
+/// or corrupt file), then decode and run the same trace/DDDG lints the
+/// bundled kernels get.
+fn lint_atrc_file(path: &str, dddg_cfg: &DatapathConfig) -> Target {
+    let mut report = Report::new();
+    match aladdin_ir::AtrcTrace::open(path).and_then(|t| t.decode()) {
+        Ok(trace) => {
+            report.push(Diagnostic::info(
+                "L0280",
+                format!(
+                    "atrc validated: kernel {:?}, {} node(s), {} array(s)",
+                    trace.name(),
+                    trace.nodes().len(),
+                    trace.arrays().len()
+                ),
+            ));
+            report.merge(lint_trace(&trace));
+            report.merge(lint_dddg(&trace, dddg_cfg));
+        }
+        Err(d) => report.push(d),
+    }
+    Target {
+        name: path.to_owned(),
+        report,
+    }
 }
 
 fn lint_default_config() -> Target {
@@ -464,7 +526,13 @@ fn bounds_report(plan: &CampaignPlan) -> Report {
         };
         let stale = !matches!(&trace_for, Some((name, _)) if name == kernel);
         if stale {
-            let trace = by_name(kernel).expect("plan validated").run().trace;
+            let trace = if kernel.ends_with(".atrc") {
+                aladdin_ir::AtrcTrace::open(kernel)
+                    .and_then(|t| t.decode())
+                    .unwrap_or_else(|d| panic!("{d}"))
+            } else {
+                by_name(kernel).expect("plan validated").run().trace
+            };
             trace_for = Some((kernel.clone(), trace));
         }
         let (_, trace) = trace_for.as_ref().expect("just ensured");

@@ -76,6 +76,65 @@ fn sweep_json_accepts_the_whole_paper_space() {
     assert!(stdout.ends_with("\"errors\":0}\n"), "{stdout}");
 }
 
+/// Write `bytes` to a unique temp file and return its path.
+fn temp_atrc(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("soclint-golden-{}-{tag}.atrc", std::process::id()));
+    std::fs::write(&path, bytes).expect("write temp atrc");
+    path
+}
+
+#[test]
+fn atrc_trace_lints_clean_with_l0280_info() {
+    let trace = aladdin_workloads::by_name("fft-transpose")
+        .expect("kernel")
+        .run()
+        .trace;
+    let path = temp_atrc("ok", &aladdin_ir::encode_trace(&trace));
+    let (stdout, _, code) = soclint(&["--format", "json", "trace", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 0, "{stdout}");
+    assert!(
+        stdout.contains(r#""code":"L0280","severity":"info""#),
+        "{stdout}"
+    );
+    assert!(stdout.contains("atrc validated"), "{stdout}");
+    assert!(stdout.ends_with("\"errors\":0}\n"), "{stdout}");
+}
+
+#[test]
+fn truncated_atrc_fails_with_l0280_error() {
+    let trace = aladdin_workloads::by_name("fft-transpose")
+        .expect("kernel")
+        .run()
+        .trace;
+    let mut bytes = aladdin_ir::encode_trace(&trace);
+    bytes.truncate(bytes.len() / 2);
+    let path = temp_atrc("truncated", &bytes);
+    let (stdout, _, code) = soclint(&["--format", "json", "trace", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(code, 1, "{stdout}");
+    assert!(
+        stdout.contains(r#""code":"L0280","severity":"error""#),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn missing_atrc_file_fails_with_l0280_error() {
+    let (stdout, _, code) = soclint(&[
+        "--format",
+        "json",
+        "trace",
+        "/nonexistent/never-created.atrc",
+    ]);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(
+        stdout.contains(r#""code":"L0280","severity":"error""#),
+        "{stdout}"
+    );
+}
+
 #[test]
 fn unknown_arguments_exit_2() {
     let (_, _, code) = soclint(&["frobnicate"]);

@@ -504,15 +504,43 @@ impl CampaignSpec {
                     .at(Locus::Field("name")),
             );
         }
-        for k in self
-            .kernels
-            .iter()
-            .chain(self.jobs.iter().map(|j| &j.kernel))
-        {
-            if by_name(k).is_none() {
+        for k in &self.kernels {
+            if k.ends_with(".atrc") {
+                // A `.atrc` sweep entry is a file path: opening validates
+                // the header, checksum and footer in one pass, so a
+                // campaign that lints clean here streams clean at run
+                // time (`L0280` findings surface as `L0262` here).
+                if let Err(d) = aladdin_ir::AtrcTrace::open(k) {
+                    report.push(
+                        Diagnostic::error("L0262", format!("trace file {k:?}: {}", d.message))
+                            .at(Locus::Field("kernels")),
+                    );
+                }
+            } else if by_name(k).is_none() {
                 report.push(
                     Diagnostic::error("L0262", format!("unknown kernel {k:?}"))
                         .at(Locus::Field("kernels")),
+                );
+            }
+        }
+        for j in &self.jobs {
+            if j.kernel.ends_with(".atrc") {
+                report.push(
+                    Diagnostic::error(
+                        "L0262",
+                        format!(
+                            "job kernel {:?}: `.atrc` traces are supported in sweep \
+                             `kernels`, not [[jobs]] (multi-accelerator jobs own their \
+                             traces)",
+                            j.kernel
+                        ),
+                    )
+                    .at(Locus::Field("jobs")),
+                );
+            } else if by_name(&j.kernel).is_none() {
+                report.push(
+                    Diagnostic::error("L0262", format!("unknown kernel {:?}", j.kernel))
+                        .at(Locus::Field("jobs")),
                 );
             }
         }
@@ -1483,6 +1511,45 @@ width_bits = 64
         let again = CampaignSpec::from_toml(&text).expect("canonical form parses");
         assert_eq!(spec, again, "{text}");
         assert_eq!(again.to_toml(), text, "serialization is a fixed point");
+    }
+
+    #[test]
+    fn missing_atrc_sweep_entry_is_rejected_at_validate_time() {
+        let report = CampaignSpec::from_toml(
+            r#"
+name = "bad-trace"
+kernels = ["/nonexistent/never.atrc"]
+mems = ["isolated"]
+"#,
+        )
+        .expect_err("a missing trace file cannot validate");
+        assert!(report.has_errors());
+        assert!(report.has_code("L0262"));
+        assert!(
+            report.to_human().contains("trace file"),
+            "{}",
+            report.to_human()
+        );
+    }
+
+    #[test]
+    fn atrc_job_kernels_are_rejected() {
+        let report = CampaignSpec::from_toml(
+            r#"
+name = "bad-job"
+
+[[jobs]]
+kernel = "some.atrc"
+mem = "cache"
+"#,
+        )
+        .expect_err("job traces are not supported");
+        assert!(report.has_errors());
+        assert!(
+            report.to_human().contains("not [[jobs]]"),
+            "{}",
+            report.to_human()
+        );
     }
 
     #[test]

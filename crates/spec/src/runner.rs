@@ -20,9 +20,10 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
-use aladdin_core::{simulate_multi, FlowResult, MemKind, SimError, Watchdog};
+use aladdin_core::{simulate_multi, FlowResult, MemKind, SimError, TraceSource, Watchdog};
 use aladdin_dse::{
-    sweep_points_streaming, sweep_points_streaming_pruned, PointOutcome, PointSpec, PrunedPoint,
+    sweep_points_source_streaming, sweep_points_streaming, sweep_points_streaming_pruned,
+    PointOutcome, PointSpec, PrunedPoint,
 };
 use aladdin_ir::{Diagnostic, Report};
 use aladdin_lint::BoundsSummary;
@@ -84,6 +85,23 @@ fn journal_err(msg: impl Into<String>) -> Report {
     let mut r = Report::new();
     r.push(Diagnostic::error("L0266", msg));
     r
+}
+
+/// Resolve a planned kernel name to a materialized trace: bundled kernels
+/// run their generator, `.atrc` entries decode the file (campaign
+/// validation already opened and checksummed it, so failures here are
+/// bugs, not user errors).
+fn materialize_trace(kernel: &str) -> aladdin_ir::Trace {
+    if kernel.ends_with(".atrc") {
+        aladdin_ir::AtrcTrace::open(kernel)
+            .and_then(|t| t.decode())
+            .unwrap_or_else(|d| panic!("{d}"))
+    } else {
+        by_name(kernel)
+            .expect("plan validated kernel names")
+            .run()
+            .trace
+    }
 }
 
 /// Execute `plan`, appending one JSONL record per finished point to
@@ -179,11 +197,10 @@ pub fn run_campaign(
                         PlannedPoint::Multi { .. } => unreachable!("grouped singles"),
                     })
                     .collect();
-                let trace = by_name(&kernel_name)
-                    .expect("plan validated kernel names")
-                    .run()
-                    .trace;
                 if opts.prune {
+                    // Pruning needs static bounds over the full DDDG, so
+                    // `.atrc` entries are materialized for this path.
+                    let trace = materialize_trace(&kernel_name);
                     let (outcomes, _perf) = sweep_points_streaming_pruned(
                         &trace,
                         &specs,
@@ -207,7 +224,30 @@ pub fn run_campaign(
                             PointOutcome::Pruned(_) => pruned += 1,
                         }
                     }
+                } else if kernel_name.ends_with(".atrc") {
+                    // File-backed trace: every worker streams its own
+                    // decode of the shared encoded bytes through the
+                    // windowed scheduler — the node vector is never
+                    // materialized.
+                    let atrc =
+                        aladdin_ir::AtrcTrace::open(&kernel_name).unwrap_or_else(|d| panic!("{d}"));
+                    let (results, _perf) = sweep_points_source_streaming(
+                        &TraceSource::Atrc(&atrc),
+                        &specs,
+                        &plan.harness,
+                        &|local, result| {
+                            write_line(single_record(
+                                group[local],
+                                &kernel_name,
+                                &specs[local],
+                                result,
+                            ));
+                        },
+                    );
+                    failed += results.iter().filter(|r| r.is_err()).count();
+                    ran += results.len();
                 } else {
+                    let trace = materialize_trace(&kernel_name);
                     let (results, _perf) =
                         sweep_points_streaming(&trace, &specs, &plan.harness, &|local, result| {
                             write_line(single_record(
@@ -391,7 +431,7 @@ pub fn forecast_cached(plan: &CampaignPlan) -> usize {
         if let PlannedPoint::Single { kernel, point } = point {
             let stale = !matches!(&trace_for, Some((name, _)) if name == kernel);
             if stale {
-                let trace = by_name(kernel).expect("validated").run().trace;
+                let trace = materialize_trace(kernel);
                 trace_for = Some((kernel.clone(), trace));
             }
             let (_, trace) = trace_for.as_ref().expect("just ensured");
@@ -423,7 +463,7 @@ pub fn plan_bounds(plan: &CampaignPlan) -> (BoundsSummary, usize) {
         if let PlannedPoint::Single { kernel, point } = point {
             let stale = !matches!(&trace_for, Some((name, _)) if name == kernel);
             if stale {
-                let trace = by_name(kernel).expect("validated").run().trace;
+                let trace = materialize_trace(kernel);
                 trace_for = Some((kernel.clone(), trace));
             }
             let (_, trace) = trace_for.as_ref().expect("just ensured");
@@ -588,6 +628,47 @@ partitions = [1]
         );
         assert!(second.complete());
         let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn atrc_kernel_entry_streams_end_to_end() {
+        // Encode a bundled kernel to a temp `.atrc` and point the campaign
+        // at the file instead of the kernel name: validation opens the
+        // file, the runner streams it, and the journal fills exactly as a
+        // materialized run would.
+        let trace = aladdin_workloads::by_name("aes-aes")
+            .expect("kernel")
+            .run()
+            .trace;
+        let mut atrc_path = std::env::temp_dir();
+        atrc_path.push(format!("aladdin-runner-{}-aes.atrc", std::process::id()));
+        std::fs::write(&atrc_path, aladdin_ir::encode_trace(&trace)).expect("write atrc");
+
+        let toml = format!(
+            r#"
+name = "runner-atrc"
+kernels = ["{}"]
+mems = ["isolated"]
+
+[space]
+lanes = [1, 2]
+partitions = [1]
+"#,
+            atrc_path.display()
+        );
+        let plan = CampaignSpec::from_toml(&toml)
+            .expect("parses")
+            .expand()
+            .expect("an existing .atrc file validates");
+        let journal = temp_path("atrc");
+        let summary = run_campaign(&plan, &journal, &RunOptions::default()).expect("runs");
+        assert_eq!(summary.ran, plan.points.len());
+        assert_eq!(summary.failed, 0);
+        assert!(summary.complete());
+        let finished = read_finished(&journal, plan.digest).expect("readable");
+        assert_eq!(finished.len(), plan.points.len());
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&atrc_path);
     }
 
     #[test]

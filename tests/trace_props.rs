@@ -1,0 +1,195 @@
+//! Streaming-trace properties: `.atrc` round-trips, fingerprint parity,
+//! and windowed-vs-materialized schedule equivalence.
+//!
+//! The `.atrc` codec's contract is that a file-backed trace is the *same
+//! trace*: decoding reproduces every node, array, and the content
+//! fingerprint, and re-encoding reproduces the exact bytes (the encoding
+//! is canonical). The windowed scheduler's contract is that a window
+//! covering the whole trace is bit-exact with the materialized path —
+//! full `FlowResult` equality across every bundled kernel and every
+//! memory-system kind — while any smaller window still completes with a
+//! bounded resident set.
+
+use aladdin_accel::DatapathConfig;
+use aladdin_core::{
+    simulate, simulate_source, DmaOptLevel, FlowSpec, MemKind, SocConfig, TraceSource,
+};
+use aladdin_ir::{encode_trace, ArrayKind, AtrcTrace, Opcode, TVal, Trace, Tracer};
+use aladdin_rng::SmallRng;
+use aladdin_workloads::{all_kernels, by_name};
+
+const KINDS: [MemKind; 3] = [
+    MemKind::Isolated,
+    MemKind::Dma(DmaOptLevel::Full),
+    MemKind::Cache,
+];
+
+fn assert_traces_equal(a: &Trace, b: &Trace, ctx: &str) {
+    assert_eq!(a.name(), b.name(), "{ctx}: name");
+    assert_eq!(a.arrays(), b.arrays(), "{ctx}: arrays");
+    assert_eq!(a.nodes().len(), b.nodes().len(), "{ctx}: node count");
+    for (x, y) in a.nodes().iter().zip(b.nodes()) {
+        assert_eq!(x, y, "{ctx}: node {:?}", x.id);
+    }
+}
+
+/// Every bundled kernel encodes, decodes back to an identical trace, and
+/// re-encodes to identical bytes.
+#[test]
+fn atrc_round_trips_every_bundled_kernel() {
+    for k in all_kernels() {
+        let trace = k.run().trace;
+        let bytes = encode_trace(&trace);
+        let atrc = AtrcTrace::from_bytes(bytes.clone()).expect("valid bytes");
+        let decoded = atrc.decode().expect("decodes");
+        assert_traces_equal(&trace, &decoded, k.name());
+        assert_eq!(encode_trace(&decoded), bytes, "{}: re-encode", k.name());
+    }
+}
+
+/// The fingerprint streamed over encoded bytes (the `.atrc` footer) equals
+/// the in-memory [`Trace::fingerprint`] for every bundled kernel — the
+/// property the DSE result cache keys rely on.
+#[test]
+fn streamed_fingerprint_matches_in_memory_for_every_kernel() {
+    for k in all_kernels() {
+        let trace = k.run().trace;
+        let atrc = AtrcTrace::from_bytes(encode_trace(&trace)).expect("valid bytes");
+        assert_eq!(atrc.fingerprint(), trace.fingerprint(), "{}", k.name());
+        assert_eq!(
+            atrc.decode().expect("decodes").fingerprint(),
+            trace.fingerprint(),
+            "{}: decode fingerprint",
+            k.name()
+        );
+    }
+}
+
+/// A randomized kernel exercising every record shape the codec has:
+/// direct and indirect loads, stores (RAW/WAW chains), float and integer
+/// compute, square roots, and scattered iteration labels.
+fn random_trace(seed: u64) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Tracer::new(format!("rand-{seed}"));
+    let len = rng.gen_range(1..=64usize);
+    let input: Vec<f64> = (0..len).map(|i| i as f64 * 0.5 + 1.0).collect();
+    let idx_data: Vec<i64> = (0..len as i64).collect();
+    let a = t.array_f64("a", &input, ArrayKind::Input);
+    let idx_arr = t.array_i32("idx", &idx_data, ArrayKind::Input);
+    let mut b = t.array_f64("b", &vec![0.0; len], ArrayKind::Output);
+    let ops = rng.gen_range(1..=256usize);
+    let mut last: Option<TVal<f64>> = None;
+    for _ in 0..ops {
+        t.begin_iteration(rng.gen_range(0..8u32));
+        match rng.gen_range(0..6u32) {
+            0 => last = Some(t.load(&a, rng.gen_range(0..len))),
+            1 => {
+                let v = last.take().unwrap_or(TVal::lit(1.0));
+                t.store(&mut b, rng.gen_range(0..len), v);
+            }
+            2 => {
+                let x = last.unwrap_or(TVal::lit(2.0));
+                last = Some(t.binop(Opcode::FMul, x, TVal::lit(1.5)));
+            }
+            3 => {
+                let x = last.unwrap_or(TVal::lit(2.0));
+                last = Some(t.binop(Opcode::FAdd, x, TVal::lit(0.5)));
+            }
+            4 => {
+                let j = t.load(&idx_arr, rng.gen_range(0..len));
+                let at = usize::try_from(j.v).expect("non-negative") % len;
+                last = Some(t.load_indexed(&a, at, j.src));
+            }
+            _ => {
+                let x = last.unwrap_or(TVal::lit(4.0));
+                last = Some(t.fsqrt(x));
+            }
+        }
+    }
+    t.finish()
+}
+
+/// One hundred randomized traces round-trip in both directions:
+/// decode(encode(t)) == t and encode(decode(bytes)) == bytes.
+#[test]
+fn atrc_round_trips_randomized_traces() {
+    for seed in 0..100u64 {
+        let trace = random_trace(seed);
+        let bytes = encode_trace(&trace);
+        let atrc =
+            AtrcTrace::from_bytes(bytes.clone()).unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        let decoded = atrc.decode().unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        assert_traces_equal(&trace, &decoded, &format!("seed {seed}"));
+        assert_eq!(encode_trace(&decoded), bytes, "seed {seed}: re-encode");
+        assert_eq!(
+            atrc.fingerprint(),
+            trace.fingerprint(),
+            "seed {seed}: fingerprint"
+        );
+    }
+}
+
+/// Every kernel × {isolated, dma, cache}: the windowed scheduler with a
+/// trace-covering window reproduces the materialized `FlowResult`
+/// bit-for-bit — both streaming from memory and from encoded `.atrc`
+/// bytes — and reports a resident high-water mark within the window.
+#[test]
+fn windowed_schedule_is_bit_exact_across_kernels_and_flows() {
+    let soc = SocConfig::default();
+    let dp = DatapathConfig {
+        lanes: 4,
+        partition: 4,
+        ..DatapathConfig::default()
+    };
+    for k in all_kernels() {
+        let trace = k.run().trace;
+        let atrc = AtrcTrace::from_bytes(encode_trace(&trace)).expect("valid bytes");
+        let window = trace.nodes().len().max(1);
+        for kind in KINDS {
+            let ctx = format!("{} {kind:?}", k.name());
+            let base = simulate(&trace, &dp, &soc, &FlowSpec::new(kind)).expect("materialized");
+            let spec = FlowSpec::new(kind).with_window(window);
+            let mem = simulate_source(&TraceSource::Memory(&trace), &dp, &soc, &spec)
+                .expect("windowed from memory");
+            assert_eq!(mem.result, base, "{ctx}: memory-streamed");
+            let file = simulate_source(&TraceSource::Atrc(&atrc), &dp, &soc, &spec)
+                .expect("windowed from atrc");
+            assert_eq!(file.result, base, "{ctx}: atrc-streamed");
+            for run in [&mem, &file] {
+                let peak = run.peak_resident_nodes.expect("windowed runs report peak");
+                assert!(
+                    peak <= window as u64,
+                    "{ctx}: peak {peak} > window {window}"
+                );
+            }
+        }
+    }
+}
+
+/// Windows far below the trace size still complete every flow with the
+/// resident set bounded by the window — the sound (bounded-memory) mode
+/// paper-scale++ traces run in.
+#[test]
+fn small_windows_bound_memory_across_flows() {
+    let soc = SocConfig::default();
+    let dp = DatapathConfig {
+        lanes: 4,
+        partition: 4,
+        ..DatapathConfig::default()
+    };
+    let trace = by_name("fft-transpose").expect("kernel").run().trace;
+    let atrc = AtrcTrace::from_bytes(encode_trace(&trace)).expect("valid bytes");
+    for window in [1usize, 64, 1024] {
+        for kind in KINDS {
+            let spec = FlowSpec::new(kind).with_window(window);
+            let run = simulate_source(&TraceSource::Atrc(&atrc), &dp, &soc, &spec)
+                .unwrap_or_else(|e| panic!("window {window} {kind:?}: {e:?}"));
+            let peak = run.peak_resident_nodes.expect("windowed runs report peak");
+            assert!(
+                peak <= window as u64,
+                "window {window} {kind:?}: peak {peak}"
+            );
+            assert!(run.result.total_cycles > 0);
+        }
+    }
+}
