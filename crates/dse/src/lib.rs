@@ -47,8 +47,9 @@ mod space;
 mod sweep;
 
 pub use cache::{
-    point_cached, reset_sweep_cache, run_point_cached, run_point_cached_bounded,
-    set_sweep_cache_dir, set_sweep_cache_mode, BoundsPrune, SweepCacheMode, FORMAT_VERSION,
+    maintain_shard_index, point_cached, reset_sweep_cache, run_point_cached,
+    run_point_cached_bounded, set_sweep_cache_dir, set_sweep_cache_mode, BoundsPrune,
+    ShardIndexReport, SweepCacheMode, FORMAT_VERSION,
 };
 pub use kiviat::KiviatSummary;
 pub use pareto::{edp_optimal, optimal_by, pareto_frontier, Metric};

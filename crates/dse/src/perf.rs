@@ -57,6 +57,27 @@ impl SweepPerf {
         }
     }
 
+    /// Result-cache lookups that missed and went to the simulator: every
+    /// requested point that was neither served from the cache nor
+    /// statically pruned before lookup.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.points.saturating_sub(self.cache_hits + self.pruned)
+    }
+
+    /// Warm-cache hit rate, `hits / (hits + misses)`, in `[0, 1]`.
+    /// Pruned points never consult the cache and are excluded from the
+    /// denominator. `0.0` when nothing was looked up.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses();
+        if lookups > 0 {
+            self.cache_hits as f64 / lookups as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Merge another roll-up into this one. Counters add; the resident
     /// peak (a high-water mark, not a volume) takes the max.
     pub fn absorb(&mut self, other: &SweepPerf) {
@@ -76,9 +97,10 @@ impl fmt::Display for SweepPerf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sweep-perf: {} points ({} cache hits, {} failed, {} pruned, {} streamed), {} events, {} stepped cycles, peak {} resident nodes, {:.1} ms wall, {:.1} points/s",
+            "sweep-perf: {} points ({} cache hits, {:.1}% warm-hit rate, {} failed, {} pruned, {} streamed), {} events, {} stepped cycles, peak {} resident nodes, {:.1} ms wall, {:.1} points/s",
             self.points,
             self.cache_hits,
+            self.hit_rate() * 100.0,
             self.failures,
             self.pruned,
             self.streamed_points,
@@ -149,16 +171,21 @@ mod tests {
             wall_ns: 2_000_000_000,
         };
         assert!((p.points_per_sec() - 5.0).abs() < 1e-9);
+        // 10 points, 4 hits, 1 pruned → 5 misses → 4/9 hit rate.
+        assert_eq!(p.cache_misses(), 5);
+        assert!((p.hit_rate() - 4.0 / 9.0).abs() < 1e-9);
         let s = p.to_string();
         assert!(s.contains("10 points"), "{s}");
         assert!(s.contains("4 cache hits"), "{s}");
+        assert!(s.contains("44.4% warm-hit rate"), "{s}");
         assert!(s.contains("2 failed"), "{s}");
         assert!(s.contains("1 pruned"), "{s}");
         assert!(s.contains("3 streamed"), "{s}");
         assert!(s.contains("peak 4096 resident nodes"), "{s}");
         assert!(s.contains("points/s"), "{s}");
-        // Zero wall time must not divide by zero.
+        // Zero wall time must not divide by zero, nor zero lookups.
         assert_eq!(SweepPerf::default().points_per_sec(), 0.0);
+        assert_eq!(SweepPerf::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -24,12 +24,19 @@
 //!                            flow engine's preflight: cache flows with
 //!                            zero MSHRs/ports, duplicate bus masters,
 //!                            more than one cache job, empty job sets
-//!   campaign FILE...         parse, validate and expand TOML campaign
+//!   campaign FILE... [--journal PATH]
+//!                            parse, validate and expand TOML campaign
 //!                            files (`L0260`–`L0264`) without running
 //!                            anything — the same pre-flight `sweep plan`
 //!                            applies, so a campaign that lints clean
 //!                            here expands at run time; includes the
-//!                            static cycle-bound summary (`L0275`)
+//!                            static cycle-bound summary (`L0275`).
+//!                            With `--journal`, also audits a run's
+//!                            journal file or `sweep work` coordination
+//!                            directory read-only: stale leases (`L0290`)
+//!                            and heartbeats (`L0291`), quarantined
+//!                            corrupt records (`L0292`), per-worker
+//!                            point counts, and retry/reclaim tallies
 //!   bounds FILE...           static cycle-bound analysis of TOML
 //!                            campaign files: a certified `[lo, hi]`
 //!                            interval per design point without running
@@ -62,7 +69,7 @@ struct Target {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soclint [--json | --format human|json] <trace [KERNEL|FILE.atrc ...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | flowspec FILE... | campaign FILE... | bounds FILE... | all>"
+        "usage: soclint [--json | --format human|json] <trace [KERNEL|FILE.atrc ...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | flowspec FILE... | campaign FILE... [--journal PATH] | bounds FILE... | all>"
     );
     std::process::exit(2);
 }
@@ -459,9 +466,28 @@ fn expand_campaign(path: &str) -> Result<CampaignPlan, Report> {
 /// anything. The `L0275` static cycle-bound summary rides along, and
 /// identical findings repeated across points are emitted once with an
 /// occurrence count.
-fn lint_campaigns(paths: &[String]) -> Vec<Target> {
+fn lint_campaigns(args: &[String]) -> Vec<Target> {
+    // Split `--journal PATH` (a journal-integrity audit rider) from the
+    // campaign file list.
+    let mut paths: Vec<&String> = Vec::new();
+    let mut journal: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--journal" {
+            match it.next() {
+                Some(p) => journal = Some(p),
+                None => usage(),
+            }
+        } else {
+            paths.push(a);
+        }
+    }
     if paths.is_empty() {
         usage();
+    }
+    if journal.is_some() && paths.len() != 1 {
+        eprintln!("soclint: --journal audits one campaign at a time");
+        std::process::exit(2);
     }
     paths
         .iter()
@@ -473,12 +499,19 @@ fn lint_campaigns(paths: &[String]) -> Vec<Target> {
                     if bounds.points > 0 {
                         report.push(bounds.plan_diagnostic());
                     }
+                    if let Some(j) = journal {
+                        // Read-only: L0290/L0291 stale coordinator
+                        // state, L0292 quarantined records, per-worker
+                        // counts. Accepts a journal file or a `sweep
+                        // work` directory.
+                        report.merge(aladdin_spec::journal_report(&plan, std::path::Path::new(j)));
+                    }
                     report
                 }
                 Err(report) => report,
             };
             Target {
-                name: path.clone(),
+                name: (*path).clone(),
                 report: report.deduped(),
             }
         })

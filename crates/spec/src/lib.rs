@@ -32,6 +32,7 @@
 
 pub mod campaign;
 pub mod cli;
+pub mod coordinator;
 pub mod runner;
 pub mod toml;
 
@@ -43,6 +44,11 @@ pub use cli::{
     parse_cache_mode, parse_job, parse_mem_kind, parse_mem_spec, parse_opt_level, CommonArgs,
     OutputFormat,
 };
+pub use coordinator::{
+    coordinate, journal_report, merged_path, run_worker, segment_path, CoordinateSummary,
+    WorkerConfig, WorkerSummary,
+};
 pub use runner::{
-    forecast_cached, plan_bounds, read_finished, run_campaign, RunOptions, RunSummary,
+    forecast_cached, plan_bounds, quarantine_path, read_finished, run_campaign, scan_journal,
+    JournalScan, RunOptions, RunSummary,
 };

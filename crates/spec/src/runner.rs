@@ -68,6 +68,9 @@ pub struct RunSummary {
     /// Points statically pruned by this call ([`RunOptions::prune`]),
     /// journaled as `"status":"pruned"` records.
     pub pruned: usize,
+    /// Corrupt mid-file journal records found on resume, copied to the
+    /// `.quarantine` sidecar (`L0292`); their points re-ran.
+    pub quarantined: usize,
     /// The journal these results were appended to.
     pub journal: PathBuf,
 }
@@ -91,7 +94,7 @@ fn journal_err(msg: impl Into<String>) -> Report {
 /// run their generator, `.atrc` entries decode the file (campaign
 /// validation already opened and checksummed it, so failures here are
 /// bugs, not user errors).
-fn materialize_trace(kernel: &str) -> aladdin_ir::Trace {
+pub(crate) fn materialize_trace(kernel: &str) -> aladdin_ir::Trace {
     if kernel.ends_with(".atrc") {
         aladdin_ir::AtrcTrace::open(kernel)
             .and_then(|t| t.decode())
@@ -123,8 +126,12 @@ pub fn run_campaign(
     journal: &Path,
     opts: &RunOptions,
 ) -> Result<RunSummary, Report> {
-    let finished: HashSet<usize> = if opts.resume {
-        read_finished(journal, plan.digest)?
+    let (finished, quarantined) = if opts.resume {
+        let scan = scan_journal(journal, plan.digest)?;
+        // Corrupt mid-file records go to the `.quarantine` sidecar
+        // (`L0292`) and their points re-run — never a silent miscount.
+        write_quarantine(journal, &scan);
+        (scan.finished, scan.quarantined.len())
     } else {
         if journal.exists() {
             return Err(journal_err(format!(
@@ -132,7 +139,7 @@ pub fn run_campaign(
                 journal.display()
             )));
         }
-        HashSet::new()
+        (HashSet::new(), 0)
     };
 
     let mut file = std::fs::OpenOptions::new()
@@ -264,28 +271,10 @@ pub fn run_campaign(
             PlannedPoint::Multi { stagger } => {
                 let jobs = plan.jobs_at(*stagger);
                 let result = simulate_multi(&jobs, &plan.soc, &plan.harness);
-                let line = match &result {
-                    Ok(r) => {
-                        let latencies: Vec<String> = r
-                            .accelerators
-                            .iter()
-                            .map(|a| a.latency().to_string())
-                            .collect();
-                        format!(
-                            "{{\"point\":{index},\"stagger\":{stagger},\"end\":{},\"latencies\":[{}],\"status\":\"ok\"}}",
-                            r.end,
-                            latencies.join(",")
-                        )
-                    }
-                    Err(e) => {
-                        failed += 1;
-                        format!(
-                            "{{\"point\":{index},\"stagger\":{stagger},\"status\":\"error\",\"error\":{}}}",
-                            json_string(&e.to_string())
-                        )
-                    }
-                };
-                write_line(line);
+                if result.is_err() {
+                    failed += 1;
+                }
+                write_line(multi_record(index, *stagger, &result));
                 ran += 1;
                 i += 1;
             }
@@ -298,13 +287,43 @@ pub fn run_campaign(
         ran,
         failed,
         pruned,
+        quarantined,
         journal: journal.to_path_buf(),
     })
 }
 
+/// Journal record for a multi-accelerator (job-set) point — used
+/// identically by the single-process runner and the coordinator workers,
+/// so merged multi-worker journals are record-for-record comparable to a
+/// single-process run.
+pub(crate) fn multi_record(
+    index: usize,
+    stagger: u64,
+    result: &Result<aladdin_core::MultiSocResult, SimError>,
+) -> String {
+    match result {
+        Ok(r) => {
+            let latencies: Vec<String> = r
+                .accelerators
+                .iter()
+                .map(|a| a.latency().to_string())
+                .collect();
+            format!(
+                "{{\"point\":{index},\"stagger\":{stagger},\"end\":{},\"latencies\":[{}],\"status\":\"ok\"}}",
+                r.end,
+                latencies.join(",")
+            )
+        }
+        Err(e) => format!(
+            "{{\"point\":{index},\"stagger\":{stagger},\"status\":\"error\",\"error\":{}}}",
+            json_string(&e.to_string())
+        ),
+    }
+}
+
 /// The shared `{"point":…,"kernel":…,…` prefix of every single-point
 /// journal record.
-fn point_prefix(index: usize, kernel: &str, spec: &PointSpec) -> String {
+pub(crate) fn point_prefix(index: usize, kernel: &str, spec: &PointSpec) -> String {
     let mut line = format!(
         "{{\"point\":{index},\"kernel\":{},\"mem\":{},\"lanes\":{},\"partition\":{}",
         json_string(kernel),
@@ -340,7 +359,7 @@ fn outcome_record(index: usize, kernel: &str, spec: &PointSpec, outcome: &PointO
     }
 }
 
-fn single_record(
+pub(crate) fn single_record(
     index: usize,
     kernel: &str,
     spec: &PointSpec,
@@ -366,17 +385,73 @@ fn single_record(
     line
 }
 
-/// Read the set of finished point indices from a journal, verifying its
-/// header against `digest`.
-///
-/// Complete records (ok or error) count as finished; a truncated final
-/// line is ignored so its point re-runs.
+/// What one journal line is, after integrity classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LineClass {
+    /// A complete terminal record: `"status"` ok, error, or pruned.
+    Finished(usize),
+    /// A `"status":"retried"` record — the point failed transiently and
+    /// was re-attempted; not terminal, never counts as finished.
+    Retried(usize),
+    /// A coordinator event record (lease reclaim, …): carries `"event"`,
+    /// no `"status"`.
+    Event,
+    /// An incomplete final line — the writer was killed mid-write; its
+    /// point silently re-runs.
+    TruncatedTail,
+    /// A corrupt record anywhere else: quarantine it (`L0292`) rather
+    /// than silently miscounting finished points.
+    Corrupt,
+}
+
+/// Classify one journal body line. `is_last` distinguishes the benign
+/// kill-mid-write tail from mid-file corruption.
+pub(crate) fn classify_line(line: &str, is_last: bool) -> LineClass {
+    let trimmed = line.trim_end();
+    if !trimmed.ends_with('}') {
+        return if is_last {
+            LineClass::TruncatedTail
+        } else {
+            LineClass::Corrupt
+        };
+    }
+    if json_field_str(trimmed, "event").is_some() {
+        return LineClass::Event;
+    }
+    let Some(point) = json_field_u64(trimmed, "point").and_then(|p| usize::try_from(p).ok()) else {
+        return LineClass::Corrupt;
+    };
+    match json_field_str(trimmed, "status") {
+        Some("ok" | "error" | "pruned") => LineClass::Finished(point),
+        Some("retried") => LineClass::Retried(point),
+        _ => LineClass::Corrupt,
+    }
+}
+
+/// Everything an integrity scan of one journal found.
+#[derive(Debug, Clone, Default)]
+pub struct JournalScan {
+    /// Points with a complete terminal record (ok, error, or pruned).
+    pub finished: HashSet<usize>,
+    /// Corrupt mid-file records as `(1-based line number, raw line)` —
+    /// candidates for the `.quarantine` sidecar (`L0292`).
+    pub quarantined: Vec<(usize, String)>,
+    /// `"status":"retried"` records observed (transient failures that
+    /// were re-attempted by a worker).
+    pub retried: usize,
+    /// Coordinator event records (lease reclaims, …) observed.
+    pub events: usize,
+}
+
+/// Scan a journal's body, verifying its header against `digest`, and
+/// classify every line: finished points, retried attempts, coordinator
+/// events, corrupt mid-file records, and the benign truncated tail.
 ///
 /// # Errors
 ///
 /// Returns `L0266` diagnostics when the journal is missing, has no
 /// parseable header, or records a different campaign digest.
-pub fn read_finished(journal: &Path, digest: u64) -> Result<HashSet<usize>, Report> {
+pub fn scan_journal(journal: &Path, digest: u64) -> Result<JournalScan, Report> {
     let text = std::fs::read_to_string(journal)
         .map_err(|e| journal_err(format!("cannot read journal {}: {e}", journal.display())))?;
     let mut lines = text.lines();
@@ -396,21 +471,63 @@ pub fn read_finished(journal: &Path, digest: u64) -> Result<HashSet<usize>, Repo
             journal.display()
         )));
     }
-    let mut finished = HashSet::new();
-    for line in lines {
-        // Only complete records count: a kill mid-write leaves a line
-        // without the closing brace.
-        if !line.trim_end().ends_with('}') {
-            continue;
-        }
-        if json_field_str(line, "status").is_none() {
-            continue;
-        }
-        if let Some(point) = json_field_u64(line, "point") {
-            finished.insert(usize::try_from(point).expect("journal index fits"));
+    let body: Vec<&str> = lines.collect();
+    let mut scan = JournalScan::default();
+    for (i, line) in body.iter().enumerate() {
+        match classify_line(line, i + 1 == body.len()) {
+            LineClass::Finished(point) => {
+                scan.finished.insert(point);
+            }
+            LineClass::Retried(_) => scan.retried += 1,
+            LineClass::Event => scan.events += 1,
+            LineClass::TruncatedTail => {}
+            LineClass::Corrupt => scan.quarantined.push((i + 2, (*line).to_owned())),
         }
     }
-    Ok(finished)
+    Ok(scan)
+}
+
+/// The `.quarantine` sidecar path of a journal.
+#[must_use]
+pub fn quarantine_path(journal: &Path) -> PathBuf {
+    let mut name = journal.file_name().unwrap_or_default().to_os_string();
+    name.push(".quarantine");
+    journal.with_file_name(name)
+}
+
+/// Write a scan's corrupt records to the journal's `.quarantine` sidecar
+/// (whole-file, atomic temp+rename — re-scanning never duplicates
+/// entries). Removes a stale sidecar when the scan found nothing.
+pub(crate) fn write_quarantine(journal: &Path, scan: &JournalScan) {
+    let sidecar = quarantine_path(journal);
+    if scan.quarantined.is_empty() {
+        let _ = std::fs::remove_file(&sidecar);
+        return;
+    }
+    let mut text = String::new();
+    for (lineno, line) in &scan.quarantined {
+        text.push_str(&format!("line {lineno}: {line}\n"));
+    }
+    let tmp = sidecar.with_extension(format!("quarantine.tmp-{}", std::process::id()));
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, &sidecar);
+    }
+}
+
+/// Read the set of finished point indices from a journal, verifying its
+/// header against `digest`.
+///
+/// Complete terminal records (ok, error, or pruned) count as finished; a
+/// truncated final line is ignored so its point re-runs; corrupt mid-file
+/// records are excluded (their points re-run) — use [`scan_journal`] to
+/// see them.
+///
+/// # Errors
+///
+/// Returns `L0266` diagnostics when the journal is missing, has no
+/// parseable header, or records a different campaign digest.
+pub fn read_finished(journal: &Path, digest: u64) -> Result<HashSet<usize>, Report> {
+    Ok(scan_journal(journal, digest)?.finished)
 }
 
 /// How many of the plan's single points the process-wide result cache
@@ -494,7 +611,7 @@ pub fn plan_bounds(plan: &CampaignPlan) -> (BoundsSummary, usize) {
 }
 
 /// Minimal JSON string encoding for journal fields.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -513,7 +630,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// Extract `"key":"value"` from a flat JSON object line.
-fn json_field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn json_field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\":\"");
     let start = line.find(&needle)? + needle.len();
     let rest = &line[start..];
@@ -523,7 +640,7 @@ fn json_field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// Extract `"key":123` from a flat JSON object line.
-fn json_field_u64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_field_u64(line: &str, key: &str) -> Option<u64> {
     let needle = format!("\"{key}\":");
     let start = line.find(&needle)? + needle.len();
     let rest = &line[start..];
@@ -773,6 +890,112 @@ partitions = [1]
         )
         .unwrap_err();
         assert!(err.has_code("L0266"), "{}", err.to_human());
+        let _ = std::fs::remove_file(&journal);
+    }
+
+    #[test]
+    fn corrupt_midfile_lines_quarantine_and_rerun() {
+        let plan = tiny_plan();
+        let journal = temp_path("quarantine");
+        run_campaign(&plan, &journal, &RunOptions::default()).expect("runs");
+        // Corrupt the FIRST record — mid-file, not the benign truncated
+        // tail — leaving the later record intact.
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let keep = lines[1].len() - 7;
+        lines[1].truncate(keep);
+        std::fs::write(&journal, lines.join("\n") + "\n").unwrap();
+
+        let scan = scan_journal(&journal, plan.digest).expect("scans");
+        assert_eq!(
+            scan.finished.len(),
+            plan.points.len() - 1,
+            "the corrupt record must not count as finished"
+        );
+        assert_eq!(scan.quarantined.len(), 1);
+        assert_eq!(scan.quarantined[0].0, 2, "1-based line number");
+
+        let resumed = run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                resume: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("resumes");
+        assert_eq!(resumed.ran, 1, "only the corrupt point re-runs");
+        assert_eq!(resumed.quarantined, 1);
+        assert!(resumed.complete());
+        let sidecar = quarantine_path(&journal);
+        let q = std::fs::read_to_string(&sidecar).expect("sidecar written");
+        assert!(q.starts_with("line 2: "), "{q}");
+        assert_eq!(q.lines().count(), 1);
+
+        // Re-resuming does not duplicate sidecar entries (whole-file
+        // rewrite, not append) and finds nothing to do.
+        let again = run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                resume: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("resumes");
+        assert_eq!(again.ran, 0);
+        let q2 = std::fs::read_to_string(&sidecar).expect("sidecar still there");
+        assert_eq!(q2.lines().count(), 1, "no duplicate quarantine entries");
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_file(&sidecar);
+    }
+
+    #[test]
+    fn retried_records_do_not_count_as_finished() {
+        let plan = tiny_plan();
+        let journal = temp_path("retried");
+        run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                limit: Some(1),
+                ..RunOptions::default()
+            },
+        )
+        .expect("runs");
+        // Append a worker's retry breadcrumb for point 1 (a transient
+        // failure that was re-attempted) and a coordinator event line.
+        let (kernel, spec) = match &plan.points[1] {
+            PlannedPoint::Single { kernel, point } => (kernel.clone(), *point),
+            PlannedPoint::Multi { .. } => unreachable!("sweep campaign"),
+        };
+        let mut prefix = point_prefix(1, &kernel, &spec);
+        prefix.push_str(
+            ",\"status\":\"retried\",\"attempt\":1,\"backoff_ms\":5,\"error\":\"deadlock\"}",
+        );
+        let mut text = std::fs::read_to_string(&journal).unwrap();
+        text.push_str(&prefix);
+        text.push('\n');
+        text.push_str("{\"event\":\"reclaim\",\"point\":1,\"from\":\"w1\",\"code\":\"L0290\"}\n");
+        std::fs::write(&journal, text).unwrap();
+
+        let scan = scan_journal(&journal, plan.digest).expect("scans");
+        assert_eq!(scan.finished.len(), 1, "retried is not terminal");
+        assert_eq!(scan.retried, 1);
+        assert_eq!(scan.events, 1);
+        assert!(scan.quarantined.is_empty(), "well-formed breadcrumbs pass");
+
+        let resumed = run_campaign(
+            &plan,
+            &journal,
+            &RunOptions {
+                resume: true,
+                ..RunOptions::default()
+            },
+        )
+        .expect("resumes");
+        assert_eq!(resumed.ran, 1, "the retried point still runs to terminal");
+        assert!(resumed.complete());
         let _ = std::fs::remove_file(&journal);
     }
 

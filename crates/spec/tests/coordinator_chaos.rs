@@ -1,0 +1,148 @@
+//! Multi-process chaos test for the campaign coordinator: real worker
+//! processes share a coordination directory, one is SIGKILLed mid-run,
+//! and the campaign must still complete with every point journaled
+//! exactly once — bit-identical to a single-process `sweep run`.
+//!
+//! The worker processes are this test binary re-exec'd with
+//! `CHAOS_DIR` set, which routes [`helper_worker`] into a real
+//! [`run_worker`] call instead of returning immediately.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use aladdin_spec::{
+    coordinate, journal_report, run_campaign, run_worker, CampaignPlan, CampaignSpec, RunOptions,
+    WorkerConfig,
+};
+
+/// Big enough that three workers genuinely interleave, small enough for
+/// a smoke job.
+const CAMPAIGN: &str = r#"
+name = "chaos"
+kernels = ["aes-aes", "fft-transpose"]
+mems = ["isolated"]
+
+[space]
+lanes = [1, 2, 4, 8]
+partitions = [1, 2, 4]
+"#;
+
+const LEASE_MS: u64 = 400;
+
+fn plan() -> CampaignPlan {
+    CampaignSpec::from_toml(CAMPAIGN)
+        .expect("parses")
+        .expand()
+        .expect("expands")
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("aladdin-chaos-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Re-exec this test binary as one coordinator worker process.
+fn spawn_worker(dir: &Path, name: &str) -> Child {
+    Command::new(std::env::current_exe().expect("own path"))
+        .args([
+            "helper_worker",
+            "--exact",
+            "--test-threads=1",
+            "--nocapture",
+        ])
+        .env("CHAOS_DIR", dir)
+        .env("CHAOS_WORKER", name)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawns")
+}
+
+/// The worker entry point: inert unless the parent set `CHAOS_DIR`.
+#[test]
+fn helper_worker() {
+    let Ok(dir) = std::env::var("CHAOS_DIR") else {
+        return;
+    };
+    let mut cfg = WorkerConfig::new(dir);
+    cfg.worker = std::env::var("CHAOS_WORKER").expect("worker id");
+    cfg.lease_timeout = Duration::from_millis(LEASE_MS);
+    cfg.poll = Duration::from_millis(25);
+    let summary = run_worker(&plan(), &cfg).expect("worker runs");
+    assert!(summary.complete, "worker exits only on a complete campaign");
+}
+
+/// Three workers race one campaign; one is SIGKILLed mid-run. The
+/// survivors reclaim its leases and finish; the merged journal holds
+/// every point exactly once and matches a single-process run record for
+/// record; the read-only audit finds no errors.
+#[test]
+fn sigkill_mid_campaign_still_completes_exactly_once() {
+    let plan = plan();
+    let dir = temp_dir("kill");
+
+    let mut victim = spawn_worker(&dir, "victim");
+    let mut s1 = spawn_worker(&dir, "s1");
+    let mut s2 = spawn_worker(&dir, "s2");
+
+    // SIGKILL the victim mid-run: no destructors, no lease release, a
+    // possibly torn final journal line. Whatever instant this lands on,
+    // the campaign must recover.
+    std::thread::sleep(Duration::from_millis(80));
+    let _ = victim.kill();
+    let _ = victim.wait();
+
+    assert!(s1.wait().expect("s1 exits").success(), "survivor 1 clean");
+    assert!(s2.wait().expect("s2 exits").success(), "survivor 2 clean");
+
+    let merged = coordinate(&plan, &dir).expect("merges");
+    assert!(merged.complete, "every point journaled");
+    assert_eq!(merged.done, plan.points.len());
+    assert_eq!(merged.failed, 0);
+    assert_eq!(
+        merged.duplicates, 0,
+        "no point journaled twice, whatever the kill schedule"
+    );
+    let attributed: usize = merged.per_worker.iter().map(|(_, n)| n).sum();
+    assert_eq!(attributed, plan.points.len(), "per-worker counts add up");
+
+    // Exactly once, structurally: one record per point index.
+    let text = std::fs::read_to_string(&merged.merged).expect("merged journal");
+    let mut seen = std::collections::HashSet::new();
+    for line in text.lines().skip(1) {
+        let point: usize = line
+            .split("\"point\":")
+            .nth(1)
+            .and_then(|r| r.split(&[',', '}'][..]).next())
+            .and_then(|n| n.parse().ok())
+            .expect("record has a point index");
+        assert!(seen.insert(point), "point {point} appears twice");
+    }
+    assert_eq!(seen.len(), plan.points.len());
+
+    // Bit-identical to a single-process run of the same campaign.
+    let journal = temp_dir("single-journal").with_extension("jsonl");
+    let _ = std::fs::remove_file(&journal);
+    run_campaign(&plan, &journal, &RunOptions::default()).expect("single-process run");
+    let mut single: Vec<String> = std::fs::read_to_string(&journal)
+        .expect("journal")
+        .lines()
+        .skip(1)
+        .map(str::to_owned)
+        .collect();
+    single.sort();
+    let mut ours: Vec<String> = text.lines().skip(1).map(str::to_owned).collect();
+    ours.sort();
+    assert_eq!(single, ours, "merged journal is bit-identical");
+
+    // The `soclint campaign --journal` audit is clean: stale leftovers
+    // from the kill surface as warnings at most, never errors.
+    let report = journal_report(&plan, &dir);
+    assert!(!report.has_errors(), "{}", report.to_human());
+
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir_all(&dir);
+}

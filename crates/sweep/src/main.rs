@@ -12,6 +12,15 @@
 //!                  finished point to the journal
 //!   resume FILE    continue an interrupted campaign from its journal,
 //!                  skipping every recorded point
+//!   work FILE      join a shared campaign directory as one worker:
+//!                  claim points under leases, retry transient failures
+//!                  with bounded backoff, journal to an own segment;
+//!                  crash-safe — a killed worker's leases are reclaimed
+//!                  by the survivors after --lease-ms
+//!   coordinate FILE  merge every worker's journal segment into
+//!                  <dir>/merged.jsonl (one record per point, identical
+//!                  to a single-process run), quarantine corrupt
+//!                  records, and report stale leases/heartbeats
 //!
 //! options:
 //!   --journal PATH  journal location (default target/campaigns/<name>.jsonl)
@@ -20,6 +29,11 @@
 //!                   floor are strictly dominated by a finished result;
 //!                   skips are journaled as "status":"pruned" records
 //!                   (L0276) and the Pareto frontier is unchanged
+//!   --dir DIR       work/coordinate: the shared coordination directory
+//!                  (default target/campaigns/<name>.d)
+//!   --worker ID     work: this worker's id (default w<pid>)
+//!   --lease-ms N    work: lease/heartbeat staleness timeout (default 30000)
+//!   --retries N     work: transient-failure retry budget per point (default 2)
 //! ```
 //!
 //! Exit status: 0 on success, 1 when validation or any point failed,
@@ -29,16 +43,19 @@
 
 use std::path::PathBuf;
 
+use std::time::Duration;
+
 use aladdin_core::SimHarness;
 use aladdin_spec::{
-    forecast_cached, plan_bounds, run_campaign, CampaignPlan, CampaignSpec, CommonArgs,
-    OutputFormat, RunOptions,
+    coordinate, forecast_cached, plan_bounds, run_campaign, run_worker, CampaignPlan, CampaignSpec,
+    CommonArgs, OutputFormat, RunOptions, WorkerConfig,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: sweep [--json] [--cache off|mem|full] [--faults SEED] \
-         <plan|run|resume> CAMPAIGN.toml [--journal PATH] [--limit N] [--prune]"
+         <plan|run|resume|work|coordinate> CAMPAIGN.toml [--journal PATH] [--limit N] [--prune] \
+         [--dir DIR] [--worker ID] [--lease-ms N] [--retries N]"
     );
     std::process::exit(2);
 }
@@ -50,6 +67,10 @@ struct Args {
     journal: Option<PathBuf>,
     limit: Option<usize>,
     prune: bool,
+    dir: Option<PathBuf>,
+    worker: Option<String>,
+    lease_ms: Option<u64>,
+    retries: Option<u32>,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +79,10 @@ fn parse_args() -> Args {
     let mut journal = None;
     let mut limit = None;
     let mut prune = false;
+    let mut dir = None;
+    let mut worker = None;
+    let mut lease_ms = None;
+    let mut retries = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match common.consume(&arg, &mut it) {
@@ -78,6 +103,22 @@ fn parse_args() -> Args {
                 None => usage(),
             },
             "--prune" => prune = true,
+            "--dir" => match it.next() {
+                Some(p) => dir = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--worker" => match it.next() {
+                Some(w) => worker = Some(w),
+                None => usage(),
+            },
+            "--lease-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => lease_ms = Some(n),
+                None => usage(),
+            },
+            "--retries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => retries = Some(n),
+                None => usage(),
+            },
             _ if arg.starts_with("--") => usage(),
             _ => positional.push(arg),
         }
@@ -86,7 +127,10 @@ fn parse_args() -> Args {
         [c, f] => (c.clone(), PathBuf::from(f)),
         _ => usage(),
     };
-    if !matches!(command.as_str(), "plan" | "run" | "resume") {
+    if !matches!(
+        command.as_str(),
+        "plan" | "run" | "resume" | "work" | "coordinate"
+    ) {
         usage();
     }
     Args {
@@ -96,6 +140,10 @@ fn parse_args() -> Args {
         journal,
         limit,
         prune,
+        dir,
+        worker,
+        lease_ms,
+        retries,
     }
 }
 
@@ -126,6 +174,152 @@ fn default_journal(plan: &CampaignPlan) -> PathBuf {
     let _ = std::fs::create_dir_all(&p);
     p.push(format!("{}.jsonl", plan.spec.name.replace('/', "_")));
     p
+}
+
+fn default_dir(plan: &CampaignPlan) -> PathBuf {
+    let mut p = PathBuf::from("target/campaigns");
+    p.push(format!("{}.d", plan.spec.name.replace('/', "_")));
+    p
+}
+
+fn emit_report_and_exit(report: &aladdin_ir::Report, format: OutputFormat) -> ! {
+    match format {
+        OutputFormat::Human => eprintln!("{}", report.to_human()),
+        OutputFormat::Json => println!("{}", report.to_json()),
+    }
+    std::process::exit(1);
+}
+
+/// `sweep work FILE`: one worker process pulling leased points.
+fn cmd_work(args: &Args, plan: &CampaignPlan) -> ! {
+    let mut cfg = WorkerConfig::new(args.dir.clone().unwrap_or_else(|| default_dir(plan)));
+    if let Some(w) = &args.worker {
+        cfg.worker.clone_from(w);
+    }
+    if let Some(ms) = args.lease_ms {
+        cfg.lease_timeout = Duration::from_millis(ms);
+    }
+    if let Some(n) = args.retries {
+        cfg.max_retries = n;
+    }
+    cfg.limit = args.limit;
+    match run_worker(plan, &cfg) {
+        Ok(s) => {
+            match args.common.format {
+                OutputFormat::Human => {
+                    println!("worker:   {} on {}", s.worker, cfg.dir.display());
+                    println!(
+                        "claimed:  {} of {} point(s), {} failed, {} retry record(s), {} lease(s) reclaimed{}",
+                        s.claimed,
+                        s.total,
+                        s.failed,
+                        s.retried,
+                        s.reclaimed,
+                        if s.complete {
+                            "; campaign complete"
+                        } else {
+                            "; campaign incomplete"
+                        }
+                    );
+                    if s.quarantined > 0 {
+                        println!(
+                            "journal:  {} corrupt record(s) quarantined from {}",
+                            s.quarantined,
+                            s.journal.display()
+                        );
+                    }
+                    println!("{}", s.perf);
+                }
+                OutputFormat::Json => {
+                    println!(
+                        "{{\"worker\":\"{}\",\"total\":{},\"claimed\":{},\"failed\":{},\"retried\":{},\"reclaimed\":{},\"quarantined\":{},\"complete\":{}}}",
+                        s.worker, s.total, s.claimed, s.failed, s.retried, s.reclaimed,
+                        s.quarantined, s.complete
+                    );
+                }
+            }
+            std::process::exit(i32::from(s.failed > 0));
+        }
+        Err(report) => emit_report_and_exit(&report, args.common.format),
+    }
+}
+
+/// `sweep coordinate FILE`: merge worker segments into one journal.
+fn cmd_coordinate(args: &Args, plan: &CampaignPlan) -> ! {
+    let dir = args.dir.clone().unwrap_or_else(|| default_dir(plan));
+    match coordinate(plan, &dir) {
+        Ok(s) => {
+            match args.common.format {
+                OutputFormat::Human => {
+                    println!("campaign: {} ({} points)", plan.spec.name, s.total);
+                    println!("merged:   {}", s.merged.display());
+                    println!(
+                        "points:   {} ok, {} failed, {} pruned{}",
+                        s.done,
+                        s.failed,
+                        s.pruned,
+                        if s.complete {
+                            "; campaign complete"
+                        } else {
+                            "; campaign incomplete"
+                        }
+                    );
+                    let workers: Vec<String> = s
+                        .per_worker
+                        .iter()
+                        .map(|(w, n)| format!("{w}={n}"))
+                        .collect();
+                    println!(
+                        "workers:  {} ({} duplicate record(s) deduped, {} retry record(s), {} reclaim(s))",
+                        if workers.is_empty() {
+                            "none".to_owned()
+                        } else {
+                            workers.join(", ")
+                        },
+                        s.duplicates,
+                        s.retried,
+                        s.reclaims
+                    );
+                    if s.quarantined > 0 || s.stale_leases > 0 {
+                        println!(
+                            "health:   {} corrupt record(s) quarantined, {} stale lease(s)",
+                            s.quarantined, s.stale_leases
+                        );
+                    }
+                    let human = s.report.to_human();
+                    if !human.trim().is_empty() {
+                        println!("{human}");
+                    }
+                }
+                OutputFormat::Json => {
+                    let workers: Vec<String> = s
+                        .per_worker
+                        .iter()
+                        .map(|(w, n)| format!("{{\"worker\":\"{w}\",\"points\":{n}}}"))
+                        .collect();
+                    println!(
+                        "{{\"campaign\":\"{}\",\"merged\":\"{}\",\"total\":{},\"done\":{},\"failed\":{},\"pruned\":{},\"retried\":{},\"reclaims\":{},\"duplicates\":{},\"quarantined\":{},\"stale_leases\":{},\"complete\":{},\"per_worker\":[{}],\"report\":{}}}",
+                        plan.spec.name,
+                        s.merged.display(),
+                        s.total,
+                        s.done,
+                        s.failed,
+                        s.pruned,
+                        s.retried,
+                        s.reclaims,
+                        s.duplicates,
+                        s.quarantined,
+                        s.stale_leases,
+                        s.complete,
+                        workers.join(","),
+                        s.report.to_json()
+                    );
+                }
+            }
+            std::process::exit(i32::from(s.failed > 0 || s.report.has_errors()));
+        }
+        Err(report) => emit_report_and_exit(&report, args.common.format),
+    }
 }
 
 fn emit_plan(plan: &CampaignPlan, cached: usize, format: OutputFormat) {
@@ -198,6 +392,12 @@ fn main() {
         }
     };
 
+    if args.command == "work" {
+        cmd_work(&args, &plan);
+    }
+    if args.command == "coordinate" {
+        cmd_coordinate(&args, &plan);
+    }
     if args.command == "plan" {
         // Forecast how much of the campaign the result cache already
         // holds. A non-inert harness disarms the cache, so it's 0 there.
@@ -236,11 +436,18 @@ fn main() {
                             "; campaign incomplete (resume to continue)"
                         }
                     );
+                    if summary.quarantined > 0 {
+                        println!(
+                            "journal:  {} corrupt record(s) quarantined to {}.quarantine",
+                            summary.quarantined,
+                            summary.journal.display()
+                        );
+                    }
                     println!("{}", aladdin_dse::global_perf());
                 }
                 OutputFormat::Json => {
                     println!(
-                        "{{\"campaign\":\"{}\",\"journal\":\"{}\",\"total\":{},\"skipped\":{},\"ran\":{},\"failed\":{},\"pruned\":{},\"complete\":{}}}",
+                        "{{\"campaign\":\"{}\",\"journal\":\"{}\",\"total\":{},\"skipped\":{},\"ran\":{},\"failed\":{},\"pruned\":{},\"quarantined\":{},\"complete\":{}}}",
                         plan.spec.name,
                         summary.journal.display(),
                         summary.total,
@@ -248,6 +455,7 @@ fn main() {
                         summary.ran,
                         summary.failed,
                         summary.pruned,
+                        summary.quarantined,
                         summary.complete()
                     );
                 }
