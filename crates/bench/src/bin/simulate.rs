@@ -44,12 +44,17 @@ fn usage() -> ! {
          [--opt baseline|pipelined|full] [--lanes N] [--partition N] \
          [--bus-bits 32|64] [--cache-kb N] [--cache-ports N] \
          [--traffic-period CYCLES] [--faults SEED] [--cache off|mem|full] \
-         [--json | --format human|json] [--list] \
+         [--topology SPEC] [--json | --format human|json] [--list] \
          [--multi KERNEL:MEM[:OPT][:LAUNCH]]..."
     );
     eprintln!(
         "  --multi may be repeated; each spec adds one accelerator to a \
-         shared-bus SoC, e.g. --multi spmv-crs:cache --multi aes-aes:dma:full:5000"
+         shared SoC, e.g. --multi spmv-crs:cache --multi aes-aes:dma:full:5000"
+    );
+    eprintln!(
+        "  --topology selects the interconnect: shared-bus (default), \
+         crossbar[:RADIX], two-level[:CLUSTERS[:BRIDGE]], or \
+         mesh:COLSxROWS[:HOP[:LINKBITS]]"
     );
     eprintln!(
         "  --trace streams an encoded .atrc binary trace through the windowed \
@@ -126,6 +131,9 @@ fn build_configs(args: &Args) -> (SocConfig, DatapathConfig) {
     soc_cfg.bus.width_bits = args.bus_bits;
     soc_cfg.cache.size_bytes = args.cache_kb * 1024;
     soc_cfg.cache.ports = args.cache_ports;
+    if let Some(topology) = args.common.topology {
+        soc_cfg.topology.topology = topology;
+    }
     if let Some(period) = args.traffic_period {
         soc_cfg.traffic = Some(aladdin_core::TrafficConfig { period, bytes: 64 });
     }
@@ -170,8 +178,10 @@ fn run_multi(args: &Args, soc_cfg: &SocConfig, dp: DatapathConfig) -> ! {
             match args.common.format {
                 OutputFormat::Human => {
                     println!(
-                        "soc:      {} accelerators, bus moved {} KB, {:.0}% utilized, done at {}",
+                        "soc:      {} accelerators on {}, bus moved {} KB, {:.0}% utilized, \
+                         done at {}",
                         r.accelerators.len(),
+                        soc_cfg.topology.topology.spec_string(),
                         r.bus_bytes / 1024,
                         r.bus_utilization * 100.0,
                         r.end

@@ -6,18 +6,19 @@
 //! only caching "data that must eventually be shared with the rest of the
 //! system" (Section IV-D).
 //!
-//! The cache side is split from bus ownership so it can be used two ways:
-//! [`CacheDatapathMemory`] owns a private [`SystemBus`] (the
-//! single-accelerator cache flow), while the multi-accelerator engine
-//! registers a [`CacheClient`] on a bus shared with DMA engines and
-//! traffic generators (the paper's Fig. 3 heterogeneous topology).
+//! The cache side is split from interconnect ownership so it can be used
+//! two ways: [`CacheDatapathMemory`] owns a private [`Interconnect`] built
+//! from the SoC's topology (the single-accelerator cache flow), while the
+//! multi-accelerator engine registers a [`CacheClient`] on an interconnect
+//! shared with DMA engines and traffic generators (the paper's Fig. 3
+//! heterogeneous topology).
 
 use aladdin_accel::{DatapathConfig, DatapathMemory, IssueResult, SpadMemory, SpadStats};
 use aladdin_faults::FaultPlan;
-use aladdin_ir::{ArrayInfo, ArrayKind, Trace};
+use aladdin_ir::{ArrayInfo, ArrayKind, Diagnostic, Trace};
 use aladdin_mem::{
-    AccessKind, BusFaults, BusStats, Cache, CacheOutcome, CacheStats, DramStats, FillTracker,
-    MasterId, SystemBus, Tlb, TlbStats, TrafficGenerator,
+    build_interconnect, AccessKind, BusFaults, BusStats, Cache, CacheOutcome, CacheStats,
+    DramStats, FillTracker, Interconnect, MasterId, Tlb, TlbStats, TrafficGenerator,
 };
 
 use crate::config::SocConfig;
@@ -194,7 +195,7 @@ impl CacheClient {
 
     /// Forward the cache's new transactions to `bus` under this client's
     /// master id, tracking read fills.
-    pub(crate) fn push_bus_requests(&mut self, bus: &mut SystemBus) {
+    pub(crate) fn push_bus_requests(&mut self, bus: &mut dyn Interconnect) {
         for req in self.cache.take_bus_requests() {
             let token = bus.request(self.master, req.line_addr, req.bytes, req.write);
             if !req.write {
@@ -228,12 +229,18 @@ impl CacheClient {
 #[derive(Debug)]
 pub struct CacheDatapathMemory {
     client: CacheClient,
-    bus: SystemBus,
+    bus: Box<dyn Interconnect>,
     traffic: Option<TrafficGenerator>,
 }
 
 impl CacheDatapathMemory {
     /// Build for `trace` under `cfg`/`soc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `soc.topology` is malformed; use
+    /// [`try_from_arrays`](CacheDatapathMemory::try_from_arrays) to
+    /// handle that as a typed diagnostic instead.
     #[must_use]
     pub fn new(trace: &Trace, cfg: &DatapathConfig, soc: &SocConfig) -> Self {
         Self::from_arrays(trace.arrays(), cfg, soc)
@@ -242,16 +249,35 @@ impl CacheDatapathMemory {
     /// Build from array metadata alone — what a streamed `.atrc` trace
     /// provides. Identical to [`new`](CacheDatapathMemory::new) on the
     /// same arrays.
+    ///
+    /// # Panics
+    ///
+    /// As for [`new`](CacheDatapathMemory::new).
     #[must_use]
     pub fn from_arrays(arrays: &[ArrayInfo], cfg: &DatapathConfig, soc: &SocConfig) -> Self {
+        Self::try_from_arrays(arrays, cfg, soc).unwrap_or_else(|d| panic!("{d}"))
+    }
+
+    /// Fallible [`from_arrays`](CacheDatapathMemory::from_arrays): a
+    /// malformed `soc.topology` comes back as its `L0310` diagnostic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the topology's defect diagnostic if `soc.topology` fails
+    /// [`TopologyConfig::check`](aladdin_mem::TopologyConfig::check).
+    pub fn try_from_arrays(
+        arrays: &[ArrayInfo],
+        cfg: &DatapathConfig,
+        soc: &SocConfig,
+    ) -> Result<Self, Diagnostic> {
         let traffic = soc
             .traffic
             .map(|t| TrafficGenerator::new(t.period, t.bytes, 0x4000_0000, 16 << 20));
-        CacheDatapathMemory {
+        Ok(CacheDatapathMemory {
             client: CacheClient::from_arrays(arrays, cfg, soc, MasterId::ACCEL_CACHE),
-            bus: SystemBus::new(soc.bus, soc.dram),
+            bus: build_interconnect(soc.bus, soc.dram, soc.topology)?,
             traffic,
-        }
+        })
     }
 
     /// Make every access a single-cycle hit (Fig. 7 processing-time bound).
@@ -323,10 +349,10 @@ impl DatapathMemory for CacheDatapathMemory {
     }
 
     fn end_cycle(&mut self, cycle: u64) {
-        // Forward new cache transactions to the bus.
-        self.client.push_bus_requests(&mut self.bus);
+        // Forward new cache transactions to the interconnect.
+        self.client.push_bus_requests(self.bus.as_mut());
         if let Some(t) = self.traffic.as_mut() {
-            t.tick(cycle, &mut self.bus);
+            t.tick(cycle, self.bus.as_mut());
         }
         self.bus.tick(cycle);
         for c in self.bus.drain_completions() {

@@ -1,7 +1,9 @@
 //! SoC-level configuration.
 
 use aladdin_ir::{Diagnostic, Locus, Report};
-use aladdin_mem::{BusConfig, CacheConfig, Clock, DmaConfig, DramConfig, FlushConfig, TlbConfig};
+use aladdin_mem::{
+    BusConfig, CacheConfig, Clock, DmaConfig, DramConfig, FlushConfig, TlbConfig, TopologyConfig,
+};
 
 /// Cumulative DMA optimization levels (Section IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,8 +122,12 @@ pub struct TrafficConfig {
 pub struct SocConfig {
     /// Accelerator clock.
     pub clock: Clock,
-    /// Shared system bus.
+    /// Shared system bus (per-link timing: width, arbitration, DRAM port).
     pub bus: BusConfig,
+    /// Interconnect topology the bus links are composed into (shared bus,
+    /// crossbar, two-level bus, mesh NoC) plus the optional burst/
+    /// outstanding-transaction protocol layer.
+    pub topology: TopologyConfig,
     /// DRAM behind the bus.
     pub dram: DramConfig,
     /// CPU-side flush/invalidate cost model.
@@ -152,6 +158,7 @@ impl Default for SocConfig {
         SocConfig {
             clock: Clock::default(),
             bus: BusConfig::default(),
+            topology: TopologyConfig::default(),
             dram: DramConfig::default(),
             flush: FlushConfig::default(),
             dma: DmaConfig::default(),
@@ -307,6 +314,10 @@ impl SocConfig {
             );
         }
 
+        // L0310: interconnect topology shape (delegated to aladdin-mem so
+        // the simulator and this surface can never drift apart).
+        report.merge(self.topology.check());
+
         // L0216: DRAM geometry — mirrors `Dram::try_new`, statically.
         if self.dram.banks == 0 {
             report.push(
@@ -379,6 +390,13 @@ impl SocConfigBuilder {
     #[must_use]
     pub fn bus_width_bits(mut self, bits: u32) -> Self {
         self.cfg.bus.width_bits = bits;
+        self
+    }
+
+    /// Interconnect topology and protocol layer.
+    #[must_use]
+    pub fn topology(mut self, topology: TopologyConfig) -> Self {
+        self.cfg.topology = topology;
         self
     }
 
@@ -543,6 +561,29 @@ mod tests {
         let mut soc = SocConfig::default();
         soc.bus.width_bits = 12;
         assert!(soc.check().has_code("L0213"));
+    }
+
+    #[test]
+    fn topology_defects_surface_through_soc_check() {
+        use aladdin_mem::Topology;
+        let mut soc = SocConfig::default();
+        assert_eq!(soc.topology.topology, Topology::SharedBus);
+        soc.topology.topology = Topology::Crossbar { radix: 0 };
+        assert!(soc.check().has_code(aladdin_mem::CODE_BAD_TOPOLOGY));
+
+        let built = SocConfig::builder()
+            .topology(TopologyConfig {
+                topology: Topology::MeshNoc {
+                    cols: 3,
+                    rows: 3,
+                    hop_cycles: 1,
+                    link_bits: 32,
+                },
+                ..TopologyConfig::default()
+            })
+            .build()
+            .expect("valid mesh soc");
+        assert_eq!(built.topology.capacity(), 8);
     }
 
     #[test]

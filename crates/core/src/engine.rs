@@ -30,8 +30,8 @@ use aladdin_accel::{
 use aladdin_faults::{SimError, SimHarness, Watchdog};
 use aladdin_ir::{ArrayInfo, ArrayKind, Diagnostic, Locus, Report, Trace, TraceStats};
 use aladdin_mem::{
-    BusFaults, CacheStats, DmaConfig, DmaDirection, DmaEngine, DmaStats, DmaTransfer,
-    FlushSchedule, IntervalSet, MasterId, SystemBus, TlbStats, TrafficGenerator,
+    build_interconnect, BusFaults, CacheStats, DmaConfig, DmaDirection, DmaEngine, DmaStats,
+    DmaTransfer, FlushSchedule, Interconnect, IntervalSet, MasterId, TlbStats, TrafficGenerator,
 };
 
 use crate::cachemem::CacheDatapathMemory;
@@ -494,15 +494,15 @@ fn sim_isolated(
 struct TriggeredSpadMemory {
     spad: SpadMemory,
     dma: DmaEngine,
-    bus: SystemBus,
+    bus: Box<dyn Interconnect>,
     traffic: Option<TrafficGenerator>,
 }
 
 impl TriggeredSpadMemory {
     fn pump(&mut self, cycle: u64) {
-        self.dma.tick(cycle, &mut self.bus);
+        self.dma.tick(cycle, self.bus.as_mut());
         if let Some(t) = self.traffic.as_mut() {
-            t.tick(cycle, &mut self.bus);
+            t.tick(cycle, self.bus.as_mut());
         }
         self.bus.tick(cycle);
         for c in self.bus.drain_completions() {
@@ -536,7 +536,7 @@ impl DatapathMemory for TriggeredSpadMemory {
 
 pub(crate) fn drive_dma_to_completion(
     dma: &mut DmaEngine,
-    bus: &mut SystemBus,
+    bus: &mut dyn Interconnect,
     traffic: &mut Option<TrafficGenerator>,
     mut cycle: u64,
 ) -> Result<u64, Diagnostic> {
@@ -632,7 +632,7 @@ fn sim_dma(
         vec![flush.end(); chunks.len()]
     };
 
-    let mut bus = SystemBus::new(soc.bus, soc.dram);
+    let mut bus = build_interconnect(soc.bus, soc.dram, soc.topology).map_err(SimError::Diag)?;
     bus.set_faults(BusFaults::from_plan(&harness.plan));
     let mut traffic = soc
         .traffic
@@ -671,7 +671,12 @@ fn sim_dma(
                 )
             })?
         } else {
-            drive_dma_to_completion(&mut mem.dma, &mut mem.bus, &mut mem.traffic, run.sched.end)?
+            drive_dma_to_completion(
+                &mut mem.dma,
+                mem.bus.as_mut(),
+                &mut mem.traffic,
+                run.sched.end,
+            )?
         };
         let compute_end = run.sched.end.max(dma_done);
         let stats = mem.spad.stats();
@@ -683,7 +688,7 @@ fn sim_dma(
             // No input arrays at all: compute may start after coherence.
             flush.end().max(t0)
         } else {
-            drive_dma_to_completion(&mut dma_in, &mut bus, &mut traffic, t0)?
+            drive_dma_to_completion(&mut dma_in, bus.as_mut(), &mut traffic, t0)?
         };
         let mut spad = SpadMemory::from_arrays(source.arrays(), dp);
         let run = match run_schedule(
@@ -728,7 +733,7 @@ fn sim_dma(
     let end = if dma_out.is_done() {
         compute_end
     } else {
-        drive_dma_to_completion(&mut dma_out, &mut bus, &mut traffic, compute_end)?
+        drive_dma_to_completion(&mut dma_out, bus.as_mut(), &mut traffic, compute_end)?
     };
 
     let end = end + soc.completion.map_or(0, |c| c.observation_lag(end));
@@ -805,7 +810,8 @@ fn sim_cache(
     harness: &SimHarness,
 ) -> Result<SourceFlowRun, SimError> {
     let t0 = soc.invoke_cycles;
-    let mut mem = CacheDatapathMemory::from_arrays(source.arrays(), dp, soc);
+    let mut mem =
+        CacheDatapathMemory::try_from_arrays(source.arrays(), dp, soc).map_err(SimError::Diag)?;
     mem.set_ideal(ideal);
     mem.set_faults(&harness.plan);
     let run = match run_schedule(source, dp, sspec, ws, &mut mem, t0, &harness.watchdog) {

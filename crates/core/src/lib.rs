@@ -69,7 +69,10 @@ pub use aladdin_accel::EnergyReport;
 pub use aladdin_faults::{
     DeadlockSnapshot, FaultPlan, FaultSpec, NackSpec, SimError, SimHarness, Watchdog,
 };
-pub use aladdin_mem::MasterId;
+pub use aladdin_mem::{
+    Interconnect, MasterId, ProtocolConfig, Topology, TopologyConfig, CODE_BAD_TOPOLOGY,
+    CODE_TOPOLOGY_CAPACITY,
+};
 pub use cachemem::CacheDatapathMemory;
 pub use config::{
     CompletionSignal, DmaOptLevel, MemKind, SocConfig, SocConfigBuilder, TrafficConfig,

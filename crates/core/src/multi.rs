@@ -33,8 +33,8 @@ use aladdin_accel::{
 use aladdin_faults::{SimError, SimHarness};
 use aladdin_ir::{Diagnostic, Locus, Report, Trace};
 use aladdin_mem::{
-    BusFaults, DmaConfig, DmaDirection, DmaEngine, DmaTransfer, FlushSchedule, IntervalSet,
-    MasterId, SystemBus, TrafficGenerator,
+    build_interconnect, BusFaults, DmaConfig, DmaDirection, DmaEngine, DmaTransfer, FlushSchedule,
+    Interconnect, IntervalSet, MasterId, TrafficGenerator, CODE_TOPOLOGY_CAPACITY,
 };
 
 use crate::cachemem::CacheClient;
@@ -146,10 +146,14 @@ pub struct MultiSocResult {
 }
 
 /// Statically validate a multi-accelerator job set against `soc`: empty
-/// sets (`L0250`), bus-client exhaustion, out-of-range or duplicate
-/// client ids (`L0251`), more than one cache client (`L0252`), and
-/// per-kind [`FlowSpec::preflight`] findings such as a cache flow with
-/// zero MSHRs (`L0253`). `soclint flowspec` runs the same check.
+/// sets (`L0250`), more jobs than the configured interconnect topology
+/// can carry or out-of-range client ids (`L0311`), duplicate client ids
+/// (`L0251`), more than one cache client (`L0252`), and per-kind
+/// [`FlowSpec::preflight`] findings such as a cache flow with zero MSHRs
+/// (`L0253`). Capacity comes from [`TopologyConfig::capacity`]
+/// (`aladdin_mem::TopologyConfig::capacity`) — 256 ids on bus-like
+/// topologies, grid size minus the memory controller on a mesh.
+/// `soclint flowspec` runs the same check.
 #[must_use]
 pub fn validate_multi_jobs(jobs: &[AcceleratorJob], soc: &SocConfig) -> Report {
     let mut r = Report::new();
@@ -157,29 +161,33 @@ pub fn validate_multi_jobs(jobs: &[AcceleratorJob], soc: &SocConfig) -> Report {
         r.push(Diagnostic::error("L0250", "need at least one job"));
         return r;
     }
-    if jobs.len() > MasterId::COUNT {
+    let capacity = soc.topology.capacity();
+    if jobs.len() > capacity {
         r.push(Diagnostic::error(
-            "L0251",
+            CODE_TOPOLOGY_CAPACITY,
             format!(
-                "{} jobs, but the bus provisions {} arbitration queues",
+                "{} jobs, but a {} interconnect carries at most {} masters",
                 jobs.len(),
-                MasterId::COUNT
+                soc.topology.topology.kind_name(),
+                capacity
             ),
         ));
     }
     let mut seen: Vec<MasterId> = Vec::new();
     for (i, job) in jobs.iter().enumerate() {
         match job.resolved_master(i) {
-            // Exhaustion is already reported above.
+            // Exhaustion of the 256-wide id space is already reported above.
             None => {}
-            Some(m) if (m.0 as usize) >= MasterId::COUNT => {
+            Some(m) if (m.0 as usize) >= capacity => {
                 r.push(
                     Diagnostic::error(
-                        "L0251",
+                        CODE_TOPOLOGY_CAPACITY,
                         format!(
-                            "bus client id {} out of range (bus has {} queues)",
+                            "bus client id {} out of range (a {} interconnect carries at most \
+                             {} masters)",
                             m.0,
-                            MasterId::COUNT
+                            soc.topology.topology.kind_name(),
+                            capacity
                         ),
                     )
                     .at(Locus::Point(i)),
@@ -274,7 +282,7 @@ fn inconsistent_completion() -> SimError {
 /// advances everything by one cycle; the cache job's scheduler (when
 /// present) drives `pump_to` from inside its `end_cycle`.
 struct DmaWorld {
-    bus: SystemBus,
+    bus: Box<dyn Interconnect>,
     traffic: Option<TrafficGenerator>,
     states: Vec<JobState>,
     cache_master: Option<MasterId>,
@@ -329,11 +337,11 @@ impl DmaWorld {
         // 1. Advance every active DMA engine, the traffic, and the bus.
         for st in &mut self.states {
             if let Some(engine) = st.engine_mut() {
-                engine.tick(cycle, &mut self.bus);
+                engine.tick(cycle, self.bus.as_mut());
             }
         }
         if let Some(t) = self.traffic.as_mut() {
-            t.tick(cycle, &mut self.bus);
+            t.tick(cycle, self.bus.as_mut());
         }
         self.bus.tick(cycle);
 
@@ -475,7 +483,7 @@ impl DatapathMemory for MultiMemory {
     }
 
     fn end_cycle(&mut self, cycle: u64) {
-        self.client.push_bus_requests(&mut self.world.bus);
+        self.client.push_bus_requests(self.world.bus.as_mut());
         self.world.pump_to(cycle);
         for (token, at) in std::mem::take(&mut self.world.cache_events) {
             self.client.on_bus_completion(token, at);
@@ -499,9 +507,9 @@ impl DatapathMemory for MultiMemory {
 /// # Errors
 ///
 /// Returns [`SimError`] if the job set fails [`validate_multi_jobs`]
-/// (`L0250`–`L0253`), a DMA engine stalls (`L0230`/`L0231`), the cache
-/// job's scheduler deadlocks (`L0232`), or the watchdog expires
-/// (`L0233`).
+/// (`L0250`–`L0253`, `L0311`), the configured topology is malformed
+/// (`L0310`), a DMA engine stalls (`L0230`/`L0231`), the cache job's
+/// scheduler deadlocks (`L0232`), or the watchdog expires (`L0233`).
 #[allow(clippy::too_many_lines)]
 pub fn simulate_multi(
     jobs: &[AcceleratorJob],
@@ -514,8 +522,14 @@ pub fn simulate_multi(
     }
 
     let mut ws = SchedulerWorkspace::new();
-    let mut bus = SystemBus::new(soc.bus, soc.dram);
+    let mut bus = build_interconnect(soc.bus, soc.dram, soc.topology).map_err(SimError::Diag)?;
     bus.set_faults(BusFaults::from_plan(&harness.plan));
+    // Register every job's master up front so arbitration order (and, on a
+    // mesh, node placement) is fixed before the first request.
+    for (i, job) in jobs.iter().enumerate() {
+        let master = job.resolved_master(i).expect("validated job count");
+        bus.register_master(master).map_err(SimError::Diag)?;
+    }
     let traffic = soc
         .traffic
         .map(|t| TrafficGenerator::new(t.period, t.bytes, 0x4000_0000, 16 << 20));
@@ -630,12 +644,12 @@ pub fn simulate_multi(
             &st.compute_busy,
             st.timeline.end,
         );
-        st.timeline.bus_bytes = bus_stats.bytes_per_master[st.master.0 as usize];
+        st.timeline.bus_bytes = bus_stats.master_bytes(st.master);
         per_index[st.index] = Some(st.timeline);
     }
     if let Some((ci, mut t)) = cache_timeline {
         if let Some((_, m)) = cache_job {
-            t.bus_bytes = bus_stats.bytes_per_master[m.0 as usize];
+            t.bus_bytes = bus_stats.master_bytes(m);
         }
         per_index[ci] = Some(t);
     }
@@ -918,17 +932,75 @@ mod tests {
     }
 
     #[test]
-    fn too_many_jobs_and_duplicate_masters_are_typed_errors() {
-        let soc = SocConfig::default();
+    fn over_capacity_and_duplicate_masters_are_typed_errors() {
+        use aladdin_mem::Topology;
+        // A 2x2 mesh has 3 accelerator nodes; 5 jobs overflow it.
+        let mut mesh_soc = SocConfig::default();
+        mesh_soc.topology.topology = Topology::MeshNoc {
+            cols: 2,
+            rows: 2,
+            hop_cycles: 1,
+            link_bits: 32,
+        };
         let jobs: Vec<_> = (0..5).map(|_| job("aes-aes", 0)).collect();
-        let err = simulate_multi(&jobs, &soc, &SimHarness::default()).unwrap_err();
-        assert_eq!(err.code(), "L0251");
+        let err = simulate_multi(&jobs, &mesh_soc, &SimHarness::default()).unwrap_err();
+        assert_eq!(err.code(), aladdin_mem::CODE_TOPOLOGY_CAPACITY);
+        // The same 5 jobs are legal on the default shared bus since the
+        // old 4-master cap was lifted.
+        let r = run(&jobs);
+        assert_eq!(r.accelerators.len(), 5);
         let dup = vec![
             job("aes-aes", 0).with_master(MasterId(2)),
             job("fft-transpose", 0).with_master(MasterId(2)),
         ];
-        let err = simulate_multi(&dup, &soc, &SimHarness::default()).unwrap_err();
+        let err = simulate_multi(&dup, &SocConfig::default(), &SimHarness::default()).unwrap_err();
         assert_eq!(err.code(), "L0251");
+    }
+
+    #[test]
+    fn five_accelerators_complete_on_a_crossbar() {
+        use aladdin_mem::Topology;
+        let mut soc = SocConfig::default();
+        soc.topology.topology = Topology::Crossbar { radix: 4 };
+        let jobs: Vec<_> = [
+            "aes-aes",
+            "fft-transpose",
+            "spmv-crs",
+            "md-knn",
+            "gemm-ncubed",
+        ]
+        .iter()
+        .map(|n| job(n, 0))
+        .collect();
+        let r = simulate_multi(&jobs, &soc, &SimHarness::default()).expect("completes");
+        assert_eq!(r.accelerators.len(), 5);
+        for a in &r.accelerators {
+            assert!(a.end > 0, "{} never finished", a.kernel);
+            assert!(a.bus_bytes > 0, "{} moved no bytes", a.kernel);
+        }
+        assert_eq!(
+            r.bus_bytes,
+            r.accelerators.iter().map(|a| a.bus_bytes).sum()
+        );
+    }
+
+    #[test]
+    fn nine_accelerators_complete_on_a_mesh() {
+        use aladdin_mem::Topology;
+        let mut soc = SocConfig::default();
+        soc.topology.topology = Topology::MeshNoc {
+            cols: 5,
+            rows: 2,
+            hop_cycles: 1,
+            link_bits: 32,
+        };
+        let jobs: Vec<_> = (0..9).map(|_| job("aes-aes", 0)).collect();
+        let r = simulate_multi(&jobs, &soc, &SimHarness::default()).expect("completes");
+        assert_eq!(r.accelerators.len(), 9);
+        for a in &r.accelerators {
+            assert!(a.end > 0, "{} never finished", a.kernel);
+            assert!(a.bus_bytes > 0, "{} moved no bytes", a.kernel);
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 const GOLDEN_NON_DEPRECATED: &[&str] = &[
     "AcceleratorJob",
     "AcceleratorTimeline",
+    "CODE_BAD_TOPOLOGY",
+    "CODE_TOPOLOGY_CAPACITY",
     "CacheDatapathMemory",
     "CompletionSignal",
     "DeadlockSnapshot",
@@ -21,11 +23,13 @@ const GOLDEN_NON_DEPRECATED: &[&str] = &[
     "FaultSpec",
     "FlowResult",
     "FlowSpec",
+    "Interconnect",
     "MasterId",
     "MemKind",
     "MultiSocResult",
     "NackSpec",
     "PhaseBreakdown",
+    "ProtocolConfig",
     "SimError",
     "SimHarness",
     "Soc",
@@ -33,6 +37,8 @@ const GOLDEN_NON_DEPRECATED: &[&str] = &[
     "SocConfigBuilder",
     "SourceFlowRun",
     "TimeDecomposition",
+    "Topology",
+    "TopologyConfig",
     "TraceSource",
     "TraceSourceKind",
     "TrafficConfig",

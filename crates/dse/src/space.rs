@@ -2,7 +2,7 @@
 
 use aladdin_accel::DatapathConfig;
 use aladdin_core::SocConfig;
-use aladdin_mem::CacheConfig;
+use aladdin_mem::{CacheConfig, Topology};
 
 /// One scratchpad/DMA design point: compute parallelism × scratchpad
 /// partitioning.
@@ -86,6 +86,10 @@ pub struct DesignSpace {
     pub cache_ports: Vec<u32>,
     /// Cache associativities.
     pub cache_assocs: Vec<u32>,
+    /// Interconnect topologies to sweep. The default spaces pin the
+    /// paper's shared bus; add crossbar/two-level/mesh variants to study
+    /// how topology choice interacts with the other axes.
+    pub topologies: Vec<Topology>,
 }
 
 impl DesignSpace {
@@ -99,6 +103,7 @@ impl DesignSpace {
             cache_lines: vec![16, 32, 64],
             cache_ports: vec![1, 2, 4, 8],
             cache_assocs: vec![4, 8],
+            topologies: vec![Topology::SharedBus],
         }
     }
 
@@ -123,7 +128,16 @@ impl DesignSpace {
             cache_lines: vec![32],
             cache_ports: vec![1, 2],
             cache_assocs: vec![4],
+            topologies: vec![Topology::SharedBus],
         }
+    }
+
+    /// `self` swept over `topologies` as an additional axis.
+    #[must_use]
+    pub fn with_topologies(mut self, topologies: Vec<Topology>) -> Self {
+        assert!(!topologies.is_empty(), "at least one topology");
+        self.topologies = topologies;
+        self
     }
 
     /// All scratchpad/DMA design points (lanes × partitions).

@@ -100,9 +100,11 @@ pub struct PointSpec {
 
 /// Derive the engine's point list for `kind`: cache sweeps walk the cache
 /// geometry space (each point adjusting the SoC), everything else walks
-/// the lanes × partitions space.
+/// the lanes × partitions space; both are crossed with the space's
+/// interconnect-topology axis (the default spaces pin the shared bus, so
+/// the cross is a no-op there).
 fn specs_for(space: &DesignSpace, soc: &SocConfig, kind: MemKind) -> Vec<PointSpec> {
-    match kind {
+    let base: Vec<PointSpec> = match kind {
         MemKind::Cache => space
             .cache_points()
             .iter()
@@ -121,7 +123,19 @@ fn specs_for(space: &DesignSpace, soc: &SocConfig, kind: MemKind) -> Vec<PointSp
                 soc: *soc,
             })
             .collect(),
+    };
+    if space.topologies.is_empty() {
+        return base;
     }
+    let mut out = Vec::with_capacity(base.len() * space.topologies.len());
+    for &topology in &space.topologies {
+        out.extend(base.iter().map(|s| {
+            let mut s = *s;
+            s.soc.topology.topology = topology;
+            s
+        }));
+    }
+    out
 }
 
 /// The sweep engine: cache lookup, lazy shared DDDG preparation, per-worker
@@ -803,6 +817,32 @@ mod tests {
     }
 
     #[test]
+    fn topology_axis_multiplies_the_space_and_changes_timing() {
+        use aladdin_mem::Topology;
+        let trace = by_name("aes-aes").expect("kernel").run().trace;
+        let space = DesignSpace::quick().with_topologies(vec![
+            Topology::SharedBus,
+            Topology::MeshNoc {
+                cols: 2,
+                rows: 2,
+                hop_cycles: 8,
+                link_bits: 32,
+            },
+        ]);
+        let soc = SocConfig::default();
+        let results = sweep(&trace, &space, &soc, FULL);
+        let n = space.dma_points().len();
+        assert_eq!(results.len(), n * 2);
+        // Same design point under the two topologies: mesh hops add
+        // latency, so at least one point must time differently (and the
+        // result cache must have keyed them apart).
+        let diff = (0..n)
+            .filter(|&i| results[i].total_cycles != results[i + n].total_cycles)
+            .count();
+        assert!(diff > 0, "mesh and shared bus cannot be timing-identical");
+    }
+
+    #[test]
     fn sweep_results_align_with_points() {
         let trace = by_name("aes-aes").expect("kernel").run().trace;
         let space = DesignSpace::quick();
@@ -937,9 +977,19 @@ mod tests {
         let mut soc = SocConfig::default();
         soc.invoke_cycles += 17;
         let first = sweep(&trace, &space, &soc, MemKind::Cache);
+        // Count cache files across the 256-way shard directories (two keys
+        // landing in one shard must still count as two entries).
         let files = || {
             std::fs::read_dir(&dir)
-                .map(|d| d.filter_map(Result::ok).count())
+                .map(|d| {
+                    d.filter_map(Result::ok)
+                        .map(|e| {
+                            std::fs::read_dir(e.path())
+                                .map(|s| s.filter_map(Result::ok).count())
+                                .unwrap_or(1)
+                        })
+                        .sum::<usize>()
+                })
                 .unwrap_or(0)
         };
         assert!(

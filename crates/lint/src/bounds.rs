@@ -33,14 +33,15 @@ use aladdin_accel::{
 };
 use aladdin_core::{CompletionSignal, MemKind, SimHarness, SocConfig};
 use aladdin_ir::{ArrayInfo, Diagnostic, FuClass, Locus, Report, Trace};
-use aladdin_mem::{DmaConfig, DmaDirection, DmaTransfer, FlushSchedule};
+use aladdin_mem::{DmaConfig, DmaDirection, DmaTransfer, FlushSchedule, Topology};
 
 /// `L0270`: aggregate bounds summary over a set of design points.
 pub const CODE_BOUNDS_SUMMARY: &str = "L0270";
 /// `L0271`: per-point certified cycle interval.
 pub const CODE_POINT_BOUNDS: &str = "L0271";
-/// `L0272`: the upper bound could not be certified (fault plan or
-/// background traffic makes worst-case cycles unbounded).
+/// `L0272`: the upper bound could not be certified (fault plan,
+/// background traffic, or a non-shared-bus topology makes worst-case
+/// cycles unbounded by the serialized model).
 pub const CODE_UNCERTIFIED: &str = "L0272";
 /// `L0273`: bounds unavailable because the configuration is invalid.
 pub const CODE_BOUNDS_UNAVAILABLE: &str = "L0273";
@@ -63,7 +64,8 @@ pub struct CycleBounds {
     /// Upper bound on `total_cycles`; `u64::MAX` when not certified.
     pub hi: u64,
     /// Whether `hi` is a certified bound (no fault plan, no background
-    /// traffic, non-empty trace).
+    /// traffic, shared-bus topology with an inert protocol, non-empty
+    /// trace).
     pub certified: bool,
     /// Weighted ASAP critical-path component of the scheduled region.
     pub crit_path: u64,
@@ -122,13 +124,24 @@ fn bus_bytes_per_cycle(soc: &SocConfig) -> u64 {
     (u64::from(soc.bus.width_bits) / 8).max(1)
 }
 
-/// Cycles the bus needs to move `bytes` (1 under infinite bandwidth).
+/// Cycles the fabric needs to move `bytes` (1 under infinite bandwidth).
+///
+/// Topology-aware in the direction that keeps lower bounds sound: a
+/// crossbar's `radix` parallel slave channels can deliver up to `radix×`
+/// the single-bus bandwidth, so its beat count divides by the radix. A
+/// two-level bus or mesh shares the same single DRAM data channel and
+/// only *adds* bridge/hop latency, so the shared-bus floor stays sound.
 fn bus_beats(soc: &SocConfig, bytes: u64) -> u64 {
     if soc.bus.infinite_bandwidth {
-        1
-    } else {
-        bytes.div_ceil(bus_bytes_per_cycle(soc)).max(1)
+        return 1;
     }
+    let lanes = match soc.topology.topology {
+        Topology::Crossbar { radix } => u64::from(radix.max(1)),
+        _ => 1,
+    };
+    bytes
+        .div_ceil(bus_bytes_per_cycle(soc).saturating_mul(lanes))
+        .max(1)
 }
 
 /// `end` plus the CPU-side completion-observation lag. Monotone in `end`
@@ -384,8 +397,15 @@ pub fn bounds_for_prepared(
     }
     // Fault injection only ever *adds* cycles (delayed grants, NACK
     // retries, DRAM spikes, extended TLB walks, flush stalls), so the
-    // lower bound holds under any plan; the upper bound does not.
-    let certified = harness.plan.is_empty() && soc.traffic.is_none();
+    // lower bound holds under any plan; the upper bound does not. The
+    // serialized ceiling was derived for the paper's shared bus with an
+    // inert protocol — crossbar/two-level/mesh hop, bridge, and
+    // serialization costs (and burst/outstanding stalls) are not in the
+    // model, so those fabrics keep a sound `lo` but an open `hi`.
+    let certified = harness.plan.is_empty()
+        && soc.traffic.is_none()
+        && soc.topology.topology == Topology::SharedBus
+        && soc.topology.protocol.is_inert();
     let sb = sched_bounds(trace, prep, dp, soc, matches!(kind, MemKind::Cache));
 
     let (lo, hi) = match kind {
@@ -686,8 +706,8 @@ pub fn uncertified_diagnostic(index: usize, bounds: &CycleBounds) -> Option<Diag
     (!bounds.certified).then(|| {
         Diagnostic::warning(
             CODE_UNCERTIFIED,
-            "upper bound not certified: a fault plan or background bus traffic makes \
-             worst-case cycles unbounded",
+            "upper bound not certified: a fault plan, background bus traffic, or a \
+             non-shared-bus interconnect topology makes worst-case cycles unbounded",
         )
         .at(Locus::Point(index))
     })
@@ -772,6 +792,79 @@ mod tests {
         };
         let b = bounds_for_point(&trace, &dp, &noisy, MemKind::Cache, &inert()).unwrap();
         assert!(!b.certified);
+    }
+
+    #[test]
+    fn only_the_shared_bus_certifies_an_upper_bound() {
+        let trace = dot_trace(8);
+        let dp = DatapathConfig::default();
+        let harness = inert();
+        for (topology, kind) in [
+            (
+                Topology::Crossbar { radix: 4 },
+                MemKind::Dma(DmaOptLevel::Full),
+            ),
+            (
+                Topology::TwoLevelBus {
+                    clusters: 2,
+                    bridge_cycles: 4,
+                },
+                MemKind::Cache,
+            ),
+            (
+                Topology::MeshNoc {
+                    cols: 2,
+                    rows: 2,
+                    hop_cycles: 1,
+                    link_bits: 32,
+                },
+                MemKind::Dma(DmaOptLevel::Full),
+            ),
+        ] {
+            let mut soc = SocConfig::default();
+            soc.topology.topology = topology;
+            let b = bounds_for_point(&trace, &dp, &soc, kind, &harness).unwrap();
+            assert!(!b.certified, "{topology:?}: hi must stay open");
+            assert_eq!(b.hi, u64::MAX);
+            assert!(b.lo > 0, "{topology:?}: lo still sound and non-trivial");
+            // The lower bound still brackets the simulated run.
+            let r = simulate(&trace, &dp, &soc, &FlowSpec::new(kind)).unwrap();
+            assert!(
+                b.lo <= r.total_cycles,
+                "{topology:?}: lo {} > simulated {}",
+                b.lo,
+                r.total_cycles
+            );
+        }
+
+        // An active protocol layer also leaves the bound open.
+        let mut soc = SocConfig::default();
+        soc.topology.protocol.max_burst_bytes = 64;
+        let b =
+            bounds_for_point(&trace, &dp, &soc, MemKind::Dma(DmaOptLevel::Full), &harness).unwrap();
+        assert!(!b.certified);
+
+        // Crossbar beats divide by radix, so its DMA lower bound can only
+        // shrink relative to the shared bus.
+        let shared = bounds_for_point(
+            &trace,
+            &dp,
+            &SocConfig::default(),
+            MemKind::Dma(DmaOptLevel::Full),
+            &harness,
+        )
+        .unwrap();
+        let mut xbar_soc = SocConfig::default();
+        xbar_soc.topology.topology = Topology::Crossbar { radix: 4 };
+        let xbar = bounds_for_point(
+            &trace,
+            &dp,
+            &xbar_soc,
+            MemKind::Dma(DmaOptLevel::Full),
+            &harness,
+        )
+        .unwrap();
+        assert!(xbar.lo <= shared.lo);
     }
 
     #[test]

@@ -6,6 +6,9 @@ use aladdin_faults::{FaultInjector, FaultPlan, NackInjector};
 use aladdin_ir::{Diagnostic, Locus};
 
 use crate::dram::{Dram, DramConfig, DramStats};
+use crate::interconnect::{
+    check_request_bytes, ensure_len, DataChannel, InFlight, Interconnect, Pending, Topology,
+};
 
 /// Identifies a bus master (requester).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -21,17 +24,25 @@ impl MasterId {
     /// Background traffic generator (contention studies).
     pub const TRAFFIC: MasterId = MasterId(3);
 
-    /// Number of distinct masters the bus provisions queues for.
+    /// Number of pre-named masters (the single-accelerator roles above).
+    /// Interconnects provision arbitration queues dynamically, so this is
+    /// no longer a hard cap on SoC size — topology capacity is.
     pub const COUNT: usize = 4;
+
+    /// The id space: masters are `u8`-indexed, so at most 256 exist.
+    pub const ID_SPACE: usize = 256;
 
     /// Register the `index`-th client of a multi-accelerator SoC: each
     /// concurrent job (DMA- or cache-based alike) claims one arbitration
-    /// queue. Returns `None` once the bus is out of queues — callers
-    /// surface that as a typed configuration error instead of indexing
-    /// out of bounds.
+    /// queue. Queues grow on demand, so the only hard limit is the
+    /// [`MasterId`] id space; whether the *topology* can host the master
+    /// is checked by `Interconnect::register_master` / topology capacity
+    /// validation. Returns `None` beyond the id space — callers surface
+    /// that as a typed configuration error instead of indexing out of
+    /// bounds.
     #[must_use]
     pub fn job(index: usize) -> Option<MasterId> {
-        if index < MasterId::COUNT {
+        if index < MasterId::ID_SPACE {
             Some(MasterId(index as u8))
         } else {
             None
@@ -76,8 +87,8 @@ pub struct BusCompletion {
     pub at: u64,
 }
 
-/// Aggregate bus statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Aggregate interconnect statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BusStats {
     /// Total requests accepted.
     pub requests: u64,
@@ -85,8 +96,26 @@ pub struct BusStats {
     pub bytes: u64,
     /// Cycles the data wires were occupied.
     pub busy_cycles: u64,
-    /// Bytes transferred per master.
-    pub bytes_per_master: [u64; MasterId::COUNT],
+    /// Bytes transferred per master, indexed by [`MasterId`]; grows on
+    /// demand as masters register.
+    pub bytes_per_master: Vec<u64>,
+}
+
+impl BusStats {
+    /// Bytes transferred by `master` (0 for masters never seen).
+    #[must_use]
+    pub fn master_bytes(&self, master: MasterId) -> u64 {
+        self.bytes_per_master
+            .get(master.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Credit `bytes` to `master`, growing the per-master table.
+    pub fn add_master_bytes(&mut self, master: MasterId, bytes: u64) {
+        ensure_len(&mut self.bytes_per_master, master);
+        self.bytes_per_master[master.0 as usize] += bytes;
+    }
 }
 
 /// Live fault-injection state for one bus and the DRAM behind it.
@@ -121,54 +150,26 @@ impl BusFaults {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    token: Token,
-    addr: u64,
-    bytes: u32,
-    /// Earliest cycle this request may re-arbitrate (NACK backoff).
-    not_before: u64,
-    /// Grant attempts already NACKed for this request.
-    retries: u32,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct InFlight {
-    done: u64,
-    token: Token,
-    master: MasterId,
-}
-
-impl Ord for InFlight {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .done
-            .cmp(&self.done)
-            .then(other.token.cmp(&self.token))
-    }
-}
-
-impl PartialOrd for InFlight {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// The shared system interconnect: every off-accelerator byte (DMA bursts,
 /// cache fills, writebacks, background traffic) crosses this bus and the
 /// [`Dram`] behind it.
 ///
 /// Cycle-stepped: call [`tick`](SystemBus::tick) once per cycle with a
 /// monotonically non-decreasing cycle number, then drain completions.
+///
+/// `SystemBus` is the [`Topology::SharedBus`] model of the
+/// [`Interconnect`] trait; arbitration queues grow as masters register,
+/// and granting is invariant to the number of provisioned queues (empty
+/// queues are skipped), so a 4-master SoC behaves bit-identically however
+/// many queues exist.
 #[derive(Debug)]
 pub struct SystemBus {
     cfg: BusConfig,
     dram: Dram,
-    queues: [VecDeque<Pending>; MasterId::COUNT],
+    queues: Vec<VecDeque<Pending>>,
     rr_next: usize,
-    /// Completion time of the transfer currently owning the data wires.
-    data_busy_until: u64,
+    /// The single data channel (the wires every transfer serializes on).
+    channel: DataChannel,
     /// Requests whose data phase has been scheduled but not completed.
     scheduled: usize,
     in_flight: BinaryHeap<InFlight>,
@@ -200,9 +201,11 @@ impl SystemBus {
         Ok(SystemBus {
             cfg,
             dram: Dram::try_new(dram_cfg)?,
-            queues: Default::default(),
+            // Provision the pre-named single-accelerator masters up front;
+            // multi-accelerator jobs grow the vector on registration.
+            queues: vec![VecDeque::new(); MasterId::COUNT],
             rr_next: 0,
-            data_busy_until: 0,
+            channel: DataChannel::default(),
             scheduled: 0,
             in_flight: BinaryHeap::new(),
             completions: Vec::new(),
@@ -254,15 +257,8 @@ impl SystemBus {
         write: bool,
     ) -> Result<Token, Diagnostic> {
         let _ = write;
-        if bytes == 0 {
-            return Err(Diagnostic::error(
-                "L0215",
-                format!(
-                    "zero-byte bus request at {addr:#x} from master {}",
-                    master.0
-                ),
-            ));
-        }
+        check_request_bytes(master, addr, bytes)?;
+        ensure_len(&mut self.queues, master);
         let token = self.next_token;
         self.next_token += 1;
         self.queues[master.0 as usize].push_back(Pending {
@@ -307,9 +303,14 @@ impl SystemBus {
     }
 
     fn schedule_one(&mut self, cycle: u64) -> bool {
-        // Round-robin over masters with pending work.
-        for i in 0..MasterId::COUNT {
-            let m = (self.rr_next + i) % MasterId::COUNT;
+        // Round-robin over masters with pending work. Empty queues are
+        // skipped without side effects (no fault draws), so the grant and
+        // NACK-draw sequence only depends on the set of non-empty queues —
+        // growing the queue vector never changes arbitration for the
+        // masters that exist.
+        let n = self.queues.len();
+        for i in 0..n {
+            let m = (self.rr_next + i) % n;
             let Some(&head) = self.queues[m].front() else {
                 continue;
             };
@@ -328,31 +329,30 @@ impl SystemBus {
                 }
             }
             if let Some(p) = self.queues[m].pop_front() {
-                self.rr_next = (m + 1) % MasterId::COUNT;
+                self.rr_next = (m + 1) % n;
                 let extra = self
                     .grant_faults
                     .as_mut()
                     .map_or(0, FaultInjector::extra_cycles);
                 let lat = self.dram.access(p.addr) + extra;
                 let xfer = self.transfer_cycles(p.bytes);
-                let done = if self.cfg.infinite_bandwidth {
-                    cycle + lat + xfer
-                } else {
-                    // The data phase may start only when the wires free up;
-                    // the DRAM access of this request overlaps the previous
-                    // transfer (one-deep pipelining).
-                    let start = (cycle + lat).max(self.data_busy_until);
-                    self.data_busy_until = start + xfer;
-                    start + xfer
-                };
+                // The data phase may start only when the wires free up;
+                // the DRAM access of this request overlaps the previous
+                // transfer (one-deep pipelining). Under infinite bandwidth
+                // the channel never serializes.
+                let done = self
+                    .channel
+                    .schedule(cycle + lat, xfer, self.cfg.infinite_bandwidth);
                 self.stats.bytes += u64::from(p.bytes);
-                self.stats.bytes_per_master[m] += u64::from(p.bytes);
+                self.stats
+                    .add_master_bytes(MasterId(m as u8), u64::from(p.bytes));
                 self.stats.busy_cycles += xfer;
                 self.scheduled += 1;
                 self.in_flight.push(InFlight {
                     done,
                     token: p.token,
                     master: MasterId(m as u8),
+                    tag: 0,
                 });
                 return true;
             }
@@ -374,13 +374,16 @@ impl SystemBus {
                 at: f.done,
             });
         }
-        if self.cfg.infinite_bandwidth {
-            while self.schedule_one(cycle) {}
+        // Keep up to two transactions scheduled so the next request's
+        // DRAM access hides under the current data phase; with infinite
+        // bandwidth there is no data phase to contend for, so everything
+        // eligible is granted.
+        let depth = if self.cfg.infinite_bandwidth {
+            usize::MAX
         } else {
-            // Keep up to two transactions scheduled so the next request's
-            // DRAM access hides under the current data phase.
-            while self.scheduled < 2 && self.schedule_one(cycle) {}
-        }
+            2
+        };
+        while self.scheduled < depth && self.schedule_one(cycle) {}
     }
 
     /// Take all completions observed since the last drain.
@@ -391,18 +394,14 @@ impl SystemBus {
     /// Bus statistics so far.
     #[must_use]
     pub fn stats(&self) -> BusStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Queued (not yet scheduled) requests per master — forensic state for
     /// deadlock snapshots.
     #[must_use]
-    pub fn queue_depths(&self) -> [usize; MasterId::COUNT] {
-        let mut out = [0; MasterId::COUNT];
-        for (d, q) in out.iter_mut().zip(&self.queues) {
-            *d = q.len();
-        }
-        out
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.queues.iter().map(VecDeque::len).collect()
     }
 
     /// Requests whose data phase is scheduled but not yet complete.
@@ -415,6 +414,67 @@ impl SystemBus {
     #[must_use]
     pub fn dram_stats(&self) -> DramStats {
         self.dram.stats()
+    }
+}
+
+impl Interconnect for SystemBus {
+    fn topology(&self) -> Topology {
+        Topology::SharedBus
+    }
+
+    fn capacity(&self) -> usize {
+        MasterId::ID_SPACE
+    }
+
+    fn register_master(&mut self, master: MasterId) -> Result<(), Diagnostic> {
+        ensure_len(&mut self.queues, master);
+        Ok(())
+    }
+
+    fn try_request(
+        &mut self,
+        master: MasterId,
+        addr: u64,
+        bytes: u32,
+        write: bool,
+    ) -> Result<Token, Diagnostic> {
+        SystemBus::try_request(self, master, addr, bytes, write)
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        SystemBus::tick(self, cycle);
+    }
+
+    fn drain_completions(&mut self) -> Vec<BusCompletion> {
+        SystemBus::drain_completions(self)
+    }
+
+    fn is_idle(&self) -> bool {
+        SystemBus::is_idle(self)
+    }
+
+    fn bytes_per_cycle(&self) -> u64 {
+        SystemBus::bytes_per_cycle(self)
+    }
+
+    fn set_faults(&mut self, faults: BusFaults) {
+        SystemBus::set_faults(self, faults);
+    }
+
+    fn stats(&self) -> BusStats {
+        SystemBus::stats(self)
+    }
+
+    fn queue_depths(&self) -> Vec<usize> {
+        SystemBus::queue_depths(self)
+    }
+
+    fn in_flight_count(&self) -> usize {
+        SystemBus::in_flight_count(self)
+    }
+
+    fn dram_stats(&self) -> DramStats {
+        SystemBus::dram_stats(self)
     }
 }
 
@@ -598,6 +658,8 @@ mod tests {
         assert_eq!(s.bytes, 96);
         assert_eq!(s.bytes_per_master[MasterId::DMA.0 as usize], 64);
         assert_eq!(s.bytes_per_master[MasterId::CPU.0 as usize], 32);
+        assert_eq!(s.master_bytes(MasterId::DMA), 64);
+        assert_eq!(s.master_bytes(MasterId(200)), 0, "unseen master is 0");
         assert_eq!(s.busy_cycles, 16 + 8);
     }
 
@@ -681,5 +743,40 @@ mod tests {
         assert_eq!(bus.in_flight_count(), 0);
         bus.tick(0);
         assert_eq!(bus.in_flight_count(), 2);
+    }
+
+    #[test]
+    fn queues_grow_past_the_old_four_master_cap() {
+        let mut bus = SystemBus::new(BusConfig::default(), DramConfig::default());
+        for j in 0..9u8 {
+            let m = MasterId::job(j as usize).unwrap();
+            bus.request(m, u64::from(j) << 24, 64, false);
+        }
+        assert!(MasterId::job(255).is_some());
+        assert!(MasterId::job(256).is_none());
+        let done = run_until_idle(&mut bus, 10_000);
+        assert_eq!(done.len(), 9);
+        let masters: std::collections::BTreeSet<u8> = done.iter().map(|c| c.master.0).collect();
+        assert_eq!(masters.len(), 9, "each of 9 masters completed");
+        assert_eq!(bus.stats().master_bytes(MasterId(8)), 64);
+    }
+
+    #[test]
+    fn growing_queues_never_changes_arbitration() {
+        // Same request stream on a fresh bus vs one that pre-registered
+        // many extra (idle) masters: the completion schedule is identical,
+        // because empty queues are skipped without side effects.
+        let mut small = SystemBus::new(BusConfig::default(), DramConfig::default());
+        let mut big = SystemBus::new(BusConfig::default(), DramConfig::default());
+        Interconnect::register_master(&mut big, MasterId(200)).unwrap();
+        for i in 0..16u64 {
+            small.request(MasterId::DMA, i * 64, 64, false);
+            small.request(MasterId::TRAFFIC, 0x200_0000 + i * 64, 64, false);
+            big.request(MasterId::DMA, i * 64, 64, false);
+            big.request(MasterId::TRAFFIC, 0x200_0000 + i * 64, 64, false);
+        }
+        let a = run_until_idle(&mut small, 100_000);
+        let b = run_until_idle(&mut big, 100_000);
+        assert_eq!(a, b);
     }
 }

@@ -1,7 +1,7 @@
 //! Descriptor-based DMA engine.
 //!
 //! The engine services a chain of transfer descriptors, one chunk at a
-//! time, issuing fixed-size bursts onto the shared [`SystemBus`]. Two
+//! time, issuing fixed-size bursts onto the system [`Interconnect`]. Two
 //! properties of real DMA that drive the paper's results are modeled
 //! faithfully:
 //!
@@ -24,7 +24,8 @@ use std::collections::VecDeque;
 
 use aladdin_ir::Diagnostic;
 
-use crate::bus::{MasterId, SystemBus, Token};
+use crate::bus::{MasterId, Token};
+use crate::interconnect::Interconnect;
 use crate::intervals::IntervalSet;
 
 /// Transfer direction, from the accelerator's perspective.
@@ -253,9 +254,10 @@ impl DmaEngine {
         self.done_at
     }
 
-    /// Advance the engine: start eligible descriptors and issue bursts.
-    /// Call once per cycle before `bus.tick(cycle)`.
-    pub fn tick(&mut self, cycle: u64, bus: &mut SystemBus) {
+    /// Advance the engine: start eligible descriptors and issue bursts
+    /// onto any [`Interconnect`]. Call once per cycle before
+    /// `bus.tick(cycle)`.
+    pub fn tick(&mut self, cycle: u64, bus: &mut dyn Interconnect) {
         if self.active.is_none() {
             if let Some(&next) = self.queue.front() {
                 if cycle >= next.eligible {
@@ -363,7 +365,7 @@ impl DmaEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bus::BusConfig;
+    use crate::bus::{BusConfig, SystemBus};
     use crate::dram::DramConfig;
 
     fn bus() -> SystemBus {

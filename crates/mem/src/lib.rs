@@ -52,6 +52,7 @@ mod clock;
 mod dma;
 mod dram;
 mod flush;
+mod interconnect;
 mod intervals;
 mod tlb;
 mod traffic;
@@ -65,6 +66,10 @@ pub use clock::Clock;
 pub use dma::{DmaConfig, DmaDirection, DmaEngine, DmaStats, DmaTransfer, LineArrival};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use flush::{FlushConfig, FlushSchedule};
+pub use interconnect::{
+    build_interconnect, Crossbar, Interconnect, MeshNoc, ProtocolConfig, ProtocolLayer, Topology,
+    TopologyConfig, TwoLevelBus, CODE_BAD_TOPOLOGY, CODE_TOPOLOGY_CAPACITY,
+};
 pub use intervals::IntervalSet;
 pub use tlb::{Tlb, TlbConfig, TlbStats};
 pub use traffic::TrafficGenerator;

@@ -1,6 +1,7 @@
 //! Background bus traffic for shared-resource-contention studies.
 
-use crate::bus::{MasterId, SystemBus};
+use crate::bus::MasterId;
+use crate::interconnect::Interconnect;
 
 /// Injects a fixed-size bus request every `period` cycles, emulating other
 /// SoC agents (CPU, display, other accelerators) competing for the shared
@@ -47,8 +48,8 @@ impl TrafficGenerator {
         f64::from(self.bytes) / (self.period as f64 * bus_bytes_per_cycle as f64)
     }
 
-    /// Issue any requests due at `cycle`.
-    pub fn tick(&mut self, cycle: u64, bus: &mut SystemBus) {
+    /// Issue any requests due at `cycle` onto any [`Interconnect`].
+    pub fn tick(&mut self, cycle: u64, bus: &mut dyn Interconnect) {
         while cycle >= self.next_at {
             let addr = self.region_base + self.next_offset;
             bus.request(MasterId::TRAFFIC, addr, self.bytes, false);
@@ -68,7 +69,7 @@ impl TrafficGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bus::BusConfig;
+    use crate::bus::{BusConfig, SystemBus};
     use crate::dram::DramConfig;
 
     #[test]

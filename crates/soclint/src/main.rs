@@ -69,7 +69,12 @@ struct Target {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soclint [--json | --format human|json] <trace [KERNEL|FILE.atrc ...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | flowspec FILE... | campaign FILE... [--journal PATH] | bounds FILE... | all>"
+        "usage: soclint [--json | --format human|json] [--topology SPEC] <trace [KERNEL|FILE.atrc ...] | config | sweep | protocol [--seeded-bug NAME] | faultplan FILE... | flowspec FILE... | campaign FILE... [--journal PATH] | bounds FILE... | all>"
+    );
+    eprintln!(
+        "  --topology lints config/flowspec targets against that interconnect \
+         (shared-bus, crossbar[:RADIX], two-level[:CLUSTERS[:BRIDGE]], \
+         mesh:COLSxROWS[:HOP[:LINKBITS]]) instead of the default shared bus"
     );
     std::process::exit(2);
 }
@@ -96,18 +101,25 @@ fn main() {
         None => usage(),
     };
 
+    // `--topology` lints against that fabric (L0310 surfaces here when
+    // the spec parses but is structurally invalid, e.g. `crossbar:0`).
+    let mut base_soc = SocConfig::default();
+    if let Some(topology) = common.topology {
+        base_soc.topology.topology = topology;
+    }
+
     let targets = match command {
         "trace" => lint_traces(cmd_args),
-        "config" => vec![lint_default_config()],
+        "config" => vec![lint_default_config(&base_soc)],
         "sweep" => lint_fig3_space(),
         "protocol" => vec![lint_protocol(cmd_args)],
         "faultplan" => lint_fault_plans(cmd_args),
-        "flowspec" => lint_flowspecs(cmd_args),
+        "flowspec" => lint_flowspecs(cmd_args, &base_soc),
         "campaign" => lint_campaigns(cmd_args),
         "bounds" => lint_bounds(cmd_args),
         "all" => {
             let mut t = lint_traces(&[]);
-            t.push(lint_default_config());
+            t.push(lint_default_config(&base_soc));
             t.extend(lint_fig3_space());
             t.push(lint_protocol(&[]));
             t
@@ -256,10 +268,10 @@ fn lint_atrc_file(path: &str, dddg_cfg: &DatapathConfig) -> Target {
     }
 }
 
-fn lint_default_config() -> Target {
+fn lint_default_config(soc: &SocConfig) -> Target {
     Target {
         name: "default-design-point".to_owned(),
-        report: lint_design(&DatapathConfig::default(), &SocConfig::default()),
+        report: lint_design(&DatapathConfig::default(), soc),
     }
 }
 
@@ -401,11 +413,10 @@ fn parse_flowspec_job(line: &str) -> Result<aladdin_core::AcceleratorJob, String
 /// engine's preflight: `L0254` on malformed lines, then the same
 /// `validate_multi_jobs` the runtime applies (`L0250`–`L0253`), so a
 /// flowspec that lints clean here is accepted by `simulate_multi`.
-fn lint_flowspecs(paths: &[String]) -> Vec<Target> {
+fn lint_flowspecs(paths: &[String], soc: &SocConfig) -> Vec<Target> {
     if paths.is_empty() {
         usage();
     }
-    let soc = SocConfig::default();
     paths
         .iter()
         .map(|path| {
@@ -430,7 +441,7 @@ fn lint_flowspecs(paths: &[String]) -> Vec<Target> {
                         "L0254",
                         format!("flowspec parsed: {} job(s)", jobs.len()),
                     ));
-                    report.merge(aladdin_core::validate_multi_jobs(&jobs, &soc));
+                    report.merge(aladdin_core::validate_multi_jobs(&jobs, soc));
                 }
                 Err(e) => report.push(Diagnostic::error(
                     "L0254",

@@ -16,7 +16,8 @@
 
 use aladdin_accel::{DatapathConfig, LaneSync};
 use aladdin_core::{
-    AcceleratorJob, FaultPlan, MasterId, MemKind, SimHarness, SocConfig, TrafficConfig, Watchdog,
+    AcceleratorJob, FaultPlan, MasterId, MemKind, SimHarness, SocConfig, Topology, TrafficConfig,
+    Watchdog,
 };
 use aladdin_dse::{DesignSpace, PointSpec};
 use aladdin_ir::{Diagnostic, Locus, Report};
@@ -84,6 +85,9 @@ pub struct SpaceSpec {
     pub cache_ports: Option<Vec<u32>>,
     /// Cache associativities.
     pub cache_assocs: Option<Vec<u32>>,
+    /// Interconnect topologies, in the shared `--topology` spec-string
+    /// grammar (`shared-bus`, `crossbar:RADIX`, …).
+    pub topologies: Option<Vec<Topology>>,
 }
 
 impl SpaceSpec {
@@ -108,6 +112,9 @@ impl SpaceSpec {
         }
         if let Some(v) = &self.cache_assocs {
             space.cache_assocs.clone_from(v);
+        }
+        if let Some(v) = &self.topologies {
+            space.topologies.clone_from(v);
         }
         space
     }
@@ -198,6 +205,15 @@ pub struct SocSpec {
     pub traffic_period: Option<u64>,
     /// `[soc.traffic] bytes` (defaults to 64 when only `period` is set).
     pub traffic_bytes: Option<u32>,
+    /// `[soc.topology] spec`: the interconnect topology, in the shared
+    /// `--topology` spec-string grammar.
+    pub topology: Option<Topology>,
+    /// `[soc.topology] max_burst_bytes`: AXI-like burst splitting (`0`
+    /// disables).
+    pub topology_max_burst_bytes: Option<u32>,
+    /// `[soc.topology] max_outstanding`: per-master outstanding-burst cap
+    /// (`0` means unlimited).
+    pub topology_max_outstanding: Option<u32>,
 }
 
 impl SocSpec {
@@ -278,6 +294,15 @@ impl SocSpec {
                 period,
                 bytes: self.traffic_bytes.unwrap_or(64),
             });
+        }
+        if let Some(t) = self.topology {
+            cfg.topology.topology = t;
+        }
+        if let Some(v) = self.topology_max_burst_bytes {
+            cfg.topology.protocol.max_burst_bytes = v;
+        }
+        if let Some(v) = self.topology_max_outstanding {
+            cfg.topology.protocol.max_outstanding = v;
         }
         let report = cfg.check();
         if report.has_errors() {
@@ -395,6 +420,13 @@ pub struct CampaignSpec {
     /// Launch-stagger axis for job-set campaigns: one point per value,
     /// with job `i` shifted by `i × stagger`. Empty means `[0]`.
     pub stagger: Vec<u64>,
+    /// Accelerator-count axis for job-set campaigns: each value `k` runs
+    /// the first `k` entries of `jobs`. Empty means the whole job list.
+    pub accel_counts: Vec<u64>,
+    /// Bus-width axis for job-set campaigns, in bits; each value is a
+    /// platform variant (`soc.bus.width_bits`). Empty keeps the `[soc]`
+    /// platform width.
+    pub bus_widths: Vec<u32>,
 }
 
 /// A builder over an empty [`CampaignSpec`]; validation happens once in
@@ -465,6 +497,20 @@ impl CampaignSpecBuilder {
     #[must_use]
     pub fn stagger(mut self, stagger: Vec<u64>) -> Self {
         self.spec.stagger = stagger;
+        self
+    }
+
+    /// The accelerator-count axis (job-list prefixes).
+    #[must_use]
+    pub fn accel_counts(mut self, counts: Vec<u64>) -> Self {
+        self.spec.accel_counts = counts;
+        self
+    }
+
+    /// The bus-width axis, in bits.
+    #[must_use]
+    pub fn bus_widths(mut self, widths: Vec<u32>) -> Self {
+        self.spec.bus_widths = widths;
         self
     }
 
@@ -568,6 +614,34 @@ impl CampaignSpec {
                     "`stagger` only applies to job-set campaigns",
                 ));
             }
+            if !self.accel_counts.is_empty() {
+                report.push(Diagnostic::error(
+                    "L0261",
+                    "`accel_counts` only applies to job-set campaigns",
+                ));
+            }
+            if !self.bus_widths.is_empty() {
+                report.push(Diagnostic::error(
+                    "L0261",
+                    "`bus_widths` only applies to job-set campaigns",
+                ));
+            }
+        } else {
+            for &k in &self.accel_counts {
+                if k == 0 || k as usize > self.jobs.len() {
+                    report.push(
+                        Diagnostic::error(
+                            "L0261",
+                            format!(
+                                "accel_counts entry {k} out of range: the campaign declares \
+                                 {} job(s)",
+                                self.jobs.len()
+                            ),
+                        )
+                        .at(Locus::Field("accel_counts")),
+                    );
+                }
+            }
         }
         report
     }
@@ -587,7 +661,17 @@ impl CampaignSpec {
         check_keys(
             &root,
             &[
-                "name", "kernels", "mems", "stagger", "space", "datapath", "soc", "faults", "jobs",
+                "name",
+                "kernels",
+                "mems",
+                "stagger",
+                "accel_counts",
+                "bus_widths",
+                "space",
+                "datapath",
+                "soc",
+                "faults",
+                "jobs",
             ],
             "",
             &mut report,
@@ -610,6 +694,15 @@ impl CampaignSpec {
         }
         if let Some(v) = take(&root, "stagger") {
             spec.stagger = want_u64_list(v, "stagger", &mut report);
+        }
+        if let Some(v) = take(&root, "accel_counts") {
+            spec.accel_counts = want_u64_list(v, "accel_counts", &mut report);
+        }
+        if let Some(v) = take(&root, "bus_widths") {
+            spec.bus_widths = want_u64_list(v, "bus_widths", &mut report)
+                .into_iter()
+                .map(|w| u32::try_from(w).unwrap_or(u32::MAX))
+                .collect();
         }
         if let Some(v) = take(&root, "space") {
             if let Some(t) = want_table(v, "space", &mut report) {
@@ -678,6 +771,18 @@ impl CampaignSpec {
             root.push((
                 "stagger".to_owned(),
                 Value::Array(self.stagger.iter().map(|&s| int(s)).collect()),
+            ));
+        }
+        if !self.accel_counts.is_empty() {
+            root.push((
+                "accel_counts".to_owned(),
+                Value::Array(self.accel_counts.iter().map(|&k| int(k)).collect()),
+            ));
+        }
+        if !self.bus_widths.is_empty() {
+            root.push((
+                "bus_widths".to_owned(),
+                Value::Array(self.bus_widths.iter().map(|&w| int(u64::from(w))).collect()),
             ));
         }
         if let Some(t) = space_table(&self.space) {
@@ -752,48 +857,67 @@ impl CampaignSpec {
             let dma_points = space.dma_points();
             let cache_points = space.cache_points();
             let unconstructible = space.cache_points_unfiltered().len() - cache_points.len();
-            for kernel in &self.kernels {
-                for &mem in &self.mems {
-                    match mem {
-                        MemKind::Isolated | MemKind::Dma(_) => {
-                            for p in &dma_points {
-                                let dp = DatapathConfig {
-                                    lanes: p.lanes,
-                                    partition: p.partition,
-                                    ..base_dp
-                                };
-                                if lint_design(&dp, &soc).has_errors() {
-                                    rejected += 1;
-                                    continue;
+            // Topology is the outermost axis, matching the sweep runners'
+            // `specs_for` ordering. An explicit `space.topologies` list
+            // overrides the platform; otherwise the single `[soc.topology]`
+            // (or default shared-bus) platform is kept as-is.
+            let topologies: Vec<Topology> = if self.space.topologies.is_some() {
+                space.topologies.clone()
+            } else {
+                vec![soc.topology.topology]
+            };
+            for &topology in &topologies {
+                let soc = SocConfig {
+                    topology: aladdin_core::TopologyConfig {
+                        topology,
+                        ..soc.topology
+                    },
+                    ..soc
+                };
+                for kernel in &self.kernels {
+                    for &mem in &self.mems {
+                        match mem {
+                            MemKind::Isolated | MemKind::Dma(_) => {
+                                for p in &dma_points {
+                                    let dp = DatapathConfig {
+                                        lanes: p.lanes,
+                                        partition: p.partition,
+                                        ..base_dp
+                                    };
+                                    if lint_design(&dp, &soc).has_errors() {
+                                        rejected += 1;
+                                        continue;
+                                    }
+                                    points.push(PlannedPoint::Single {
+                                        kernel: kernel.clone(),
+                                        point: PointSpec { kind: mem, dp, soc },
+                                    });
                                 }
-                                points.push(PlannedPoint::Single {
-                                    kernel: kernel.clone(),
-                                    point: PointSpec { kind: mem, dp, soc },
-                                });
                             }
-                        }
-                        MemKind::Cache => {
-                            for p in &cache_points {
-                                let dp = DatapathConfig {
-                                    lanes: p.lanes,
-                                    partition: p.lanes,
-                                    ..base_dp
-                                };
-                                let soc = p.apply(&soc);
-                                if lint_design(&dp, &soc).has_errors() {
-                                    rejected += 1;
-                                    continue;
+                            MemKind::Cache => {
+                                for p in &cache_points {
+                                    let dp = DatapathConfig {
+                                        lanes: p.lanes,
+                                        partition: p.lanes,
+                                        ..base_dp
+                                    };
+                                    let soc = p.apply(&soc);
+                                    if lint_design(&dp, &soc).has_errors() {
+                                        rejected += 1;
+                                        continue;
+                                    }
+                                    points.push(PlannedPoint::Single {
+                                        kernel: kernel.clone(),
+                                        point: PointSpec { kind: mem, dp, soc },
+                                    });
                                 }
-                                points.push(PlannedPoint::Single {
-                                    kernel: kernel.clone(),
-                                    point: PointSpec { kind: mem, dp, soc },
-                                });
                             }
                         }
                     }
                 }
             }
             rejected += unconstructible
+                * topologies.len()
                 * self.kernels.len()
                 * self.mems.iter().filter(|m| **m == MemKind::Cache).count();
         } else {
@@ -802,18 +926,56 @@ impl CampaignSpec {
             } else {
                 self.stagger.clone()
             };
-            // Launch offsets do not change the static job-set checks, so
-            // one validation pass covers every stagger point.
+            let counts: Vec<usize> = if self.accel_counts.is_empty() {
+                vec![self.jobs.len()]
+            } else {
+                self.accel_counts.iter().map(|&k| k as usize).collect()
+            };
+            let widths: Vec<u32> = if self.bus_widths.is_empty() {
+                vec![soc.bus.width_bits]
+            } else {
+                self.bus_widths.clone()
+            };
+            let topologies: Vec<Topology> = if self.space.topologies.is_some() {
+                self.space.design_space().topologies
+            } else {
+                vec![soc.topology.topology]
+            };
+            // Launch offsets do not change the static job-set checks, and
+            // every count is a prefix of the full job list, so one
+            // validation pass per platform variant (at the largest count)
+            // covers all of its points. Topology is the outermost axis,
+            // then bus width, then count, then stagger — the same
+            // outermost-to-innermost order the sweep branch uses.
             let jobs = build_jobs(&self.jobs, base_dp, staggers[0]);
-            report.merge(aladdin_core::validate_multi_jobs(&jobs, &soc));
-            if report.has_errors() {
-                return Err(report);
+            let max_count = counts.iter().copied().max().unwrap_or(jobs.len());
+            for &topology in &topologies {
+                for &width in &widths {
+                    let soc = SocConfig {
+                        topology: aladdin_core::TopologyConfig {
+                            topology,
+                            ..soc.topology
+                        },
+                        bus: aladdin_mem::BusConfig {
+                            width_bits: width,
+                            ..soc.bus
+                        },
+                        ..soc
+                    };
+                    report.merge(soc.check());
+                    report.merge(aladdin_core::validate_multi_jobs(&jobs[..max_count], &soc));
+                    if report.has_errors() {
+                        return Err(report);
+                    }
+                    for &count in &counts {
+                        points.extend(staggers.iter().map(|&s| PlannedPoint::Multi {
+                            stagger: s,
+                            count,
+                            soc,
+                        }));
+                    }
+                }
             }
-            points.extend(
-                staggers
-                    .into_iter()
-                    .map(|s| PlannedPoint::Multi { stagger: s }),
-            );
         }
 
         if rejected > 0 {
@@ -911,6 +1073,11 @@ pub enum PlannedPoint {
     Multi {
         /// Launch stagger applied to the job list.
         stagger: u64,
+        /// How many jobs run (a prefix of the declared job list).
+        count: usize,
+        /// The platform variant for this point (topology and bus-width
+        /// axes applied over the `[soc]` base).
+        soc: SocConfig,
     },
 }
 
@@ -1052,6 +1219,7 @@ fn parse_space(t: &Table, report: &mut Report) -> SpaceSpec {
             "cache_lines",
             "cache_ports",
             "cache_assocs",
+            "topologies",
         ],
         "space",
         report,
@@ -1085,6 +1253,19 @@ fn parse_space(t: &Table, report: &mut Report) -> SpaceSpec {
     }
     if let Some(v) = take(t, "cache_assocs") {
         spec.cache_assocs = Some(want_u32_list(v, "space.cache_assocs", report));
+    }
+    if let Some(v) = take(t, "topologies") {
+        let mut topologies = Vec::new();
+        for s in want_str_list(v, "space.topologies", report) {
+            match Topology::parse(&s) {
+                Ok(t) => topologies.push(t),
+                Err(e) => report.push(
+                    Diagnostic::error("L0262", format!("space.topologies: {e}"))
+                        .at(Locus::Field("space")),
+                ),
+            }
+        }
+        spec.topologies = Some(topologies);
     }
     spec
 }
@@ -1134,6 +1315,7 @@ fn parse_soc(t: &Table, report: &mut Report) -> SocSpec {
             "dram",
             "dma",
             "traffic",
+            "topology",
         ],
         "soc",
         report,
@@ -1254,6 +1436,31 @@ fn parse_soc(t: &Table, report: &mut Report) -> SocSpec {
         }
         if let Some(v) = take(sub, "bytes") {
             spec.traffic_bytes = uint(v, "soc.traffic.bytes", report);
+        }
+    }
+    if let Some(sub) = take(t, "topology").and_then(Value::as_table) {
+        check_keys(
+            sub,
+            &["spec", "max_burst_bytes", "max_outstanding"],
+            "soc.topology",
+            report,
+        );
+        if let Some(v) = take(sub, "spec") {
+            if let Some(s) = want_str(v, "soc.topology.spec", report) {
+                match Topology::parse(&s) {
+                    Ok(t) => spec.topology = Some(t),
+                    Err(e) => report.push(
+                        Diagnostic::error("L0262", format!("soc.topology.spec: {e}"))
+                            .at(Locus::Field("soc")),
+                    ),
+                }
+            }
+        }
+        if let Some(v) = take(sub, "max_burst_bytes") {
+            spec.topology_max_burst_bytes = uint(v, "soc.topology.max_burst_bytes", report);
+        }
+        if let Some(v) = take(sub, "max_outstanding") {
+            spec.topology_max_outstanding = uint(v, "soc.topology.max_outstanding", report);
         }
     }
     spec
@@ -1380,6 +1587,12 @@ fn space_table(s: &SpaceSpec) -> Option<Table> {
     if let Some(v) = &s.cache_assocs {
         t.push(("cache_assocs".to_owned(), u32s(v)));
     }
+    if let Some(v) = &s.topologies {
+        t.push((
+            "topologies".to_owned(),
+            Value::Array(v.iter().map(|t| Value::Str(t.spec_string())).collect()),
+        ));
+    }
     non_empty(t)
 }
 
@@ -1451,6 +1664,15 @@ fn soc_table(s: &SocSpec) -> Option<Table> {
     push_u32(&mut traffic, "bytes", s.traffic_bytes);
     if let Some(traffic) = non_empty(traffic) {
         t.push(("traffic".to_owned(), Value::Table(traffic)));
+    }
+    let mut topology = Table::new();
+    if let Some(topo) = s.topology {
+        topology.push(("spec".to_owned(), Value::Str(topo.spec_string())));
+    }
+    push_u32(&mut topology, "max_burst_bytes", s.topology_max_burst_bytes);
+    push_u32(&mut topology, "max_outstanding", s.topology_max_outstanding);
+    if let Some(topology) = non_empty(topology) {
+        t.push(("topology".to_owned(), Value::Table(topology)));
     }
     non_empty(t)
 }
@@ -1598,8 +1820,16 @@ launch = 100
         assert_eq!(
             plan.points,
             [
-                PlannedPoint::Multi { stagger: 0 },
-                PlannedPoint::Multi { stagger: 500 }
+                PlannedPoint::Multi {
+                    stagger: 0,
+                    count: 2,
+                    soc: plan.soc
+                },
+                PlannedPoint::Multi {
+                    stagger: 500,
+                    count: 2,
+                    soc: plan.soc
+                }
             ]
         );
         let jobs = plan.jobs_at(500);
@@ -1661,6 +1891,108 @@ launch = 100
             .build()
             .unwrap_err()
             .has_code("L0262"));
+    }
+
+    #[test]
+    fn topology_table_and_axis_round_trip_and_expand() {
+        let doc = r#"
+name = "topo"
+kernels = ["aes-aes"]
+mems = ["dma:full"]
+
+[space]
+preset = "quick"
+topologies = ["shared-bus", "crossbar:4", "mesh:2x2"]
+
+[soc.topology]
+max_burst_bytes = 256
+max_outstanding = 4
+"#;
+        let spec = CampaignSpec::from_toml(doc).expect("parses");
+        assert_eq!(
+            spec.space.topologies.as_deref(),
+            Some(
+                &[
+                    Topology::SharedBus,
+                    Topology::Crossbar { radix: 4 },
+                    Topology::MeshNoc {
+                        cols: 2,
+                        rows: 2,
+                        hop_cycles: 1,
+                        link_bits: 32,
+                    },
+                ][..]
+            )
+        );
+        assert_eq!(spec.soc.topology_max_burst_bytes, Some(256));
+
+        let text = spec.to_toml();
+        let again = CampaignSpec::from_toml(&text).expect("canonical form parses");
+        assert_eq!(spec, again, "{text}");
+        assert_eq!(again.to_toml(), text, "serialization is a fixed point");
+
+        // The topology axis multiplies the point list, and every point
+        // carries the protocol overrides.
+        let plan = spec.expand().expect("expands");
+        let quick = DesignSpace::quick();
+        assert_eq!(plan.points.len(), 3 * quick.dma_points().len());
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &plan.points {
+            let PlannedPoint::Single { point, .. } = p else {
+                panic!("sweep points");
+            };
+            seen.insert(point.soc.topology.topology.spec_string());
+            assert_eq!(point.soc.topology.protocol.max_burst_bytes, 256);
+        }
+        assert_eq!(seen.len(), 3, "all three topologies expanded");
+    }
+
+    #[test]
+    fn soc_topology_spec_sets_the_platform_without_an_axis() {
+        let doc = r#"
+name = "topo-base"
+kernels = ["aes-aes"]
+mems = ["isolated"]
+
+[soc.topology]
+spec = "two-level:2:3"
+"#;
+        let spec = CampaignSpec::from_toml(doc).expect("parses");
+        assert_eq!(
+            spec.soc.topology,
+            Some(Topology::TwoLevelBus {
+                clusters: 2,
+                bridge_cycles: 3,
+            })
+        );
+        let plan = spec.expand().expect("expands");
+        for p in &plan.points {
+            let PlannedPoint::Single { point, .. } = p else {
+                panic!("sweep points");
+            };
+            assert_eq!(
+                point.soc.topology.topology,
+                Topology::TwoLevelBus {
+                    clusters: 2,
+                    bridge_cycles: 3,
+                },
+                "no space axis: the [soc.topology] platform survives expansion"
+            );
+        }
+
+        // A bad spec string is a typed L0262.
+        let r = CampaignSpec::from_toml(
+            "name = \"x\"\nkernels = [\"aes-aes\"]\nmems = [\"isolated\"]\n\n[soc.topology]\nspec = \"ring\"\n",
+        )
+        .unwrap_err();
+        assert!(r.has_code("L0262"), "{}", r.to_human());
+        // A zero-radix crossbar is caught by platform validation (L0310).
+        let spec = CampaignSpec::from_toml(
+            "name = \"x\"\nkernels = [\"aes-aes\"]\nmems = [\"isolated\"]\n\n[soc.topology]\nspec = \"crossbar:0\"\n",
+        )
+        .expect("structurally fine");
+        let r = spec.expand().unwrap_err();
+        assert!(r.has_code("L0310"), "{}", r.to_human());
     }
 
     #[test]

@@ -3,14 +3,14 @@
 //!
 //! Every flag the three front ends have in common is parsed here, once:
 //! `--faults SEED`, `--cache off|mem|full`, `--multi
-//! KERNEL:MEM[:OPT][:LAUNCH]`, and the output-format pair
-//! `--json`/`--format human|json`. A binary keeps its own argument loop
-//! but routes each flag through [`CommonArgs::consume`] first, so a
+//! KERNEL:MEM[:OPT][:LAUNCH]`, `--topology SPEC`, and the output-format
+//! pair `--json`/`--format human|json`. A binary keeps its own argument
+//! loop but routes each flag through [`CommonArgs::consume`] first, so a
 //! spelling accepted by one tool is accepted — with identical semantics —
 //! by all of them.
 
 use aladdin_accel::DatapathConfig;
-use aladdin_core::{AcceleratorJob, DmaOptLevel, MemKind, SimHarness};
+use aladdin_core::{AcceleratorJob, DmaOptLevel, MemKind, SimHarness, Topology};
 use aladdin_dse::SweepCacheMode;
 use aladdin_workloads::by_name;
 
@@ -36,6 +36,10 @@ pub struct CommonArgs {
     pub format: OutputFormat,
     /// Each `--multi KERNEL:MEM[:OPT][:LAUNCH]` occurrence, unparsed.
     pub multi: Vec<String>,
+    /// `--topology SPEC`: the interconnect topology
+    /// (`shared-bus`, `crossbar[:RADIX]`, `two-level[:CLUSTERS[:BRIDGE]]`,
+    /// `mesh:COLSxROWS[:HOP[:LINKBITS]]`).
+    pub topology: Option<Topology>,
 }
 
 impl CommonArgs {
@@ -77,6 +81,10 @@ impl CommonArgs {
                 };
             }
             "--multi" => self.multi.push(value("--multi")?),
+            "--topology" => {
+                let v = value("--topology")?;
+                self.topology = Some(Topology::parse(&v).map_err(|e| format!("--topology: {e}"))?);
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -228,6 +236,20 @@ mod tests {
         let mut rest = ["aes-aes:cache"].iter().map(|s| (*s).to_owned());
         assert_eq!(c.consume("--multi", &mut rest), Ok(true));
         assert_eq!(c.multi, ["aes-aes:cache"]);
+
+        let mut rest = ["mesh:3x3:2:64"].iter().map(|s| (*s).to_owned());
+        assert_eq!(c.consume("--topology", &mut rest), Ok(true));
+        assert_eq!(
+            c.topology,
+            Some(Topology::MeshNoc {
+                cols: 3,
+                rows: 3,
+                hop_cycles: 2,
+                link_bits: 64,
+            })
+        );
+        let mut rest = ["ring"].iter().map(|s| (*s).to_owned());
+        assert!(c.consume("--topology", &mut rest).is_err());
 
         let mut none = std::iter::empty();
         assert_eq!(c.consume("--lanes", &mut none), Ok(false));

@@ -379,10 +379,14 @@ fn execute_point(
                 (line, result.err())
             }
         }
-        PlannedPoint::Multi { stagger } => {
+        PlannedPoint::Multi {
+            stagger,
+            count,
+            soc,
+        } => {
             let jobs = plan.jobs_at(*stagger);
-            let result = simulate_multi(&jobs, &plan.soc, &plan.harness);
-            let line = multi_record(index, *stagger, &result);
+            let result = simulate_multi(&jobs[..*count], soc, &plan.harness);
+            let line = multi_record(index, *stagger, *count, soc, &result);
             let err = result.err();
             (line, err)
         }
@@ -400,8 +404,8 @@ fn retried_record(
 ) -> String {
     let mut line = match &plan.points[index] {
         PlannedPoint::Single { kernel, point } => point_prefix(index, kernel, point),
-        PlannedPoint::Multi { stagger } => {
-            format!("{{\"point\":{index},\"stagger\":{stagger}")
+        PlannedPoint::Multi { stagger, count, .. } => {
+            format!("{{\"point\":{index},\"stagger\":{stagger},\"count\":{count}")
         }
     };
     line.push_str(&format!(

@@ -268,13 +268,17 @@ pub fn run_campaign(
                     ran += results.len();
                 }
             }
-            PlannedPoint::Multi { stagger } => {
+            PlannedPoint::Multi {
+                stagger,
+                count,
+                soc,
+            } => {
                 let jobs = plan.jobs_at(*stagger);
-                let result = simulate_multi(&jobs, &plan.soc, &plan.harness);
+                let result = simulate_multi(&jobs[..*count], soc, &plan.harness);
                 if result.is_err() {
                     failed += 1;
                 }
-                write_line(multi_record(index, *stagger, &result));
+                write_line(multi_record(index, *stagger, *count, soc, &result));
                 ran += 1;
                 i += 1;
             }
@@ -299,8 +303,15 @@ pub fn run_campaign(
 pub(crate) fn multi_record(
     index: usize,
     stagger: u64,
+    count: usize,
+    soc: &aladdin_core::SocConfig,
     result: &Result<aladdin_core::MultiSocResult, SimError>,
 ) -> String {
+    let prefix = format!(
+        "{{\"point\":{index},\"stagger\":{stagger},\"count\":{count},\"topology\":{},\"bus_width\":{}",
+        json_string(&soc.topology.topology.spec_string()),
+        soc.bus.width_bits
+    );
     match result {
         Ok(r) => {
             let latencies: Vec<String> = r
@@ -309,13 +320,13 @@ pub(crate) fn multi_record(
                 .map(|a| a.latency().to_string())
                 .collect();
             format!(
-                "{{\"point\":{index},\"stagger\":{stagger},\"end\":{},\"latencies\":[{}],\"status\":\"ok\"}}",
+                "{prefix},\"end\":{},\"latencies\":[{}],\"status\":\"ok\"}}",
                 r.end,
                 latencies.join(",")
             )
         }
         Err(e) => format!(
-            "{{\"point\":{index},\"stagger\":{stagger},\"status\":\"error\",\"error\":{}}}",
+            "{prefix},\"status\":\"error\",\"error\":{}}}",
             json_string(&e.to_string())
         ),
     }
@@ -786,6 +797,110 @@ partitions = [1]
         assert_eq!(finished.len(), plan.points.len());
         let _ = std::fs::remove_file(&journal);
         let _ = std::fs::remove_file(&atrc_path);
+    }
+
+    #[test]
+    fn topology_contention_campaign_runs_with_expected_journal() {
+        use aladdin_core::Topology;
+
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/campaigns/topology_contention.toml"
+        );
+        let text = std::fs::read_to_string(path).expect("bundled campaign exists");
+        let plan = CampaignSpec::from_toml(&text)
+            .expect("parses")
+            .expand()
+            .expect("expands");
+
+        // 4 topologies × 2 bus widths × 3 accelerator counts, topology
+        // outermost — the axis order journal indices are pinned to.
+        let topologies = [
+            Topology::SharedBus,
+            Topology::Crossbar { radix: 4 },
+            Topology::TwoLevelBus {
+                clusters: 2,
+                bridge_cycles: 4,
+            },
+            Topology::MeshNoc {
+                cols: 3,
+                rows: 3,
+                hop_cycles: 1,
+                link_bits: 32,
+            },
+        ];
+        let widths = [32u32, 64];
+        let counts = [1usize, 2, 4];
+        assert_eq!(plan.points.len(), 24);
+        let mut expected = topologies
+            .iter()
+            .flat_map(|&t| widths.iter().map(move |&w| (t, w)))
+            .flat_map(|(t, w)| counts.iter().map(move |&k| (t, w, k)));
+        for p in &plan.points {
+            let PlannedPoint::Multi {
+                stagger,
+                count,
+                soc,
+            } = p
+            else {
+                panic!("job-set campaign yields multi points");
+            };
+            let (t, w, k) = expected.next().expect("point count matches axes");
+            assert_eq!(*stagger, 0);
+            assert_eq!(soc.topology.topology, t);
+            assert_eq!(soc.bus.width_bits, w);
+            assert_eq!(*count, k);
+        }
+
+        let journal = temp_path("topology-contention");
+        let summary = run_campaign(&plan, &journal, &RunOptions::default()).expect("runs");
+        assert_eq!(summary.ran, 24);
+        assert_eq!(summary.failed, 0);
+        assert!(summary.complete());
+
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let records: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(records.len(), 24);
+        let mut end_of = std::collections::HashMap::new();
+        for line in &records {
+            assert!(line.contains("\"status\":\"ok\""), "{line}");
+            let point = json_field_u64(line, "point").expect("point index") as usize;
+            let count = json_field_u64(line, "count").expect("count field");
+            let width = json_field_u64(line, "bus_width").expect("bus_width field");
+            let end = json_field_u64(line, "end").expect("end cycle");
+            assert!(end > 0, "{line}");
+            let PlannedPoint::Multi { count: k, soc, .. } = &plan.points[point] else {
+                unreachable!()
+            };
+            assert_eq!(count as usize, *k);
+            assert_eq!(width as u32, soc.bus.width_bits);
+            assert!(
+                line.contains(&format!(
+                    "\"topology\":\"{}\"",
+                    soc.topology.topology.spec_string()
+                )),
+                "{line}"
+            );
+            end_of.insert((soc.topology.topology.spec_string(), width, count), end);
+        }
+        // Physics: on every fabric, at fixed width, adding accelerators
+        // never finishes the SoC earlier.
+        for t in ["shared-bus", "crossbar:4", "two-level:2:4", "mesh:3x3:1:32"] {
+            for w in [32u64, 64] {
+                let one = end_of[&(t.to_owned(), w, 1)];
+                let four = end_of[&(t.to_owned(), w, 4)];
+                assert!(
+                    four >= one,
+                    "{t} @{w}b: 4 accelerators ended at {four}, 1 at {one}"
+                );
+            }
+        }
+        // And a wider bus never hurts the fully-loaded shared bus.
+        assert!(
+            end_of[&("shared-bus".to_owned(), 64, 4)] <= end_of[&("shared-bus".to_owned(), 32, 4)],
+            "doubling the shared-bus width must not slow the loaded SoC"
+        );
+        let _ = std::fs::remove_file(&journal);
     }
 
     #[test]

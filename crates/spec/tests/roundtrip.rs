@@ -4,7 +4,7 @@
 //! `to_toml` → `from_toml` exactly, and the canonical serialization must
 //! be a fixed point.
 
-use aladdin_core::{DmaOptLevel, MemKind};
+use aladdin_core::{DmaOptLevel, MemKind, Topology};
 use aladdin_rng::SmallRng;
 use aladdin_spec::{
     CampaignSpec, DatapathSpec, FaultsSpec, JobSpec, SocSpec, SpacePreset, SpaceSpec,
@@ -30,6 +30,25 @@ fn u32s(rng: &mut SmallRng) -> Vec<u32> {
         .collect()
 }
 
+fn random_topology(rng: &mut SmallRng) -> Topology {
+    match rng.next_u64() % 4 {
+        0 => Topology::SharedBus,
+        1 => Topology::Crossbar {
+            radix: small(rng, 8) as u32,
+        },
+        2 => Topology::TwoLevelBus {
+            clusters: small(rng, 4) as u32,
+            bridge_cycles: small(rng, 8) as u32,
+        },
+        _ => Topology::MeshNoc {
+            cols: 1 + small(rng, 4) as u32,
+            rows: 1 + small(rng, 4) as u32,
+            hop_cycles: small(rng, 4) as u32,
+            link_bits: 8 * small(rng, 8) as u32,
+        },
+    }
+}
+
 fn random_space(rng: &mut SmallRng) -> SpaceSpec {
     let preset = match rng.next_u64() % 3 {
         0 => SpacePreset::Quick,
@@ -44,6 +63,11 @@ fn random_space(rng: &mut SmallRng) -> SpaceSpec {
         cache_lines: maybe(rng, u32s),
         cache_ports: maybe(rng, u32s),
         cache_assocs: maybe(rng, u32s),
+        topologies: maybe(rng, |rng| {
+            (0..1 + rng.next_u64() % 3)
+                .map(|_| random_topology(rng))
+                .collect()
+        }),
     }
 }
 
@@ -85,6 +109,9 @@ fn random_soc(rng: &mut SmallRng) -> SocSpec {
         invoke_cycles: maybe(rng, |rng| small(rng, 100)),
         traffic_period: maybe(rng, |rng| small(rng, 1000)),
         traffic_bytes: maybe(rng, |rng| small(rng, 256) as u32),
+        topology: maybe(rng, random_topology),
+        topology_max_burst_bytes: maybe(rng, |rng| 64 * small(rng, 8) as u32),
+        topology_max_outstanding: maybe(rng, |rng| small(rng, 8) as u32),
     }
 }
 
@@ -142,6 +169,17 @@ fn random_spec(rng: &mut SmallRng) -> CampaignSpec {
         if rng.gen_bool(0.5) {
             spec.stagger = (0..1 + rng.next_u64() % 3)
                 .map(|_| rng.next_u64() % 5000)
+                .collect();
+        }
+        if rng.gen_bool(0.5) {
+            let jobs = spec.jobs.len() as u64;
+            spec.accel_counts = (0..1 + rng.next_u64() % 3)
+                .map(|_| 1 + rng.next_u64() % jobs)
+                .collect();
+        }
+        if rng.gen_bool(0.5) {
+            spec.bus_widths = (0..1 + rng.next_u64() % 3)
+                .map(|_| 8 * (1 + small(rng, 16)) as u32)
                 .collect();
         }
     }

@@ -53,9 +53,14 @@ use aladdin_spec::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sweep [--json] [--cache off|mem|full] [--faults SEED] \
+        "usage: sweep [--json] [--cache off|mem|full] [--faults SEED] [--topology SPEC] \
          <plan|run|resume|work|coordinate> CAMPAIGN.toml [--journal PATH] [--limit N] [--prune] \
          [--dir DIR] [--worker ID] [--lease-ms N] [--retries N]"
+    );
+    eprintln!(
+        "  --topology pins the interconnect (shared-bus, crossbar[:RADIX], \
+         two-level[:CLUSTERS[:BRIDGE]], mesh:COLSxROWS[:HOP[:LINKBITS]]), \
+         overriding the campaign's [soc.topology] and space.topologies axis"
     );
     std::process::exit(2);
 }
@@ -156,7 +161,15 @@ fn load_plan(args: &Args) -> Result<CampaignPlan, aladdin_ir::Report> {
         ));
         r
     })?;
-    let spec = CampaignSpec::from_toml(&text)?;
+    let mut spec = CampaignSpec::from_toml(&text)?;
+    // The shared --topology flag pins the fabric, overriding both the
+    // campaign's [soc.topology] platform and any space.topologies axis.
+    // It participates in expansion (and therefore the plan digest), so a
+    // journal recorded under one topology refuses to resume under another.
+    if let Some(topology) = args.common.topology {
+        spec.soc.topology = Some(topology);
+        spec.space.topologies = None;
+    }
     let mut plan = spec.expand()?;
     // The shared --faults flag overrides the campaign's [faults] seed.
     if let Some(seed) = args.common.faults_seed {

@@ -13,6 +13,7 @@ fn space() -> DesignSpace {
         cache_lines: vec![32],
         cache_ports: vec![1, 4],
         cache_assocs: vec![4],
+        ..DesignSpace::quick()
     }
 }
 
